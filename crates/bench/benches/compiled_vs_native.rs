@@ -1,0 +1,50 @@
+//! Measures the interpretation overhead of the compiled-kernel executor
+//! against the native generated-equivalent kernel on the same SpGEMM
+//! workload — making the cost of the pure-Rust "target code" substitution
+//! (DESIGN.md §5) visible rather than hidden.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use taco_core::IndexStmt;
+use taco_ir::expr::{sum, IndexVar, TensorVar};
+use taco_ir::notation::IndexAssignment;
+use taco_kernels::spgemm::spgemm_workspace_sorted;
+use taco_lower::LowerOptions;
+use taco_tensor::gen::random_csr;
+use taco_tensor::Format;
+
+fn bench_compiled_vs_native(cr: &mut Criterion) {
+    let mut group = cr.benchmark_group("compiled_vs_native_spgemm");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    let n = 400;
+    let a = TensorVar::new("A", vec![n, n], Format::csr());
+    let b = TensorVar::new("B", vec![n, n], Format::csr());
+    let c = TensorVar::new("C", vec![n, n], Format::csr());
+    let (i, j, k) = (IndexVar::new("i"), IndexVar::new("j"), IndexVar::new("k"));
+    let mul = b.access([i.clone(), k.clone()]) * c.access([k.clone(), j.clone()]);
+    let mut stmt = IndexStmt::new(IndexAssignment::assign(
+        a.access([i.clone(), j.clone()]),
+        sum(k.clone(), mul.clone()),
+    ))
+    .expect("valid index notation");
+    stmt.reorder(&k, &j).expect("reorderable");
+    let w = TensorVar::new("w", vec![n], Format::dvec());
+    stmt.precompute(&mul, &[(j.clone(), j.clone(), j.clone())], &w).expect("precomputable");
+    let kernel = stmt.compile(LowerOptions::fused("spgemm")).expect("compiles");
+
+    let bm = random_csr(n, n, 0.02, 1);
+    let cm = random_csr(n, n, 0.02, 2);
+    let (bt, ct) = (bm.to_tensor(), cm.to_tensor());
+
+    group.bench_function("compiled_executor", |bch| {
+        bch.iter(|| kernel.run(&[("B", &bt), ("C", &ct)]).expect("runs"))
+    });
+    group.bench_function("native_equivalent", |bch| {
+        bch.iter(|| spgemm_workspace_sorted(&bm, &cm))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compiled_vs_native);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion benches for Figure 13: multi-operand sparse matrix addition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use taco_bench::workloads::fig13_operands;
+use taco_kernels::add::{
+    add_kway_merge, add_kway_workspace, add_pairwise, add_pairwise_mkl_style,
+};
+use taco_tensor::Csr;
+
+fn bench_add(cr: &mut Criterion) {
+    let mut group = cr.benchmark_group("fig13_matrix_add");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    let n = 2000;
+    let all = fig13_operands(n, 7);
+    for adds in [2usize, 4, 6] {
+        let ops: Vec<&Csr> = all[..=adds].iter().collect();
+        group.bench_with_input(BenchmarkId::new("taco_binop_pairwise", adds), &ops, |b, ops| {
+            b.iter(|| add_pairwise(ops))
+        });
+        group.bench_with_input(BenchmarkId::new("taco_merge", adds), &ops, |b, ops| {
+            b.iter(|| add_kway_merge(ops))
+        });
+        group.bench_with_input(BenchmarkId::new("workspace", adds), &ops, |b, ops| {
+            b.iter(|| add_kway_workspace(ops))
+        });
+        group.bench_with_input(BenchmarkId::new("mkl_style_pairwise", adds), &ops, |b, ops| {
+            b.iter(|| add_pairwise_mkl_style(ops))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_add);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benches for Figure 12: MTTKRP variants — merge-based (taco),
+//! workspace, SPLATT-style, and the sparse-everything kernel across the
+//! density sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use taco_bench::workloads::{dense_mat, fig12_workloads, sparse_factors};
+use taco_kernels::mttkrp::{mttkrp_sparse, mttkrp_splatt, mttkrp_taco, mttkrp_workspace};
+
+fn bench_mttkrp_dense(cr: &mut Criterion) {
+    let mut group = cr.benchmark_group("fig12_left_mttkrp");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    for w in fig12_workloads(0.002, 16, 2048) {
+        group.bench_with_input(BenchmarkId::new("taco_merge", w.name), &w, |bch, w| {
+            bch.iter(|| mttkrp_taco(&w.b, &w.c, &w.d))
+        });
+        group.bench_with_input(BenchmarkId::new("workspace", w.name), &w, |bch, w| {
+            bch.iter(|| mttkrp_workspace(&w.b, &w.c, &w.d))
+        });
+        group.bench_with_input(BenchmarkId::new("splatt_style", w.name), &w, |bch, w| {
+            bch.iter(|| mttkrp_splatt(&w.b, &w.c, &w.d))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mttkrp_sparse_sweep(cr: &mut Criterion) {
+    let mut group = cr.benchmark_group("fig12_right_sparse_mttkrp");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    let w = &fig12_workloads(0.002, 16, 2048)[0]; // Facebook stand-in
+    let [_, dk, dl] = w.b.dims();
+    let cd = dense_mat(dl, 16, 1);
+    let dd = dense_mat(dk, 16, 2);
+    group.bench_function("dense_reference", |bch| {
+        bch.iter(|| mttkrp_workspace(&w.b, &cd, &dd))
+    });
+    for density in [1.0, 0.25, 0.01, 1e-4] {
+        let (cs, ds) = sparse_factors(dk, dl, 16, density);
+        group.bench_with_input(
+            BenchmarkId::new("sparse", format!("{density:.0e}")),
+            &(&cs, &ds),
+            |bch, (cs, ds)| bch.iter(|| mttkrp_sparse(&w.b, cs, ds)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mttkrp_dense, bench_mttkrp_sparse_sweep);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benches for Figure 11: SpGEMM kernel variants on Table I
+//! stand-ins at the paper's synthetic-operand densities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use taco_kernels::spgemm::{
+    spgemm_eigen_style, spgemm_mkl_style, spgemm_workspace_sorted, spgemm_workspace_unsorted,
+};
+use taco_tensor::datasets::MATRICES;
+use taco_tensor::gen::random_csr;
+
+fn bench_spgemm(cr: &mut Criterion) {
+    let mut group = cr.benchmark_group("fig11_spgemm");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    // A representative subset of Table I keeps the default run short; the
+    // fig11 binary covers all eleven matrices.
+    for info in [&MATRICES[0], &MATRICES[5], &MATRICES[7]] {
+        let b = info.generate(0.01);
+        for density in [4e-4, 1e-4] {
+            let c = random_csr(b.nrows(), b.ncols(), density, 42);
+            let tag = format!("{}_{:.0e}", info.name, density);
+            group.bench_with_input(
+                BenchmarkId::new("workspace_sorted", &tag),
+                &(&b, &c),
+                |bch, (b, c)| bch.iter(|| spgemm_workspace_sorted(b, c)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("eigen_style", &tag),
+                &(&b, &c),
+                |bch, (b, c)| bch.iter(|| spgemm_eigen_style(b, c)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("workspace_unsorted", &tag),
+                &(&b, &c),
+                |bch, (b, c)| bch.iter(|| spgemm_workspace_unsorted(b, c)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("mkl_style", &tag),
+                &(&b, &c),
+                |bch, (b, c)| bch.iter(|| spgemm_mkl_style(b, c)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spgemm);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * dense-array vs hash-map workspace (paper Section III / Section IX on
+//!   Patwary et al.'s hash experiment),
+//! * sorted vs unsorted result assembly (Figure 8's optional sort),
+//! * linear-combination-of-rows vs inner-product SpGEMM (the asymptotic
+//!   argument of Section II).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use taco_kernels::spgemm::{
+    spgemm_hash_workspace, spgemm_inner_product, spgemm_workspace_sorted,
+    spgemm_workspace_unsorted,
+};
+use taco_tensor::gen::random_csr;
+
+fn bench_ablation(cr: &mut Criterion) {
+    let mut group = cr.benchmark_group("workspace_ablation");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+
+    let n = 2000;
+    let b = random_csr(n, n, 2e-3, 1);
+    let c = random_csr(n, n, 2e-3, 2);
+    let ct = c.transpose();
+
+    group.bench_function("dense_workspace_sorted", |bch| {
+        bch.iter(|| spgemm_workspace_sorted(&b, &c))
+    });
+    group.bench_function("dense_workspace_unsorted", |bch| {
+        bch.iter(|| spgemm_workspace_unsorted(&b, &c))
+    });
+    group.bench_function("hash_workspace", |bch| bch.iter(|| spgemm_hash_workspace(&b, &c)));
+    group.bench_function("inner_product", |bch| bch.iter(|| spgemm_inner_product(&b, &ct)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Regenerates Table I: the test matrices and tensors with their domains,
+//! nonzero counts and densities, plus the synthetic stand-ins generated at
+//! the chosen scale.
+
+use taco_bench::timing::print_table;
+use taco_bench::BenchArgs;
+use taco_tensor::datasets::{MATRICES, TENSORS};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    println!("TABLE I: TEST MATRICES AND TENSORS (paper metadata + stand-ins at scale {})\n", args.scale);
+
+    let mut rows = Vec::new();
+    for m in &MATRICES {
+        let g = m.generate(args.scale);
+        rows.push(vec![
+            m.id.to_string(),
+            m.name.to_string(),
+            m.domain.to_string(),
+            m.nnz.to_string(),
+            format!("{:.0E}", m.density()),
+            format!("{}x{}", g.nrows(), g.ncols()),
+            g.nnz().to_string(),
+        ]);
+    }
+    print_table(&["#", "Matrix", "Domain", "NNZ", "Density", "Stand-in dims", "Stand-in NNZ"], &rows);
+
+    println!();
+    let mut trows = Vec::new();
+    for t in &TENSORS {
+        let g = t.generate((args.scale * 0.1).min(1.0), 4096);
+        let d = g.dims();
+        trows.push(vec![
+            t.name.to_string(),
+            t.domain.to_string(),
+            t.nnz.to_string(),
+            format!("{:.0E}", t.density()),
+            format!("{}x{}x{}", d[0], d[1], d[2]),
+            g.nnz().to_string(),
+        ]);
+    }
+    print_table(&["Tensor", "Domain", "NNZ", "Density", "Stand-in dims", "Stand-in NNZ"], &trows);
+}

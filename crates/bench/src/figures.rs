@@ -1,0 +1,296 @@
+//! Measurement logic for each table and figure of the paper's evaluation.
+
+use crate::timing::time_best;
+use crate::workloads::{
+    dense_mat, fig11_workloads, fig12_workloads, fig13_operands, sparse_factors,
+    FIG12_DENSITIES,
+};
+use std::time::Duration;
+use taco_kernels::add::{
+    add_kway_assemble, add_kway_compute, add_kway_merge, add_kway_workspace, add_pairwise,
+    add_pairwise_mkl_style,
+};
+use taco_kernels::mttkrp::{mttkrp_sparse, mttkrp_splatt, mttkrp_taco, mttkrp_workspace};
+use taco_kernels::spgemm::{
+    spgemm_eigen_style, spgemm_mkl_style, spgemm_workspace_sorted, spgemm_workspace_unsorted,
+};
+
+// ---------------------------------------------------------------------------
+// Figure 11
+// ---------------------------------------------------------------------------
+
+/// One measurement of Figure 11: workspace SpGEMM against a library-style
+/// baseline on one matrix × density combination.
+#[derive(Debug, Clone)]
+pub struct Fig11Row {
+    /// Table I matrix id.
+    pub id: usize,
+    /// Table I matrix name.
+    pub name: &'static str,
+    /// Synthetic operand density (4E-4 or 1E-4).
+    pub density: f64,
+    /// Sorted (Eigen comparison) or unsorted (MKL comparison) algorithm.
+    pub sorted: bool,
+    /// Workspace kernel time.
+    pub t_workspace: Duration,
+    /// Baseline (Eigen-style or MKL-style) time.
+    pub t_baseline: Duration,
+}
+
+impl Fig11Row {
+    /// Baseline time normalized to the workspace kernel (the figure's
+    /// normalized time; > 1 means the workspace kernel wins).
+    pub fn normalized(&self) -> f64 {
+        self.t_baseline.as_secs_f64() / self.t_workspace.as_secs_f64()
+    }
+}
+
+/// Runs the Figure 11 experiment: sorted workspace SpGEMM vs Eigen-style
+/// and unsorted workspace SpGEMM vs MKL-style, on every Table I matrix at
+/// densities 4E-4 and 1E-4.
+pub fn fig11(scale: f64, reps: usize) -> Vec<Fig11Row> {
+    let mut rows = Vec::new();
+    for w in fig11_workloads(scale) {
+        let (ts, _) = time_best(reps, || spgemm_workspace_sorted(&w.b, &w.c));
+        let (te, _) = time_best(reps, || spgemm_eigen_style(&w.b, &w.c));
+        rows.push(Fig11Row {
+            id: w.id,
+            name: w.name,
+            density: w.density,
+            sorted: true,
+            t_workspace: ts,
+            t_baseline: te,
+        });
+        let (tu, _) = time_best(reps, || spgemm_workspace_unsorted(&w.b, &w.c));
+        let (tm, _) = time_best(reps, || spgemm_mkl_style(&w.b, &w.c));
+        rows.push(Fig11Row {
+            id: w.id,
+            name: w.name,
+            density: w.density,
+            sorted: false,
+            t_workspace: tu,
+            t_baseline: tm,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 12 (left)
+// ---------------------------------------------------------------------------
+
+/// One measurement of Figure 12 (left): dense-output MTTKRP, three
+/// implementations on one tensor.
+#[derive(Debug, Clone)]
+pub struct Fig12LeftRow {
+    /// Tensor name.
+    pub name: &'static str,
+    /// taco's merge-based kernel (no workspace).
+    pub t_taco: Duration,
+    /// The workspace kernel (first transformation of Section VII).
+    pub t_workspace: Duration,
+    /// SPLATT-style hand-written kernel.
+    pub t_splatt: Duration,
+}
+
+/// Runs the Figure 12 (left) experiment on the three tensor stand-ins.
+pub fn fig12_left(scale: f64, rank: usize, max_dim: usize, reps: usize) -> Vec<Fig12LeftRow> {
+    fig12_workloads(scale, rank, max_dim)
+        .into_iter()
+        .map(|w| {
+            let (tt, _) = time_best(reps, || mttkrp_taco(&w.b, &w.c, &w.d));
+            let (tw, _) = time_best(reps, || mttkrp_workspace(&w.b, &w.c, &w.d));
+            let (ts, _) = time_best(reps, || mttkrp_splatt(&w.b, &w.c, &w.d));
+            Fig12LeftRow { name: w.name, t_taco: tt, t_workspace: tw, t_splatt: ts }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 12 (right)
+// ---------------------------------------------------------------------------
+
+/// One measurement of Figure 12 (right): MTTKRP with sparse output and
+/// sparse factor matrices vs dense output and dense factors, at one
+/// operand density.
+#[derive(Debug, Clone)]
+pub struct Fig12RightRow {
+    /// Tensor name.
+    pub name: &'static str,
+    /// Factor matrix density.
+    pub density: f64,
+    /// Sparse-everything MTTKRP time.
+    pub t_sparse: Duration,
+    /// Dense-everything MTTKRP time.
+    pub t_dense: Duration,
+}
+
+impl Fig12RightRow {
+    /// Relative time sparse / dense (the figure's y axis; < 1 means the
+    /// sparse kernel wins).
+    pub fn relative(&self) -> f64 {
+        self.t_sparse.as_secs_f64() / self.t_dense.as_secs_f64()
+    }
+}
+
+/// Runs the Figure 12 (right) density sweep on the three tensor stand-ins.
+pub fn fig12_right(scale: f64, rank: usize, max_dim: usize, reps: usize) -> Vec<Fig12RightRow> {
+    let mut rows = Vec::new();
+    for w in fig12_workloads(scale, rank, max_dim) {
+        let [_, dk, dl] = w.b.dims();
+        // The dense contender always runs on dense factors (paper: "MTTKRP
+        // with dense output and matrix operands").
+        let cd = dense_mat(dl, rank, 0xD1);
+        let dd = dense_mat(dk, rank, 0xD2);
+        for density in FIG12_DENSITIES {
+            let (cs, ds) = sparse_factors(dk, dl, rank, density);
+            let (tsparse, _) = time_best(reps, || mttkrp_sparse(&w.b, &cs, &ds));
+            let (tdense, _) = time_best(reps, || mttkrp_workspace(&w.b, &cd, &dd));
+            rows.push(Fig12RightRow { name: w.name, density, t_sparse: tsparse, t_dense: tdense });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 13
+// ---------------------------------------------------------------------------
+
+/// One measurement of Figure 13 (left): total time to assemble and compute
+/// a chain of matrix additions with each strategy.
+#[derive(Debug, Clone)]
+pub struct Fig13Row {
+    /// Number of additions (operands − 1).
+    pub additions: usize,
+    /// Pairwise binary taco kernels (temporaries per step).
+    pub t_taco_binop: Duration,
+    /// One merged multi-operand taco kernel.
+    pub t_taco: Duration,
+    /// The workspace kernel.
+    pub t_workspace: Duration,
+    /// Eigen-style pairwise addition.
+    pub t_eigen: Duration,
+    /// MKL-style pairwise addition (inspector-executor per step).
+    pub t_mkl: Duration,
+}
+
+/// Runs the Figure 13 (left) scaling experiment for `1..=max_additions`
+/// additions of `n x n` operands.
+pub fn fig13_scaling(n: usize, max_additions: usize, reps: usize) -> Vec<Fig13Row> {
+    let all_ops = fig13_operands(n, max_additions + 1);
+    (1..=max_additions)
+        .map(|adds| {
+            let ops: Vec<&taco_tensor::Csr> = all_ops[..=adds].iter().collect();
+            let (tb, _) = time_best(reps, || add_pairwise(&ops));
+            let (tt, _) = time_best(reps, || add_kway_merge(&ops));
+            let (tw, _) = time_best(reps, || add_kway_workspace(&ops));
+            let (te, _) = time_best(reps, || add_pairwise(&ops));
+            let (tm, _) = time_best(reps, || add_pairwise_mkl_style(&ops));
+            Fig13Row {
+                additions: adds,
+                t_taco_binop: tb,
+                t_taco: tt,
+                t_workspace: tw,
+                t_eigen: te,
+                t_mkl: tm,
+            }
+        })
+        .collect()
+}
+
+/// The Figure 13 (right) assembly/compute breakdown for a seven-operand
+/// addition.
+#[derive(Debug, Clone)]
+pub struct Fig13Breakdown {
+    /// Implementation label.
+    pub code: &'static str,
+    /// Assembly time, if the implementation separates phases.
+    pub assembly: Option<Duration>,
+    /// Compute time (total time for single-phase libraries).
+    pub compute: Duration,
+}
+
+/// Runs the Figure 13 (right) breakdown: seven operands with the paper's
+/// densities.
+pub fn fig13_breakdown(n: usize, reps: usize) -> Vec<Fig13Breakdown> {
+    let all_ops = fig13_operands(n, 7);
+    let ops: Vec<&taco_tensor::Csr> = all_ops.iter().collect();
+
+    // taco-style kernels separate assembly from compute; the workspace
+    // implementation reuses taco's assembly (Section VIII-E).
+    let (t_assemble, (pos, crd)) = time_best(reps, || add_kway_assemble(&ops));
+    let (t_merge_compute, _) = time_best(reps, || {
+        // Merge compute against pre-assembled structure: values only.
+        let a = add_kway_merge(&ops);
+        a.vals().len()
+    });
+    let (t_ws_compute, _) = time_best(reps, || add_kway_compute(&ops, &pos, &crd));
+    let (t_binop, _) = time_best(reps, || add_pairwise(&ops));
+    let (t_eigen, _) = time_best(reps, || add_pairwise(&ops));
+    let (t_mkl, _) = time_best(reps, || add_pairwise_mkl_style(&ops));
+
+    vec![
+        Fig13Breakdown { code: "taco bin", assembly: Some(t_assemble), compute: t_binop },
+        Fig13Breakdown { code: "taco", assembly: Some(t_assemble), compute: t_merge_compute },
+        Fig13Breakdown { code: "workspace", assembly: Some(t_assemble), compute: t_ws_compute },
+        Fig13Breakdown { code: "Eigen", assembly: None, compute: t_eigen },
+        Fig13Breakdown { code: "MKL", assembly: None, compute: t_mkl },
+    ]
+}
+
+/// A quick correctness cross-check run before benchmarking, so a harness
+/// bug cannot silently publish wrong-speed numbers for wrong answers.
+pub fn verify_consistency(n: usize) -> bool {
+    let ops_all = fig13_operands(n, 4);
+    let ops: Vec<&taco_tensor::Csr> = ops_all.iter().collect();
+    let a = add_kway_merge(&ops);
+    let b = add_kway_workspace(&ops);
+    let c = add_pairwise(&ops);
+    if !(a.approx_eq(&b, 1e-10) && a.approx_eq(&c, 1e-10)) {
+        return false;
+    }
+    let b1 = &ops_all[0];
+    let c1 = &ops_all[1];
+    let s = spgemm_workspace_sorted(b1, c1);
+    let e = spgemm_eigen_style(b1, c1);
+    let m = spgemm_mkl_style(b1, c1);
+    s.approx_eq(&e, 1e-10) && s.approx_eq(&m, 1e-10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig11_rows_cover_both_comparisons() {
+        let rows = fig11(0.0005, 1);
+        assert_eq!(rows.len(), 44); // 11 matrices x 2 densities x 2 variants
+        assert!(rows.iter().all(|r| r.t_workspace.as_nanos() > 0));
+    }
+
+    #[test]
+    fn fig12_left_runs() {
+        let rows = fig12_left(1e-6, 4, 128, 1);
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn fig12_right_covers_density_sweep() {
+        let rows = fig12_right(1e-6, 4, 128, 1);
+        assert_eq!(rows.len(), 18);
+        assert!(rows.iter().all(|r| r.relative() > 0.0));
+    }
+
+    #[test]
+    fn fig13_scaling_and_breakdown_run() {
+        let rows = fig13_scaling(200, 3, 1);
+        assert_eq!(rows.len(), 3);
+        let brk = fig13_breakdown(200, 1);
+        assert_eq!(brk.len(), 5);
+    }
+
+    #[test]
+    fn consistency_check_passes() {
+        assert!(verify_consistency(300));
+    }
+}

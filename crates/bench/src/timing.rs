@@ -1,0 +1,88 @@
+//! Small timing utilities for the figure harness.
+
+use std::time::{Duration, Instant};
+
+/// Times `f` once.
+pub fn time_once<R>(mut f: impl FnMut() -> R) -> (Duration, R) {
+    let start = Instant::now();
+    let r = f();
+    (start.elapsed(), r)
+}
+
+/// Runs `f` `reps` times (plus one warmup) and returns the minimum duration
+/// together with the last result.
+///
+/// The paper reports "average cold cache performance"; a warm minimum is
+/// the closest robust equivalent for in-process measurement and preserves
+/// relative ordering between kernels.
+///
+/// # Panics
+///
+/// Panics if `reps` is zero.
+pub fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
+    assert!(reps > 0, "at least one repetition required");
+    let mut best = Duration::MAX;
+    let mut out = None;
+    // Warmup.
+    let _ = f();
+    for _ in 0..reps {
+        let (d, r) = time_once(&mut f);
+        best = best.min(d);
+        out = Some(r);
+    }
+    (best, out.expect("reps > 0"))
+}
+
+/// Formats a duration in adaptive units.
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// Prints an aligned table: a header row then data rows.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (w, c) in widths.iter().zip(cells) {
+            s.push_str(&format!("{c:>w$}  ", w = w));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&header.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    println!("{}", "-".repeat(total));
+    for row in rows {
+        line(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_best_returns_result() {
+        let (d, r) = time_best(3, || 21 * 2);
+        assert_eq!(r, 42);
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn formats_units() {
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+        assert!(fmt_duration(Duration::from_millis(5)).ends_with(" ms"));
+        assert!(fmt_duration(Duration::from_micros(7)).ends_with(" µs"));
+    }
+}

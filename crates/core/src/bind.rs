@@ -1,0 +1,173 @@
+//! Binding tensors to kernel parameters and extracting results, following
+//! the lowerer's naming convention (`X1_pos`, `X1_crd`, `X1_dim`, `X`).
+
+use crate::{CoreError, Result};
+use taco_ir::expr::TensorVar;
+use taco_llir::Binding;
+use taco_lower::KernelKind;
+use taco_tensor::{Format, ModeFormat, Tensor};
+
+pub(crate) fn dim_name(tensor: &str, level: usize) -> String {
+    format!("{tensor}{}_dim", level + 1)
+}
+pub(crate) fn pos_name(tensor: &str, level: usize) -> String {
+    format!("{tensor}{}_pos", level + 1)
+}
+pub(crate) fn crd_name(tensor: &str, level: usize) -> String {
+    format!("{tensor}{}_crd", level + 1)
+}
+
+/// Binds one operand tensor's dims, index arrays and values.
+pub(crate) fn bind_operand(
+    b: &mut Binding,
+    var: &TensorVar,
+    t: &Tensor,
+    with_vals: bool,
+) -> Result<()> {
+    if t.rank() != var.rank() || t.format() != var.format() || t.shape() != var.shape() {
+        return Err(CoreError::OperandMismatch {
+            name: var.name().to_string(),
+            expected: format!("shape {:?} format {}", var.shape(), var.format()),
+        });
+    }
+    for l in 0..t.rank() {
+        b.set_scalar(dim_name(var.name(), l), t.dim(l) as i64);
+        if var.format().mode(l) == ModeFormat::Compressed {
+            b.set_usize(pos_name(var.name(), l), t.pos(l)?);
+            b.set_usize(crd_name(var.name(), l), t.crd(l)?);
+        }
+    }
+    if with_vals {
+        b.set_f64(var.name(), t.vals().to_vec());
+    }
+    Ok(())
+}
+
+/// Binds the result tensor's buffers according to the kernel kind.
+/// `structure` supplies the pre-assembled index arrays for compute kernels
+/// with sparse results.
+pub(crate) fn bind_result(
+    b: &mut Binding,
+    var: &TensorVar,
+    kind: KernelKind,
+    structure: Option<&Tensor>,
+) -> Result<()> {
+    let name = var.name();
+    for l in 0..var.rank() {
+        b.set_scalar(dim_name(name, l), var.shape()[l] as i64);
+    }
+    let sparse_level = (0..var.rank()).find(|l| var.format().mode(*l) == ModeFormat::Compressed);
+    match sparse_level {
+        None => {
+            let len: usize = var.shape().iter().product();
+            b.set_f64(name, vec![0.0; len]);
+        }
+        Some(l) => {
+            let parents: usize = var.shape()[..l].iter().product();
+            match kind {
+                KernelKind::Compute => {
+                    let s = structure.ok_or(CoreError::MissingOutputStructure)?;
+                    if s.shape() != var.shape() || s.format() != var.format() {
+                        return Err(CoreError::OperandMismatch {
+                            name: name.to_string(),
+                            expected: format!(
+                                "output structure with shape {:?} format {}",
+                                var.shape(),
+                                var.format()
+                            ),
+                        });
+                    }
+                    b.set_usize(pos_name(name, l), s.pos(l)?);
+                    b.set_usize(crd_name(name, l), s.crd(l)?);
+                    b.set_f64(name, vec![0.0; s.nnz()]);
+                }
+                KernelKind::Fused => {
+                    b.set_int(pos_name(name, l), vec![0; parents + 1]);
+                    b.set_int(crd_name(name, l), Vec::new());
+                    b.set_f64(name, Vec::new());
+                }
+                KernelKind::Assemble => {
+                    b.set_int(pos_name(name, l), vec![0; parents + 1]);
+                    b.set_int(crd_name(name, l), Vec::new());
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Extracts the result tensor after a run.
+pub(crate) fn extract_result(
+    b: &Binding,
+    var: &TensorVar,
+    kind: KernelKind,
+    structure: Option<&Tensor>,
+    nnz_output: Option<&str>,
+) -> Result<Tensor> {
+    let name = var.name();
+    let sparse_level = (0..var.rank()).find(|l| var.format().mode(*l) == ModeFormat::Compressed);
+    match sparse_level {
+        None => {
+            let vals =
+                b.f64_array(name).ok_or_else(|| CoreError::UnknownOperand(name.to_string()))?;
+            Ok(Tensor::from_dense(
+                &taco_tensor::DenseTensor::from_data(var.shape().to_vec(), vals.to_vec()),
+                Format::dense(var.rank()),
+            )?)
+        }
+        Some(l) => match kind {
+            KernelKind::Compute => {
+                let s = structure.ok_or(CoreError::MissingOutputStructure)?;
+                let vals = b
+                    .f64_array(name)
+                    .ok_or_else(|| CoreError::UnknownOperand(name.to_string()))?;
+                let entries: Vec<(Vec<usize>, f64)> = s
+                    .entries()
+                    .into_iter()
+                    .zip(vals)
+                    .map(|((coord, _), v)| (coord, *v))
+                    .collect();
+                Ok(Tensor::from_entries(var.shape().to_vec(), var.format().clone(), entries)?)
+            }
+            KernelKind::Fused | KernelKind::Assemble => {
+                let pos = b
+                    .usize_array(&pos_name(name, l))
+                    .ok_or_else(|| CoreError::UnknownOperand(name.to_string()))?;
+                let crd = b
+                    .usize_array(&crd_name(name, l))
+                    .ok_or_else(|| CoreError::UnknownOperand(name.to_string()))?;
+                let nnz = nnz_output
+                    .and_then(|n| b.scalar_output(n))
+                    .map(|v| v as usize)
+                    .unwrap_or(*pos.last().unwrap_or(&0));
+                let vals: Vec<f64> = if kind == KernelKind::Fused {
+                    b.f64_array(name)
+                        .ok_or_else(|| CoreError::UnknownOperand(name.to_string()))?[..nnz]
+                        .to_vec()
+                } else {
+                    vec![0.0; nnz]
+                };
+
+                // Decode parent coordinates from dense offsets and rebuild
+                // the tensor (handles unsorted rows from unsorted kernels).
+                let parent_dims = &var.shape()[..l];
+                let parents: usize = parent_dims.iter().product();
+                let mut entries = Vec::with_capacity(nnz);
+                for p in 0..parents {
+                    let mut coord = vec![0usize; l];
+                    let mut rem = p;
+                    for (k, d) in parent_dims.iter().enumerate().rev() {
+                        coord[k] = rem % d;
+                        rem /= d;
+                    }
+                    for q in pos[p]..pos[p + 1] {
+                        let mut full = coord.clone();
+                        full.push(crd[q]);
+                        entries.push((full, vals[q]));
+                    }
+                }
+                Ok(Tensor::from_entries(var.shape().to_vec(), var.format().clone(), entries)?)
+            }
+        },
+    }
+}

@@ -1,0 +1,91 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the end-to-end pipeline: wraps the per-stage errors plus
+/// binding-time validation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Index-notation or transformation error.
+    Ir(taco_ir::IrError),
+    /// Lowering error.
+    Lower(taco_lower::LowerError),
+    /// Imperative-IR compilation error (indicates a lowering bug).
+    Compile(taco_llir::CompileError),
+    /// Runtime error while executing a kernel.
+    Run(taco_llir::RunError),
+    /// Tensor construction error while extracting results.
+    Tensor(taco_tensor::TensorError),
+    /// An operand was not supplied or not declared.
+    UnknownOperand(String),
+    /// A bound tensor does not match its declared shape or format.
+    OperandMismatch {
+        /// Tensor name.
+        name: String,
+        /// What was expected.
+        expected: String,
+    },
+    /// A compute kernel with a sparse result needs a pre-assembled output
+    /// structure.
+    MissingOutputStructure,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Ir(e) => write!(f, "{e}"),
+            CoreError::Lower(e) => write!(f, "{e}"),
+            CoreError::Compile(e) => write!(f, "internal: generated kernel failed to compile: {e}"),
+            CoreError::Run(e) => write!(f, "kernel execution failed: {e}"),
+            CoreError::Tensor(e) => write!(f, "{e}"),
+            CoreError::UnknownOperand(n) => write!(f, "operand `{n}` was not supplied"),
+            CoreError::OperandMismatch { name, expected } => {
+                write!(f, "operand `{name}` does not match its declaration: expected {expected}")
+            }
+            CoreError::MissingOutputStructure => write!(
+                f,
+                "compute kernels with sparse results require a pre-assembled output structure; \
+                 pass one with `run_with` or use a fused kernel"
+            ),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Ir(e) => Some(e),
+            CoreError::Lower(e) => Some(e),
+            CoreError::Compile(e) => Some(e),
+            CoreError::Run(e) => Some(e),
+            CoreError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<taco_ir::IrError> for CoreError {
+    fn from(e: taco_ir::IrError) -> Self {
+        CoreError::Ir(e)
+    }
+}
+impl From<taco_lower::LowerError> for CoreError {
+    fn from(e: taco_lower::LowerError) -> Self {
+        CoreError::Lower(e)
+    }
+}
+impl From<taco_llir::CompileError> for CoreError {
+    fn from(e: taco_llir::CompileError) -> Self {
+        CoreError::Compile(e)
+    }
+}
+impl From<taco_llir::RunError> for CoreError {
+    fn from(e: taco_llir::RunError) -> Self {
+        CoreError::Run(e)
+    }
+}
+impl From<taco_tensor::TensorError> for CoreError {
+    fn from(e: taco_tensor::TensorError) -> Self {
+        CoreError::Tensor(e)
+    }
+}

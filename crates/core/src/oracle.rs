@@ -1,0 +1,195 @@
+//! Dense reference evaluator: the correctness oracle for compiled kernels.
+//!
+//! [`eval_dense`] interprets an index notation statement directly, with
+//! every tensor converted to dense and every forall realized as a full
+//! loop over the dimension — the semantics sparse kernels must reproduce.
+
+use crate::{CoreError, Result};
+use std::collections::HashMap;
+use taco_ir::expr::IndexExpr;
+use taco_ir::notation::IndexAssignment;
+use taco_tensor::{DenseTensor, Tensor};
+
+/// Evaluates an index notation assignment over the named input tensors,
+/// returning the dense result.
+///
+/// # Errors
+///
+/// Returns an error if an operand is missing or a variable's range cannot
+/// be inferred.
+///
+/// # Example
+///
+/// ```
+/// use taco_core::oracle::eval_dense;
+/// use taco_ir::expr::{sum, IndexVar, TensorVar};
+/// use taco_ir::notation::IndexAssignment;
+/// use taco_tensor::{Format, Tensor};
+///
+/// let (i, j) = (IndexVar::new("i"), IndexVar::new("j"));
+/// let a = TensorVar::new("a", vec![2], Format::dvec());
+/// let b = TensorVar::new("B", vec![2, 2], Format::csr());
+/// let stmt = IndexAssignment::assign(a.access([i.clone()]), sum(j.clone(), b.access([i, j])));
+/// let bt = Tensor::from_entries(vec![2, 2], Format::csr(),
+///     vec![(vec![0, 0], 1.0), (vec![0, 1], 2.0)])?;
+/// let result = eval_dense(&stmt, &[("B", &bt)])?;
+/// assert_eq!(result.data(), &[3.0, 0.0]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn eval_dense(stmt: &IndexAssignment, inputs: &[(&str, &Tensor)]) -> Result<DenseTensor> {
+    let dense: HashMap<&str, DenseTensor> =
+        inputs.iter().map(|(n, t)| (*n, t.to_dense())).collect();
+
+    // Infer every variable's range from the accesses that use it.
+    let mut ranges: HashMap<String, usize> = HashMap::new();
+    let mut record = |access: &taco_ir::expr::Access| {
+        for (l, v) in access.vars().iter().enumerate() {
+            ranges.entry(v.name().to_string()).or_insert(access.tensor().shape()[l]);
+        }
+    };
+    record(stmt.lhs());
+    stmt.rhs().visit(&mut |e| {
+        if let IndexExpr::Access(a) = e {
+            record(a);
+        }
+    });
+
+    let mut out = DenseTensor::zeros(stmt.lhs().tensor().shape().to_vec());
+    let free = stmt.free_vars();
+    let free_dims: Vec<usize> = free
+        .iter()
+        .map(|v| {
+            ranges
+                .get(v.name())
+                .copied()
+                .ok_or_else(|| CoreError::UnknownOperand(v.name().to_string()))
+        })
+        .collect::<Result<_>>()?;
+
+    let mut env: HashMap<String, usize> = HashMap::new();
+    let mut coord = vec![0usize; free.len()];
+    loop {
+        for (n, v) in free.iter().enumerate() {
+            env.insert(v.name().to_string(), coord[n]);
+        }
+        let val = eval_expr(stmt.rhs(), &mut env, &dense, &ranges)?;
+        out.set(&coord, val);
+
+        // Odometer increment.
+        let mut k = free.len();
+        loop {
+            if k == 0 {
+                return Ok(out);
+            }
+            k -= 1;
+            coord[k] += 1;
+            if coord[k] < free_dims[k] {
+                break;
+            }
+            coord[k] = 0;
+        }
+    }
+}
+
+fn eval_expr(
+    e: &IndexExpr,
+    env: &mut HashMap<String, usize>,
+    dense: &HashMap<&str, DenseTensor>,
+    ranges: &HashMap<String, usize>,
+) -> Result<f64> {
+    Ok(match e {
+        IndexExpr::Access(a) => {
+            let t = dense
+                .get(a.tensor().name())
+                .ok_or_else(|| CoreError::UnknownOperand(a.tensor().name().to_string()))?;
+            let coord: Vec<usize> = a
+                .vars()
+                .iter()
+                .map(|v| {
+                    env.get(v.name())
+                        .copied()
+                        .ok_or_else(|| CoreError::UnknownOperand(v.name().to_string()))
+                })
+                .collect::<Result<_>>()?;
+            t.get(&coord)
+        }
+        IndexExpr::Literal(v) => *v,
+        IndexExpr::Neg(a) => -eval_expr(a, env, dense, ranges)?,
+        IndexExpr::Add(a, b) => {
+            eval_expr(a, env, dense, ranges)? + eval_expr(b, env, dense, ranges)?
+        }
+        IndexExpr::Sub(a, b) => {
+            eval_expr(a, env, dense, ranges)? - eval_expr(b, env, dense, ranges)?
+        }
+        IndexExpr::Mul(a, b) => {
+            eval_expr(a, env, dense, ranges)? * eval_expr(b, env, dense, ranges)?
+        }
+        IndexExpr::Sum(v, body) => {
+            let dim = *ranges
+                .get(v.name())
+                .ok_or_else(|| CoreError::UnknownOperand(v.name().to_string()))?;
+            let saved = env.get(v.name()).copied();
+            let mut acc = 0.0;
+            for x in 0..dim {
+                env.insert(v.name().to_string(), x);
+                acc += eval_expr(body, env, dense, ranges)?;
+            }
+            match saved {
+                Some(s) => env.insert(v.name().to_string(), s),
+                None => env.remove(v.name()),
+            };
+            acc
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taco_ir::expr::{sum, IndexVar, TensorVar};
+    use taco_tensor::Format;
+
+    #[test]
+    fn matmul_oracle() {
+        let n = 3;
+        let a = TensorVar::new("A", vec![n, n], Format::dense(2));
+        let b = TensorVar::new("B", vec![n, n], Format::csr());
+        let c = TensorVar::new("C", vec![n, n], Format::csr());
+        let (i, j, k) = (IndexVar::new("i"), IndexVar::new("j"), IndexVar::new("k"));
+        let stmt = IndexAssignment::assign(
+            a.access([i.clone(), j.clone()]),
+            sum(k.clone(), b.access([i, k.clone()]) * c.access([k, j])),
+        );
+        let bt = Tensor::from_entries(
+            vec![n, n],
+            Format::csr(),
+            vec![(vec![0, 1], 2.0), (vec![2, 2], 3.0)],
+        )
+        .unwrap();
+        let ct = Tensor::from_entries(
+            vec![n, n],
+            Format::csr(),
+            vec![(vec![1, 0], 5.0), (vec![2, 1], 7.0)],
+        )
+        .unwrap();
+        let out = eval_dense(&stmt, &[("B", &bt), ("C", &ct)]).unwrap();
+        assert_eq!(out.get(&[0, 0]), 10.0); // B(0,1)*C(1,0)
+        assert_eq!(out.get(&[2, 1]), 21.0); // B(2,2)*C(2,1)
+        assert_eq!(out.count_nonzeros(), 2);
+    }
+
+    #[test]
+    fn literal_and_neg() {
+        let n = 2;
+        let a = TensorVar::new("a", vec![n], Format::dvec());
+        let b = TensorVar::new("b", vec![n], Format::dvec());
+        let i = IndexVar::new("i");
+        let stmt = IndexAssignment::assign(
+            a.access([i.clone()]),
+            IndexExpr::Literal(2.0) * (-IndexExpr::from(b.access([i]))),
+        );
+        let bt = Tensor::from_entries(vec![n], Format::dvec(), vec![(vec![1], 3.0)]).unwrap();
+        let out = eval_dense(&stmt, &[("b", &bt)]).unwrap();
+        assert_eq!(out.data(), &[0.0, -6.0]);
+    }
+}

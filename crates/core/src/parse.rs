@@ -1,0 +1,395 @@
+//! A parser for tensor index notation strings, in the style of the taco
+//! command-line tool: `"A(i,j) = B(i,k) * C(k,j)"`.
+//!
+//! Variables that appear only on the right-hand side become summation
+//! (reduction) variables, as in taco's CLI. Tensor shapes and formats are
+//! supplied by the caller per tensor name.
+
+use crate::{CoreError, Result};
+use std::collections::HashMap;
+use taco_ir::expr::{Access, IndexExpr, IndexVar, TensorVar};
+use taco_ir::notation::IndexAssignment;
+use taco_ir::IrError;
+use taco_tensor::Format;
+
+/// Shape/format declarations for the tensors of a parsed expression.
+#[derive(Debug, Clone, Default)]
+pub struct Declarations {
+    formats: HashMap<String, Format>,
+    /// Dimension of every index variable (square default applied by the CLI).
+    default_dim: usize,
+}
+
+impl Declarations {
+    /// Creates declarations where every index variable ranges over
+    /// `default_dim`.
+    pub fn with_default_dim(default_dim: usize) -> Declarations {
+        Declarations { formats: HashMap::new(), default_dim }
+    }
+
+    /// Declares the format of a tensor (e.g. CSR for `"ds"`).
+    pub fn format(mut self, tensor: impl Into<String>, format: Format) -> Declarations {
+        self.formats.insert(tensor.into(), format);
+        self
+    }
+
+    /// Parses a taco-style format string: `d` = dense mode, `s` = compressed
+    /// mode, outermost first (`"ds"` = CSR, `"ss"` = DCSR, `"sss"` = CSF).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on characters other than `d`/`s`.
+    pub fn format_str(self, tensor: impl Into<String>, spec: &str) -> Result<Declarations> {
+        let modes = spec
+            .chars()
+            .map(|c| match c {
+                'd' => Ok(taco_tensor::ModeFormat::Dense),
+                's' => Ok(taco_tensor::ModeFormat::Compressed),
+                other => Err(CoreError::Ir(IrError::InvalidIndexNotation(format!(
+                    "unknown mode format `{other}` (expected `d` or `s`)"
+                )))),
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(self.format(tensor, Format::new(modes)))
+    }
+}
+
+/// Parses an index notation assignment such as
+/// `"A(i,j) = B(i,k) * C(k,j)"`, inferring summations for variables not on
+/// the left-hand side.
+///
+/// # Errors
+///
+/// Returns an error on syntax errors or undeclared rank mismatches.
+///
+/// # Example
+///
+/// ```
+/// use taco_core::parse::{parse_assignment, Declarations};
+/// use taco_tensor::Format;
+///
+/// let decls = Declarations::with_default_dim(8)
+///     .format_str("A", "ds")?
+///     .format_str("B", "ds")?
+///     .format_str("C", "ds")?;
+/// let stmt = parse_assignment("A(i,j) = B(i,k) * C(k,j)", &decls)?;
+/// assert_eq!(stmt.to_string(), "A(i,j) = sum(k, B(i,k) * C(k,j))");
+/// # Ok::<(), taco_core::CoreError>(())
+/// ```
+pub fn parse_assignment(input: &str, decls: &Declarations) -> Result<IndexAssignment> {
+    let mut p = Parser { toks: tokenize(input)?, pos: 0, decls };
+    let lhs = p.parse_access()?;
+    p.expect(Tok::Eq)?;
+    let mut rhs = p.parse_expr()?;
+    if p.pos != p.toks.len() {
+        return Err(err(format!("unexpected trailing input at token {}", p.pos)));
+    }
+
+    // Implicit reductions: wrap variables used only on the rhs.
+    let free: Vec<IndexVar> = lhs.vars().to_vec();
+    let mut reductions: Vec<IndexVar> = Vec::new();
+    rhs.visit(&mut |e| {
+        if let IndexExpr::Access(a) = e {
+            for v in a.vars() {
+                if !free.contains(v) && !reductions.contains(v) {
+                    reductions.push(v.clone());
+                }
+            }
+        }
+    });
+    for v in reductions.into_iter().rev() {
+        rhs = IndexExpr::Sum(v, Box::new(rhs));
+    }
+    Ok(IndexAssignment::assign(lhs, rhs))
+}
+
+fn err(detail: String) -> CoreError {
+    CoreError::Ir(IrError::InvalidIndexNotation(detail))
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(f64),
+    LParen,
+    RParen,
+    Comma,
+    Eq,
+    Plus,
+    Minus,
+    Star,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Tok>> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\n' => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                out.push(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Tok::RParen);
+            }
+            ',' => {
+                chars.next();
+                out.push(Tok::Comma);
+            }
+            '=' => {
+                chars.next();
+                out.push(Tok::Eq);
+            }
+            '+' => {
+                chars.next();
+                out.push(Tok::Plus);
+            }
+            '-' => {
+                chars.next();
+                out.push(Tok::Minus);
+            }
+            '*' => {
+                chars.next();
+                out.push(Tok::Star);
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok::Ident(s));
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let v: f64 =
+                    s.parse().map_err(|_| err(format!("invalid number literal `{s}`")))?;
+                out.push(Tok::Number(v));
+            }
+            other => return Err(err(format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'d> {
+    toks: Vec<Tok>,
+    pos: usize,
+    decls: &'d Declarations,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Tok> {
+        let t = self.toks.get(self.pos).cloned().ok_or_else(|| err("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<()> {
+        let got = self.next()?;
+        if got != t {
+            return Err(err(format!("expected {t:?}, found {got:?}")));
+        }
+        Ok(())
+    }
+
+    fn parse_access(&mut self) -> Result<Access> {
+        let Tok::Ident(name) = self.next()? else {
+            return Err(err("expected tensor name".into()));
+        };
+        self.expect(Tok::LParen)?;
+        let mut vars = Vec::new();
+        loop {
+            let Tok::Ident(v) = self.next()? else {
+                return Err(err("expected index variable".into()));
+            };
+            vars.push(IndexVar::new(v));
+            match self.next()? {
+                Tok::Comma => continue,
+                Tok::RParen => break,
+                other => return Err(err(format!("expected `,` or `)`, found {other:?}"))),
+            }
+        }
+        let format = self
+            .decls
+            .formats
+            .get(&name)
+            .cloned()
+            .unwrap_or_else(|| Format::dense(vars.len()));
+        if format.rank() != vars.len() {
+            return Err(err(format!(
+                "tensor `{name}` declared with rank {} but accessed with {} variables",
+                format.rank(),
+                vars.len()
+            )));
+        }
+        let shape = vec![self.decls.default_dim; vars.len()];
+        let tv = TensorVar::new(name, shape, format);
+        Ok(tv.access(vars))
+    }
+
+    fn parse_expr(&mut self) -> Result<IndexExpr> {
+        let mut lhs = self.parse_term()?;
+        while let Some(op) = self.peek() {
+            match op {
+                Tok::Plus => {
+                    self.pos += 1;
+                    let rhs = self.parse_term()?;
+                    lhs = IndexExpr::Add(Box::new(lhs), Box::new(rhs));
+                }
+                Tok::Minus => {
+                    self.pos += 1;
+                    let rhs = self.parse_term()?;
+                    lhs = IndexExpr::Sub(Box::new(lhs), Box::new(rhs));
+                }
+                _ => break,
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn parse_term(&mut self) -> Result<IndexExpr> {
+        let mut lhs = self.parse_factor()?;
+        while self.peek() == Some(&Tok::Star) {
+            self.pos += 1;
+            let rhs = self.parse_factor()?;
+            lhs = IndexExpr::Mul(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_factor(&mut self) -> Result<IndexExpr> {
+        match self.peek() {
+            Some(Tok::Number(_)) => {
+                let Tok::Number(v) = self.next()? else { unreachable!() };
+                Ok(IndexExpr::Literal(v))
+            }
+            Some(Tok::Minus) => {
+                self.pos += 1;
+                Ok(IndexExpr::Neg(Box::new(self.parse_factor()?)))
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let e = self.parse_expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::Ident(_)) => Ok(IndexExpr::Access(self.parse_access()?)),
+            other => Err(err(format!("expected a factor, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decls() -> Declarations {
+        Declarations::with_default_dim(8)
+            .format_str("A", "ds")
+            .unwrap()
+            .format_str("B", "ds")
+            .unwrap()
+            .format_str("C", "ds")
+            .unwrap()
+    }
+
+    #[test]
+    fn parses_matmul_with_implicit_sum() {
+        let s = parse_assignment("A(i,j) = B(i,k) * C(k,j)", &decls()).unwrap();
+        assert_eq!(s.to_string(), "A(i,j) = sum(k, B(i,k) * C(k,j))");
+    }
+
+    #[test]
+    fn parses_addition_and_literals() {
+        let s = parse_assignment("A(i,j) = 2 * B(i,j) + C(i,j)", &decls()).unwrap();
+        assert_eq!(s.to_string(), "A(i,j) = 2 * B(i,j) + C(i,j)");
+    }
+
+    #[test]
+    fn parses_nested_parens_and_negation() {
+        let s = parse_assignment("A(i,j) = -(B(i,j) - C(i,j))", &decls()).unwrap();
+        assert_eq!(s.to_string(), "A(i,j) = -(B(i,j) - C(i,j))");
+    }
+
+    #[test]
+    fn mttkrp_gets_two_reduction_vars() {
+        let d = Declarations::with_default_dim(6)
+            .format_str("A", "dd")
+            .unwrap()
+            .format_str("B", "sss")
+            .unwrap()
+            .format_str("C", "dd")
+            .unwrap()
+            .format_str("D", "dd")
+            .unwrap();
+        let s = parse_assignment("A(i,j) = B(i,k,l) * C(l,j) * D(k,j)", &d).unwrap();
+        assert_eq!(s.to_string(), "A(i,j) = sum(k, sum(l, B(i,k,l) * C(l,j) * D(k,j)))");
+    }
+
+    #[test]
+    fn undeclared_tensors_default_to_dense() {
+        let s = parse_assignment("y(i) = M(i,j) * x(j)", &Declarations::with_default_dim(4))
+            .unwrap();
+        assert!(s.lhs().tensor().format().is_all_dense());
+    }
+
+    #[test]
+    fn rank_mismatch_rejected() {
+        let err = parse_assignment("A(i) = B(i,j)", &decls()).unwrap_err();
+        assert!(err.to_string().contains("rank"));
+    }
+
+    #[test]
+    fn syntax_errors_reported() {
+        assert!(parse_assignment("A(i,j) = ", &decls()).is_err());
+        assert!(parse_assignment("A(i,j) B(i,j)", &decls()).is_err());
+        assert!(parse_assignment("A(i,j) = B(i,j) ??", &decls()).is_err());
+    }
+
+    #[test]
+    fn parsed_statement_compiles_and_runs() {
+        use taco_lower::LowerOptions;
+        let s = parse_assignment("a(i) = B(i,j) * x(j)", &Declarations::with_default_dim(6)
+            .format_str("a", "d").unwrap()
+            .format_str("B", "ds").unwrap()
+            .format_str("x", "d").unwrap()).unwrap();
+        let stmt = crate::IndexStmt::new(s.clone()).unwrap();
+        let kernel = stmt.compile(LowerOptions::compute("spmv")).unwrap();
+        let bt = taco_tensor::gen::random_csr(6, 6, 0.5, 1).to_tensor();
+        let xt = taco_tensor::Tensor::from_dense(
+            &taco_tensor::gen::random_dense(6, 1, 2),
+            taco_tensor::Format::dense(2),
+        )
+        .unwrap();
+        // Reshape x to a vector.
+        let xv = taco_tensor::Tensor::from_dense(
+            &taco_tensor::DenseTensor::from_data(vec![6], xt.vals().to_vec()),
+            taco_tensor::Format::dvec(),
+        )
+        .unwrap();
+        let out = kernel.run(&[("B", &bt), ("x", &xv)]).unwrap();
+        let expect = crate::oracle::eval_dense(&s, &[("B", &bt), ("x", &xv)]).unwrap();
+        assert!(out.to_dense().approx_eq(&expect, 1e-10));
+    }
+}

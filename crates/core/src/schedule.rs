@@ -1,0 +1,187 @@
+//! The scheduling API (paper Section III) and compiled-kernel execution.
+
+use crate::bind::{bind_operand, bind_result, extract_result};
+use crate::Result;
+use taco_ir::concrete::ConcreteStmt;
+use taco_ir::concretize::concretize;
+use taco_ir::expr::{IndexExpr, IndexVar, TensorVar};
+use taco_ir::heuristics::{suggest, Suggestion};
+use taco_ir::notation::IndexAssignment;
+use taco_ir::transform;
+use taco_llir::{Binding, Executable};
+use taco_lower::{lower, KernelKind, LowerOptions, LoweredKernel};
+use taco_tensor::Tensor;
+
+/// An index notation statement under scheduling — the `IndexStmt` of the
+/// paper's C++ API (Figure 2), with `reorder` and `precompute` methods.
+#[derive(Debug, Clone)]
+pub struct IndexStmt {
+    source: IndexAssignment,
+    concrete: ConcreteStmt,
+}
+
+impl IndexStmt {
+    /// Concretizes an index notation assignment (paper Section VI).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the statement is not valid index notation.
+    pub fn new(source: IndexAssignment) -> Result<IndexStmt> {
+        let concrete = concretize(&source)?;
+        Ok(IndexStmt { source, concrete })
+    }
+
+    /// The current concrete index notation.
+    pub fn concrete(&self) -> &ConcreteStmt {
+        &self.concrete
+    }
+
+    /// The original index notation statement.
+    pub fn source(&self) -> &IndexAssignment {
+        &self.source
+    }
+
+    /// Exchanges two index variables in their forall chain
+    /// (paper Sections III and IV-B).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the exchange is not defined (different chains or
+    /// sequences in the body).
+    pub fn reorder(&mut self, a: &IndexVar, b: &IndexVar) -> Result<&mut IndexStmt> {
+        self.concrete = transform::reorder(&self.concrete, a, b)?;
+        Ok(self)
+    }
+
+    /// Applies the workspace transformation (paper Sections III and V):
+    /// precomputes `expr` into `workspace` over the `splits` variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the expression is not found or the transformation
+    /// preconditions fail.
+    pub fn precompute(
+        &mut self,
+        expr: &IndexExpr,
+        splits: &[(IndexVar, IndexVar, IndexVar)],
+        workspace: &TensorVar,
+    ) -> Result<&mut IndexStmt> {
+        self.concrete = transform::precompute(&self.concrete, expr, splits, workspace)?;
+        Ok(self)
+    }
+
+    /// Runs the Section V-C policy heuristics on the current statement.
+    pub fn suggestions(&self) -> Vec<Suggestion> {
+        suggest(&self.concrete)
+    }
+
+    /// Lowers and compiles the statement into a runnable kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns a lowering error if the schedule is not realizable — e.g.
+    /// scattering into a sparse result without a workspace.
+    pub fn compile(&self, opts: LowerOptions) -> Result<CompiledKernel> {
+        let lowered = lower(&self.concrete, &opts)?;
+        let exe = Executable::compile(&lowered.kernel)?;
+        Ok(CompiledKernel { lowered, exe })
+    }
+}
+
+impl std::fmt::Display for IndexStmt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.concrete)
+    }
+}
+
+/// A fully compiled kernel, ready to run against tensors.
+#[derive(Debug)]
+pub struct CompiledKernel {
+    lowered: LoweredKernel,
+    exe: Executable,
+}
+
+impl CompiledKernel {
+    /// The generated C source (paper-style listing).
+    pub fn to_c(&self) -> String {
+        self.lowered.kernel.to_c()
+    }
+
+    /// The lowered kernel and binding metadata.
+    pub fn lowered(&self) -> &LoweredKernel {
+        &self.lowered
+    }
+
+    /// Runs the kernel on named operand tensors and returns the result.
+    ///
+    /// Operands are matched to tensor variables by name; every operand of
+    /// the kernel must be supplied (order does not matter).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for missing/mismatched operands, or if a compute
+    /// kernel with a sparse result is run without a pre-assembled structure
+    /// (use [`CompiledKernel::run_with`]).
+    pub fn run(&self, inputs: &[(&str, &Tensor)]) -> Result<Tensor> {
+        self.run_with(inputs, None)
+    }
+
+    /// Runs the kernel, supplying a pre-assembled output structure for
+    /// compute kernels with sparse results (the paper's pre-assembled
+    /// `A_pos`/`A_crd`, Figure 1d).
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledKernel::run`].
+    pub fn run_with(
+        &self,
+        inputs: &[(&str, &Tensor)],
+        output_structure: Option<&Tensor>,
+    ) -> Result<Tensor> {
+        let mut binding = self.bind(inputs, output_structure)?;
+        self.exe.run(&mut binding)?;
+        extract_result(
+            &binding,
+            &self.lowered.result,
+            self.lowered.kind,
+            output_structure,
+            self.lowered.nnz_output.as_deref(),
+        )
+    }
+
+    /// Builds the binding without running — used by benchmarks that want to
+    /// time [`CompiledKernel::run_bound`] alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for missing or mismatched operands.
+    pub fn bind(
+        &self,
+        inputs: &[(&str, &Tensor)],
+        output_structure: Option<&Tensor>,
+    ) -> Result<Binding> {
+        let mut binding = Binding::new();
+        let with_vals = self.lowered.kind != KernelKind::Assemble;
+        for var in &self.lowered.operands {
+            let t = inputs
+                .iter()
+                .find(|(n, _)| *n == var.name())
+                .map(|(_, t)| *t)
+                .ok_or_else(|| crate::CoreError::UnknownOperand(var.name().to_string()))?;
+            bind_operand(&mut binding, var, t, with_vals)?;
+        }
+        bind_result(&mut binding, &self.lowered.result, self.lowered.kind, output_structure)?;
+        Ok(binding)
+    }
+
+    /// Runs against an existing binding (for benchmarking). The caller must
+    /// re-bind result buffers between runs of fused kernels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel runtime errors.
+    pub fn run_bound(&self, binding: &mut Binding) -> Result<()> {
+        self.exe.run(binding)?;
+        Ok(())
+    }
+}

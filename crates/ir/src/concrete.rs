@@ -1,0 +1,347 @@
+//! Concrete index notation: the IR of Section IV of the paper.
+
+use crate::expr::{Access, IndexExpr, IndexVar};
+use std::fmt;
+
+/// Assignment operator of a concrete assignment statement.
+///
+/// The paper allows any incrementing operator whose operation is associative
+/// and distributes over multiplication; summation (`+=`) is the one required
+/// by the paper's kernels and the one implemented here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    /// Plain assignment `=`.
+    Assign,
+    /// Incrementing assignment `+=`.
+    Accum,
+}
+
+impl fmt::Display for AssignOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssignOp::Assign => write!(f, "="),
+            AssignOp::Accum => write!(f, "+="),
+        }
+    }
+}
+
+/// A statement of concrete index notation (paper Figure 3).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConcreteStmt {
+    /// `lhs op rhs` — assigns or accumulates a scalar expression into one
+    /// tensor component. The rhs contains no `Sum` nodes, and the lhs tensor
+    /// may not appear in the rhs.
+    Assign {
+        /// Component being written.
+        lhs: Access,
+        /// `=` or `+=`.
+        op: AssignOp,
+        /// Scalar expression over accesses in scope.
+        rhs: IndexExpr,
+    },
+    /// `∀ var body` — iterates `var` over a range inferred from the tensor
+    /// dimensions it indexes.
+    Forall {
+        /// Bound index variable.
+        var: IndexVar,
+        /// Statement executed per iteration.
+        body: Box<ConcreteStmt>,
+    },
+    /// `consumer where producer` — executes the producer first, storing
+    /// sub-results in temporaries (workspaces) read by the consumer.
+    Where {
+        /// Statement that reads the temporary.
+        consumer: Box<ConcreteStmt>,
+        /// Statement that computes the temporary.
+        producer: Box<ConcreteStmt>,
+    },
+    /// `first ; second` — statement sequencing with tensor updates allowed:
+    /// tensors assigned in `first` may be updated by `second`.
+    Sequence {
+        /// First statement.
+        first: Box<ConcreteStmt>,
+        /// Second statement.
+        second: Box<ConcreteStmt>,
+    },
+}
+
+impl ConcreteStmt {
+    /// Builds `∀ var body`.
+    pub fn forall(var: impl Into<IndexVar>, body: ConcreteStmt) -> ConcreteStmt {
+        ConcreteStmt::Forall { var: var.into(), body: Box::new(body) }
+    }
+
+    /// Builds nested foralls `∀ v1 ∀ v2 ... body`.
+    pub fn forall_chain<I>(vars: I, body: ConcreteStmt) -> ConcreteStmt
+    where
+        I: IntoIterator,
+        I::Item: Into<IndexVar>,
+        I::IntoIter: DoubleEndedIterator,
+    {
+        vars.into_iter().rev().fold(body, |b, v| ConcreteStmt::forall(v, b))
+    }
+
+    /// Builds `consumer where producer`.
+    pub fn where_(consumer: ConcreteStmt, producer: ConcreteStmt) -> ConcreteStmt {
+        ConcreteStmt::Where { consumer: Box::new(consumer), producer: Box::new(producer) }
+    }
+
+    /// Builds `first ; second`.
+    pub fn sequence(first: ConcreteStmt, second: ConcreteStmt) -> ConcreteStmt {
+        ConcreteStmt::Sequence { first: Box::new(first), second: Box::new(second) }
+    }
+
+    /// Builds an assignment statement.
+    pub fn assign(lhs: Access, op: AssignOp, rhs: impl Into<IndexExpr>) -> ConcreteStmt {
+        ConcreteStmt::Assign { lhs, op, rhs: rhs.into() }
+    }
+
+    /// True if the statement (transitively) contains a sequence statement.
+    pub fn contains_sequence(&self) -> bool {
+        match self {
+            ConcreteStmt::Assign { .. } => false,
+            ConcreteStmt::Forall { body, .. } => body.contains_sequence(),
+            ConcreteStmt::Where { consumer, producer } => {
+                consumer.contains_sequence() || producer.contains_sequence()
+            }
+            ConcreteStmt::Sequence { .. } => true,
+        }
+    }
+
+    /// True if `var` indexes any tensor access in the statement.
+    pub fn uses_var(&self, var: &IndexVar) -> bool {
+        match self {
+            ConcreteStmt::Assign { lhs, rhs, .. } => lhs.uses_var(var) || rhs.uses_var(var),
+            ConcreteStmt::Forall { body, .. } => body.uses_var(var),
+            ConcreteStmt::Where { consumer, producer } => {
+                consumer.uses_var(var) || producer.uses_var(var)
+            }
+            ConcreteStmt::Sequence { first, second } => {
+                first.uses_var(var) || second.uses_var(var)
+            }
+        }
+    }
+
+    /// True if tensor `name` is read or written anywhere in the statement.
+    pub fn uses_tensor(&self, name: &str) -> bool {
+        match self {
+            ConcreteStmt::Assign { lhs, rhs, .. } => {
+                lhs.tensor().name() == name || rhs.uses_tensor(name)
+            }
+            ConcreteStmt::Forall { body, .. } => body.uses_tensor(name),
+            ConcreteStmt::Where { consumer, producer } => {
+                consumer.uses_tensor(name) || producer.uses_tensor(name)
+            }
+            ConcreteStmt::Sequence { first, second } => {
+                first.uses_tensor(name) || second.uses_tensor(name)
+            }
+        }
+    }
+
+    /// True if tensor `name` is read (appears in an rhs) in the statement.
+    pub fn reads_tensor(&self, name: &str) -> bool {
+        match self {
+            ConcreteStmt::Assign { rhs, .. } => rhs.uses_tensor(name),
+            ConcreteStmt::Forall { body, .. } => body.reads_tensor(name),
+            ConcreteStmt::Where { consumer, producer } => {
+                consumer.reads_tensor(name) || producer.reads_tensor(name)
+            }
+            ConcreteStmt::Sequence { first, second } => {
+                first.reads_tensor(name) || second.reads_tensor(name)
+            }
+        }
+    }
+
+    /// Names of tensors written (assigned) by this statement.
+    pub fn written_tensors(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.visit(&mut |s| {
+            if let ConcreteStmt::Assign { lhs, .. } = s {
+                let name = lhs.tensor().name().to_string();
+                if !out.contains(&name) {
+                    out.push(name);
+                }
+            }
+        });
+        out
+    }
+
+    /// All assignment statements, in execution order.
+    pub fn assignments(&self) -> Vec<&ConcreteStmt> {
+        let mut out = Vec::new();
+        self.visit(&mut |s| {
+            if matches!(s, ConcreteStmt::Assign { .. }) {
+                out.push(s);
+            }
+        });
+        out
+    }
+
+    /// Visits every statement node. Producers are visited before consumers
+    /// (execution order).
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a ConcreteStmt)) {
+        f(self);
+        match self {
+            ConcreteStmt::Assign { .. } => {}
+            ConcreteStmt::Forall { body, .. } => body.visit(f),
+            ConcreteStmt::Where { consumer, producer } => {
+                producer.visit(f);
+                consumer.visit(f);
+            }
+            ConcreteStmt::Sequence { first, second } => {
+                first.visit(f);
+                second.visit(f);
+            }
+        }
+    }
+
+    /// Returns a copy with index variable `from` renamed to `to` everywhere
+    /// (forall binders and accesses).
+    pub fn rename(&self, from: &IndexVar, to: &IndexVar) -> ConcreteStmt {
+        match self {
+            ConcreteStmt::Assign { lhs, op, rhs } => ConcreteStmt::Assign {
+                lhs: lhs.rename(from, to),
+                op: *op,
+                rhs: rhs.rename(from, to),
+            },
+            ConcreteStmt::Forall { var, body } => ConcreteStmt::Forall {
+                var: if var == from { to.clone() } else { var.clone() },
+                body: Box::new(body.rename(from, to)),
+            },
+            ConcreteStmt::Where { consumer, producer } => ConcreteStmt::Where {
+                consumer: Box::new(consumer.rename(from, to)),
+                producer: Box::new(producer.rename(from, to)),
+            },
+            ConcreteStmt::Sequence { first, second } => ConcreteStmt::Sequence {
+                first: Box::new(first.rename(from, to)),
+                second: Box::new(second.rename(from, to)),
+            },
+        }
+    }
+
+    /// The dimension (range) of `var`, inferred from the first access that
+    /// uses it, as the paper infers forall ranges from tensor dimensions.
+    pub fn var_dimension(&self, var: &IndexVar) -> Option<usize> {
+        let mut dim = None;
+        self.visit(&mut |s| {
+            if dim.is_some() {
+                return;
+            }
+            if let ConcreteStmt::Assign { lhs, rhs, .. } = s {
+                for a in std::iter::once(lhs).chain(rhs.accesses()) {
+                    if let Some(m) = a.mode_of(var) {
+                        dim = Some(a.tensor().shape()[m]);
+                        return;
+                    }
+                }
+            }
+        });
+        dim
+    }
+}
+
+impl fmt::Display for ConcreteStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConcreteStmt::Assign { lhs, op, rhs } => write!(f, "{lhs} {op} {rhs}"),
+            ConcreteStmt::Forall { var, body } => {
+                // Collapse ∀i ∀j ... into ∀i ∀j prefix form.
+                write!(f, "∀{var} ")?;
+                match body.as_ref() {
+                    b @ ConcreteStmt::Forall { .. } => write!(f, "{b}"),
+                    b @ ConcreteStmt::Assign { .. } => write!(f, "{b}"),
+                    b => write!(f, "({b})"),
+                }
+            }
+            ConcreteStmt::Where { consumer, producer } => {
+                write!(f, "({consumer}) where ({producer})")
+            }
+            ConcreteStmt::Sequence { first, second } => write!(f, "{first} ; {second}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::TensorVar;
+    use taco_tensor::Format;
+
+    fn matmul_stmt() -> ConcreteStmt {
+        let a = TensorVar::new("A", vec![4, 4], Format::csr());
+        let b = TensorVar::new("B", vec![4, 4], Format::csr());
+        let c = TensorVar::new("C", vec![4, 4], Format::csr());
+        let (i, j, k) = (IndexVar::new("i"), IndexVar::new("j"), IndexVar::new("k"));
+        ConcreteStmt::forall_chain(
+            [i.clone(), k.clone(), j.clone()],
+            ConcreteStmt::assign(
+                a.access([i.clone(), j.clone()]),
+                AssignOp::Accum,
+                b.access([i, k.clone()]) * c.access([k, j]),
+            ),
+        )
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(matmul_stmt().to_string(), "∀i ∀k ∀j A(i,j) += B(i,k) * C(k,j)");
+    }
+
+    #[test]
+    fn display_where() {
+        let w = TensorVar::new("w", vec![4], Format::dvec());
+        let a = TensorVar::new("A", vec![4, 4], Format::csr());
+        let j = IndexVar::new("j");
+        let s = ConcreteStmt::forall(
+            "i",
+            ConcreteStmt::where_(
+                ConcreteStmt::forall(
+                    "j",
+                    ConcreteStmt::assign(
+                        a.access(["i", "j"]),
+                        AssignOp::Assign,
+                        w.access([j.clone()]),
+                    ),
+                ),
+                ConcreteStmt::forall(
+                    "j",
+                    ConcreteStmt::assign(w.access([j]), AssignOp::Accum, IndexExpr::Literal(1.0)),
+                ),
+            ),
+        );
+        assert_eq!(s.to_string(), "∀i ((∀j A(i,j) = w(j)) where (∀j w(j) += 1))");
+    }
+
+    #[test]
+    fn uses_and_written() {
+        let s = matmul_stmt();
+        assert!(s.uses_var(&IndexVar::new("k")));
+        assert!(!s.uses_var(&IndexVar::new("z")));
+        assert!(s.uses_tensor("A"));
+        assert!(s.reads_tensor("B"));
+        assert!(!s.reads_tensor("A"));
+        assert_eq!(s.written_tensors(), vec!["A".to_string()]);
+    }
+
+    #[test]
+    fn contains_sequence_detection() {
+        let s = matmul_stmt();
+        assert!(!s.contains_sequence());
+        let seq = ConcreteStmt::sequence(s.clone(), s);
+        assert!(seq.contains_sequence());
+    }
+
+    #[test]
+    fn var_dimension_inferred_from_access() {
+        let s = matmul_stmt();
+        assert_eq!(s.var_dimension(&IndexVar::new("i")), Some(4));
+        assert_eq!(s.var_dimension(&IndexVar::new("z")), None);
+    }
+
+    #[test]
+    fn rename_renames_binders_and_accesses() {
+        let s = matmul_stmt();
+        let r = s.rename(&IndexVar::new("j"), &IndexVar::new("jp"));
+        assert_eq!(r.to_string(), "∀i ∀k ∀jp A(i,jp) += B(i,k) * C(k,jp)");
+    }
+}

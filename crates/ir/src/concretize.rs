@@ -1,0 +1,242 @@
+//! Concretization: index notation → concrete index notation (Section VI).
+//!
+//! The paper's algorithm:
+//!
+//! 1. *Insert forall statements* for the index variables, free variables
+//!    outside reduction variables.
+//! 2. *Replace reduce expressions with where statements* whose producer
+//!    reduces into a scalar variable.
+//!
+//! When the entire right-hand side is one (possibly nested) summation, the
+//! scalar temporary is unnecessary — the reduction can accumulate directly
+//! into the result with `+=`, which is the form every statement in the paper
+//! takes (e.g. `∀ijk A(i,j) += B(i,k) * C(k,j)`). We apply that
+//! simplification; summations nested *inside* additions or multiplications
+//! get the scalar-temporary where statement.
+
+use crate::concrete::{AssignOp, ConcreteStmt};
+use crate::expr::{IndexExpr, IndexVar, TensorVar};
+use crate::notation::IndexAssignment;
+use crate::{IrError, Result};
+
+/// Converts an index notation assignment to concrete index notation.
+///
+/// # Errors
+///
+/// Returns an error if the result tensor also appears on the right-hand
+/// side, or a summation binds a variable that indexes the result.
+///
+/// # Example
+///
+/// ```
+/// use taco_ir::concretize::concretize;
+/// use taco_ir::expr::{sum, IndexVar, TensorVar};
+/// use taco_ir::notation::IndexAssignment;
+/// use taco_tensor::Format;
+///
+/// let (i, j) = (IndexVar::new("i"), IndexVar::new("j"));
+/// let a = TensorVar::new("a", vec![4], Format::dvec());
+/// let b = TensorVar::new("B", vec![4, 4], Format::csr());
+/// let s = IndexAssignment::assign(
+///     a.access([i.clone()]),
+///     sum(j.clone(), b.access([i, j])),
+/// );
+/// assert_eq!(concretize(&s)?.to_string(), "∀i ∀j a(i) += B(i,j)");
+/// # Ok::<(), taco_ir::IrError>(())
+/// ```
+pub fn concretize(stmt: &IndexAssignment) -> Result<ConcreteStmt> {
+    let result_name = stmt.lhs().tensor().name();
+    if stmt.rhs().uses_tensor(result_name) {
+        return Err(IrError::InvalidIndexNotation(format!(
+            "result tensor `{result_name}` may not appear on the right-hand side"
+        )));
+    }
+    for v in stmt.free_vars() {
+        let mut bound_by_sum = false;
+        stmt.rhs().visit(&mut |e| {
+            if let IndexExpr::Sum(sv, _) = e {
+                if *sv == v {
+                    bound_by_sum = true;
+                }
+            }
+        });
+        if bound_by_sum {
+            return Err(IrError::InvalidIndexNotation(format!(
+                "summation variable `{v}` also indexes the result"
+            )));
+        }
+    }
+
+    // Strip top-level summations: A = sum(k, sum(l, e)) becomes the
+    // accumulating assignment ∀kl A += e.
+    let mut rhs = stmt.rhs().clone();
+    let mut top_reductions: Vec<IndexVar> = Vec::new();
+    while let IndexExpr::Sum(v, inner) = rhs {
+        top_reductions.push(v);
+        rhs = *inner;
+    }
+
+    // Replace any remaining (inner) summations with scalar temporaries.
+    let mut temp_count = 0usize;
+    let (rhs, inner_wheres) = extract_inner_sums(&rhs, &mut temp_count);
+
+    let op = if top_reductions.is_empty() { AssignOp::Assign } else { AssignOp::Accum };
+    let mut body = ConcreteStmt::assign(stmt.lhs().clone(), op, rhs);
+
+    // Inner reductions become `assign where (∀v t += e)` around the
+    // assignment, innermost first.
+    for (temp, vars, expr) in inner_wheres {
+        let producer = ConcreteStmt::forall_chain(
+            vars,
+            ConcreteStmt::assign(temp.access(Vec::<IndexVar>::new()), AssignOp::Accum, expr),
+        );
+        body = ConcreteStmt::where_(body, producer);
+    }
+
+    // Forall nest: free variables (result mode order) outside reduction
+    // variables (summation order).
+    let mut order = stmt.free_vars();
+    order.extend(top_reductions);
+    Ok(ConcreteStmt::forall_chain(order, body))
+}
+
+/// Rewrites inner `Sum` nodes into scalar-temporary accesses, returning the
+/// rewritten expression and, for each temporary, its reduction variables and
+/// producer expression.
+#[allow(clippy::type_complexity)]
+fn extract_inner_sums(
+    e: &IndexExpr,
+    count: &mut usize,
+) -> (IndexExpr, Vec<(TensorVar, Vec<IndexVar>, IndexExpr)>) {
+    match e {
+        IndexExpr::Sum(..) => {
+            // Collapse consecutive nested sums into one temporary.
+            let mut vars = Vec::new();
+            let mut inner = e;
+            while let IndexExpr::Sum(v, body) = inner {
+                vars.push(v.clone());
+                inner = body;
+            }
+            let (inner_rewritten, mut nested) = extract_inner_sums(inner, count);
+            *count += 1;
+            let temp = TensorVar::scalar(format!("t{count}"));
+            nested.push((temp.clone(), vars, inner_rewritten));
+            (IndexExpr::Access(temp.access(Vec::<IndexVar>::new())), nested)
+        }
+        IndexExpr::Access(_) | IndexExpr::Literal(_) => (e.clone(), Vec::new()),
+        IndexExpr::Neg(a) => {
+            let (ra, ws) = extract_inner_sums(a, count);
+            (IndexExpr::Neg(Box::new(ra)), ws)
+        }
+        IndexExpr::Add(a, b) | IndexExpr::Sub(a, b) | IndexExpr::Mul(a, b) => {
+            let (ra, mut wa) = extract_inner_sums(a, count);
+            let (rb, wb) = extract_inner_sums(b, count);
+            wa.extend(wb);
+            let node = match e {
+                IndexExpr::Add(..) => IndexExpr::Add(Box::new(ra), Box::new(rb)),
+                IndexExpr::Sub(..) => IndexExpr::Sub(Box::new(ra), Box::new(rb)),
+                _ => IndexExpr::Mul(Box::new(ra), Box::new(rb)),
+            };
+            (node, wa)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::sum;
+    use taco_tensor::Format;
+
+    fn vars3() -> (IndexVar, IndexVar, IndexVar) {
+        (IndexVar::new("i"), IndexVar::new("j"), IndexVar::new("k"))
+    }
+
+    #[test]
+    fn matmul_concretizes_to_ijk() {
+        let (i, j, k) = vars3();
+        let a = TensorVar::new("A", vec![4, 4], Format::csr());
+        let b = TensorVar::new("B", vec![4, 4], Format::csr());
+        let c = TensorVar::new("C", vec![4, 4], Format::csr());
+        let s = IndexAssignment::assign(
+            a.access([i.clone(), j.clone()]),
+            sum(k.clone(), b.access([i, k.clone()]) * c.access([k, j])),
+        );
+        // "The initial order of the loops is ijk (free index variables
+        // first)" — Section III.
+        assert_eq!(concretize(&s).unwrap().to_string(), "∀i ∀j ∀k A(i,j) += B(i,k) * C(k,j)");
+    }
+
+    #[test]
+    fn pointwise_add_stays_assignment() {
+        let (i, j, _) = vars3();
+        let a = TensorVar::new("A", vec![4, 4], Format::csr());
+        let b = TensorVar::new("B", vec![4, 4], Format::csr());
+        let c = TensorVar::new("C", vec![4, 4], Format::csr());
+        let s = IndexAssignment::assign(
+            a.access([i.clone(), j.clone()]),
+            b.access([i.clone(), j.clone()]) + c.access([i, j]),
+        );
+        assert_eq!(concretize(&s).unwrap().to_string(), "∀i ∀j A(i,j) = B(i,j) + C(i,j)");
+    }
+
+    #[test]
+    fn mttkrp_nested_sums_flatten() {
+        let (i, j, k) = vars3();
+        let l = IndexVar::new("l");
+        let a = TensorVar::new("A", vec![4, 4], Format::dense(2));
+        let b = TensorVar::new("B", vec![4, 4, 4], Format::csf3());
+        let c = TensorVar::new("C", vec![4, 4], Format::dense(2));
+        let d = TensorVar::new("D", vec![4, 4], Format::dense(2));
+        let s = IndexAssignment::assign(
+            a.access([i.clone(), j.clone()]),
+            sum(
+                k.clone(),
+                sum(
+                    l.clone(),
+                    b.access([i, k.clone(), l.clone()]) * c.access([l, j.clone()]) * d.access([k, j]),
+                ),
+            ),
+        );
+        assert_eq!(
+            concretize(&s).unwrap().to_string(),
+            "∀i ∀j ∀k ∀l A(i,j) += B(i,k,l) * C(l,j) * D(k,j)"
+        );
+    }
+
+    #[test]
+    fn inner_sum_becomes_scalar_where() {
+        // a(i) = B(i,j)-free expression with an embedded sum:
+        // a(i) = d(i) + sum(j, B(i,j))
+        let (i, j, _) = vars3();
+        let a = TensorVar::new("a", vec![4], Format::dvec());
+        let d = TensorVar::new("d", vec![4], Format::dvec());
+        let b = TensorVar::new("B", vec![4, 4], Format::csr());
+        let s = IndexAssignment::assign(
+            a.access([i.clone()]),
+            IndexExpr::from(d.access([i.clone()])) + sum(j.clone(), b.access([i, j])),
+        );
+        let c = concretize(&s).unwrap();
+        assert_eq!(c.to_string(), "∀i ((a(i) = d(i) + t1()) where (∀j t1() += B(i,j)))");
+    }
+
+    #[test]
+    fn rejects_result_on_rhs() {
+        let (i, _, _) = vars3();
+        let a = TensorVar::new("a", vec![4], Format::dvec());
+        let s = IndexAssignment::assign(
+            a.access([i.clone()]),
+            IndexExpr::from(a.access([i])) + IndexExpr::Literal(1.0),
+        );
+        assert!(matches!(concretize(&s), Err(IrError::InvalidIndexNotation(_))));
+    }
+
+    #[test]
+    fn rejects_sum_over_free_var() {
+        let (i, _, _) = vars3();
+        let a = TensorVar::new("a", vec![4], Format::dvec());
+        let b = TensorVar::new("b", vec![4], Format::dvec());
+        let s = IndexAssignment::assign(a.access([i.clone()]), sum(i.clone(), b.access([i])));
+        assert!(matches!(concretize(&s), Err(IrError::InvalidIndexNotation(_))));
+    }
+}

@@ -1,0 +1,87 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by IR construction and transformation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum IrError {
+    /// An access used the wrong number of index variables for its tensor.
+    AccessRankMismatch {
+        /// Tensor name.
+        tensor: String,
+        /// Rank of the tensor.
+        rank: usize,
+        /// Number of index variables supplied.
+        vars: usize,
+    },
+    /// `reorder` was asked to exchange variables that are not in the same
+    /// forall chain.
+    NotInSameForallChain {
+        /// First variable.
+        a: String,
+        /// Second variable.
+        b: String,
+    },
+    /// A transformation is not defined on statements containing sequences
+    /// (Section IV-B: "we require that all the statements being reordered do
+    /// not contain sequence statements").
+    ContainsSequence,
+    /// The expression given to `precompute` was not found in the statement.
+    ExpressionNotFound(String),
+    /// The workspace transformation preconditions failed (Section V-A error
+    /// case: an enclosing index variable is used on both sides but is not a
+    /// workspace index variable, and distribution cannot stop there).
+    CannotDistribute {
+        /// The offending index variable.
+        var: String,
+    },
+    /// Workspace tensor rank/dimensions do not match the precompute vars.
+    WorkspaceShapeMismatch {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The index variable is not used anywhere in the target statement.
+    UnknownIndexVar(String),
+    /// Result reuse requested (workspace == result tensor) but the rhs is not
+    /// an addition the result can be accumulated through.
+    ResultReuseNotApplicable,
+    /// Concretization failed (e.g. a reduction variable also indexes the
+    /// result).
+    InvalidIndexNotation(String),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::AccessRankMismatch { tensor, rank, vars } => {
+                write!(f, "tensor `{tensor}` of rank {rank} accessed with {vars} index variables")
+            }
+            IrError::NotInSameForallChain { a, b } => {
+                write!(f, "index variables `{a}` and `{b}` are not in the same forall chain")
+            }
+            IrError::ContainsSequence => {
+                write!(f, "transformation is not defined on statements containing sequences")
+            }
+            IrError::ExpressionNotFound(e) => {
+                write!(f, "expression `{e}` not found in the statement")
+            }
+            IrError::CannotDistribute { var } => write!(
+                f,
+                "cannot distribute forall over `{var}`: used on both sides of the where but not \
+                 a workspace index variable"
+            ),
+            IrError::WorkspaceShapeMismatch { detail } => {
+                write!(f, "workspace shape mismatch: {detail}")
+            }
+            IrError::UnknownIndexVar(v) => write!(f, "index variable `{v}` is not used in the statement"),
+            IrError::ResultReuseNotApplicable => write!(
+                f,
+                "result reuse requires an addition whose partial results can be accumulated \
+                 into the result"
+            ),
+            IrError::InvalidIndexNotation(d) => write!(f, "invalid index notation: {d}"),
+        }
+    }
+}
+
+impl Error for IrError {}

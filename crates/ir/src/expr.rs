@@ -1,0 +1,522 @@
+//! Index variables, tensor variables, accesses and index expressions.
+
+use crate::{IrError, Result};
+use std::fmt;
+use std::ops;
+use std::rc::Rc;
+use taco_tensor::Format;
+
+/// An index variable such as `i`, `j`, `k` (paper Section III).
+///
+/// Index variables are interned by name: two `IndexVar`s with the same name
+/// are the same variable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IndexVar(Rc<str>);
+
+impl IndexVar {
+    /// Creates (or references) the index variable with the given name.
+    pub fn new(name: impl AsRef<str>) -> IndexVar {
+        IndexVar(Rc::from(name.as_ref()))
+    }
+
+    /// The variable name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for IndexVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for IndexVar {
+    fn from(s: &str) -> IndexVar {
+        IndexVar::new(s)
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct TensorVarInner {
+    name: String,
+    shape: Vec<usize>,
+    format: Format,
+}
+
+/// A tensor variable: a name, shape and storage format (paper Figure 2,
+/// `TensorVar`).
+///
+/// Cloning is cheap (reference-counted). Equality is structural over name,
+/// shape and format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TensorVar(Rc<TensorVarInner>);
+
+impl TensorVar {
+    /// Creates a tensor variable.
+    pub fn new(name: impl Into<String>, shape: Vec<usize>, format: Format) -> TensorVar {
+        let name = name.into();
+        assert_eq!(shape.len(), format.rank(), "tensor `{name}`: shape/format rank mismatch");
+        TensorVar(Rc::new(TensorVarInner { name, shape, format }))
+    }
+
+    /// Creates a rank-0 (scalar) tensor variable, used for reduction
+    /// temporaries.
+    pub fn scalar(name: impl Into<String>) -> TensorVar {
+        TensorVar(Rc::new(TensorVarInner {
+            name: name.into(),
+            shape: Vec::new(),
+            format: Format::new(Vec::new()),
+        }))
+    }
+
+    /// The tensor name.
+    pub fn name(&self) -> &str {
+        &self.0.name
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.0.shape
+    }
+
+    /// Number of modes.
+    pub fn rank(&self) -> usize {
+        self.0.shape.len()
+    }
+
+    /// The storage format.
+    pub fn format(&self) -> &Format {
+        &self.0.format
+    }
+
+    /// Builds an access `T(vars...)` to this tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of variables does not match the tensor rank; use
+    /// [`TensorVar::try_access`] for a fallible version.
+    pub fn access<I>(&self, vars: I) -> Access
+    where
+        I: IntoIterator,
+        I::Item: Into<IndexVar>,
+    {
+        self.try_access(vars).expect("access rank matches tensor rank")
+    }
+
+    /// Builds an access `T(vars...)`, checking the rank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::AccessRankMismatch`] if the number of variables
+    /// does not match the tensor rank.
+    pub fn try_access<I>(&self, vars: I) -> Result<Access>
+    where
+        I: IntoIterator,
+        I::Item: Into<IndexVar>,
+    {
+        let vars: Vec<IndexVar> = vars.into_iter().map(Into::into).collect();
+        if vars.len() != self.rank() {
+            return Err(IrError::AccessRankMismatch {
+                tensor: self.name().to_string(),
+                rank: self.rank(),
+                vars: vars.len(),
+            });
+        }
+        Ok(Access { tensor: self.clone(), vars })
+    }
+}
+
+impl fmt::Display for TensorVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A tensor access `T(i, j, ...)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Access {
+    tensor: TensorVar,
+    vars: Vec<IndexVar>,
+}
+
+impl Access {
+    /// The accessed tensor.
+    pub fn tensor(&self) -> &TensorVar {
+        &self.tensor
+    }
+
+    /// The index variables, outermost mode first.
+    pub fn vars(&self) -> &[IndexVar] {
+        &self.vars
+    }
+
+    /// True if the access is indexed by `var`.
+    pub fn uses_var(&self, var: &IndexVar) -> bool {
+        self.vars.contains(var)
+    }
+
+    /// The mode (level) at which `var` indexes this tensor, if any.
+    pub fn mode_of(&self, var: &IndexVar) -> Option<usize> {
+        self.vars.iter().position(|v| v == var)
+    }
+
+    /// Returns a copy with every occurrence of `from` replaced by `to`.
+    pub fn rename(&self, from: &IndexVar, to: &IndexVar) -> Access {
+        Access {
+            tensor: self.tensor.clone(),
+            vars: self
+                .vars
+                .iter()
+                .map(|v| if v == from { to.clone() } else { v.clone() })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.tensor.name())?;
+        for (n, v) in self.vars.iter().enumerate() {
+            if n > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A tensor index expression (paper Figure 3, `expr`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndexExpr {
+    /// A tensor access.
+    Access(Access),
+    /// A floating-point literal.
+    Literal(f64),
+    /// Negation.
+    Neg(Box<IndexExpr>),
+    /// Addition.
+    Add(Box<IndexExpr>, Box<IndexExpr>),
+    /// Subtraction.
+    Sub(Box<IndexExpr>, Box<IndexExpr>),
+    /// Multiplication.
+    Mul(Box<IndexExpr>, Box<IndexExpr>),
+    /// Reduction (summation) over an index variable. Only valid in index
+    /// notation; concretization removes all `Sum` nodes.
+    Sum(IndexVar, Box<IndexExpr>),
+}
+
+/// Builds a summation `sum(var, expr)` (paper Figure 2, `sum(k, mul)`).
+pub fn sum(var: impl Into<IndexVar>, expr: impl Into<IndexExpr>) -> IndexExpr {
+    IndexExpr::Sum(var.into(), Box::new(expr.into()))
+}
+
+impl IndexExpr {
+    /// All accesses in the expression, left to right.
+    pub fn accesses(&self) -> Vec<&Access> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let IndexExpr::Access(a) = e {
+                out.push(a);
+            }
+        });
+        out
+    }
+
+    /// Visits every node of the expression tree, pre-order.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a IndexExpr)) {
+        f(self);
+        match self {
+            IndexExpr::Access(_) | IndexExpr::Literal(_) => {}
+            IndexExpr::Neg(a) | IndexExpr::Sum(_, a) => a.visit(f),
+            IndexExpr::Add(a, b) | IndexExpr::Sub(a, b) | IndexExpr::Mul(a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+        }
+    }
+
+    /// True if any access in the expression is indexed by `var`, or `var` is
+    /// bound by a contained summation.
+    pub fn uses_var(&self, var: &IndexVar) -> bool {
+        let mut used = false;
+        self.visit(&mut |e| match e {
+            IndexExpr::Access(a) if a.uses_var(var) => used = true,
+            IndexExpr::Sum(v, _) if v == var => used = true,
+            _ => {}
+        });
+        used
+    }
+
+    /// True if the expression reads tensor `name`.
+    pub fn uses_tensor(&self, name: &str) -> bool {
+        self.accesses().iter().any(|a| a.tensor().name() == name)
+    }
+
+    /// Returns a copy with every occurrence of index variable `from`
+    /// renamed to `to` (including summation binders).
+    pub fn rename(&self, from: &IndexVar, to: &IndexVar) -> IndexExpr {
+        match self {
+            IndexExpr::Access(a) => IndexExpr::Access(a.rename(from, to)),
+            IndexExpr::Literal(v) => IndexExpr::Literal(*v),
+            IndexExpr::Neg(a) => IndexExpr::Neg(Box::new(a.rename(from, to))),
+            IndexExpr::Add(a, b) => {
+                IndexExpr::Add(Box::new(a.rename(from, to)), Box::new(b.rename(from, to)))
+            }
+            IndexExpr::Sub(a, b) => {
+                IndexExpr::Sub(Box::new(a.rename(from, to)), Box::new(b.rename(from, to)))
+            }
+            IndexExpr::Mul(a, b) => {
+                IndexExpr::Mul(Box::new(a.rename(from, to)), Box::new(b.rename(from, to)))
+            }
+            IndexExpr::Sum(v, a) => IndexExpr::Sum(
+                if v == from { to.clone() } else { v.clone() },
+                Box::new(a.rename(from, to)),
+            ),
+        }
+    }
+
+    /// Flattens a top-level multiplication chain into its factors.
+    pub fn factors(&self) -> Vec<&IndexExpr> {
+        match self {
+            IndexExpr::Mul(a, b) => {
+                let mut out = a.factors();
+                out.extend(b.factors());
+                out
+            }
+            other => vec![other],
+        }
+    }
+
+    /// Flattens a top-level addition chain into its addends. `Sub` is not
+    /// flattened.
+    pub fn addends(&self) -> Vec<&IndexExpr> {
+        match self {
+            IndexExpr::Add(a, b) => {
+                let mut out = a.addends();
+                out.extend(b.addends());
+                out
+            }
+            other => vec![other],
+        }
+    }
+
+    /// Rebuilds a multiplication chain from factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factors` is empty.
+    pub fn product_of(factors: Vec<IndexExpr>) -> IndexExpr {
+        factors
+            .into_iter()
+            .reduce(|a, b| IndexExpr::Mul(Box::new(a), Box::new(b)))
+            .expect("product of at least one factor")
+    }
+
+    /// Rebuilds an addition chain from addends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addends` is empty.
+    pub fn sum_of(addends: Vec<IndexExpr>) -> IndexExpr {
+        addends
+            .into_iter()
+            .reduce(|a, b| IndexExpr::Add(Box::new(a), Box::new(b)))
+            .expect("sum of at least one addend")
+    }
+}
+
+impl From<Access> for IndexExpr {
+    fn from(a: Access) -> IndexExpr {
+        IndexExpr::Access(a)
+    }
+}
+
+impl From<f64> for IndexExpr {
+    fn from(v: f64) -> IndexExpr {
+        IndexExpr::Literal(v)
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $variant:ident) => {
+        impl ops::$trait for IndexExpr {
+            type Output = IndexExpr;
+            fn $method(self, rhs: IndexExpr) -> IndexExpr {
+                IndexExpr::$variant(Box::new(self), Box::new(rhs))
+            }
+        }
+        impl ops::$trait<Access> for IndexExpr {
+            type Output = IndexExpr;
+            fn $method(self, rhs: Access) -> IndexExpr {
+                IndexExpr::$variant(Box::new(self), Box::new(rhs.into()))
+            }
+        }
+        impl ops::$trait<IndexExpr> for Access {
+            type Output = IndexExpr;
+            fn $method(self, rhs: IndexExpr) -> IndexExpr {
+                IndexExpr::$variant(Box::new(self.into()), Box::new(rhs))
+            }
+        }
+        impl ops::$trait for Access {
+            type Output = IndexExpr;
+            fn $method(self, rhs: Access) -> IndexExpr {
+                IndexExpr::$variant(Box::new(self.into()), Box::new(rhs.into()))
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, Add);
+impl_binop!(Sub, sub, Sub);
+impl_binop!(Mul, mul, Mul);
+
+impl ops::Neg for IndexExpr {
+    type Output = IndexExpr;
+    fn neg(self) -> IndexExpr {
+        IndexExpr::Neg(Box::new(self))
+    }
+}
+
+fn prec(e: &IndexExpr) -> u8 {
+    match e {
+        IndexExpr::Add(..) | IndexExpr::Sub(..) => 1,
+        IndexExpr::Mul(..) => 2,
+        _ => 3,
+    }
+}
+
+impl fmt::Display for IndexExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(e: &IndexExpr, parent: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            let p = prec(e);
+            let parens = p < parent;
+            if parens {
+                write!(f, "(")?;
+            }
+            match e {
+                IndexExpr::Access(a) => write!(f, "{a}")?,
+                IndexExpr::Literal(v) => write!(f, "{v}")?,
+                IndexExpr::Neg(a) => {
+                    write!(f, "-")?;
+                    go(a, 3, f)?;
+                }
+                IndexExpr::Add(a, b) => {
+                    go(a, 1, f)?;
+                    write!(f, " + ")?;
+                    go(b, 2, f)?;
+                }
+                IndexExpr::Sub(a, b) => {
+                    go(a, 1, f)?;
+                    write!(f, " - ")?;
+                    go(b, 2, f)?;
+                }
+                IndexExpr::Mul(a, b) => {
+                    go(a, 2, f)?;
+                    write!(f, " * ")?;
+                    go(b, 3, f)?;
+                }
+                IndexExpr::Sum(v, a) => {
+                    write!(f, "sum({v}, ")?;
+                    go(a, 0, f)?;
+                    write!(f, ")")?;
+                }
+            }
+            if parens {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        go(self, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taco_tensor::Format;
+
+    fn setup() -> (TensorVar, TensorVar, IndexVar, IndexVar, IndexVar) {
+        let b = TensorVar::new("B", vec![4, 4], Format::csr());
+        let c = TensorVar::new("C", vec![4, 4], Format::csr());
+        (b, c, IndexVar::new("i"), IndexVar::new("j"), IndexVar::new("k"))
+    }
+
+    #[test]
+    fn display_matmul() {
+        let (b, c, i, j, k) = setup();
+        let e = b.access([i, k.clone()]) * c.access([k.clone(), j]);
+        assert_eq!(e.to_string(), "B(i,k) * C(k,j)");
+        let s = sum(k, e);
+        assert_eq!(s.to_string(), "sum(k, B(i,k) * C(k,j))");
+    }
+
+    #[test]
+    fn display_precedence() {
+        let (b, c, i, j, _) = setup();
+        let bij = b.access([i.clone(), j.clone()]);
+        let cij = c.access([i, j]);
+        let e = (IndexExpr::from(bij.clone()) + cij.clone()) * bij.clone();
+        assert_eq!(e.to_string(), "(B(i,j) + C(i,j)) * B(i,j)");
+        let e2 = IndexExpr::from(bij.clone()) + cij * bij;
+        assert_eq!(e2.to_string(), "B(i,j) + C(i,j) * B(i,j)");
+    }
+
+    #[test]
+    fn access_rank_checked() {
+        let (b, _, i, _, _) = setup();
+        assert!(b.try_access([i]).is_err());
+    }
+
+    #[test]
+    fn uses_var_and_tensor() {
+        let (b, c, i, j, k) = setup();
+        let e = b.access([i.clone(), k.clone()]) * c.access([k.clone(), j.clone()]);
+        assert!(e.uses_var(&i));
+        assert!(e.uses_var(&k));
+        assert!(e.uses_var(&j));
+        assert!(!e.uses_var(&IndexVar::new("z")));
+        assert!(e.uses_tensor("B"));
+        assert!(!e.uses_tensor("A"));
+    }
+
+    #[test]
+    fn rename_covers_sum_binders() {
+        let (b, _, i, j, k) = setup();
+        let e = sum(k.clone(), b.access([i, k.clone()]));
+        let r = e.rename(&k, &j);
+        assert_eq!(r.to_string(), "sum(j, B(i,j))");
+    }
+
+    #[test]
+    fn factors_and_addends_flatten() {
+        let (b, c, i, j, _) = setup();
+        let bij: IndexExpr = b.access([i.clone(), j.clone()]).into();
+        let cij: IndexExpr = c.access([i, j]).into();
+        let prod = bij.clone() * cij.clone() * bij.clone();
+        assert_eq!(prod.factors().len(), 3);
+        let sum3 = bij.clone() + cij + bij;
+        assert_eq!(sum3.addends().len(), 3);
+        // Round trip
+        let rebuilt = IndexExpr::product_of(prod.factors().into_iter().cloned().collect());
+        assert_eq!(rebuilt, prod);
+    }
+
+    #[test]
+    fn mode_of_reports_level() {
+        let (b, _, i, _, k) = setup();
+        let a = b.access([i.clone(), k.clone()]);
+        assert_eq!(a.mode_of(&i), Some(0));
+        assert_eq!(a.mode_of(&k), Some(1));
+        assert_eq!(a.mode_of(&IndexVar::new("z")), None);
+    }
+
+    #[test]
+    fn scalar_tensor_var() {
+        let t = TensorVar::scalar("t");
+        assert_eq!(t.rank(), 0);
+        let acc = t.access(Vec::<IndexVar>::new());
+        assert_eq!(acc.to_string(), "t()");
+    }
+}

@@ -1,0 +1,268 @@
+//! Policy heuristics for when to apply the workspace transformation
+//! (paper Section V-C).
+//!
+//! The paper outlines three situations where a kernel is likely to benefit
+//! from a workspace and leaves a full policy system as future work built on
+//! the scheduling API. [`suggest`] implements the three detectors; each
+//! [`Suggestion`] carries the arguments one would pass to
+//! [`crate::transform::precompute`].
+
+use crate::concrete::{AssignOp, ConcreteStmt};
+use crate::expr::{IndexExpr, IndexVar};
+use taco_tensor::ModeFormat;
+
+/// Why a workspace is suggested (the three goals of Section V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reason {
+    /// Merging more than three sparse operands produces expensive merge
+    /// loops; a dense workspace replaces them with random accesses.
+    SimplifyMerge,
+    /// Scattering into a sparse result requires `O(nnz)` inserts; a dense
+    /// workspace gives `O(1)` inserts.
+    AvoidExpensiveInsert,
+    /// Part of the inner-loop expression is invariant to an inner variable
+    /// and can be hoisted by precomputing it.
+    HoistLoopInvariant,
+}
+
+/// A suggested workspace transformation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Suggestion {
+    /// Which heuristic fired.
+    pub reason: Reason,
+    /// The subexpression to precompute.
+    pub expr: IndexExpr,
+    /// The index variables to precompute over (the workspace index set *I*).
+    pub over: Vec<IndexVar>,
+    /// Human-readable justification.
+    pub description: String,
+}
+
+/// Runs the three Section V-C heuristics over a concrete statement.
+///
+/// The returned suggestions are advisory: callers decide whether to invoke
+/// [`crate::transform::precompute`] with them ("It should therefore be
+/// applied judiciously", Section VII).
+pub fn suggest(stmt: &ConcreteStmt) -> Vec<Suggestion> {
+    let mut out = Vec::new();
+    walk(stmt, &mut Vec::new(), &mut out);
+    out
+}
+
+fn walk(stmt: &ConcreteStmt, enclosing: &mut Vec<IndexVar>, out: &mut Vec<Suggestion>) {
+    match stmt {
+        ConcreteStmt::Assign { lhs, op, rhs } => {
+            let innermost = enclosing.last().cloned();
+
+            // 1. Simplify merges: count operands that are compressed at the
+            //    innermost variable (they would have to be co-iterated).
+            if let Some(v) = &innermost {
+                let merged = rhs
+                    .accesses()
+                    .iter()
+                    .filter(|a| {
+                        a.mode_of(v)
+                            .is_some_and(|m| a.tensor().format().mode(m) == ModeFormat::Compressed)
+                    })
+                    .count();
+                if merged > 3 {
+                    out.push(Suggestion {
+                        reason: Reason::SimplifyMerge,
+                        expr: rhs.clone(),
+                        over: vec![v.clone()],
+                        description: format!(
+                            "{merged} sparse operands are merged at `{v}`; precompute the \
+                             expression into a dense workspace over `{v}`"
+                        ),
+                    });
+                }
+            }
+
+            // 2. Avoid expensive inserts: accumulating (`+=`) into a result
+            //    that is compressed at a variable bound inside a reduction
+            //    loop scatters into sparse storage.
+            if *op == AssignOp::Accum {
+                let reduction_outside_k = enclosing.iter().any(|v| !lhs.uses_var(v));
+                let sparse_result_var = lhs.vars().iter().find(|v| {
+                    lhs.mode_of(v)
+                        .is_some_and(|m| lhs.tensor().format().mode(m) == ModeFormat::Compressed)
+                });
+                if let (true, Some(v)) = (reduction_outside_k, sparse_result_var) {
+                    out.push(Suggestion {
+                        reason: Reason::AvoidExpensiveInsert,
+                        expr: rhs.clone(),
+                        over: vec![v.clone()],
+                        description: format!(
+                            "`{}` accumulates into sparse result `{}`; precompute into a dense \
+                             workspace over `{v}` and append once per row",
+                            op_str(*op),
+                            lhs.tensor().name()
+                        ),
+                    });
+                }
+            }
+
+            // 3. Hoist loop-invariant code: a factor that does not use an
+            //    inner reduction variable used by the other factors is
+            //    recomputed redundantly in that loop.
+            if let Some(v) = &innermost {
+                let factors = rhs.factors();
+                if factors.len() >= 2 {
+                    for inner in enclosing.iter().rev() {
+                        if lhs.uses_var(inner) {
+                            continue; // only reduction loops cause redundancy
+                        }
+                        let (using, not_using): (Vec<_>, Vec<_>) =
+                            factors.iter().partition(|f| f.uses_var(inner));
+                        if !using.is_empty() && !not_using.is_empty() {
+                            let expr = IndexExpr::product_of(
+                                using.into_iter().cloned().cloned().collect(),
+                            );
+                            out.push(Suggestion {
+                                reason: Reason::HoistLoopInvariant,
+                                expr,
+                                over: vec![v.clone()],
+                                description: format!(
+                                    "part of the expression is invariant to `{inner}`; \
+                                     precompute the `{inner}`-dependent factors over `{v}` to \
+                                     hoist the invariant multiplication"
+                                ),
+                            });
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        ConcreteStmt::Forall { var, body } => {
+            enclosing.push(var.clone());
+            walk(body, enclosing, out);
+            enclosing.pop();
+        }
+        ConcreteStmt::Where { consumer, producer } => {
+            let depth = enclosing.len();
+            walk(consumer, enclosing, out);
+            enclosing.truncate(depth);
+            walk(producer, enclosing, out);
+            enclosing.truncate(depth);
+        }
+        ConcreteStmt::Sequence { first, second } => {
+            let depth = enclosing.len();
+            walk(first, enclosing, out);
+            enclosing.truncate(depth);
+            walk(second, enclosing, out);
+            enclosing.truncate(depth);
+        }
+    }
+}
+
+fn op_str(op: AssignOp) -> &'static str {
+    match op {
+        AssignOp::Assign => "=",
+        AssignOp::Accum => "+=",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concretize::concretize;
+    use crate::expr::{sum, TensorVar};
+    use crate::notation::IndexAssignment;
+    use taco_tensor::Format;
+
+    fn iv(n: &str) -> IndexVar {
+        IndexVar::new(n)
+    }
+
+    #[test]
+    fn detects_expensive_insert_in_spgemm() {
+        let n = 8;
+        let a = TensorVar::new("A", vec![n, n], Format::csr());
+        let b = TensorVar::new("B", vec![n, n], Format::csr());
+        let c = TensorVar::new("C", vec![n, n], Format::csr());
+        let (i, j, k) = (iv("i"), iv("j"), iv("k"));
+        let s = IndexAssignment::assign(
+            a.access([i.clone(), j.clone()]),
+            sum(k.clone(), b.access([i, k.clone()]) * c.access([k, j])),
+        );
+        let concrete = concretize(&s).unwrap();
+        let sugg = suggest(&concrete);
+        assert!(
+            sugg.iter().any(|s| s.reason == Reason::AvoidExpensiveInsert),
+            "expected an expensive-insert suggestion, got {sugg:?}"
+        );
+    }
+
+    #[test]
+    fn no_insert_warning_for_dense_result() {
+        let n = 8;
+        let a = TensorVar::new("A", vec![n, n], Format::dense(2));
+        let b = TensorVar::new("B", vec![n, n], Format::csr());
+        let c = TensorVar::new("C", vec![n, n], Format::csr());
+        let (i, j, k) = (iv("i"), iv("j"), iv("k"));
+        let s = IndexAssignment::assign(
+            a.access([i.clone(), j.clone()]),
+            sum(k.clone(), b.access([i, k.clone()]) * c.access([k, j])),
+        );
+        let sugg = suggest(&concretize(&s).unwrap());
+        assert!(sugg.iter().all(|s| s.reason != Reason::AvoidExpensiveInsert));
+    }
+
+    #[test]
+    fn detects_merge_heavy_addition() {
+        let n = 8;
+        let fmt = Format::csr();
+        let a = TensorVar::new("A", vec![n, n], fmt.clone());
+        let ops: Vec<TensorVar> =
+            (0..5).map(|x| TensorVar::new(format!("B{x}"), vec![n, n], fmt.clone())).collect();
+        let (i, j) = (iv("i"), iv("j"));
+        let rhs = IndexExpr::sum_of(
+            ops.iter().map(|t| IndexExpr::Access(t.access([i.clone(), j.clone()]))).collect(),
+        );
+        let s = IndexAssignment::assign(a.access([i, j]), rhs);
+        let sugg = suggest(&concretize(&s).unwrap());
+        assert!(sugg.iter().any(|s| s.reason == Reason::SimplifyMerge));
+    }
+
+    #[test]
+    fn two_operand_addition_is_not_merge_heavy() {
+        let n = 8;
+        let a = TensorVar::new("A", vec![n, n], Format::csr());
+        let b = TensorVar::new("B", vec![n, n], Format::csr());
+        let c = TensorVar::new("C", vec![n, n], Format::csr());
+        let (i, j) = (iv("i"), iv("j"));
+        let s = IndexAssignment::assign(
+            a.access([i.clone(), j.clone()]),
+            b.access([i.clone(), j.clone()]) + c.access([i, j]),
+        );
+        let sugg = suggest(&concretize(&s).unwrap());
+        assert!(sugg.iter().all(|s| s.reason != Reason::SimplifyMerge));
+    }
+
+    #[test]
+    fn detects_loop_invariant_factor_in_mttkrp() {
+        let n = 8;
+        let a = TensorVar::new("A", vec![n, n], Format::dense(2));
+        let b = TensorVar::new("B", vec![n, n, n], Format::csf3());
+        let c = TensorVar::new("C", vec![n, n], Format::dense(2));
+        let d = TensorVar::new("D", vec![n, n], Format::dense(2));
+        let (i, j, k, l) = (iv("i"), iv("j"), iv("k"), iv("l"));
+        let s = IndexAssignment::assign(
+            a.access([i.clone(), j.clone()]),
+            sum(
+                k.clone(),
+                sum(
+                    l.clone(),
+                    b.access([i, k.clone(), l.clone()]) * c.access([l, j.clone()]) * d.access([k, j]),
+                ),
+            ),
+        );
+        let sugg = suggest(&concretize(&s).unwrap());
+        let hoist: Vec<_> =
+            sugg.iter().filter(|s| s.reason == Reason::HoistLoopInvariant).collect();
+        assert_eq!(hoist.len(), 1);
+        // The l-dependent factors B(i,k,l) * C(l,j) should be precomputed.
+        assert_eq!(hoist[0].expr.to_string(), "B(i,k,l) * C(l,j)");
+    }
+}

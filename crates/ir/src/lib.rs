@@ -1,0 +1,57 @@
+//! Index notation and *concrete index notation* — the tensor-algebra IRs of
+//! *Tensor Algebra Compilation with Workspaces* (CGO 2019).
+//!
+//! The crate provides the two top layers of the paper's compiler stack
+//! (Figure 6):
+//!
+//! * **Index notation** ([`expr::IndexExpr`], [`notation::IndexAssignment`]) —
+//!   what to compute: `A(i,j) = sum(k, B(i,k) * C(k,j))`.
+//! * **Concrete index notation** ([`concrete::ConcreteStmt`]) — how to compute
+//!   it: loop order (*forall*), temporaries (*where*), staged updates
+//!   (*sequence*), per the grammar in Figure 3 of the paper.
+//!
+//! and the transformations between and within them:
+//!
+//! * [`concretize`](concretize::concretize) — index notation → concrete index
+//!   notation (Section VI),
+//! * [`reorder`](transform::reorder) — exchanges foralls (Section IV-B),
+//! * [`precompute`](transform::precompute) — the **workspace transformation**
+//!   (Section V), including the result-reuse optimization (Section V-B),
+//! * [`suggest`](heuristics::suggest) — the policy heuristics of Section V-C.
+//!
+//! # Example
+//!
+//! ```
+//! use taco_ir::expr::{sum, IndexVar, TensorVar};
+//! use taco_ir::notation::IndexAssignment;
+//! use taco_ir::concretize::concretize;
+//! use taco_tensor::Format;
+//!
+//! let (i, j, k) = (IndexVar::new("i"), IndexVar::new("j"), IndexVar::new("k"));
+//! let a = TensorVar::new("A", vec![4, 4], Format::csr());
+//! let b = TensorVar::new("B", vec![4, 4], Format::csr());
+//! let c = TensorVar::new("C", vec![4, 4], Format::csr());
+//!
+//! let matmul = IndexAssignment::assign(
+//!     a.access([i.clone(), j.clone()]),
+//!     sum(k.clone(), b.access([i.clone(), k.clone()]) * c.access([k.clone(), j.clone()])),
+//! );
+//! let concrete = concretize(&matmul)?;
+//! assert_eq!(concrete.to_string(), "∀i ∀j ∀k A(i,j) += B(i,k) * C(k,j)");
+//! # Ok::<(), taco_ir::IrError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod concrete;
+pub mod concretize;
+mod error;
+pub mod expr;
+pub mod heuristics;
+pub mod notation;
+pub mod transform;
+
+pub use error::IrError;
+
+/// Result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, IrError>;

@@ -1,0 +1,97 @@
+//! Tensor index notation statements (the compiler's input language).
+
+use crate::expr::{Access, IndexExpr, IndexVar};
+use std::fmt;
+
+/// An index notation statement `A(i,j,...) = expr`, e.g.
+/// `A(i,j) = sum(k, B(i,k) * C(k,j))` (paper Figure 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexAssignment {
+    lhs: Access,
+    rhs: IndexExpr,
+}
+
+impl IndexAssignment {
+    /// Creates an index notation assignment.
+    pub fn assign(lhs: Access, rhs: impl Into<IndexExpr>) -> IndexAssignment {
+        IndexAssignment { lhs, rhs: rhs.into() }
+    }
+
+    /// The result access.
+    pub fn lhs(&self) -> &Access {
+        &self.lhs
+    }
+
+    /// The right-hand-side expression.
+    pub fn rhs(&self) -> &IndexExpr {
+        &self.rhs
+    }
+
+    /// The free index variables: those indexing the result, in result mode
+    /// order.
+    pub fn free_vars(&self) -> Vec<IndexVar> {
+        self.lhs.vars().to_vec()
+    }
+
+    /// The reduction index variables: those used in the rhs but not free,
+    /// in first-use order (summation binders and access variables).
+    pub fn reduction_vars(&self) -> Vec<IndexVar> {
+        let free = self.free_vars();
+        let mut out: Vec<IndexVar> = Vec::new();
+        self.rhs.visit(&mut |e| {
+            let mut push = |v: &IndexVar| {
+                if !free.contains(v) && !out.contains(v) {
+                    out.push(v.clone());
+                }
+            };
+            match e {
+                IndexExpr::Sum(v, _) => push(v),
+                IndexExpr::Access(a) => a.vars().iter().for_each(push),
+                _ => {}
+            }
+        });
+        out
+    }
+}
+
+impl fmt::Display for IndexAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.lhs, self.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{sum, TensorVar};
+    use taco_tensor::Format;
+
+    #[test]
+    fn free_and_reduction_vars() {
+        let a = TensorVar::new("A", vec![4, 4], Format::csr());
+        let b = TensorVar::new("B", vec![4, 4, 4], Format::csf3());
+        let c = TensorVar::new("C", vec![4, 4], Format::dense(2));
+        let d = TensorVar::new("D", vec![4, 4], Format::dense(2));
+        let (i, j, k, l) =
+            (IndexVar::new("i"), IndexVar::new("j"), IndexVar::new("k"), IndexVar::new("l"));
+        // MTTKRP: A(i,j) = sum(k, sum(l, B(i,k,l) * C(l,j) * D(k,j)))
+        let st = IndexAssignment::assign(
+            a.access([i.clone(), j.clone()]),
+            sum(
+                k.clone(),
+                sum(
+                    l.clone(),
+                    b.access([i.clone(), k.clone(), l.clone()])
+                        * c.access([l.clone(), j.clone()])
+                        * d.access([k.clone(), j.clone()]),
+                ),
+            ),
+        );
+        assert_eq!(st.free_vars(), vec![i, j]);
+        assert_eq!(st.reduction_vars(), vec![k, l]);
+        assert_eq!(
+            st.to_string(),
+            "A(i,j) = sum(k, sum(l, B(i,k,l) * C(l,j) * D(k,j)))"
+        );
+    }
+}

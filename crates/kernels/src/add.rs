@@ -1,0 +1,379 @@
+//! Sparse matrix addition kernels (paper Figures 5, 13).
+//!
+//! The evaluation of Section VIII-E adds `n+1` CSR operands with four
+//! strategies: pairwise binary additions that materialize temporaries (how
+//! Eigen/MKL users must write it), a single merged multi-operand kernel
+//! (taco without workspaces — Figure 5a generalized), and the workspace
+//! kernel (Figure 5b generalized). Assembly and compute phases are split so
+//! Figure 13 (right) can report them separately.
+
+use taco_tensor::Csr;
+
+/// Two-operand merge addition with fused assembly (Figure 5a): coiterates
+/// the rows of `B` and `C`, appending to `A`.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn add2_merge(b: &Csr, c: &Csr) -> Csr {
+    assert_eq!((b.nrows(), b.ncols()), (c.nrows(), c.ncols()), "shape mismatch in add");
+    let m = b.nrows();
+    let mut pos = Vec::with_capacity(m + 1);
+    pos.push(0usize);
+    let mut crd = Vec::new();
+    let mut vals = Vec::new();
+    let (bpos, bcrd, bvals) = (b.pos(), b.crd(), b.vals());
+    let (cpos, ccrd, cvals) = (c.pos(), c.crd(), c.vals());
+
+    for i in 0..m {
+        let (mut pb, mut pc) = (bpos[i], cpos[i]);
+        while pb < bpos[i + 1] && pc < cpos[i + 1] {
+            let jb = bcrd[pb];
+            let jc = ccrd[pc];
+            let j = jb.min(jc);
+            if jb == j && jc == j {
+                crd.push(j);
+                vals.push(bvals[pb] + cvals[pc]);
+            } else if jb == j {
+                crd.push(j);
+                vals.push(bvals[pb]);
+            } else {
+                crd.push(j);
+                vals.push(cvals[pc]);
+            }
+            if jb == j {
+                pb += 1;
+            }
+            if jc == j {
+                pc += 1;
+            }
+        }
+        while pb < bpos[i + 1] {
+            crd.push(bcrd[pb]);
+            vals.push(bvals[pb]);
+            pb += 1;
+        }
+        while pc < cpos[i + 1] {
+            crd.push(ccrd[pc]);
+            vals.push(cvals[pc]);
+            pc += 1;
+        }
+        pos.push(crd.len());
+    }
+    Csr::from_raw(m, b.ncols(), pos, crd, vals)
+}
+
+/// Multi-operand merge addition — the algorithm taco generates for
+/// `A = B0 + B1 + ... + Bk` without workspaces: an (k+1)-way coiteration
+/// computing `min` over all cursors and merging per coordinate, with fused
+/// assembly.
+///
+/// # Panics
+///
+/// Panics if `ops` is empty or shapes differ.
+pub fn add_kway_merge(ops: &[&Csr]) -> Csr {
+    assert!(!ops.is_empty(), "at least one operand required");
+    let m = ops[0].nrows();
+    let n = ops[0].ncols();
+    for o in ops {
+        assert_eq!((o.nrows(), o.ncols()), (m, n), "shape mismatch in add");
+    }
+
+    let mut pos = Vec::with_capacity(m + 1);
+    pos.push(0usize);
+    let mut crd = Vec::new();
+    let mut vals = Vec::new();
+    let mut cursor = vec![0usize; ops.len()];
+
+    for i in 0..m {
+        for (t, o) in ops.iter().enumerate() {
+            cursor[t] = o.pos()[i];
+        }
+        loop {
+            // min over the active cursors (the generated code's chain of
+            // min() calls and comparisons).
+            let mut j = usize::MAX;
+            for (t, o) in ops.iter().enumerate() {
+                if cursor[t] < o.pos()[i + 1] {
+                    j = j.min(o.crd()[cursor[t]]);
+                }
+            }
+            if j == usize::MAX {
+                break;
+            }
+            let mut acc = 0.0;
+            for (t, o) in ops.iter().enumerate() {
+                if cursor[t] < o.pos()[i + 1] && o.crd()[cursor[t]] == j {
+                    acc += o.vals()[cursor[t]];
+                    cursor[t] += 1;
+                }
+            }
+            crd.push(j);
+            vals.push(acc);
+        }
+        pos.push(crd.len());
+    }
+    Csr::from_raw(m, n, pos, crd, vals)
+}
+
+/// Multi-operand workspace addition — Figure 5b generalized to `k`
+/// operands via the result-reuse sequence statement: every operand is
+/// scattered into a dense row workspace, then the row is appended to the
+/// result (fused assembly, sorted).
+///
+/// # Panics
+///
+/// Panics if `ops` is empty or shapes differ.
+pub fn add_kway_workspace(ops: &[&Csr]) -> Csr {
+    assert!(!ops.is_empty(), "at least one operand required");
+    let m = ops[0].nrows();
+    let n = ops[0].ncols();
+    for o in ops {
+        assert_eq!((o.nrows(), o.ncols()), (m, n), "shape mismatch in add");
+    }
+
+    let mut w = vec![0.0f64; n];
+    let mut wset = vec![false; n];
+    let mut wlist: Vec<usize> = Vec::with_capacity(n);
+
+    let mut pos = Vec::with_capacity(m + 1);
+    pos.push(0usize);
+    let mut crd = Vec::new();
+    let mut vals = Vec::new();
+
+    for i in 0..m {
+        wlist.clear();
+        for o in ops {
+            let (cs, vs) = o.row(i);
+            for (c, v) in cs.iter().zip(vs) {
+                if !wset[*c] {
+                    wset[*c] = true;
+                    wlist.push(*c);
+                }
+                w[*c] += *v;
+            }
+        }
+        wlist.sort_unstable();
+        for &j in &wlist {
+            crd.push(j);
+            vals.push(w[j]);
+            w[j] = 0.0;
+            wset[j] = false;
+        }
+        pos.push(crd.len());
+    }
+    Csr::from_raw(m, n, pos, crd, vals)
+}
+
+/// Library-style pairwise addition: folds the operands two at a time with
+/// [`add2_merge`], materializing a full temporary per step — how a user of
+/// Eigen or MKL computes a chained addition ("the libraries are hampered by
+/// performing addition two operands at a time", Section VIII-E).
+///
+/// # Panics
+///
+/// Panics if `ops` is empty or shapes differ.
+pub fn add_pairwise(ops: &[&Csr]) -> Csr {
+    assert!(!ops.is_empty(), "at least one operand required");
+    let mut acc = ops[0].clone();
+    for o in &ops[1..] {
+        acc = add2_merge(&acc, o);
+    }
+    acc
+}
+
+/// MKL-style pairwise addition: like [`add_pairwise`] but each binary step
+/// runs a symbolic pass (structure) and a numeric pass (values), modeling
+/// MKL's inspector-executor `mkl_sparse_d_add`.
+///
+/// # Panics
+///
+/// Panics if `ops` is empty or shapes differ.
+pub fn add_pairwise_mkl_style(ops: &[&Csr]) -> Csr {
+    assert!(!ops.is_empty(), "at least one operand required");
+    let mut acc = ops[0].clone();
+    for o in &ops[1..] {
+        acc = add2_two_phase(&acc, o);
+    }
+    acc
+}
+
+fn add2_two_phase(b: &Csr, c: &Csr) -> Csr {
+    // Symbolic: union structure per row.
+    let m = b.nrows();
+    let mut pos = vec![0usize; m + 1];
+    let mut crd = Vec::new();
+    for i in 0..m {
+        let (bc, _) = b.row(i);
+        let (cc, _) = c.row(i);
+        let (mut p, mut q) = (0usize, 0usize);
+        while p < bc.len() && q < cc.len() {
+            let j = bc[p].min(cc[q]);
+            crd.push(j);
+            if bc[p] == j {
+                p += 1;
+            }
+            if q < cc.len() && cc[q] == j {
+                q += 1;
+            }
+        }
+        crd.extend_from_slice(&bc[p..]);
+        crd.extend_from_slice(&cc[q..]);
+        pos[i + 1] = crd.len();
+    }
+    // Numeric.
+    let mut vals = vec![0.0f64; crd.len()];
+    for i in 0..m {
+        let (bc, bv) = b.row(i);
+        let (cc, cv) = c.row(i);
+        let (mut p, mut q) = (0usize, 0usize);
+        for qq in pos[i]..pos[i + 1] {
+            let j = crd[qq];
+            let mut acc = 0.0;
+            if p < bc.len() && bc[p] == j {
+                acc += bv[p];
+                p += 1;
+            }
+            if q < cc.len() && cc[q] == j {
+                acc += cv[q];
+                q += 1;
+            }
+            vals[qq] = acc;
+        }
+    }
+    Csr::from_raw(m, b.ncols(), pos, crd, vals)
+}
+
+/// The assembly phase of the workspace addition alone (structure only) —
+/// for the Figure 13 (right) assembly/compute breakdown.
+///
+/// # Panics
+///
+/// Panics if `ops` is empty or shapes differ.
+pub fn add_kway_assemble(ops: &[&Csr]) -> (Vec<usize>, Vec<usize>) {
+    assert!(!ops.is_empty(), "at least one operand required");
+    let m = ops[0].nrows();
+    let n = ops[0].ncols();
+    let mut wset = vec![false; n];
+    let mut wlist: Vec<usize> = Vec::with_capacity(n);
+    let mut pos = Vec::with_capacity(m + 1);
+    pos.push(0usize);
+    let mut crd = Vec::new();
+    for i in 0..m {
+        wlist.clear();
+        for o in ops {
+            let (cs, _) = o.row(i);
+            for c in cs {
+                if !wset[*c] {
+                    wset[*c] = true;
+                    wlist.push(*c);
+                }
+            }
+        }
+        wlist.sort_unstable();
+        for &j in &wlist {
+            crd.push(j);
+            wset[j] = false;
+        }
+        pos.push(crd.len());
+    }
+    (pos, crd)
+}
+
+/// The compute phase of the workspace addition against a pre-assembled
+/// structure — for the Figure 13 (right) breakdown ("we reuse the matrix
+/// assembly code produced by taco to build the output, but compute using a
+/// workspace").
+///
+/// # Panics
+///
+/// Panics if shapes differ or the structure does not cover the operands.
+pub fn add_kway_compute(ops: &[&Csr], pos: &[usize], crd: &[usize]) -> Vec<f64> {
+    let n = ops[0].ncols();
+    let m = ops[0].nrows();
+    let mut w = vec![0.0f64; n];
+    let mut vals = vec![0.0f64; crd.len()];
+    for i in 0..m {
+        for o in ops {
+            let (cs, vs) = o.row(i);
+            for (c, v) in cs.iter().zip(vs) {
+                w[*c] += *v;
+            }
+        }
+        for q in pos[i]..pos[i + 1] {
+            let j = crd[q];
+            vals[q] = w[j];
+            w[j] = 0.0;
+        }
+    }
+    vals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taco_tensor::gen::random_csr;
+
+    fn dense_sum(ops: &[&Csr]) -> Vec<f64> {
+        let mut out = vec![0.0; ops[0].nrows() * ops[0].ncols()];
+        for o in ops {
+            for (x, y) in out.iter_mut().zip(o.to_dense_vec()) {
+                *x += y;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn all_variants_agree() {
+        let mats: Vec<Csr> = (0..5).map(|s| random_csr(30, 40, 0.05 * (s as f64 + 1.0) / 5.0, s)).collect();
+        let ops: Vec<&Csr> = mats.iter().collect();
+        let expect = dense_sum(&ops);
+        let close = |a: &Csr| {
+            a.to_dense_vec().iter().zip(&expect).all(|(x, y)| (x - y).abs() < 1e-10)
+        };
+        assert!(close(&add_kway_merge(&ops)));
+        assert!(close(&add_kway_workspace(&ops)));
+        assert!(close(&add_pairwise(&ops)));
+        assert!(close(&add_pairwise_mkl_style(&ops)));
+    }
+
+    #[test]
+    fn two_operand_merge_matches_figure_5a_structure() {
+        let b = Csr::from_triplets(2, 4, &[(0, 0, 1.0), (0, 2, 2.0), (1, 3, 3.0)]);
+        let c = Csr::from_triplets(2, 4, &[(0, 2, 10.0), (0, 3, 4.0)]);
+        let a = add2_merge(&b, &c);
+        assert_eq!(a.pos(), &[0, 3, 4]);
+        assert_eq!(a.crd(), &[0, 2, 3, 3]);
+        assert_eq!(a.vals(), &[1.0, 12.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn assemble_then_compute_matches_fused() {
+        let mats: Vec<Csr> = (0..4).map(|s| random_csr(20, 20, 0.1, 10 + s)).collect();
+        let ops: Vec<&Csr> = mats.iter().collect();
+        let fused = add_kway_workspace(&ops);
+        let (pos, crd) = add_kway_assemble(&ops);
+        assert_eq!(fused.pos(), &pos[..]);
+        assert_eq!(fused.crd(), &crd[..]);
+        let vals = add_kway_compute(&ops, &pos, &crd);
+        assert_eq!(fused.vals(), &vals[..]);
+    }
+
+    #[test]
+    fn structure_union_is_exact() {
+        let b = Csr::from_triplets(1, 5, &[(0, 1, 1.0)]);
+        let c = Csr::from_triplets(1, 5, &[(0, 3, 1.0)]);
+        let a = add_kway_workspace(&[&b, &c]);
+        assert_eq!(a.crd(), &[1, 3]);
+    }
+
+    #[test]
+    fn single_operand_is_identity() {
+        let b = random_csr(10, 10, 0.2, 42);
+        let a = add_kway_merge(&[&b]);
+        assert!(a.approx_eq(&b, 0.0));
+        let a2 = add_pairwise(&[&b]);
+        assert!(a2.approx_eq(&b, 0.0));
+    }
+}

@@ -1,0 +1,23 @@
+//! Hand-written sparse kernels used by the evaluation (Section VIII of
+//! *Tensor Algebra Compilation with Workspaces*, CGO 2019).
+//!
+//! Two families live here:
+//!
+//! * **Generated-equivalent kernels** — native Rust implementations of the
+//!   algorithms the compiler generates (`*_workspace*`, `*_merge*`). Their
+//!   loop structure mirrors the compiler output (Figures 1d, 5, 9, 10), and
+//!   integration tests assert they compute the same results as the compiled
+//!   kernels. Benchmarks run these so that taco-generated algorithms and
+//!   library baselines compare native-to-native.
+//! * **Library-style baselines** — stand-ins for the closed-source or
+//!   C++-only comparison targets: Eigen's sorted SpGEMM, MKL's unsorted
+//!   `mkl_sparse_spmm`, pairwise library addition, and SPLATT's MTTKRP.
+//!
+//! See `DESIGN.md` §5 for the substitution rationale.
+
+#![warn(missing_docs)]
+
+pub mod add;
+pub mod mttkrp;
+pub mod spgemm;
+pub mod vecops;

@@ -1,0 +1,184 @@
+//! Row-wise and vector kernels from the paper's running examples:
+//! the inner-product-of-rows kernels of Figure 4, the sparse
+//! tensor-times-vector kernel of Figure 7, and the result-reuse vector
+//! addition of Section V-B.
+
+use crate::mttkrp::DenseMat;
+use taco_tensor::{Csf3, Csr};
+
+/// `a(i) = Σ_j B(i,j) * C(i,j)` with a merge loop over each row pair —
+/// Figure 4a (before the workspace transformation).
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn row_inner_products_merge(b: &Csr, c: &Csr) -> Vec<f64> {
+    assert_eq!((b.nrows(), b.ncols()), (c.nrows(), c.ncols()), "shape mismatch");
+    let m = b.nrows();
+    let mut a = vec![0.0f64; m];
+    for i in 0..m {
+        let (bc, bv) = b.row(i);
+        let (cc, cv) = c.row(i);
+        let (mut p, mut q) = (0usize, 0usize);
+        while p < bc.len() && q < cc.len() {
+            let jb = bc[p];
+            let jc = cc[q];
+            let j = jb.min(jc);
+            if jb == j && jc == j {
+                a[i] += bv[p] * cv[q];
+            }
+            if jb == j {
+                p += 1;
+            }
+            if jc == j {
+                q += 1;
+            }
+        }
+    }
+    a
+}
+
+/// `a(i) = Σ_j B(i,j) * C(i,j)` via a dense row workspace — Figure 4b
+/// (after the workspace transformation): B's row is scattered into `w`,
+/// then C's row gathers from it. "The for loops have fewer conditionals, at
+/// the cost of reduced data locality."
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn row_inner_products_workspace(b: &Csr, c: &Csr) -> Vec<f64> {
+    assert_eq!((b.nrows(), b.ncols()), (c.nrows(), c.ncols()), "shape mismatch");
+    let m = b.nrows();
+    let n = b.ncols();
+    let mut a = vec![0.0f64; m];
+    let mut w = vec![0.0f64; n];
+    for i in 0..m {
+        let (bc, bv) = b.row(i);
+        for (j, v) in bc.iter().zip(bv) {
+            w[*j] = *v;
+        }
+        let (cc, cv) = c.row(i);
+        for (j, v) in cc.iter().zip(cv) {
+            a[i] += w[*j] * v;
+        }
+        // Restore zeros for the next row.
+        for j in bc {
+            w[*j] = 0.0;
+        }
+    }
+    a
+}
+
+/// Sparse tensor-times-vector `A(i,j) = Σ_k B(i,j,k) * c(k)` with sparse
+/// `B` (CSF) and sparse `c` — the generated kernel of Figure 7, whose inner
+/// while loop coiterates the last tensor mode with the vector.
+///
+/// The vector is given as sorted `(coordinate, value)` pairs.
+///
+/// # Panics
+///
+/// Panics if vector coordinates exceed `B`'s mode-2 dimension.
+pub fn tensor_vector_mul(b: &Csf3, cvec: &[(usize, f64)]) -> DenseMat {
+    let [di, dj, dk] = b.dims();
+    assert!(cvec.iter().all(|(k, _)| *k < dk), "vector coordinate out of bounds");
+    let mut a = DenseMat::zeros(di, dj);
+
+    for p1 in b.pos1()[0]..b.pos1()[1] {
+        let i = b.crd1()[p1];
+        for p2 in b.pos2()[p1]..b.pos2()[p1 + 1] {
+            let j = b.crd2()[p2];
+            let mut p3 = b.pos3()[p2];
+            let mut pc = 0usize;
+            // Coiterate the intersection of B's fiber and c.
+            while p3 < b.pos3()[p2 + 1] && pc < cvec.len() {
+                let kb = b.crd3()[p3];
+                let kc = cvec[pc].0;
+                let k = kb.min(kc);
+                if kb == k && kc == k {
+                    a.data[i * dj + j] += b.vals()[p3] * cvec[pc].1;
+                }
+                if kb == k {
+                    p3 += 1;
+                }
+                if kc == k {
+                    pc += 1;
+                }
+            }
+        }
+    }
+    a
+}
+
+/// Dense-result sparse vector addition with result reuse (Section V-B):
+/// `∀i a(i) = b(i) ; ∀i a(i) += c(i)` — b is assigned, then c accumulated,
+/// with no temporary vector.
+pub fn sparse_vec_add_result_reuse(
+    b: &[(usize, f64)],
+    c: &[(usize, f64)],
+    len: usize,
+) -> Vec<f64> {
+    let mut a = vec![0.0f64; len];
+    for (i, v) in b {
+        a[*i] = *v;
+    }
+    for (i, v) in c {
+        a[*i] += *v;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taco_tensor::gen::{random_csf3, random_csr, random_svec};
+
+    #[test]
+    fn inner_products_agree() {
+        let b = random_csr(25, 40, 0.15, 1);
+        let c = random_csr(25, 40, 0.15, 2);
+        let m = row_inner_products_merge(&b, &c);
+        let w = row_inner_products_workspace(&b, &c);
+        let bd = b.to_dense_vec();
+        let cd = c.to_dense_vec();
+        for i in 0..25 {
+            let expect: f64 = (0..40).map(|j| bd[i * 40 + j] * cd[i * 40 + j]).sum();
+            assert!((m[i] - expect).abs() < 1e-10);
+            assert!((w[i] - expect).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn workspace_restores_zeros_between_rows() {
+        // A value in row 0 must not leak into row 1's inner product.
+        let b = Csr::from_triplets(2, 4, &[(0, 1, 5.0), (1, 2, 1.0)]);
+        let c = Csr::from_triplets(2, 4, &[(1, 1, 3.0)]);
+        let a = row_inner_products_workspace(&b, &c);
+        assert_eq!(a, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn tensor_vector_matches_dense() {
+        let b = random_csf3([8, 7, 30], 120, 3);
+        let cv = random_svec(30, 0.3, 4);
+        let a = tensor_vector_mul(&b, &cv);
+        let mut cd = vec![0.0; 30];
+        for (k, v) in &cv {
+            cd[*k] = *v;
+        }
+        let t = b.to_tensor().to_dense();
+        for i in 0..8 {
+            for j in 0..7 {
+                let expect: f64 = (0..30).map(|k| t.get(&[i, j, k]) * cd[k]).sum();
+                assert!((a.get(i, j) - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn result_reuse_vector_add() {
+        let b = vec![(1, 2.0), (3, 4.0)];
+        let c = vec![(0, 1.0), (3, 5.0)];
+        let a = sparse_vec_add_result_reuse(&b, &c, 5);
+        assert_eq!(a, vec![1.0, 2.0, 0.0, 9.0, 0.0]);
+    }
+}

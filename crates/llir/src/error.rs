@@ -1,0 +1,94 @@
+use crate::ArrayTy;
+use std::error::Error;
+use std::fmt;
+
+/// Errors detected while compiling a kernel to executable form.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// A scalar variable was referenced before declaration.
+    UnknownVar(String),
+    /// An array was referenced but is neither a parameter nor allocated.
+    UnknownArray(String),
+    /// A name was declared twice in the same scope or parameter list.
+    Duplicate(String),
+    /// An expression or statement was ill-typed.
+    TypeMismatch {
+        /// Where the mismatch occurred.
+        context: String,
+    },
+    /// `Sort` applied to a non-integer array.
+    SortNonInt(String),
+    /// A scalar output is not a top-level declaration.
+    BadScalarOutput(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnknownVar(n) => write!(f, "unknown scalar variable `{n}`"),
+            CompileError::UnknownArray(n) => write!(f, "unknown array `{n}`"),
+            CompileError::Duplicate(n) => write!(f, "duplicate declaration of `{n}`"),
+            CompileError::TypeMismatch { context } => write!(f, "type mismatch in {context}"),
+            CompileError::SortNonInt(n) => write!(f, "sort requires an integer array, got `{n}`"),
+            CompileError::BadScalarOutput(n) => {
+                write!(f, "scalar output `{n}` is not declared at the top level of the kernel")
+            }
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+/// Errors raised while running a compiled kernel.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RunError {
+    /// An array parameter was not bound before `run`.
+    MissingArray(String),
+    /// A scalar parameter was not bound before `run`.
+    MissingScalar(String),
+    /// A bound array had the wrong element type.
+    WrongArrayType {
+        /// Array name.
+        name: String,
+        /// Type the kernel expects.
+        expected: ArrayTy,
+    },
+    /// An array access was out of bounds.
+    OutOfBounds {
+        /// Array name.
+        name: String,
+        /// Offending index.
+        idx: i64,
+        /// Array length.
+        len: usize,
+    },
+    /// A negative length was requested in `Alloc`/`Realloc`.
+    NegativeLength {
+        /// Array name.
+        name: String,
+        /// Requested length.
+        len: i64,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::MissingArray(n) => write!(f, "array `{n}` was not bound"),
+            RunError::MissingScalar(n) => write!(f, "scalar `{n}` was not bound"),
+            RunError::WrongArrayType { name, expected } => {
+                write!(f, "array `{name}` bound with wrong type, expected {expected:?}")
+            }
+            RunError::OutOfBounds { name, idx, len } => {
+                write!(f, "index {idx} out of bounds for array `{name}` of length {len}")
+            }
+            RunError::NegativeLength { name, len } => {
+                write!(f, "negative length {len} requested for array `{name}`")
+            }
+        }
+    }
+}
+
+impl Error for RunError {}

@@ -1,0 +1,1225 @@
+//! Compilation of kernels to a slot-resolved executable form, and execution.
+//!
+//! [`Executable::compile`] walks a [`Kernel`], checks types, and resolves
+//! every scalar variable and array name to a dense slot index. The resulting
+//! typed statement tree is then interpreted by [`Executable::run`] with no
+//! name lookups in any inner loop — this plays the role of the paper's
+//! "target code" stage (Figure 6) in a pure-Rust setting.
+
+use crate::{ArrayTy, BinOp, CompileError, Expr, Kernel, RunError, Stmt, UnOp};
+use std::collections::HashMap;
+
+/// A buffer bound to (or allocated by) a kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrayVal {
+    /// 64-bit integer buffer.
+    Int(Vec<i64>),
+    /// Double-precision buffer.
+    F64(Vec<f64>),
+    /// Single-precision buffer.
+    F32(Vec<f32>),
+    /// Boolean buffer.
+    Bool(Vec<bool>),
+}
+
+impl ArrayVal {
+    fn ty(&self) -> ArrayTy {
+        match self {
+            ArrayVal::Int(_) => ArrayTy::Int,
+            ArrayVal::F64(_) => ArrayTy::F64,
+            ArrayVal::F32(_) => ArrayTy::F32,
+            ArrayVal::Bool(_) => ArrayTy::Bool,
+        }
+    }
+
+    fn empty(ty: ArrayTy) -> ArrayVal {
+        match ty {
+            ArrayTy::Int => ArrayVal::Int(Vec::new()),
+            ArrayTy::F64 => ArrayVal::F64(Vec::new()),
+            ArrayTy::F32 => ArrayVal::F32(Vec::new()),
+            ArrayTy::Bool => ArrayVal::Bool(Vec::new()),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            ArrayVal::Int(v) => v.len(),
+            ArrayVal::F64(v) => v.len(),
+            ArrayVal::F32(v) => v.len(),
+            ArrayVal::Bool(v) => v.len(),
+        }
+    }
+
+    /// True if the buffer has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resolved (typed, slot-addressed) IR
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum IExpr {
+    Lit(i64),
+    Var(usize),
+    Load(usize, Box<IExpr>),
+    Len(usize),
+    Bin(BinOp, Box<IExpr>, Box<IExpr>),
+    Neg(Box<IExpr>),
+}
+
+#[derive(Debug, Clone)]
+enum FExpr {
+    Lit(f64),
+    Var(usize),
+    LoadF64(usize, Box<IExpr>),
+    LoadF32(usize, Box<IExpr>),
+    Bin(BinOp, Box<FExpr>, Box<FExpr>),
+    Neg(Box<FExpr>),
+    FromInt(Box<IExpr>),
+}
+
+#[derive(Debug, Clone)]
+enum BExpr {
+    Lit(bool),
+    Var(usize),
+    Load(usize, Box<IExpr>),
+    CmpI(BinOp, Box<IExpr>, Box<IExpr>),
+    CmpF(BinOp, Box<FExpr>, Box<FExpr>),
+    Bin(BinOp, Box<BExpr>, Box<BExpr>),
+    Not(Box<BExpr>),
+}
+
+#[derive(Debug, Clone)]
+enum RStmt {
+    AssignI(usize, IExpr),
+    AssignF(usize, FExpr),
+    AssignB(usize, BExpr),
+    StoreI(usize, IExpr, IExpr),
+    StoreF64(usize, IExpr, FExpr),
+    StoreF32(usize, IExpr, FExpr),
+    StoreB(usize, IExpr, BExpr),
+    StoreAddI(usize, IExpr, IExpr),
+    StoreAddF64(usize, IExpr, FExpr),
+    StoreAddF32(usize, IExpr, FExpr),
+    For(usize, IExpr, IExpr, Vec<RStmt>),
+    While(BExpr, Vec<RStmt>),
+    If(BExpr, Vec<RStmt>, Vec<RStmt>),
+    MemsetI(usize, IExpr),
+    MemsetF64(usize, FExpr),
+    MemsetF32(usize, FExpr),
+    MemsetB(usize, BExpr),
+    Alloc(usize, ArrayTy, IExpr),
+    Realloc(usize, IExpr),
+    Sort(usize, IExpr, IExpr),
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScalarTy {
+    Int,
+    Float,
+    Bool,
+}
+
+enum Typed {
+    I(IExpr),
+    F(FExpr),
+    B(BExpr),
+}
+
+struct Compiler {
+    scopes: Vec<HashMap<String, (ScalarTy, usize)>>,
+    arrays: HashMap<String, (usize, ArrayTy)>,
+    array_names: Vec<String>,
+    n_int: usize,
+    n_float: usize,
+    n_bool: usize,
+}
+
+impl Compiler {
+    fn lookup_var(&self, name: &str) -> Option<(ScalarTy, usize)> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn declare(&mut self, name: &str, ty: ScalarTy) -> Result<usize, CompileError> {
+        if self.scopes.last().expect("scope stack nonempty").contains_key(name) {
+            return Err(CompileError::Duplicate(name.to_string()));
+        }
+        let slot = match ty {
+            ScalarTy::Int => {
+                self.n_int += 1;
+                self.n_int - 1
+            }
+            ScalarTy::Float => {
+                self.n_float += 1;
+                self.n_float - 1
+            }
+            ScalarTy::Bool => {
+                self.n_bool += 1;
+                self.n_bool - 1
+            }
+        };
+        self.scopes.last_mut().unwrap().insert(name.to_string(), (ty, slot));
+        Ok(slot)
+    }
+
+    fn array(&mut self, name: &str) -> Result<(usize, ArrayTy), CompileError> {
+        self.arrays
+            .get(name)
+            .copied()
+            .ok_or_else(|| CompileError::UnknownArray(name.to_string()))
+    }
+
+    fn declare_array(&mut self, name: &str, ty: ArrayTy) -> Result<usize, CompileError> {
+        if let Some(&(slot, prev)) = self.arrays.get(name) {
+            if prev != ty {
+                return Err(CompileError::TypeMismatch {
+                    context: format!("array `{name}` reallocated with a different type"),
+                });
+            }
+            return Ok(slot);
+        }
+        let slot = self.array_names.len();
+        self.array_names.push(name.to_string());
+        self.arrays.insert(name.to_string(), (slot, ty));
+        Ok(slot)
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<Typed, CompileError> {
+        Ok(match e {
+            Expr::Int(v) => Typed::I(IExpr::Lit(*v)),
+            Expr::Float(v) => Typed::F(FExpr::Lit(*v)),
+            Expr::Bool(v) => Typed::B(BExpr::Lit(*v)),
+            Expr::Var(name) => {
+                let (ty, slot) =
+                    self.lookup_var(name).ok_or_else(|| CompileError::UnknownVar(name.clone()))?;
+                match ty {
+                    ScalarTy::Int => Typed::I(IExpr::Var(slot)),
+                    ScalarTy::Float => Typed::F(FExpr::Var(slot)),
+                    ScalarTy::Bool => Typed::B(BExpr::Var(slot)),
+                }
+            }
+            Expr::Load(arr, idx) => {
+                let (slot, ty) = self.array(arr)?;
+                let idx = self.int_expr(idx)?;
+                match ty {
+                    ArrayTy::Int => Typed::I(IExpr::Load(slot, Box::new(idx))),
+                    ArrayTy::F64 => Typed::F(FExpr::LoadF64(slot, Box::new(idx))),
+                    ArrayTy::F32 => Typed::F(FExpr::LoadF32(slot, Box::new(idx))),
+                    ArrayTy::Bool => Typed::B(BExpr::Load(slot, Box::new(idx))),
+                }
+            }
+            Expr::Len(arr) => {
+                let (slot, _) = self.array(arr)?;
+                Typed::I(IExpr::Len(slot))
+            }
+            Expr::Un(UnOp::Neg, inner) => match self.expr(inner)? {
+                Typed::I(i) => Typed::I(IExpr::Neg(Box::new(i))),
+                Typed::F(f) => Typed::F(FExpr::Neg(Box::new(f))),
+                Typed::B(_) => {
+                    return Err(CompileError::TypeMismatch {
+                        context: "arithmetic negation of a boolean".into(),
+                    })
+                }
+            },
+            Expr::Un(UnOp::Not, inner) => {
+                let b = self.bool_expr(inner)?;
+                Typed::B(BExpr::Not(Box::new(b)))
+            }
+            Expr::Bin(op, a, b) => self.bin(*op, a, b)?,
+        })
+    }
+
+    fn bin(&mut self, op: BinOp, a: &Expr, b: &Expr) -> Result<Typed, CompileError> {
+        use BinOp::*;
+        let ta = self.expr(a)?;
+        let tb = self.expr(b)?;
+        let arithmetic = matches!(op, Add | Sub | Mul | Div | Rem | Min | Max);
+        let comparison = matches!(op, Eq | Ne | Lt | Le | Gt | Ge);
+        let logical = matches!(op, And | Or);
+        match (ta, tb) {
+            (Typed::I(x), Typed::I(y)) if arithmetic => {
+                Ok(Typed::I(IExpr::Bin(op, Box::new(x), Box::new(y))))
+            }
+            (Typed::I(x), Typed::I(y)) if comparison => {
+                Ok(Typed::B(BExpr::CmpI(op, Box::new(x), Box::new(y))))
+            }
+            (Typed::B(x), Typed::B(y)) if logical => {
+                Ok(Typed::B(BExpr::Bin(op, Box::new(x), Box::new(y))))
+            }
+            (x @ (Typed::I(_) | Typed::F(_)), y @ (Typed::I(_) | Typed::F(_)))
+                if arithmetic || comparison =>
+            {
+                let fx = Self::promote(x);
+                let fy = Self::promote(y);
+                if arithmetic {
+                    Ok(Typed::F(FExpr::Bin(op, Box::new(fx), Box::new(fy))))
+                } else {
+                    Ok(Typed::B(BExpr::CmpF(op, Box::new(fx), Box::new(fy))))
+                }
+            }
+            _ => Err(CompileError::TypeMismatch { context: format!("operator {op:?}") }),
+        }
+    }
+
+    fn promote(t: Typed) -> FExpr {
+        match t {
+            Typed::F(f) => f,
+            Typed::I(i) => FExpr::FromInt(Box::new(i)),
+            Typed::B(_) => unreachable!("bool operands rejected before promotion"),
+        }
+    }
+
+    fn int_expr(&mut self, e: &Expr) -> Result<IExpr, CompileError> {
+        match self.expr(e)? {
+            Typed::I(i) => Ok(i),
+            _ => Err(CompileError::TypeMismatch { context: format!("expected integer: {e:?}") }),
+        }
+    }
+
+    fn float_expr(&mut self, e: &Expr) -> Result<FExpr, CompileError> {
+        match self.expr(e)? {
+            Typed::F(f) => Ok(f),
+            Typed::I(i) => Ok(FExpr::FromInt(Box::new(i))),
+            _ => Err(CompileError::TypeMismatch { context: format!("expected float: {e:?}") }),
+        }
+    }
+
+    fn bool_expr(&mut self, e: &Expr) -> Result<BExpr, CompileError> {
+        match self.expr(e)? {
+            Typed::B(b) => Ok(b),
+            _ => Err(CompileError::TypeMismatch { context: format!("expected boolean: {e:?}") }),
+        }
+    }
+
+    fn block(&mut self, stmts: &[Stmt]) -> Result<Vec<RStmt>, CompileError> {
+        self.scopes.push(HashMap::new());
+        let out = self.block_in_current_scope(stmts);
+        self.scopes.pop();
+        out
+    }
+
+    fn block_in_current_scope(&mut self, stmts: &[Stmt]) -> Result<Vec<RStmt>, CompileError> {
+        let mut out = Vec::with_capacity(stmts.len());
+        for s in stmts {
+            if let Some(r) = self.stmt(s)? {
+                out.push(r);
+            }
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<Option<RStmt>, CompileError> {
+        Ok(Some(match s {
+            Stmt::DeclInt(name, init) => {
+                let e = self.int_expr(init)?;
+                let slot = self.declare(name, ScalarTy::Int)?;
+                RStmt::AssignI(slot, e)
+            }
+            Stmt::DeclFloat(name, init) => {
+                let e = self.float_expr(init)?;
+                let slot = self.declare(name, ScalarTy::Float)?;
+                RStmt::AssignF(slot, e)
+            }
+            Stmt::DeclBool(name, init) => {
+                let e = self.bool_expr(init)?;
+                let slot = self.declare(name, ScalarTy::Bool)?;
+                RStmt::AssignB(slot, e)
+            }
+            Stmt::Assign(name, val) => {
+                let (ty, slot) =
+                    self.lookup_var(name).ok_or_else(|| CompileError::UnknownVar(name.clone()))?;
+                match ty {
+                    ScalarTy::Int => RStmt::AssignI(slot, self.int_expr(val)?),
+                    ScalarTy::Float => RStmt::AssignF(slot, self.float_expr(val)?),
+                    ScalarTy::Bool => RStmt::AssignB(slot, self.bool_expr(val)?),
+                }
+            }
+            Stmt::Store { arr, idx, val } => {
+                let (slot, ty) = self.array(arr)?;
+                let idx = self.int_expr(idx)?;
+                match ty {
+                    ArrayTy::Int => RStmt::StoreI(slot, idx, self.int_expr(val)?),
+                    ArrayTy::F64 => RStmt::StoreF64(slot, idx, self.float_expr(val)?),
+                    ArrayTy::F32 => RStmt::StoreF32(slot, idx, self.float_expr(val)?),
+                    ArrayTy::Bool => RStmt::StoreB(slot, idx, self.bool_expr(val)?),
+                }
+            }
+            Stmt::StoreAdd { arr, idx, val } => {
+                let (slot, ty) = self.array(arr)?;
+                let idx = self.int_expr(idx)?;
+                match ty {
+                    ArrayTy::Int => RStmt::StoreAddI(slot, idx, self.int_expr(val)?),
+                    ArrayTy::F64 => RStmt::StoreAddF64(slot, idx, self.float_expr(val)?),
+                    ArrayTy::F32 => RStmt::StoreAddF32(slot, idx, self.float_expr(val)?),
+                    ArrayTy::Bool => {
+                        return Err(CompileError::TypeMismatch {
+                            context: format!("accumulating store into boolean array `{arr}`"),
+                        })
+                    }
+                }
+            }
+            Stmt::For { var, lo, hi, body } => {
+                let lo = self.int_expr(lo)?;
+                let hi = self.int_expr(hi)?;
+                self.scopes.push(HashMap::new());
+                let slot = self.declare(var, ScalarTy::Int)?;
+                let body = self.block_in_current_scope(body)?;
+                self.scopes.pop();
+                RStmt::For(slot, lo, hi, body)
+            }
+            Stmt::While { cond, body } => {
+                let cond = self.bool_expr(cond)?;
+                let body = self.block(body)?;
+                RStmt::While(cond, body)
+            }
+            Stmt::If { cond, then, els } => {
+                let cond = self.bool_expr(cond)?;
+                let then = self.block(then)?;
+                let els = self.block(els)?;
+                RStmt::If(cond, then, els)
+            }
+            Stmt::Memset { arr, val } => {
+                let (slot, ty) = self.array(arr)?;
+                match ty {
+                    ArrayTy::Int => RStmt::MemsetI(slot, self.int_expr(val)?),
+                    ArrayTy::F64 => RStmt::MemsetF64(slot, self.float_expr(val)?),
+                    ArrayTy::F32 => RStmt::MemsetF32(slot, self.float_expr(val)?),
+                    ArrayTy::Bool => RStmt::MemsetB(slot, self.bool_expr(val)?),
+                }
+            }
+            Stmt::Alloc { arr, ty, len } => {
+                let len = self.int_expr(len)?;
+                let slot = self.declare_array(arr, *ty)?;
+                RStmt::Alloc(slot, *ty, len)
+            }
+            Stmt::Realloc { arr, len } => {
+                let (slot, _) = self.array(arr)?;
+                let len = self.int_expr(len)?;
+                RStmt::Realloc(slot, len)
+            }
+            Stmt::Sort { arr, lo, hi } => {
+                let (slot, ty) = self.array(arr)?;
+                if ty != ArrayTy::Int {
+                    return Err(CompileError::SortNonInt(arr.clone()));
+                }
+                RStmt::Sort(slot, self.int_expr(lo)?, self.int_expr(hi)?)
+            }
+            Stmt::Comment(_) => return Ok(None),
+        }))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+struct Mach {
+    ints: Vec<i64>,
+    floats: Vec<f64>,
+    bools: Vec<bool>,
+    arrays: Vec<ArrayVal>,
+    array_names: Vec<String>,
+}
+
+impl Mach {
+    #[inline]
+    fn oob(&self, arr: usize, idx: i64, len: usize) -> RunError {
+        RunError::OutOfBounds { name: self.array_names[arr].clone(), idx, len }
+    }
+
+    #[inline]
+    fn check(&self, arr: usize, idx: i64, len: usize) -> Result<usize, RunError> {
+        if idx < 0 || idx as usize >= len {
+            Err(self.oob(arr, idx, len))
+        } else {
+            Ok(idx as usize)
+        }
+    }
+
+    fn eval_i(&self, e: &IExpr) -> Result<i64, RunError> {
+        Ok(match e {
+            IExpr::Lit(v) => *v,
+            IExpr::Var(s) => self.ints[*s],
+            IExpr::Load(arr, idx) => {
+                let i = self.eval_i(idx)?;
+                match &self.arrays[*arr] {
+                    ArrayVal::Int(v) => v[self.check(*arr, i, v.len())?],
+                    _ => unreachable!("typed at compile time"),
+                }
+            }
+            IExpr::Len(arr) => self.arrays[*arr].len() as i64,
+            IExpr::Bin(op, a, b) => {
+                let x = self.eval_i(a)?;
+                let y = self.eval_i(b)?;
+                match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Div => x / y,
+                    BinOp::Rem => x % y,
+                    BinOp::Min => x.min(y),
+                    BinOp::Max => x.max(y),
+                    _ => unreachable!("non-arithmetic op in integer expression"),
+                }
+            }
+            IExpr::Neg(a) => -self.eval_i(a)?,
+        })
+    }
+
+    fn eval_f(&self, e: &FExpr) -> Result<f64, RunError> {
+        Ok(match e {
+            FExpr::Lit(v) => *v,
+            FExpr::Var(s) => self.floats[*s],
+            FExpr::LoadF64(arr, idx) => {
+                let i = self.eval_i(idx)?;
+                match &self.arrays[*arr] {
+                    ArrayVal::F64(v) => v[self.check(*arr, i, v.len())?],
+                    _ => unreachable!("typed at compile time"),
+                }
+            }
+            FExpr::LoadF32(arr, idx) => {
+                let i = self.eval_i(idx)?;
+                match &self.arrays[*arr] {
+                    ArrayVal::F32(v) => v[self.check(*arr, i, v.len())?] as f64,
+                    _ => unreachable!("typed at compile time"),
+                }
+            }
+            FExpr::Bin(op, a, b) => {
+                let x = self.eval_f(a)?;
+                let y = self.eval_f(b)?;
+                match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Div => x / y,
+                    BinOp::Rem => x % y,
+                    BinOp::Min => x.min(y),
+                    BinOp::Max => x.max(y),
+                    _ => unreachable!("non-arithmetic op in float expression"),
+                }
+            }
+            FExpr::Neg(a) => -self.eval_f(a)?,
+            FExpr::FromInt(a) => self.eval_i(a)? as f64,
+        })
+    }
+
+    fn eval_b(&self, e: &BExpr) -> Result<bool, RunError> {
+        Ok(match e {
+            BExpr::Lit(v) => *v,
+            BExpr::Var(s) => self.bools[*s],
+            BExpr::Load(arr, idx) => {
+                let i = self.eval_i(idx)?;
+                match &self.arrays[*arr] {
+                    ArrayVal::Bool(v) => v[self.check(*arr, i, v.len())?],
+                    _ => unreachable!("typed at compile time"),
+                }
+            }
+            BExpr::CmpI(op, a, b) => {
+                let x = self.eval_i(a)?;
+                let y = self.eval_i(b)?;
+                cmp(*op, &x, &y)
+            }
+            BExpr::CmpF(op, a, b) => {
+                let x = self.eval_f(a)?;
+                let y = self.eval_f(b)?;
+                cmp(*op, &x, &y)
+            }
+            BExpr::Bin(BinOp::And, a, b) => self.eval_b(a)? && self.eval_b(b)?,
+            BExpr::Bin(BinOp::Or, a, b) => self.eval_b(a)? || self.eval_b(b)?,
+            BExpr::Bin(op, ..) => unreachable!("non-logical op {op:?} in boolean expression"),
+            BExpr::Not(a) => !self.eval_b(a)?,
+        })
+    }
+
+    fn exec_block(&mut self, stmts: &[RStmt]) -> Result<(), RunError> {
+        for s in stmts {
+            self.exec(s)?;
+        }
+        Ok(())
+    }
+
+    fn exec(&mut self, s: &RStmt) -> Result<(), RunError> {
+        match s {
+            RStmt::AssignI(slot, e) => {
+                self.ints[*slot] = self.eval_i(e)?;
+            }
+            RStmt::AssignF(slot, e) => {
+                self.floats[*slot] = self.eval_f(e)?;
+            }
+            RStmt::AssignB(slot, e) => {
+                self.bools[*slot] = self.eval_b(e)?;
+            }
+            RStmt::StoreI(arr, idx, val) => {
+                let i = self.eval_i(idx)?;
+                let v = self.eval_i(val)?;
+                let len = self.arrays[*arr].len();
+                if i < 0 || i as usize >= len {
+                    return Err(self.oob(*arr, i, len));
+                }
+                if let ArrayVal::Int(a) = &mut self.arrays[*arr] {
+                    a[i as usize] = v;
+                }
+            }
+            RStmt::StoreF64(arr, idx, val) => {
+                let i = self.eval_i(idx)?;
+                let v = self.eval_f(val)?;
+                self.store_f64(*arr, i, v, false)?;
+            }
+            RStmt::StoreF32(arr, idx, val) => {
+                let i = self.eval_i(idx)?;
+                let v = self.eval_f(val)?;
+                self.store_f32(*arr, i, v, false)?;
+            }
+            RStmt::StoreB(arr, idx, val) => {
+                let i = self.eval_i(idx)?;
+                let v = self.eval_b(val)?;
+                let len = self.arrays[*arr].len();
+                if i < 0 || i as usize >= len {
+                    return Err(self.oob(*arr, i, len));
+                }
+                if let ArrayVal::Bool(a) = &mut self.arrays[*arr] {
+                    a[i as usize] = v;
+                }
+            }
+            RStmt::StoreAddI(arr, idx, val) => {
+                let i = self.eval_i(idx)?;
+                let v = self.eval_i(val)?;
+                let len = self.arrays[*arr].len();
+                if i < 0 || i as usize >= len {
+                    return Err(self.oob(*arr, i, len));
+                }
+                if let ArrayVal::Int(a) = &mut self.arrays[*arr] {
+                    a[i as usize] += v;
+                }
+            }
+            RStmt::StoreAddF64(arr, idx, val) => {
+                let i = self.eval_i(idx)?;
+                let v = self.eval_f(val)?;
+                self.store_f64(*arr, i, v, true)?;
+            }
+            RStmt::StoreAddF32(arr, idx, val) => {
+                let i = self.eval_i(idx)?;
+                let v = self.eval_f(val)?;
+                self.store_f32(*arr, i, v, true)?;
+            }
+            RStmt::For(slot, lo, hi, body) => {
+                let lo = self.eval_i(lo)?;
+                let hi = self.eval_i(hi)?;
+                let mut iv = lo;
+                while iv < hi {
+                    self.ints[*slot] = iv;
+                    self.exec_block(body)?;
+                    iv += 1;
+                }
+            }
+            RStmt::While(cond, body) => {
+                while self.eval_b(cond)? {
+                    self.exec_block(body)?;
+                }
+            }
+            RStmt::If(cond, then, els) => {
+                if self.eval_b(cond)? {
+                    self.exec_block(then)?;
+                } else {
+                    self.exec_block(els)?;
+                }
+            }
+            RStmt::MemsetI(arr, val) => {
+                let v = self.eval_i(val)?;
+                if let ArrayVal::Int(a) = &mut self.arrays[*arr] {
+                    a.fill(v);
+                }
+            }
+            RStmt::MemsetF64(arr, val) => {
+                let v = self.eval_f(val)?;
+                if let ArrayVal::F64(a) = &mut self.arrays[*arr] {
+                    a.fill(v);
+                }
+            }
+            RStmt::MemsetF32(arr, val) => {
+                let v = self.eval_f(val)?;
+                if let ArrayVal::F32(a) = &mut self.arrays[*arr] {
+                    a.fill(v as f32);
+                }
+            }
+            RStmt::MemsetB(arr, val) => {
+                let v = self.eval_b(val)?;
+                if let ArrayVal::Bool(a) = &mut self.arrays[*arr] {
+                    a.fill(v);
+                }
+            }
+            RStmt::Alloc(arr, ty, len) => {
+                let len = self.eval_i(len)?;
+                if len < 0 {
+                    return Err(RunError::NegativeLength {
+                        name: self.array_names[*arr].clone(),
+                        len,
+                    });
+                }
+                self.arrays[*arr] = match ty {
+                    ArrayTy::Int => ArrayVal::Int(vec![0; len as usize]),
+                    ArrayTy::F64 => ArrayVal::F64(vec![0.0; len as usize]),
+                    ArrayTy::F32 => ArrayVal::F32(vec![0.0; len as usize]),
+                    ArrayTy::Bool => ArrayVal::Bool(vec![false; len as usize]),
+                };
+            }
+            RStmt::Realloc(arr, len) => {
+                let len = self.eval_i(len)?;
+                if len < 0 {
+                    return Err(RunError::NegativeLength {
+                        name: self.array_names[*arr].clone(),
+                        len,
+                    });
+                }
+                let len = len as usize;
+                match &mut self.arrays[*arr] {
+                    ArrayVal::Int(a) if len > a.len() => a.resize(len, 0),
+                    ArrayVal::F64(a) if len > a.len() => a.resize(len, 0.0),
+                    ArrayVal::F32(a) if len > a.len() => a.resize(len, 0.0),
+                    ArrayVal::Bool(a) if len > a.len() => a.resize(len, false),
+                    _ => {}
+                }
+            }
+            RStmt::Sort(arr, lo, hi) => {
+                let lo = self.eval_i(lo)?;
+                let hi = self.eval_i(hi)?;
+                let len = self.arrays[*arr].len();
+                if lo < 0 || hi < lo || hi as usize > len {
+                    return Err(self.oob(*arr, hi, len));
+                }
+                if let ArrayVal::Int(a) = &mut self.arrays[*arr] {
+                    a[lo as usize..hi as usize].sort_unstable();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn store_f64(&mut self, arr: usize, i: i64, v: f64, accumulate: bool) -> Result<(), RunError> {
+        let len = self.arrays[arr].len();
+        if i < 0 || i as usize >= len {
+            return Err(self.oob(arr, i, len));
+        }
+        if let ArrayVal::F64(a) = &mut self.arrays[arr] {
+            if accumulate {
+                a[i as usize] += v;
+            } else {
+                a[i as usize] = v;
+            }
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn store_f32(&mut self, arr: usize, i: i64, v: f64, accumulate: bool) -> Result<(), RunError> {
+        let len = self.arrays[arr].len();
+        if i < 0 || i as usize >= len {
+            return Err(self.oob(arr, i, len));
+        }
+        if let ArrayVal::F32(a) = &mut self.arrays[arr] {
+            if accumulate {
+                a[i as usize] += v as f32;
+            } else {
+                a[i as usize] = v as f32;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn cmp<T: PartialOrd>(op: BinOp, x: &T, y: &T) -> bool {
+    match op {
+        BinOp::Eq => x == y,
+        BinOp::Ne => x != y,
+        BinOp::Lt => x < y,
+        BinOp::Le => x <= y,
+        BinOp::Gt => x > y,
+        BinOp::Ge => x >= y,
+        _ => unreachable!("non-comparison op in cmp"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public interface
+// ---------------------------------------------------------------------------
+
+/// Buffers and scalar inputs bound to a kernel before [`Executable::run`],
+/// and outputs read back afterwards.
+#[derive(Debug, Default, Clone)]
+pub struct Binding {
+    arrays: HashMap<String, ArrayVal>,
+    scalars: HashMap<String, i64>,
+    scalar_outputs: HashMap<String, i64>,
+}
+
+impl Binding {
+    /// Creates an empty binding.
+    pub fn new() -> Binding {
+        Binding::default()
+    }
+
+    /// Binds an integer scalar parameter.
+    pub fn set_scalar(&mut self, name: impl Into<String>, v: i64) -> &mut Self {
+        self.scalars.insert(name.into(), v);
+        self
+    }
+
+    /// Binds a double-precision array.
+    pub fn set_f64(&mut self, name: impl Into<String>, v: Vec<f64>) -> &mut Self {
+        self.arrays.insert(name.into(), ArrayVal::F64(v));
+        self
+    }
+
+    /// Binds a single-precision array.
+    pub fn set_f32(&mut self, name: impl Into<String>, v: Vec<f32>) -> &mut Self {
+        self.arrays.insert(name.into(), ArrayVal::F32(v));
+        self
+    }
+
+    /// Binds an integer array.
+    pub fn set_int(&mut self, name: impl Into<String>, v: Vec<i64>) -> &mut Self {
+        self.arrays.insert(name.into(), ArrayVal::Int(v));
+        self
+    }
+
+    /// Binds an integer array from `usize` values (tensor `pos`/`crd`).
+    pub fn set_usize(&mut self, name: impl Into<String>, v: &[usize]) -> &mut Self {
+        self.arrays.insert(name.into(), ArrayVal::Int(v.iter().map(|x| *x as i64).collect()));
+        self
+    }
+
+    /// Binds a boolean array.
+    pub fn set_bool(&mut self, name: impl Into<String>, v: Vec<bool>) -> &mut Self {
+        self.arrays.insert(name.into(), ArrayVal::Bool(v));
+        self
+    }
+
+    /// Reads back a double-precision array.
+    pub fn f64_array(&self, name: &str) -> Option<&[f64]> {
+        match self.arrays.get(name) {
+            Some(ArrayVal::F64(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Reads back a single-precision array.
+    pub fn f32_array(&self, name: &str) -> Option<&[f32]> {
+        match self.arrays.get(name) {
+            Some(ArrayVal::F32(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Reads back an integer array.
+    pub fn int_array(&self, name: &str) -> Option<&[i64]> {
+        match self.arrays.get(name) {
+            Some(ArrayVal::Int(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Reads back an integer array as `usize` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element is negative.
+    pub fn usize_array(&self, name: &str) -> Option<Vec<usize>> {
+        self.int_array(name).map(|v| {
+            v.iter()
+                .map(|x| usize::try_from(*x).expect("negative index in usize array"))
+                .collect()
+        })
+    }
+
+    /// Reads the final value of a kernel scalar output.
+    pub fn scalar_output(&self, name: &str) -> Option<i64> {
+        self.scalar_outputs.get(name).copied()
+    }
+
+    /// Removes and returns a bound array.
+    pub fn take(&mut self, name: &str) -> Option<ArrayVal> {
+        self.arrays.remove(name)
+    }
+}
+
+/// A compiled kernel ready to run against a [`Binding`].
+#[derive(Debug)]
+pub struct Executable {
+    name: String,
+    scalar_params: Vec<(String, usize)>,
+    array_params: Vec<(String, usize, ArrayTy)>,
+    scalar_outputs: Vec<(String, usize)>,
+    array_names: Vec<String>,
+    n_int: usize,
+    n_float: usize,
+    n_bool: usize,
+    body: Vec<RStmt>,
+}
+
+impl Executable {
+    /// Type-checks and slot-resolves a kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] for unknown names, duplicate declarations,
+    /// or type mismatches.
+    pub fn compile(kernel: &Kernel) -> Result<Executable, CompileError> {
+        let mut c = Compiler {
+            scopes: vec![HashMap::new()],
+            arrays: HashMap::new(),
+            array_names: Vec::new(),
+            n_int: 0,
+            n_float: 0,
+            n_bool: 0,
+        };
+
+        let mut scalar_params = Vec::new();
+        for p in &kernel.scalar_params {
+            let slot = c.declare(p, ScalarTy::Int)?;
+            scalar_params.push((p.clone(), slot));
+        }
+        let mut array_params = Vec::new();
+        for p in &kernel.array_params {
+            if c.arrays.contains_key(&p.name) {
+                return Err(CompileError::Duplicate(p.name.clone()));
+            }
+            let slot = c.declare_array(&p.name, p.ty)?;
+            array_params.push((p.name.clone(), slot, p.ty));
+        }
+
+        // The kernel body shares the top-level scope so that scalar outputs
+        // declared there remain visible to the caller.
+        let body = c.block_in_current_scope(&kernel.body)?;
+
+        let mut scalar_outputs = Vec::new();
+        for name in &kernel.scalar_outputs {
+            match c.scopes[0].get(name) {
+                Some((ScalarTy::Int, slot)) => scalar_outputs.push((name.clone(), *slot)),
+                _ => return Err(CompileError::BadScalarOutput(name.clone())),
+            }
+        }
+
+        Ok(Executable {
+            name: kernel.name.clone(),
+            scalar_params,
+            array_params,
+            scalar_outputs,
+            array_names: c.array_names,
+            n_int: c.n_int,
+            n_float: c.n_float,
+            n_bool: c.n_bool,
+            body,
+        })
+    }
+
+    /// The kernel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Runs the kernel against bound buffers. Parameter arrays are moved
+    /// into the machine and moved back afterwards, so repeated runs against
+    /// the same binding do not reallocate. Scalar outputs become readable
+    /// via [`Binding::scalar_output`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RunError`] for missing/mistyped bindings, out-of-bounds
+    /// accesses or negative allocation lengths.
+    pub fn run(&self, binding: &mut Binding) -> Result<(), RunError> {
+        let mut mach = Mach {
+            ints: vec![0; self.n_int],
+            floats: vec![0.0; self.n_float],
+            bools: vec![false; self.n_bool],
+            arrays: self.array_names.iter().map(|_| ArrayVal::empty(ArrayTy::Int)).collect(),
+            array_names: self.array_names.clone(),
+        };
+        for (name, slot) in &self.scalar_params {
+            let v = *binding
+                .scalars
+                .get(name)
+                .ok_or_else(|| RunError::MissingScalar(name.clone()))?;
+            mach.ints[*slot] = v;
+        }
+        for (name, slot, ty) in &self.array_params {
+            let v = binding
+                .arrays
+                .remove(name)
+                .ok_or_else(|| RunError::MissingArray(name.clone()))?;
+            if v.ty() != *ty {
+                return Err(RunError::WrongArrayType { name: name.clone(), expected: *ty });
+            }
+            mach.arrays[*slot] = v;
+        }
+
+        let result = mach.exec_block(&self.body);
+
+        // Return parameter arrays to the binding even on error so callers
+        // can inspect partial state.
+        for (name, slot, _) in &self.array_params {
+            let v = std::mem::replace(&mut mach.arrays[*slot], ArrayVal::empty(ArrayTy::Int));
+            binding.arrays.insert(name.clone(), v);
+        }
+        result?;
+
+        for (name, slot) in &self.scalar_outputs {
+            binding.scalar_outputs.insert(name.clone(), mach.ints[*slot]);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Param;
+
+    fn run_kernel(k: &Kernel, b: &mut Binding) {
+        let exe = Executable::compile(k).expect("compiles");
+        exe.run(b).expect("runs");
+    }
+
+    #[test]
+    fn dot_product() {
+        let k = Kernel::new("dot")
+            .scalar_param("n")
+            .array_param(Param::input("x", ArrayTy::F64))
+            .array_param(Param::input("y", ArrayTy::F64))
+            .array_param(Param::output("out", ArrayTy::F64))
+            .body(vec![
+                Stmt::store("out", Expr::int(0), Expr::float(0.0)),
+                Stmt::for_(
+                    "i",
+                    Expr::int(0),
+                    Expr::var("n"),
+                    vec![Stmt::store_add(
+                        "out",
+                        Expr::int(0),
+                        Expr::load("x", Expr::var("i")) * Expr::load("y", Expr::var("i")),
+                    )],
+                ),
+            ]);
+        let mut b = Binding::new();
+        b.set_scalar("n", 3);
+        b.set_f64("x", vec![1.0, 2.0, 3.0]);
+        b.set_f64("y", vec![4.0, 5.0, 6.0]);
+        b.set_f64("out", vec![0.0]);
+        run_kernel(&k, &mut b);
+        assert_eq!(b.f64_array("out").unwrap(), &[32.0]);
+    }
+
+    #[test]
+    fn while_and_if_merge_two_sorted_lists() {
+        // Count common elements of two sorted int arrays — the shape of a
+        // coiteration merge loop.
+        let k = Kernel::new("merge")
+            .scalar_param("na")
+            .scalar_param("nb")
+            .array_param(Param::input("a", ArrayTy::Int))
+            .array_param(Param::input("b", ArrayTy::Int))
+            .array_param(Param::output("count", ArrayTy::Int))
+            .body(vec![
+                Stmt::DeclInt("pa".into(), Expr::int(0)),
+                Stmt::DeclInt("pb".into(), Expr::int(0)),
+                Stmt::store("count", Expr::int(0), Expr::int(0)),
+                Stmt::while_(
+                    Expr::var("pa").lt(Expr::var("na")).and(Expr::var("pb").lt(Expr::var("nb"))),
+                    vec![
+                        Stmt::DeclInt("va".into(), Expr::load("a", Expr::var("pa"))),
+                        Stmt::DeclInt("vb".into(), Expr::load("b", Expr::var("pb"))),
+                        Stmt::DeclInt("v".into(), Expr::var("va").min(Expr::var("vb"))),
+                        Stmt::if_(
+                            Expr::var("va").eq(Expr::var("v")).and(Expr::var("vb").eq(Expr::var("v"))),
+                            vec![Stmt::store_add("count", Expr::int(0), Expr::int(1))],
+                        ),
+                        Stmt::if_(
+                            Expr::var("va").eq(Expr::var("v")),
+                            vec![Stmt::incr("pa")],
+                        ),
+                        Stmt::if_(
+                            Expr::var("vb").eq(Expr::var("v")),
+                            vec![Stmt::incr("pb")],
+                        ),
+                    ],
+                ),
+            ]);
+        let mut b = Binding::new();
+        b.set_scalar("na", 4).set_scalar("nb", 3);
+        b.set_int("a", vec![1, 3, 5, 7]);
+        b.set_int("b", vec![3, 4, 7]);
+        b.set_int("count", vec![0]);
+        run_kernel(&k, &mut b);
+        assert_eq!(b.int_array("count").unwrap(), &[2]);
+    }
+
+    #[test]
+    fn alloc_realloc_sort_and_scalar_output() {
+        let k = Kernel::new("assemble")
+            .array_param(Param::input("src", ArrayTy::Int))
+            .array_param(Param::inout("dst", ArrayTy::Int))
+            .scalar_param("n")
+            .scalar_output("size")
+            .body(vec![
+                Stmt::DeclInt("size".into(), Expr::int(0)),
+                Stmt::Alloc { arr: "tmp".into(), ty: ArrayTy::Int, len: Expr::int(2) },
+                Stmt::for_(
+                    "i",
+                    Expr::int(0),
+                    Expr::var("n"),
+                    vec![
+                        Stmt::if_(
+                            Expr::len("tmp").le(Expr::var("size")),
+                            vec![Stmt::Realloc {
+                                arr: "tmp".into(),
+                                len: Expr::var("size") * Expr::int(2),
+                            }],
+                        ),
+                        Stmt::store("tmp", Expr::var("size"), Expr::load("src", Expr::var("i"))),
+                        Stmt::incr("size"),
+                    ],
+                ),
+                Stmt::Sort { arr: "tmp".into(), lo: Expr::int(0), hi: Expr::var("size") },
+                Stmt::for_(
+                    "i",
+                    Expr::int(0),
+                    Expr::var("size"),
+                    vec![Stmt::store("dst", Expr::var("i"), Expr::load("tmp", Expr::var("i")))],
+                ),
+            ]);
+        let mut b = Binding::new();
+        b.set_scalar("n", 5);
+        b.set_int("src", vec![5, 1, 4, 2, 3]);
+        b.set_int("dst", vec![0; 5]);
+        run_kernel(&k, &mut b);
+        assert_eq!(b.int_array("dst").unwrap(), &[1, 2, 3, 4, 5]);
+        assert_eq!(b.scalar_output("size"), Some(5));
+    }
+
+    #[test]
+    fn f32_workspace_mixed_precision() {
+        let k = Kernel::new("mixed")
+            .array_param(Param::input("x", ArrayTy::F64))
+            .array_param(Param::inout("w", ArrayTy::F32))
+            .array_param(Param::output("y", ArrayTy::F64))
+            .scalar_param("n")
+            .body(vec![
+                Stmt::Memset { arr: "w".into(), val: Expr::float(0.0) },
+                Stmt::for_(
+                    "i",
+                    Expr::int(0),
+                    Expr::var("n"),
+                    vec![Stmt::store_add("w", Expr::var("i"), Expr::load("x", Expr::var("i")))],
+                ),
+                Stmt::for_(
+                    "i",
+                    Expr::int(0),
+                    Expr::var("n"),
+                    vec![Stmt::store("y", Expr::var("i"), Expr::load("w", Expr::var("i")))],
+                ),
+            ]);
+        let mut b = Binding::new();
+        b.set_scalar("n", 2);
+        b.set_f64("x", vec![1.5, 2.5]);
+        b.set_f32("w", vec![9.0, 9.0]);
+        b.set_f64("y", vec![0.0, 0.0]);
+        run_kernel(&k, &mut b);
+        assert_eq!(b.f64_array("y").unwrap(), &[1.5, 2.5]);
+    }
+
+    #[test]
+    fn shadowing_in_sibling_scopes() {
+        // Two sibling loops both declare `j`.
+        let k = Kernel::new("shadow")
+            .array_param(Param::output("out", ArrayTy::Int))
+            .body(vec![
+                Stmt::for_("j", Expr::int(0), Expr::int(3), vec![Stmt::store(
+                    "out",
+                    Expr::int(0),
+                    Expr::var("j"),
+                )]),
+                Stmt::for_("j", Expr::int(5), Expr::int(7), vec![Stmt::store(
+                    "out",
+                    Expr::int(1),
+                    Expr::var("j"),
+                )]),
+            ]);
+        let mut b = Binding::new();
+        b.set_int("out", vec![0, 0]);
+        run_kernel(&k, &mut b);
+        assert_eq!(b.int_array("out").unwrap(), &[2, 6]);
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let k = Kernel::new("oob")
+            .array_param(Param::output("x", ArrayTy::F64))
+            .body(vec![Stmt::store("x", Expr::int(7), Expr::float(1.0))]);
+        let exe = Executable::compile(&k).unwrap();
+        let mut b = Binding::new();
+        b.set_f64("x", vec![0.0; 3]);
+        let err = exe.run(&mut b).unwrap_err();
+        assert_eq!(err, RunError::OutOfBounds { name: "x".into(), idx: 7, len: 3 });
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        // float + bool is a type error
+        let k = Kernel::new("bad").body(vec![Stmt::DeclFloat(
+            "x".into(),
+            Expr::float(1.0) + Expr::bool(true),
+        )]);
+        assert!(matches!(
+            Executable::compile(&k),
+            Err(CompileError::TypeMismatch { .. })
+        ));
+
+        // unknown variable
+        let k2 = Kernel::new("bad2").body(vec![Stmt::assign("nope", Expr::int(0))]);
+        assert_eq!(Executable::compile(&k2).unwrap_err(), CompileError::UnknownVar("nope".into()));
+
+        // unknown array
+        let k3 = Kernel::new("bad3").body(vec![Stmt::store("m", Expr::int(0), Expr::int(0))]);
+        assert_eq!(Executable::compile(&k3).unwrap_err(), CompileError::UnknownArray("m".into()));
+    }
+
+    #[test]
+    fn missing_binding_is_reported() {
+        let k = Kernel::new("k")
+            .scalar_param("n")
+            .array_param(Param::input("x", ArrayTy::F64));
+        let exe = Executable::compile(&k).unwrap();
+        let mut b = Binding::new();
+        assert_eq!(exe.run(&mut b).unwrap_err(), RunError::MissingScalar("n".into()));
+        b.set_scalar("n", 0);
+        assert_eq!(exe.run(&mut b).unwrap_err(), RunError::MissingArray("x".into()));
+        b.set_int("x", vec![]);
+        assert_eq!(
+            exe.run(&mut b).unwrap_err(),
+            RunError::WrongArrayType { name: "x".into(), expected: ArrayTy::F64 }
+        );
+    }
+
+    #[test]
+    fn int_float_promotion() {
+        let k = Kernel::new("promote")
+            .array_param(Param::output("y", ArrayTy::F64))
+            .body(vec![Stmt::store(
+                "y",
+                Expr::int(0),
+                Expr::int(3) * Expr::float(1.5),
+            )]);
+        let mut b = Binding::new();
+        b.set_f64("y", vec![0.0]);
+        run_kernel(&k, &mut b);
+        assert_eq!(b.f64_array("y").unwrap(), &[4.5]);
+    }
+}

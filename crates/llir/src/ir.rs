@@ -1,0 +1,435 @@
+use std::ops;
+
+/// Element type of an array buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArrayTy {
+    /// 64-bit signed integers (`pos`, `crd`, coordinate lists).
+    Int,
+    /// Double-precision values (tensor components, workspaces).
+    F64,
+    /// Single-precision values (mixed-precision workspaces, Section III).
+    F32,
+    /// Booleans (workspace guard arrays, Figure 8).
+    Bool,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean negation.
+    Not,
+}
+
+/// Binary operators. Comparisons yield booleans; the rest are homogeneous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Min,
+    Max,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+/// An expression of the imperative IR.
+///
+/// Expressions are untyped at construction; [`crate::Executable::compile`]
+/// infers and checks types (ints, floats, bools) from variable declarations
+/// and array element types.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Scalar variable reference.
+    Var(String),
+    /// Array element load: `arr[idx]`.
+    Load(String, Box<Expr>),
+    /// Current allocated length of an array (used for capacity checks when
+    /// assembling sparse results, Figure 8 line 26).
+    Len(String),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Int(v)
+    }
+    /// Float literal.
+    pub fn float(v: f64) -> Expr {
+        Expr::Float(v)
+    }
+    /// Boolean literal.
+    pub fn bool(v: bool) -> Expr {
+        Expr::Bool(v)
+    }
+    /// Variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+    /// Array load `arr[idx]`.
+    pub fn load(arr: impl Into<String>, idx: Expr) -> Expr {
+        Expr::Load(arr.into(), Box::new(idx))
+    }
+    /// Allocated length of `arr`.
+    pub fn len(arr: impl Into<String>) -> Expr {
+        Expr::Len(arr.into())
+    }
+    /// Binary operation helper.
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+    /// `min(self, other)`.
+    pub fn min(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Min, self, other)
+    }
+    /// `max(self, other)`.
+    pub fn max(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Max, self, other)
+    }
+    /// `self == other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Eq, self, other)
+    }
+    /// `self != other`.
+    pub fn ne(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Ne, self, other)
+    }
+    /// `self < other`.
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Lt, self, other)
+    }
+    /// `self <= other`.
+    pub fn le(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Le, self, other)
+    }
+    /// `self > other`.
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Gt, self, other)
+    }
+    /// `self >= other`.
+    pub fn ge(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Ge, self, other)
+    }
+    /// Logical `self && other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::And, self, other)
+    }
+    /// Logical `self || other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Or, self, other)
+    }
+    /// Logical negation.
+    pub fn not(self) -> Expr {
+        Expr::Un(UnOp::Not, Box::new(self))
+    }
+    /// Arithmetic negation.
+    pub fn neg(self) -> Expr {
+        Expr::Un(UnOp::Neg, Box::new(self))
+    }
+}
+
+impl ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Add, self, rhs)
+    }
+}
+impl ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, self, rhs)
+    }
+}
+impl ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, self, rhs)
+    }
+}
+impl ops::Div for Expr {
+    type Output = Expr;
+    fn div(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Div, self, rhs)
+    }
+}
+impl ops::Rem for Expr {
+    type Output = Expr;
+    fn rem(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Rem, self, rhs)
+    }
+}
+
+/// A statement of the imperative IR.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Declare an integer variable with an initial value.
+    DeclInt(String, Expr),
+    /// Declare a float variable with an initial value.
+    DeclFloat(String, Expr),
+    /// Declare a boolean variable with an initial value.
+    DeclBool(String, Expr),
+    /// Assign to a previously declared scalar variable.
+    Assign(String, Expr),
+    /// `arr[idx] = val`.
+    Store {
+        /// Target array.
+        arr: String,
+        /// Element index.
+        idx: Expr,
+        /// Value to store.
+        val: Expr,
+    },
+    /// `arr[idx] += val` (reduction store).
+    StoreAdd {
+        /// Target array.
+        arr: String,
+        /// Element index.
+        idx: Expr,
+        /// Value to add.
+        val: Expr,
+    },
+    /// `for (var = lo; var < hi; var++) body`.
+    For {
+        /// Loop variable (fresh integer declaration scoped to the body).
+        var: String,
+        /// Inclusive lower bound.
+        lo: Expr,
+        /// Exclusive upper bound.
+        hi: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Boolean condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `if (cond) then else els`.
+    If {
+        /// Boolean condition.
+        cond: Expr,
+        /// Taken when true.
+        then: Vec<Stmt>,
+        /// Taken when false.
+        els: Vec<Stmt>,
+    },
+    /// Fill an entire array with a value (`memset` in the paper's listings).
+    Memset {
+        /// Target array.
+        arr: String,
+        /// Fill value (type must match the array element type).
+        val: Expr,
+    },
+    /// Allocate (or reset) a kernel-local array of the given type and length,
+    /// zero-filled.
+    Alloc {
+        /// Array name.
+        arr: String,
+        /// Element type.
+        ty: ArrayTy,
+        /// Number of elements.
+        len: Expr,
+    },
+    /// Grow an array to the given length, preserving contents (Figure 8
+    /// lines 26–29 realloc-by-doubling).
+    Realloc {
+        /// Array name.
+        arr: String,
+        /// New length (no-op if smaller than the current length).
+        len: Expr,
+    },
+    /// Sort the integer subarray `arr[lo..hi]` ascending (Figure 8 line 23).
+    Sort {
+        /// Array name (must be an integer array).
+        arr: String,
+        /// Inclusive start index.
+        lo: Expr,
+        /// Exclusive end index.
+        hi: Expr,
+    },
+    /// A comment carried through to the C printer.
+    Comment(String),
+}
+
+impl Stmt {
+    /// Convenience constructor for [`Stmt::For`].
+    pub fn for_(var: impl Into<String>, lo: Expr, hi: Expr, body: Vec<Stmt>) -> Stmt {
+        Stmt::For { var: var.into(), lo, hi, body }
+    }
+    /// Convenience constructor for [`Stmt::While`].
+    pub fn while_(cond: Expr, body: Vec<Stmt>) -> Stmt {
+        Stmt::While { cond, body }
+    }
+    /// Convenience constructor for [`Stmt::If`] with no else branch.
+    pub fn if_(cond: Expr, then: Vec<Stmt>) -> Stmt {
+        Stmt::If { cond, then, els: Vec::new() }
+    }
+    /// Convenience constructor for [`Stmt::If`] with an else branch.
+    pub fn if_else(cond: Expr, then: Vec<Stmt>, els: Vec<Stmt>) -> Stmt {
+        Stmt::If { cond, then, els }
+    }
+    /// Convenience constructor for [`Stmt::Store`].
+    pub fn store(arr: impl Into<String>, idx: Expr, val: Expr) -> Stmt {
+        Stmt::Store { arr: arr.into(), idx, val }
+    }
+    /// Convenience constructor for [`Stmt::StoreAdd`].
+    pub fn store_add(arr: impl Into<String>, idx: Expr, val: Expr) -> Stmt {
+        Stmt::StoreAdd { arr: arr.into(), idx, val }
+    }
+    /// Convenience constructor for [`Stmt::Assign`].
+    pub fn assign(var: impl Into<String>, val: Expr) -> Stmt {
+        Stmt::Assign(var.into(), val)
+    }
+    /// `var = var + 1`.
+    pub fn incr(var: &str) -> Stmt {
+        Stmt::Assign(var.to_string(), Expr::var(var) + Expr::int(1))
+    }
+}
+
+/// Whether a kernel array parameter is read, written, or both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamKind {
+    /// Read-only input.
+    Input,
+    /// Write-only output (contents on entry are unspecified).
+    Output,
+    /// Read and written.
+    InOut,
+}
+
+/// An array parameter of a kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Array name as referenced by the kernel body.
+    pub name: String,
+    /// Element type.
+    pub ty: ArrayTy,
+    /// Access kind (documentation + binding checks).
+    pub kind: ParamKind,
+}
+
+impl Param {
+    /// An input array parameter.
+    pub fn input(name: impl Into<String>, ty: ArrayTy) -> Param {
+        Param { name: name.into(), ty, kind: ParamKind::Input }
+    }
+    /// An output array parameter.
+    pub fn output(name: impl Into<String>, ty: ArrayTy) -> Param {
+        Param { name: name.into(), ty, kind: ParamKind::Output }
+    }
+    /// An in/out array parameter.
+    pub fn inout(name: impl Into<String>, ty: ArrayTy) -> Param {
+        Param { name: name.into(), ty, kind: ParamKind::InOut }
+    }
+}
+
+/// A complete kernel: parameters plus a statement body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// Kernel (function) name.
+    pub name: String,
+    /// Integer scalar parameters (dimension sizes and the like).
+    pub scalar_params: Vec<String>,
+    /// Array parameters.
+    pub array_params: Vec<Param>,
+    /// Names of top-level declared variables whose final values are kernel
+    /// results (e.g. the output nonzero count of an assembly kernel).
+    pub scalar_outputs: Vec<String>,
+    /// Kernel body.
+    pub body: Vec<Stmt>,
+}
+
+impl Kernel {
+    /// Creates an empty kernel with the given name.
+    pub fn new(name: impl Into<String>) -> Kernel {
+        Kernel {
+            name: name.into(),
+            scalar_params: Vec::new(),
+            array_params: Vec::new(),
+            scalar_outputs: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Adds an integer scalar parameter.
+    pub fn scalar_param(mut self, name: impl Into<String>) -> Kernel {
+        self.scalar_params.push(name.into());
+        self
+    }
+
+    /// Adds an array parameter.
+    pub fn array_param(mut self, p: Param) -> Kernel {
+        self.array_params.push(p);
+        self
+    }
+
+    /// Marks a top-level declared variable as a scalar result.
+    pub fn scalar_output(mut self, name: impl Into<String>) -> Kernel {
+        self.scalar_outputs.push(name.into());
+        self
+    }
+
+    /// Sets the kernel body.
+    pub fn body(mut self, body: Vec<Stmt>) -> Kernel {
+        self.body = body;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_operators_build_trees() {
+        let e = (Expr::var("a") + Expr::int(1)) * Expr::var("b");
+        match e {
+            Expr::Bin(BinOp::Mul, l, _) => match *l {
+                Expr::Bin(BinOp::Add, _, _) => {}
+                other => panic!("expected Add, got {other:?}"),
+            },
+            other => panic!("expected Mul, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incr_builds_add_one() {
+        let s = Stmt::incr("p");
+        assert_eq!(s, Stmt::Assign("p".into(), Expr::var("p") + Expr::int(1)));
+    }
+
+    #[test]
+    fn kernel_builder_accumulates() {
+        let k = Kernel::new("k")
+            .scalar_param("n")
+            .array_param(Param::input("x", ArrayTy::F64))
+            .scalar_output("nnz")
+            .body(vec![Stmt::Comment("empty".into())]);
+        assert_eq!(k.scalar_params, vec!["n"]);
+        assert_eq!(k.array_params.len(), 1);
+        assert_eq!(k.scalar_outputs, vec!["nnz"]);
+        assert_eq!(k.body.len(), 1);
+    }
+}

@@ -1,0 +1,322 @@
+//! Merge lattices for coiterating sparse data structures (paper Section VI,
+//! building on taco \[4, Section 5\]).
+//!
+//! A forall over variable `v` must coiterate every compressed tensor mode
+//! indexed by `v`. The expression structure determines how: multiplication
+//! iterates the *intersection* of its operands' coordinate sets (a zero
+//! operand annihilates the term), addition the *union* (either operand may
+//! contribute alone). A [`MergeLattice`] enumerates the combinations of
+//! "still present" iterators as [`LatticePoint`]s, each carrying the
+//! sub-expression that remains when the other operands are exhausted
+//! (symbolically zero).
+
+use taco_ir::expr::{IndexExpr, IndexVar};
+use taco_tensor::ModeFormat;
+
+/// Identity of one compressed mode iterator: a tensor level reached at the
+/// current forall variable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IterKey {
+    /// Tensor name.
+    pub tensor: String,
+    /// Level (0-based mode) iterated.
+    pub level: usize,
+}
+
+/// One lattice point: a set of iterators that are simultaneously present,
+/// and the expression evaluated when exactly those (or a superset) remain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatticePoint {
+    /// Present iterators, sorted and deduplicated.
+    pub iters: Vec<IterKey>,
+    /// Sub-expression with exhausted operands removed.
+    pub expr: IndexExpr,
+}
+
+impl LatticePoint {
+    fn new(mut iters: Vec<IterKey>, expr: IndexExpr) -> LatticePoint {
+        iters.sort();
+        iters.dedup();
+        LatticePoint { iters, expr }
+    }
+
+    /// True if `other`'s iterators are a subset of this point's.
+    pub fn dominates(&self, other: &LatticePoint) -> bool {
+        other.iters.iter().all(|it| self.iters.contains(it))
+    }
+}
+
+/// The merge lattice of an expression at one forall variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeLattice {
+    /// Lattice points ordered by decreasing iterator-set size (the full
+    /// point first).
+    pub points: Vec<LatticePoint>,
+}
+
+impl MergeLattice {
+    /// Builds the merge lattice of `expr` at variable `v`.
+    ///
+    /// Accesses whose mode at `v` is compressed become iterators; dense
+    /// modes, literals and accesses that do not use `v` are *locate* terms
+    /// carried by every point that contains them multiplicatively.
+    pub fn build(expr: &IndexExpr, v: &IndexVar) -> MergeLattice {
+        let mut points = build_points(expr, v);
+        // Deduplicate by iterator set, preferring the expression with the
+        // most addends (the pairwise union point subsumes the singles).
+        points.sort_by(|a, b| {
+            b.iters
+                .len()
+                .cmp(&a.iters.len())
+                .then_with(|| a.iters.cmp(&b.iters))
+                .then_with(|| b.expr.addends().len().cmp(&a.expr.addends().len()))
+        });
+        points.dedup_by(|a, b| a.iters == b.iters);
+        MergeLattice { points }
+    }
+
+    /// True if the lattice has no compressed iterators at all (a dense
+    /// loop suffices).
+    pub fn is_dense(&self) -> bool {
+        self.points.iter().all(|p| p.iters.is_empty())
+    }
+
+    /// True if a union requires a dense operand (an empty-iterator point
+    /// coexists with iterator points) — e.g. `sparse + dense`.
+    pub fn has_dense_union(&self) -> bool {
+        let has_empty = self.points.iter().any(|p| p.iters.is_empty());
+        let has_iters = self.points.iter().any(|p| !p.iters.is_empty());
+        has_empty && has_iters
+    }
+
+    /// All distinct iterators in the lattice.
+    pub fn iterators(&self) -> Vec<IterKey> {
+        let mut out: Vec<IterKey> = Vec::new();
+        for p in &self.points {
+            for it in &p.iters {
+                if !out.contains(it) {
+                    out.push(it.clone());
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// The sub-points of `point`: lattice points whose iterators are a
+    /// nonempty subset of the given point's, in decreasing size order
+    /// (including the point itself).
+    pub fn sub_points(&self, point: &LatticePoint) -> Vec<&LatticePoint> {
+        self.points
+            .iter()
+            .filter(|q| !q.iters.is_empty() && point.dominates(q))
+            .collect()
+    }
+
+    /// The loop points: every point with at least one iterator, in lattice
+    /// order. Each becomes one `while` loop (paper Figure 5a's three loops).
+    pub fn loop_points(&self) -> Vec<&LatticePoint> {
+        self.points.iter().filter(|p| !p.iters.is_empty()).collect()
+    }
+}
+
+fn build_points(expr: &IndexExpr, v: &IndexVar) -> Vec<LatticePoint> {
+    match expr {
+        IndexExpr::Access(a) => {
+            let iters = match a.mode_of(v) {
+                Some(l) if a.tensor().format().mode(l) == ModeFormat::Compressed => {
+                    vec![IterKey { tensor: a.tensor().name().to_string(), level: l }]
+                }
+                _ => Vec::new(),
+            };
+            vec![LatticePoint::new(iters, expr.clone())]
+        }
+        IndexExpr::Literal(_) => vec![LatticePoint::new(Vec::new(), expr.clone())],
+        IndexExpr::Neg(inner) => build_points(inner, v)
+            .into_iter()
+            .map(|p| LatticePoint::new(p.iters, IndexExpr::Neg(Box::new(p.expr))))
+            .collect(),
+        IndexExpr::Mul(a, b) => {
+            let pa = build_points(a, v);
+            let pb = build_points(b, v);
+            let mut out = Vec::new();
+            for x in &pa {
+                for y in &pb {
+                    let mut iters = x.iters.clone();
+                    iters.extend(y.iters.clone());
+                    out.push(LatticePoint::new(
+                        iters,
+                        IndexExpr::Mul(Box::new(x.expr.clone()), Box::new(y.expr.clone())),
+                    ));
+                }
+            }
+            out
+        }
+        IndexExpr::Add(a, b) | IndexExpr::Sub(a, b) => {
+            let sub = matches!(expr, IndexExpr::Sub(..));
+            let pa = build_points(a, v);
+            let pb = build_points(b, v);
+            let mut out = Vec::new();
+            for x in &pa {
+                for y in &pb {
+                    let mut iters = x.iters.clone();
+                    iters.extend(y.iters.clone());
+                    let e = if sub {
+                        IndexExpr::Sub(Box::new(x.expr.clone()), Box::new(y.expr.clone()))
+                    } else {
+                        IndexExpr::Add(Box::new(x.expr.clone()), Box::new(y.expr.clone()))
+                    };
+                    out.push(LatticePoint::new(iters, e));
+                }
+            }
+            out.extend(pa);
+            for y in pb {
+                let e = if sub { IndexExpr::Neg(Box::new(y.expr)) } else { y.expr };
+                out.push(LatticePoint::new(y.iters, e));
+            }
+            out
+        }
+        IndexExpr::Sum(..) => {
+            unreachable!("concrete index notation contains no Sum nodes")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taco_ir::expr::TensorVar;
+    use taco_tensor::Format;
+
+    fn iv(n: &str) -> IndexVar {
+        IndexVar::new(n)
+    }
+
+    fn key(t: &str, l: usize) -> IterKey {
+        IterKey { tensor: t.into(), level: l }
+    }
+
+    #[test]
+    fn multiplication_is_intersection() {
+        // a(i) += B(i,j) * C(i,j): at j, one point {B2, C2}.
+        let b = TensorVar::new("B", vec![4, 4], Format::csr());
+        let c = TensorVar::new("C", vec![4, 4], Format::csr());
+        let (i, j) = (iv("i"), iv("j"));
+        let e = b.access([i.clone(), j.clone()]) * c.access([i, j.clone()]);
+        let lat = MergeLattice::build(&e, &j);
+        assert_eq!(lat.points.len(), 1);
+        assert_eq!(lat.points[0].iters, vec![key("B", 1), key("C", 1)]);
+        assert!(!lat.is_dense());
+        assert!(!lat.has_dense_union());
+    }
+
+    #[test]
+    fn addition_is_union_with_three_points() {
+        // A(i,j) = B(i,j) + C(i,j): at j, points {B,C}, {B}, {C} — the three
+        // loops of Figure 5a.
+        let b = TensorVar::new("B", vec![4, 4], Format::csr());
+        let c = TensorVar::new("C", vec![4, 4], Format::csr());
+        let (i, j) = (iv("i"), iv("j"));
+        let e = b.access([i.clone(), j.clone()]) + c.access([i, j.clone()]);
+        let lat = MergeLattice::build(&e, &j);
+        assert_eq!(lat.points.len(), 3);
+        assert_eq!(lat.points[0].iters, vec![key("B", 1), key("C", 1)]);
+        assert_eq!(lat.points[0].expr.to_string(), "B(i,j) + C(i,j)");
+        assert_eq!(lat.points[1].iters, vec![key("B", 1)]);
+        assert_eq!(lat.points[1].expr.to_string(), "B(i,j)");
+        assert_eq!(lat.points[2].iters, vec![key("C", 1)]);
+        assert_eq!(lat.loop_points().len(), 3);
+    }
+
+    #[test]
+    fn dense_operand_multiplies_into_every_point() {
+        // B(i,j) * d(j) with dense d: still one point {B2}, d located.
+        let b = TensorVar::new("B", vec![4, 4], Format::csr());
+        let d = TensorVar::new("d", vec![4], Format::dvec());
+        let (i, j) = (iv("i"), iv("j"));
+        let e = b.access([i, j.clone()]) * d.access([j.clone()]);
+        let lat = MergeLattice::build(&e, &j);
+        assert_eq!(lat.points.len(), 1);
+        assert_eq!(lat.points[0].iters, vec![key("B", 1)]);
+        assert_eq!(lat.points[0].expr.to_string(), "B(i,j) * d(j)");
+    }
+
+    #[test]
+    fn vars_not_at_this_level_are_locates() {
+        // At i, C(k,j) does not use i: locate.
+        let b = TensorVar::new("B", vec![4, 4], Format::dcsr());
+        let c = TensorVar::new("C", vec![4, 4], Format::csr());
+        let (i, j, k) = (iv("i"), iv("j"), iv("k"));
+        let e = b.access([i.clone(), k.clone()]) * c.access([k, j]);
+        let lat = MergeLattice::build(&e, &i);
+        assert_eq!(lat.points.len(), 1);
+        assert_eq!(lat.points[0].iters, vec![key("B", 0)]);
+    }
+
+    #[test]
+    fn dense_expression_has_dense_lattice() {
+        let c = TensorVar::new("C", vec![4, 4], Format::dense(2));
+        let d = TensorVar::new("D", vec![4, 4], Format::dense(2));
+        let (k, j) = (iv("k"), iv("j"));
+        let e = c.access([k.clone(), j.clone()]) + d.access([k, j.clone()]);
+        let lat = MergeLattice::build(&e, &j);
+        assert!(lat.is_dense());
+        assert!(!lat.has_dense_union());
+    }
+
+    #[test]
+    fn sparse_plus_dense_is_dense_union() {
+        let b = TensorVar::new("B", vec![4, 4], Format::csr());
+        let d = TensorVar::new("d", vec![4], Format::dvec());
+        let (i, j) = (iv("i"), iv("j"));
+        let e = b.access([i, j.clone()]) + d.access([j.clone()]);
+        let lat = MergeLattice::build(&e, &j);
+        assert!(lat.has_dense_union());
+    }
+
+    #[test]
+    fn mixed_product_sum_lattice() {
+        // B*C + D at j (all compressed at j): points {B,C,D}?, {B,C}, {D}.
+        let b = TensorVar::new("B", vec![4, 4], Format::csr());
+        let c = TensorVar::new("C", vec![4, 4], Format::csr());
+        let d = TensorVar::new("D", vec![4, 4], Format::csr());
+        let (i, j) = (iv("i"), iv("j"));
+        let e = b.access([i.clone(), j.clone()]) * c.access([i.clone(), j.clone()])
+            + d.access([i, j.clone()]);
+        let lat = MergeLattice::build(&e, &j);
+        let sets: Vec<usize> = lat.points.iter().map(|p| p.iters.len()).collect();
+        assert_eq!(sets, vec![3, 2, 1]);
+        // In the full loop, the sub-point chain covers all three points.
+        assert_eq!(lat.sub_points(&lat.points[0]).len(), 3);
+        // In the {B,C} tail loop only {B,C} applies.
+        assert_eq!(lat.sub_points(&lat.points[1]).len(), 1);
+    }
+
+    #[test]
+    fn union_three_way_has_seven_points() {
+        let fmt = Format::csr();
+        let (i, j) = (iv("i"), iv("j"));
+        let ts: Vec<TensorVar> =
+            (0..3).map(|n| TensorVar::new(format!("T{n}"), vec![4, 4], fmt.clone())).collect();
+        let e = IndexExpr::sum_of(
+            ts.iter().map(|t| IndexExpr::Access(t.access([i.clone(), j.clone()]))).collect(),
+        );
+        let lat = MergeLattice::build(&e, &j);
+        assert_eq!(lat.points.len(), 7);
+        assert_eq!(lat.points[0].iters.len(), 3);
+    }
+
+    #[test]
+    fn subtraction_negates_lone_subtrahend() {
+        let b = TensorVar::new("b", vec![4], Format::svec());
+        let c = TensorVar::new("c", vec![4], Format::svec());
+        let i = iv("i");
+        let e = IndexExpr::Sub(
+            Box::new(b.access([i.clone()]).into()),
+            Box::new(c.access([i.clone()]).into()),
+        );
+        let lat = MergeLattice::build(&e, &i);
+        let lone_c = lat.points.iter().find(|p| p.iters == vec![key("c", 0)]).unwrap();
+        assert_eq!(lone_c.expr.to_string(), "-c(i)");
+    }
+}

@@ -1,0 +1,1519 @@
+//! The lowering recursion: concrete index notation → imperative IR.
+
+use crate::lattice::{IterKey, MergeLattice};
+use crate::{LowerError, Result};
+use std::collections::{HashMap, HashSet};
+use taco_ir::concrete::{AssignOp, ConcreteStmt};
+use taco_ir::expr::{Access, IndexExpr, IndexVar, TensorVar};
+use taco_llir::{ArrayTy, Expr, Kernel, Param, Stmt};
+use taco_tensor::ModeFormat;
+
+/// What the generated kernel does with the result's sparse index structures
+/// (paper Section VI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Values only; sparse result structures are pre-assembled inputs
+    /// (numeric kernel, e.g. Figures 1d, 5b, 10).
+    Compute,
+    /// Index structures only; no values are computed (symbolic kernel,
+    /// Figure 8).
+    Assemble,
+    /// Assembles index structures and computes values in one pass (the
+    /// paper's SpGEMM evaluation configuration).
+    Fused,
+}
+
+/// Options controlling lowering.
+#[derive(Debug, Clone)]
+pub struct LowerOptions {
+    /// Kernel (function) name.
+    pub name: String,
+    /// Kernel kind.
+    pub kind: KernelKind,
+    /// Sort workspace coordinate lists before appending them to the result
+    /// (Figure 8 line 23: "the sort is optional and only needed if the
+    /// result must be ordered").
+    pub sort_output: bool,
+    /// Allocate workspaces in single precision (the mixed-precision option
+    /// of Section III).
+    pub f32_workspaces: bool,
+}
+
+impl LowerOptions {
+    /// Compute-kernel options with the given name.
+    pub fn compute(name: impl Into<String>) -> LowerOptions {
+        LowerOptions {
+            name: name.into(),
+            kind: KernelKind::Compute,
+            sort_output: true,
+            f32_workspaces: false,
+        }
+    }
+
+    /// Fused assemble-and-compute options with the given name.
+    pub fn fused(name: impl Into<String>) -> LowerOptions {
+        LowerOptions { kind: KernelKind::Fused, ..LowerOptions::compute(name) }
+    }
+
+    /// Assembly (symbolic) options with the given name.
+    pub fn assemble(name: impl Into<String>) -> LowerOptions {
+        LowerOptions { kind: KernelKind::Assemble, ..LowerOptions::compute(name) }
+    }
+
+    /// Disables output sorting (MKL-style unsorted results, Section VIII-B).
+    pub fn unsorted(mut self) -> LowerOptions {
+        self.sort_output = false;
+        self
+    }
+
+    /// Enables single-precision workspaces.
+    pub fn with_f32_workspaces(mut self) -> LowerOptions {
+        self.f32_workspaces = true;
+        self
+    }
+}
+
+/// A lowered kernel plus the binding metadata the runtime needs.
+#[derive(Debug, Clone)]
+pub struct LoweredKernel {
+    /// The imperative-IR kernel.
+    pub kernel: Kernel,
+    /// The result tensor variable.
+    pub result: TensorVar,
+    /// Operand tensor variables, in first-use order.
+    pub operands: Vec<TensorVar>,
+    /// The kernel kind this was lowered as.
+    pub kind: KernelKind,
+    /// Name of the nonzero-count scalar output (fused/assemble kernels with
+    /// sparse results).
+    pub nnz_output: Option<String>,
+}
+
+/// Lowers a concrete index notation statement to an imperative kernel.
+///
+/// # Errors
+///
+/// Returns a [`LowerError`] when the statement requires an unsupported
+/// shape — most importantly [`LowerError::CannotLocateSparse`] when a
+/// schedule would require random access into a compressed structure, which
+/// is exactly the situation the workspace transformation exists to avoid.
+pub fn lower(stmt: &ConcreteStmt, opts: &LowerOptions) -> Result<LoweredKernel> {
+    let mut lw = Lowerer::new(stmt, opts)?;
+    let mut body = lw.lower_stmt(stmt, &Ctx::default())?;
+
+    // Rank-1 sparse results close their pos array at the kernel end (their
+    // "parent loop" is the kernel root).
+    if let Some(0) = lw.result_sparse_level {
+        if lw.append_used && opts.kind != KernelKind::Compute {
+            let pos_arr = format!("{}1_pos", lw.result.name());
+            body.push(Stmt::store(pos_arr, Expr::int(1), Expr::var(lw.counter_name())));
+        }
+    }
+
+    let mut stmts = Vec::new();
+    // Results are implicitly initialized to zero (Section IV-A); dense
+    // results are zeroed explicitly, as the paper's listings do
+    // (Figure 1c line 1, Figure 9 line 1).
+    if lw.result_sparse_level.is_none() {
+        stmts.push(Stmt::Memset { arr: lw.result.name().to_string(), val: Expr::float(0.0) });
+    }
+    stmts.append(&mut lw.preamble);
+    stmts.append(&mut body);
+
+    let mut kernel = Kernel::new(opts.name.clone()).body(stmts);
+    kernel.simplify();
+    for p in lw.scalar_params() {
+        kernel = kernel.scalar_param(p);
+    }
+    for p in lw.array_params() {
+        kernel = kernel.array_param(p);
+    }
+    let nnz_output = if lw.append_used && opts.kind != KernelKind::Compute {
+        let n = lw.counter_name();
+        kernel = kernel.scalar_output(n.clone());
+        Some(n)
+    } else {
+        None
+    };
+
+    Ok(LoweredKernel {
+        kernel,
+        result: lw.result.clone(),
+        operands: lw.operands.clone(),
+        kind: opts.kind,
+        nnz_output,
+    })
+}
+
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Default)]
+struct Ctx {
+    /// Workspaces whose entries the current (consumer) assignments must
+    /// reset to zero after reading (the drain pattern of Figures 1d, 5b, 9).
+    drains: Vec<String>,
+    /// The enclosing loop appends result nonzeros at the result counter
+    /// (Figure 5a's `A[pA2++]` pattern): assignments to the result must
+    /// also store the coordinate (fused/assemble) and bump the counter.
+    append_result: bool,
+}
+
+#[derive(Debug, Clone)]
+struct WsInfo {
+    /// Dimension expressions, one per mode.
+    dims: Vec<Expr>,
+    /// Whether the workspace tracks inserted coordinates with a list +
+    /// guard array (Figure 8's `rowlist`/`row`).
+    needs_list: bool,
+    /// Whether the consumer covers all touched coordinates so entries can
+    /// be drained on read (otherwise the workspace is re-zeroed at each
+    /// where execution, as in Figure 10 line 6).
+    drainable: bool,
+}
+
+struct Lowerer<'o> {
+    opts: &'o LowerOptions,
+    result: TensorVar,
+    result_access: Access,
+    /// Innermost level of the result if compressed.
+    result_sparse_level: Option<usize>,
+    operands: Vec<TensorVar>,
+    /// First access seen per tensor (operands and result).
+    access_map: HashMap<String, Access>,
+    workspaces: HashMap<String, WsInfo>,
+    scalar_temps: HashSet<String>,
+    /// Positions of compressed levels bound by enclosing loops.
+    pos: HashMap<(String, usize), Expr>,
+    /// `(tensor, level) -> dim expr` source for every index variable.
+    var_dims: HashMap<String, Expr>,
+    preamble: Vec<Stmt>,
+    append_used: bool,
+    counter_declared: bool,
+    /// Variables bound by enclosing foralls, outermost first.
+    enclosing: Vec<IndexVar>,
+}
+
+impl<'o> Lowerer<'o> {
+    fn new(stmt: &ConcreteStmt, opts: &'o LowerOptions) -> Result<Self> {
+        // Workspaces are the tensors written by where-producers; the result
+        // is the remaining written tensor.
+        let mut producer_written: HashSet<String> = HashSet::new();
+        collect_producer_written(stmt, false, &mut producer_written);
+        let written = stmt.written_tensors();
+        let results: Vec<&String> =
+            written.iter().filter(|t| !producer_written.contains(*t)).collect();
+        if results.len() != 1 {
+            return Err(LowerError::Unsupported(format!(
+                "expected exactly one result tensor, found {results:?}"
+            )));
+        }
+        let result_name = results[0].clone();
+
+        // Find the result access and all tensor variables.
+        let mut result_access: Option<Access> = None;
+        let mut tensors: Vec<TensorVar> = Vec::new();
+        let mut access_conflict: Option<String> = None;
+        let mut access_map: HashMap<String, Access> = HashMap::new();
+        stmt.visit(&mut |s| {
+            if let ConcreteStmt::Assign { lhs, rhs, .. } = s {
+                for a in std::iter::once(lhs).chain(rhs.accesses()) {
+                    let name = a.tensor().name().to_string();
+                    match access_map.get(&name) {
+                        None => {
+                            access_map.insert(name, a.clone());
+                        }
+                        Some(prev) if prev.vars() != a.vars() => access_conflict = Some(name),
+                        _ => {}
+                    }
+                    if !tensors.iter().any(|t| t.name() == a.tensor().name()) {
+                        tensors.push(a.tensor().clone());
+                    }
+                    if a.tensor().name() == result_name && result_access.is_none() {
+                        result_access = Some(a.clone());
+                    }
+                }
+            }
+        });
+        if let Some(t) = access_conflict {
+            // Renamed consumer/producer sides access workspaces with
+            // different vars; allow that for producer-written tensors.
+            if !producer_written.contains(&t) {
+                return Err(LowerError::DuplicateTensorAccess(t));
+            }
+        }
+        let result_access = result_access.expect("result written implies an access exists");
+        let result = result_access.tensor().clone();
+
+        // Validate result format: compressed levels only at the innermost
+        // position.
+        let mut result_sparse_level = None;
+        for l in 0..result.rank() {
+            if result.format().mode(l) == ModeFormat::Compressed {
+                if l + 1 != result.rank() {
+                    return Err(LowerError::UnsupportedResultFormat(result_name.clone()));
+                }
+                result_sparse_level = Some(l);
+            }
+        }
+        if opts.kind == KernelKind::Assemble && result_sparse_level.is_none() {
+            return Err(LowerError::NothingToAssemble);
+        }
+
+        let operands: Vec<TensorVar> = tensors
+            .iter()
+            .filter(|t| {
+                t.name() != result_name && !producer_written.contains(t.name()) && t.rank() > 0
+            })
+            .cloned()
+            .collect();
+
+        // Map every index variable to a dimension expression, preferring
+        // operands and the result (their dims are kernel parameters).
+        let mut var_dims: HashMap<String, Expr> = HashMap::new();
+        // Operands first so their dims are preferred over the result's.
+        let param_tensors: Vec<&TensorVar> =
+            operands.iter().chain(std::iter::once(&result)).collect();
+        for t in param_tensors {
+            let Some(a) = access_map.get(t.name()) else { continue };
+            for (l, v) in a.vars().iter().enumerate() {
+                var_dims
+                    .entry(v.name().to_string())
+                    .or_insert_with(|| Expr::var(dim_name(t.name(), l)));
+            }
+        }
+
+        Ok(Lowerer {
+            opts,
+            result,
+            result_access,
+            result_sparse_level,
+            operands,
+            access_map,
+            workspaces: HashMap::new(),
+            scalar_temps: HashSet::new(),
+            pos: HashMap::new(),
+            var_dims,
+            preamble: Vec::new(),
+            append_used: false,
+            counter_declared: false,
+            enclosing: Vec::new(),
+        })
+    }
+
+    // -- naming ------------------------------------------------------------
+
+    fn counter_name(&self) -> String {
+        let l = self.result_sparse_level.expect("counter implies sparse result");
+        format!("p{}{}", self.result.name(), l + 1)
+    }
+
+    fn ws_ty(&self) -> ArrayTy {
+        if self.opts.f32_workspaces {
+            ArrayTy::F32
+        } else {
+            ArrayTy::F64
+        }
+    }
+
+    // -- parameters ----------------------------------------------------------
+
+    fn scalar_params(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for t in self.operands.iter().chain(std::iter::once(&self.result)) {
+            for l in 0..t.rank() {
+                out.push(dim_name(t.name(), l));
+            }
+        }
+        out
+    }
+
+    fn array_params(&self) -> Vec<Param> {
+        let mut out = Vec::new();
+        let with_vals = self.opts.kind != KernelKind::Assemble;
+        for t in &self.operands {
+            for l in 0..t.rank() {
+                if t.format().mode(l) == ModeFormat::Compressed {
+                    out.push(Param::input(pos_name(t.name(), l), ArrayTy::Int));
+                    out.push(Param::input(crd_name(t.name(), l), ArrayTy::Int));
+                }
+            }
+            if with_vals {
+                out.push(Param::input(t.name(), ArrayTy::F64));
+            }
+        }
+        let r = &self.result;
+        match (self.result_sparse_level, self.opts.kind) {
+            (None, _) => out.push(Param::output(r.name(), ArrayTy::F64)),
+            (Some(l), KernelKind::Compute) => {
+                out.push(Param::input(pos_name(r.name(), l), ArrayTy::Int));
+                out.push(Param::input(crd_name(r.name(), l), ArrayTy::Int));
+                out.push(Param::inout(r.name(), ArrayTy::F64));
+            }
+            (Some(l), KernelKind::Fused) => {
+                out.push(Param::inout(pos_name(r.name(), l), ArrayTy::Int));
+                out.push(Param::inout(crd_name(r.name(), l), ArrayTy::Int));
+                out.push(Param::inout(r.name(), ArrayTy::F64));
+            }
+            (Some(l), KernelKind::Assemble) => {
+                out.push(Param::inout(pos_name(r.name(), l), ArrayTy::Int));
+                out.push(Param::inout(crd_name(r.name(), l), ArrayTy::Int));
+            }
+        }
+        out
+    }
+
+    // -- statements ----------------------------------------------------------
+
+    fn lower_stmt(&mut self, stmt: &ConcreteStmt, ctx: &Ctx) -> Result<Vec<Stmt>> {
+        match stmt {
+            ConcreteStmt::Assign { lhs, op, rhs } => self.lower_assign(lhs, *op, rhs, ctx),
+            ConcreteStmt::Forall { var, body } => self.lower_forall(var, body, ctx),
+            ConcreteStmt::Where { consumer, producer } => {
+                self.lower_where(consumer, producer, ctx)
+            }
+            ConcreteStmt::Sequence { first, second } => {
+                let mut out = self.lower_stmt(first, ctx)?;
+                out.extend(self.lower_stmt(second, ctx)?);
+                Ok(out)
+            }
+        }
+    }
+
+    fn lower_where(
+        &mut self,
+        consumer: &ConcreteStmt,
+        producer: &ConcreteStmt,
+        ctx: &Ctx,
+    ) -> Result<Vec<Stmt>> {
+        let mut out = Vec::new();
+        let mut my_drains = Vec::new();
+
+        // Only the tensors this where *directly* produces: tensors written
+        // inside a nested where's producer belong to that nested where
+        // (e.g. in the doubly-transformed MTTKRP, `v` belongs to the outer
+        // where and `w` to the inner one).
+        for ws_name in direct_written(producer) {
+            // Find the workspace tensor variable from a producer access.
+            let mut ws_var: Option<TensorVar> = None;
+            let mut ws_vars: Vec<IndexVar> = Vec::new();
+            producer.visit(&mut |s| {
+                if let ConcreteStmt::Assign { lhs, .. } = s {
+                    if lhs.tensor().name() == ws_name && ws_var.is_none() {
+                        ws_var = Some(lhs.tensor().clone());
+                        ws_vars = lhs.vars().to_vec();
+                    }
+                }
+            });
+            let ws_var = ws_var.expect("written tensor has an access");
+
+            if ws_var.rank() == 0 {
+                // Scalar reduction temporary: a fresh float accumulator.
+                self.scalar_temps.insert(ws_name.clone());
+                out.push(Stmt::DeclFloat(ws_name.clone(), Expr::float(0.0)));
+                continue;
+            }
+
+            if !self.workspaces.contains_key(&ws_name) {
+                let dims: Vec<Expr> = ws_vars
+                    .iter()
+                    .enumerate()
+                    .map(|(n, v)| {
+                        self.var_dims
+                            .get(v.name())
+                            .cloned()
+                            .unwrap_or(Expr::int(ws_var.shape()[n] as i64))
+                    })
+                    .collect();
+
+                let needs_list = self.opts.kind != KernelKind::Compute
+                    && ws_var.rank() == 1
+                    && self.result_sparse_level.is_some()
+                    && consumer_feeds_result(consumer, &ws_name, self.result.name());
+                let drainable = self.consumer_drains(consumer, &ws_name);
+
+                // Allocate the workspace (zero-filled) in the preamble.
+                let len = dims
+                    .iter()
+                    .cloned()
+                    .reduce(|a, b| a * b)
+                    .expect("workspace has at least one mode");
+                self.preamble.push(Stmt::Comment(format!("workspace for `{ws_name}`")));
+                self.preamble.push(Stmt::Alloc {
+                    arr: ws_name.clone(),
+                    ty: self.ws_ty(),
+                    len: len.clone(),
+                });
+                if needs_list {
+                    self.preamble.push(Stmt::Alloc {
+                        arr: list_name(&ws_name),
+                        ty: ArrayTy::Int,
+                        len: len.clone(),
+                    });
+                    self.preamble.push(Stmt::Alloc {
+                        arr: set_name(&ws_name),
+                        ty: ArrayTy::Bool,
+                        len,
+                    });
+                }
+                self.workspaces
+                    .insert(ws_name.clone(), WsInfo { dims, needs_list, drainable });
+            }
+
+            let info = &self.workspaces[&ws_name];
+            if !info.drainable && self.opts.kind != KernelKind::Assemble {
+                // Re-zero at each where execution (Figure 10 line 6).
+                out.push(Stmt::Memset { arr: ws_name.clone(), val: Expr::float(0.0) });
+            }
+            if info.needs_list {
+                out.push(Stmt::DeclInt(size_name(&ws_name), Expr::int(0)));
+            }
+            if info.drainable {
+                my_drains.push(ws_name.clone());
+            }
+        }
+
+        // Producer first, then consumer (Section VI: "when it encounters
+        // where statements the algorithm emits the producer side followed by
+        // the consumer side").
+        let producer_ctx = Ctx { drains: Vec::new(), append_result: false };
+        out.extend(self.lower_stmt(producer, &producer_ctx)?);
+
+        let mut consumer_ctx = ctx.clone();
+        consumer_ctx.drains.extend(my_drains);
+        out.extend(self.lower_stmt(consumer, &consumer_ctx)?);
+        Ok(out)
+    }
+
+    /// Decides whether the consumer's loops cover every workspace entry the
+    /// producer touched, so entries can be reset on read. True when the
+    /// consumer reads the workspace under loops with no *other* sparse
+    /// operand driving them; false when another tensor's sparsity drives the
+    /// consumer (Figure 10: the loop over `D` may skip touched entries).
+    fn consumer_drains(&self, consumer: &ConcreteStmt, ws: &str) -> bool {
+        let mut drain = true;
+        consumer.visit(&mut |s| {
+            if let ConcreteStmt::Assign { lhs, rhs, .. } = s {
+                if !rhs.uses_tensor(ws) {
+                    return;
+                }
+                // The variables the workspace is read with.
+                for a in rhs.accesses() {
+                    if a.tensor().name() != ws {
+                        continue;
+                    }
+                    for v in a.vars() {
+                        let lat = MergeLattice::build(rhs, v);
+                        let driven_by_other = lat
+                            .iterators()
+                            .iter()
+                            .any(|it| it.tensor != ws && it.tensor != lhs.tensor().name());
+                        if driven_by_other {
+                            drain = false;
+                        }
+                    }
+                }
+            }
+        });
+        drain
+    }
+
+    fn lower_forall(
+        &mut self,
+        var: &IndexVar,
+        body: &ConcreteStmt,
+        ctx: &Ctx,
+    ) -> Result<Vec<Stmt>> {
+        // Combined expression across every assignment in the body, for the
+        // iterator analysis at this variable.
+        let combined = combined_rhs(body, var);
+        let lattice = match &combined {
+            Some(e) => MergeLattice::build(e, var),
+            None => MergeLattice { points: Vec::new() },
+        };
+
+        // Does the result's compressed level sit at this variable?
+        let result_sparse_here = self
+            .result_sparse_level
+            .is_some_and(|l| self.result_access.vars().get(l) == Some(var))
+            && body.uses_tensor(self.result.name())
+            && writes_tensor(body, self.result.name());
+
+        // Appending into a sparse result is only valid when every enclosing
+        // loop binds a result variable; inside a reduction loop, each row
+        // would be revisited and inserted into repeatedly — the expensive
+        // sparse insert the workspace transformation exists to avoid.
+        if result_sparse_here && self.opts.kind != KernelKind::Compute {
+            if let Some(red) =
+                self.enclosing.iter().find(|v| !self.result_access.uses_var(v))
+            {
+                return Err(LowerError::SparseScatter {
+                    result: self.result.name().to_string(),
+                    var: red.name().to_string(),
+                });
+            }
+        }
+
+        self.enclosing.push(var.clone());
+        let strategy = if lattice.points.is_empty() || lattice.is_dense() {
+            if result_sparse_here {
+                match self.opts.kind {
+                    KernelKind::Compute => self.result_driven_loop(var, body, ctx),
+                    KernelKind::Fused | KernelKind::Assemble => {
+                        self.wlist_driven_loop(var, body, ctx)
+                    }
+                }
+            } else {
+                self.dense_loop(var, body, ctx)
+            }
+        } else if lattice.has_dense_union() {
+            Err(LowerError::DenseUnionUnsupported(var.name().to_string()))
+        } else {
+            // Sparse-driven loops appending to a sparse result (Figure 5a):
+            // the loop produces result nonzeros in coordinate order at the
+            // append counter.
+            let mut inner_ctx = ctx.clone();
+            if result_sparse_here {
+                let l = self.result_sparse_level.expect("checked above");
+                self.append_used = true;
+                self.ensure_counter();
+                self.pos
+                    .insert((self.result.name().to_string(), l), Expr::var(self.counter_name()));
+                inner_ctx.append_result = true;
+            }
+            let loop_points = lattice.loop_points();
+            let loops = (|| {
+                if loop_points.len() == 1 && loop_points[0].iters.len() == 1 {
+                    self.position_loop(var, body, &loop_points[0].iters[0].clone(), &inner_ctx)
+                } else {
+                    self.merge_loops(var, body, &lattice, &inner_ctx)
+                }
+            })();
+            if result_sparse_here {
+                let l = self.result_sparse_level.expect("checked above");
+                self.pos.remove(&(self.result.name().to_string(), l));
+            }
+            loops
+        };
+        let mut out = match strategy {
+            Ok(out) => out,
+            Err(e) => {
+                self.enclosing.pop();
+                return Err(e);
+            }
+        };
+
+        // Close the result pos array at the end of each iteration of the
+        // sparse level's parent loop (Fused/Assemble only). The store goes
+        // *inside* the loop body so the parent variable is in scope.
+        if let Some(l) = self.result_sparse_level {
+            if l > 0
+                && self.opts.kind != KernelKind::Compute
+                && self.result_access.vars().get(l - 1) == Some(var)
+                && self.append_used
+            {
+                let parent_pos = self.access_pos(&self.result_access, l - 1)?;
+                let store = Stmt::store(
+                    pos_name(self.result.name(), l),
+                    parent_pos + Expr::int(1),
+                    Expr::var(self.counter_name()),
+                );
+                for s in &mut out {
+                    match s {
+                        Stmt::For { body, .. } | Stmt::While { body, .. } => {
+                            body.push(store.clone());
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        self.enclosing.pop();
+        Ok(out)
+    }
+
+    /// `for (v = 0; v < dim; v++) body`
+    fn dense_loop(&mut self, var: &IndexVar, body: &ConcreteStmt, ctx: &Ctx) -> Result<Vec<Stmt>> {
+        let dim = self
+            .var_dims
+            .get(var.name())
+            .cloned()
+            .ok_or_else(|| LowerError::NoRangeForVar(var.name().to_string()))?;
+        let inner = self.lower_stmt(body, ctx)?;
+        Ok(vec![Stmt::for_(var.name(), Expr::int(0), dim, inner)])
+    }
+
+    /// `for (pX = X_pos[parent]; pX < X_pos[parent+1]; pX++) { v = X_crd[pX]; body }`
+    fn position_loop(
+        &mut self,
+        var: &IndexVar,
+        body: &ConcreteStmt,
+        iter: &IterKey,
+        ctx: &Ctx,
+    ) -> Result<Vec<Stmt>> {
+        let parent = self.parent_pos(&iter.tensor, iter.level)?;
+        let pvar = pos_var(&iter.tensor, iter.level);
+        let lo = Expr::load(pos_name(&iter.tensor, iter.level), parent.clone());
+        let hi = Expr::load(pos_name(&iter.tensor, iter.level), parent + Expr::int(1));
+
+        self.pos.insert((iter.tensor.clone(), iter.level), Expr::var(&pvar));
+        let mut inner = vec![Stmt::DeclInt(
+            var.name().to_string(),
+            Expr::load(crd_name(&iter.tensor, iter.level), Expr::var(&pvar)),
+        )];
+        inner.extend(self.lower_stmt(body, ctx)?);
+        self.pos.remove(&(iter.tensor.clone(), iter.level));
+
+        Ok(vec![Stmt::for_(pvar, lo, hi, inner)])
+    }
+
+    /// Coiteration while loops over a merge lattice (Figures 4a, 5a, 7).
+    fn merge_loops(
+        &mut self,
+        var: &IndexVar,
+        body: &ConcreteStmt,
+        lattice: &MergeLattice,
+        ctx: &Ctx,
+    ) -> Result<Vec<Stmt>> {
+        let mut out = Vec::new();
+        let iters = lattice.iterators();
+
+        // Position cursors for every iterator, declared before the loops.
+        let mut ends: HashMap<IterKey, Expr> = HashMap::new();
+        for it in &iters {
+            let parent = self.parent_pos(&it.tensor, it.level)?;
+            let pvar = pos_var(&it.tensor, it.level);
+            out.push(Stmt::DeclInt(
+                pvar.clone(),
+                Expr::load(pos_name(&it.tensor, it.level), parent.clone()),
+            ));
+            ends.insert(it.clone(), Expr::load(pos_name(&it.tensor, it.level), parent + Expr::int(1)));
+        }
+
+        for lp in lattice.loop_points() {
+            let cond = lp
+                .iters
+                .iter()
+                .map(|it| Expr::var(pos_var(&it.tensor, it.level)).lt(ends[it].clone()))
+                .reduce(|a, b| a.and(b))
+                .expect("loop point has iterators");
+
+            let mut loop_body = Vec::new();
+            // Candidate coordinates and the merged coordinate.
+            for it in &lp.iters {
+                loop_body.push(Stmt::DeclInt(
+                    coord_var(var, &it.tensor),
+                    Expr::load(crd_name(&it.tensor, it.level), Expr::var(pos_var(&it.tensor, it.level))),
+                ));
+            }
+            let merged = lp
+                .iters
+                .iter()
+                .map(|it| Expr::var(coord_var(var, &it.tensor)))
+                .reduce(|a, b| a.min(b))
+                .expect("loop point has iterators");
+            loop_body.push(Stmt::DeclInt(var.name().to_string(), merged));
+
+            // Case chain over the sub-points.
+            let subs = lattice.sub_points(lp);
+            let mut chain: Vec<Stmt> = Vec::new();
+            for lq in subs.iter().rev() {
+                // Build from the smallest (last) up into else branches.
+                let cond = lq
+                    .iters
+                    .iter()
+                    .map(|it| Expr::var(coord_var(var, &it.tensor)).eq(Expr::var(var.name())))
+                    .reduce(|a, b| a.and(b))
+                    .expect("sub-point has iterators");
+
+                // Restrict the body to this sub-point: iterators absent from
+                // it are symbolically zero.
+                let absent: HashSet<String> = iters
+                    .iter()
+                    .filter(|it| !lq.iters.contains(it))
+                    .map(|it| it.tensor.clone())
+                    .collect();
+                // Record positions only for present iterators.
+                for it in &lq.iters {
+                    self.pos.insert(
+                        (it.tensor.clone(), it.level),
+                        Expr::var(pos_var(&it.tensor, it.level)),
+                    );
+                }
+                let case_body = match restrict_stmt(body, &absent) {
+                    Some(restricted) => self.lower_stmt(&restricted, ctx)?,
+                    None => Vec::new(),
+                };
+                for it in &lq.iters {
+                    self.pos.remove(&(it.tensor.clone(), it.level));
+                }
+
+                let trivially_true = lp.iters.len() == 1;
+                if trivially_true {
+                    chain = case_body;
+                } else if chain.is_empty() {
+                    chain = vec![Stmt::if_(cond, case_body)];
+                } else {
+                    chain = vec![Stmt::if_else(cond, case_body, chain)];
+                }
+            }
+            loop_body.extend(chain);
+
+            // Conditional cursor advances.
+            for it in &lp.iters {
+                let pvar = pos_var(&it.tensor, it.level);
+                if lp.iters.len() == 1 {
+                    loop_body.push(Stmt::incr(&pvar));
+                } else {
+                    loop_body.push(Stmt::if_(
+                        Expr::var(coord_var(var, &it.tensor)).eq(Expr::var(var.name())),
+                        vec![Stmt::incr(&pvar)],
+                    ));
+                }
+            }
+
+            out.push(Stmt::while_(cond, loop_body));
+        }
+        Ok(out)
+    }
+
+    /// Iterate the result's own (pre-assembled) sparse structure:
+    /// `for (pA = A_pos[i]; ...) { v = A_crd[pA]; body }` (Figure 1d).
+    fn result_driven_loop(
+        &mut self,
+        var: &IndexVar,
+        body: &ConcreteStmt,
+        ctx: &Ctx,
+    ) -> Result<Vec<Stmt>> {
+        let l = self.result_sparse_level.expect("result-driven loop implies sparse result");
+        let name = self.result.name().to_string();
+        let parent = self.access_pos(&self.result_access.clone(), l.wrapping_sub(1).min(l))?;
+        let parent = if l == 0 { Expr::int(0) } else { parent };
+        let pvar = pos_var(&name, l);
+        let lo = Expr::load(pos_name(&name, l), parent.clone());
+        let hi = Expr::load(pos_name(&name, l), parent + Expr::int(1));
+
+        self.pos.insert((name.clone(), l), Expr::var(&pvar));
+        let mut inner = vec![Stmt::DeclInt(
+            var.name().to_string(),
+            Expr::load(crd_name(&name, l), Expr::var(&pvar)),
+        )];
+        inner.extend(self.lower_stmt(body, ctx)?);
+        self.pos.remove(&(name, l));
+
+        Ok(vec![Stmt::for_(pvar, lo, hi, inner)])
+    }
+
+    /// Iterate a workspace coordinate list to append a result row
+    /// (Figure 8 lines 22–36 fused with value copy).
+    fn wlist_driven_loop(
+        &mut self,
+        var: &IndexVar,
+        body: &ConcreteStmt,
+        ctx: &Ctx,
+    ) -> Result<Vec<Stmt>> {
+        // Find the listed workspace the body reads.
+        let ws = body
+            .assignments()
+            .iter()
+            .find_map(|s| {
+                if let ConcreteStmt::Assign { rhs, .. } = s {
+                    rhs.accesses()
+                        .iter()
+                        .map(|a| a.tensor().name().to_string())
+                        .find(|n| self.workspaces.get(n).is_some_and(|w| w.needs_list))
+                } else {
+                    None
+                }
+            })
+            .ok_or_else(|| {
+                LowerError::Unsupported(format!(
+                    "sparse result at `{var}` needs a workspace coordinate list to assemble; \
+                     precompute into a workspace first"
+                ))
+            })?;
+
+        let l = self.result_sparse_level.expect("wlist loop implies sparse result");
+        self.append_used = true;
+        self.ensure_counter();
+
+        let mut out = Vec::new();
+        if self.opts.sort_output {
+            out.push(Stmt::Sort {
+                arr: list_name(&ws),
+                lo: Expr::int(0),
+                hi: Expr::var(size_name(&ws)),
+            });
+        }
+
+        let pvar = format!("p{ws}");
+        let counter = self.counter_name();
+        self.pos.insert((self.result.name().to_string(), l), Expr::var(&counter));
+        let mut inner = vec![Stmt::DeclInt(
+            var.name().to_string(),
+            Expr::load(list_name(&ws), Expr::var(&pvar)),
+        )];
+        // Grow the crd (and value) arrays by doubling (Figure 8 lines 26-29).
+        let crd = crd_name(self.result.name(), l);
+        inner.push(Stmt::if_(
+            Expr::len(&crd).le(Expr::var(&counter)),
+            vec![Stmt::Realloc { arr: crd.clone(), len: (Expr::var(&counter) + Expr::int(1)) * Expr::int(2) }],
+        ));
+        inner.push(Stmt::store(&crd, Expr::var(&counter), Expr::var(var.name())));
+        if self.opts.kind == KernelKind::Fused {
+            let vals = self.result.name().to_string();
+            inner.push(Stmt::if_(
+                Expr::len(&vals).le(Expr::var(&counter)),
+                vec![Stmt::Realloc {
+                    arr: vals.clone(),
+                    len: (Expr::var(&counter) + Expr::int(1)) * Expr::int(2),
+                }],
+            ));
+            inner.extend(self.lower_stmt(body, ctx)?);
+        }
+        // Reset the guard so the next row starts clean (Figure 8 line 35).
+        inner.push(Stmt::store(set_name(&ws), Expr::var(var.name()), Expr::bool(false)));
+        inner.push(Stmt::incr(&counter));
+        self.pos.remove(&(self.result.name().to_string(), l));
+
+        out.push(Stmt::for_(pvar, Expr::int(0), Expr::var(size_name(&ws)), inner));
+        Ok(out)
+    }
+
+    fn ensure_counter(&mut self) {
+        if !self.counter_declared {
+            self.counter_declared = true;
+            let c = self.counter_name();
+            self.preamble.insert(0, Stmt::DeclInt(c, Expr::int(0)));
+        }
+    }
+
+    // -- assignments ---------------------------------------------------------
+
+    fn lower_assign(
+        &mut self,
+        lhs: &Access,
+        op: AssignOp,
+        rhs: &IndexExpr,
+        ctx: &Ctx,
+    ) -> Result<Vec<Stmt>> {
+        let mut out = Vec::new();
+        let lhs_name = lhs.tensor().name().to_string();
+        let assemble = self.opts.kind == KernelKind::Assemble;
+
+        // Workspace with coordinate tracking: guard-insert (Figure 8
+        // lines 15-18).
+        if let Some(info) = self.workspaces.get(&lhs_name) {
+            if info.needs_list && self.opts.kind != KernelKind::Compute {
+                let coord = Expr::var(lhs.vars()[0].name());
+                let sz = size_name(&lhs_name);
+                out.push(Stmt::if_(
+                    Expr::load(set_name(&lhs_name), coord.clone()).not(),
+                    vec![
+                        Stmt::store(list_name(&lhs_name), Expr::var(&sz), coord.clone()),
+                        Stmt::assign(&sz, Expr::var(&sz) + Expr::int(1)),
+                        Stmt::store(set_name(&lhs_name), coord, Expr::bool(true)),
+                    ],
+                ));
+            }
+        }
+        // Appending to the sparse result inside a sparse-driven loop
+        // (Figure 5a): write the coordinate (fused/assemble), then the
+        // value, then bump the counter.
+        let appending = ctx.append_result && lhs_name == self.result.name();
+        if appending && self.opts.kind != KernelKind::Compute {
+            let l = self.result_sparse_level.expect("append implies sparse result");
+            let counter = self.counter_name();
+            let crd = crd_name(&lhs_name, l);
+            out.push(Stmt::if_(
+                Expr::len(&crd).le(Expr::var(&counter)),
+                vec![Stmt::Realloc {
+                    arr: crd.clone(),
+                    len: (Expr::var(&counter) + Expr::int(1)) * Expr::int(2),
+                }],
+            ));
+            out.push(Stmt::store(&crd, Expr::var(&counter), Expr::var(lhs.vars()[l].name())));
+            if self.opts.kind == KernelKind::Fused {
+                out.push(Stmt::if_(
+                    Expr::len(&lhs_name).le(Expr::var(&counter)),
+                    vec![Stmt::Realloc {
+                        arr: lhs_name.clone(),
+                        len: (Expr::var(&counter) + Expr::int(1)) * Expr::int(2),
+                    }],
+                ));
+            }
+        }
+        if assemble {
+            // Symbolic kernels skip all value computation.
+            if appending {
+                out.push(Stmt::incr(&self.counter_name()));
+            }
+            return Ok(out);
+        }
+
+        let val = self.value_expr(rhs)?;
+
+        if self.scalar_temps.contains(&lhs_name) {
+            match op {
+                AssignOp::Assign => out.push(Stmt::assign(&lhs_name, val)),
+                AssignOp::Accum => {
+                    out.push(Stmt::assign(&lhs_name, Expr::var(&lhs_name) + val))
+                }
+            }
+        } else if self.workspaces.contains_key(&lhs_name) {
+            let off = self.ws_offset(lhs)?;
+            match op {
+                AssignOp::Assign => out.push(Stmt::store(&lhs_name, off, val)),
+                AssignOp::Accum => out.push(Stmt::store_add(&lhs_name, off, val)),
+            }
+        } else {
+            // The result tensor.
+            let l = self.result.rank() - 1;
+            let pos = self.access_pos(lhs, l)?;
+            match op {
+                AssignOp::Assign => out.push(Stmt::store(&lhs_name, pos, val)),
+                AssignOp::Accum => out.push(Stmt::store_add(&lhs_name, pos, val)),
+            }
+        }
+
+        // Drain read workspaces (Figures 1d line 14, 5b line 16, 9 line 22).
+        for a in rhs.accesses() {
+            let name = a.tensor().name();
+            if ctx.drains.iter().any(|d| d == name) {
+                let off = self.ws_offset(a)?;
+                out.push(Stmt::store(name, off, Expr::float(0.0)));
+            }
+        }
+        if appending {
+            out.push(Stmt::incr(&self.counter_name()));
+        }
+        Ok(out)
+    }
+
+    fn value_expr(&mut self, e: &IndexExpr) -> Result<Expr> {
+        Ok(match e {
+            IndexExpr::Access(a) => {
+                let name = a.tensor().name();
+                if self.scalar_temps.contains(name) {
+                    Expr::var(name)
+                } else if self.workspaces.contains_key(name) {
+                    let off = self.ws_offset(a)?;
+                    Expr::load(name, off)
+                } else {
+                    let pos = self.access_pos(a, a.tensor().rank() - 1)?;
+                    Expr::load(name, pos)
+                }
+            }
+            IndexExpr::Literal(v) => Expr::float(*v),
+            IndexExpr::Neg(a) => self.value_expr(a)?.neg(),
+            IndexExpr::Add(a, b) => self.value_expr(a)? + self.value_expr(b)?,
+            IndexExpr::Sub(a, b) => self.value_expr(a)? - self.value_expr(b)?,
+            IndexExpr::Mul(a, b) => self.value_expr(a)? * self.value_expr(b)?,
+            IndexExpr::Sum(..) => {
+                return Err(LowerError::Unsupported(
+                    "Sum node in concrete index notation".to_string(),
+                ))
+            }
+        })
+    }
+
+    /// Row-major offset into a dense workspace.
+    fn ws_offset(&self, a: &Access) -> Result<Expr> {
+        let info = &self.workspaces[a.tensor().name()];
+        let mut off = Expr::var(a.vars()[0].name());
+        for (n, v) in a.vars().iter().enumerate().skip(1) {
+            off = off * info.dims[n].clone() + Expr::var(v.name());
+        }
+        Ok(off)
+    }
+
+    /// Position of `a` at `level`, folding dense offsets over bound
+    /// compressed positions.
+    fn access_pos(&self, a: &Access, level: usize) -> Result<Expr> {
+        let name = a.tensor().name();
+        let mut pos = Expr::int(0);
+        for l in 0..=level {
+            match a.tensor().format().mode(l) {
+                ModeFormat::Dense => {
+                    let var = &a.vars()[l];
+                    if !self.enclosing.contains(var) {
+                        return Err(LowerError::UnboundVariable {
+                            tensor: name.to_string(),
+                            var: var.name().to_string(),
+                        });
+                    }
+                    let dim = Expr::var(dim_name(name, l));
+                    let v = Expr::var(var.name());
+                    pos = pos * dim + v;
+                }
+                ModeFormat::Compressed => {
+                    pos = self
+                        .pos
+                        .get(&(name.to_string(), l))
+                        .cloned()
+                        .ok_or(LowerError::CannotLocateSparse {
+                            tensor: name.to_string(),
+                            level: l,
+                        })?;
+                }
+            }
+        }
+        Ok(pos)
+    }
+
+    /// Parent position of a compressed level being iterated: the position
+    /// reached after resolving the level above it.
+    fn parent_pos(&self, tensor: &str, level: usize) -> Result<Expr> {
+        if level == 0 {
+            return Ok(Expr::int(0));
+        }
+        let access = self
+            .access_map
+            .get(tensor)
+            .cloned()
+            .ok_or_else(|| LowerError::Unsupported(format!("unknown tensor `{tensor}`")))?;
+        self.access_pos(&access, level - 1)
+    }
+}
+
+// -- free helpers ------------------------------------------------------------
+
+fn dim_name(tensor: &str, level: usize) -> String {
+    format!("{tensor}{}_dim", level + 1)
+}
+fn pos_name(tensor: &str, level: usize) -> String {
+    format!("{tensor}{}_pos", level + 1)
+}
+fn crd_name(tensor: &str, level: usize) -> String {
+    format!("{tensor}{}_crd", level + 1)
+}
+fn pos_var(tensor: &str, level: usize) -> String {
+    format!("p{tensor}{}", level + 1)
+}
+fn coord_var(var: &IndexVar, tensor: &str) -> String {
+    format!("{}{}", var.name(), tensor)
+}
+fn list_name(ws: &str) -> String {
+    format!("{ws}_list")
+}
+fn set_name(ws: &str) -> String {
+    format!("{ws}_set")
+}
+fn size_name(ws: &str) -> String {
+    format!("{ws}_size")
+}
+
+fn collect_producer_written(stmt: &ConcreteStmt, in_producer: bool, out: &mut HashSet<String>) {
+    match stmt {
+        ConcreteStmt::Assign { lhs, .. } => {
+            if in_producer {
+                out.insert(lhs.tensor().name().to_string());
+            }
+        }
+        ConcreteStmt::Forall { body, .. } => collect_producer_written(body, in_producer, out),
+        ConcreteStmt::Where { consumer, producer } => {
+            collect_producer_written(consumer, in_producer, out);
+            collect_producer_written(producer, true, out);
+        }
+        ConcreteStmt::Sequence { first, second } => {
+            collect_producer_written(first, in_producer, out);
+            collect_producer_written(second, in_producer, out);
+        }
+    }
+}
+
+fn writes_tensor(stmt: &ConcreteStmt, name: &str) -> bool {
+    stmt.written_tensors().iter().any(|t| t == name)
+}
+
+/// Tensors written by `stmt` outside any nested where-producer — the
+/// temporaries a where statement is directly responsible for.
+fn direct_written(stmt: &ConcreteStmt) -> Vec<String> {
+    fn go(stmt: &ConcreteStmt, out: &mut Vec<String>) {
+        match stmt {
+            ConcreteStmt::Assign { lhs, .. } => {
+                let name = lhs.tensor().name().to_string();
+                if !out.contains(&name) {
+                    out.push(name);
+                }
+            }
+            ConcreteStmt::Forall { body, .. } => go(body, out),
+            // A nested where's producer writes belong to that where.
+            ConcreteStmt::Where { consumer, .. } => go(consumer, out),
+            ConcreteStmt::Sequence { first, second } => {
+                go(first, out);
+                go(second, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    go(stmt, &mut out);
+    out
+}
+
+/// True if the where-consumer assigns the workspace's values into the
+/// result.
+fn consumer_feeds_result(consumer: &ConcreteStmt, ws: &str, result: &str) -> bool {
+    let mut feeds = false;
+    consumer.visit(&mut |s| {
+        if let ConcreteStmt::Assign { lhs, rhs, .. } = s {
+            if lhs.tensor().name() == result && rhs.uses_tensor(ws) {
+                feeds = true;
+            }
+        }
+    });
+    feeds
+}
+
+/// Folds the assignment right-hand sides in the statement into one
+/// expression for iterator analysis at `v`, *substituting workspace reads
+/// with their producers' expressions*.
+///
+/// A where-consumer's contribution at an outer loop variable is gated by
+/// what its producer computed there: in Figure 9 the consumer
+/// `A(i,j) += w(j)*D(k,j)` only contributes where `w` is nonzero, i.e.
+/// where `B(i,k,l)*C(l,j)` has entries — so the `i` and `k` loops iterate
+/// `B`'s sparse hierarchy, not a union with the dense `D`. Substituting
+/// `w -> B*C` recovers exactly the pre-transformation expression, whose
+/// lattice gives the correct iteration domains (the workspace
+/// transformation preserves semantics). Only workspaces *produced inside
+/// this statement* are substituted; reads of workspaces produced by
+/// enclosing statements stay dense accesses (they drive dense or
+/// coordinate-list loops).
+///
+/// Expressions that do not use `v` at all constrain nothing at this loop
+/// and are dropped.
+fn combined_rhs(stmt: &ConcreteStmt, v: &IndexVar) -> Option<IndexExpr> {
+    let mut env: HashMap<String, IndexExpr> = HashMap::new();
+    let mut exprs: Vec<IndexExpr> = Vec::new();
+    collect_substituted(stmt, &mut env, &mut exprs);
+    exprs
+        .into_iter()
+        .filter(|e| e.uses_var(v))
+        .reduce(|a, b| IndexExpr::Add(Box::new(a), Box::new(b)))
+}
+
+/// Walks the statement in execution order, recording substituted producer
+/// expressions per written tensor and collecting every assignment's
+/// substituted rhs.
+fn collect_substituted(
+    stmt: &ConcreteStmt,
+    env: &mut HashMap<String, IndexExpr>,
+    out: &mut Vec<IndexExpr>,
+) {
+    match stmt {
+        ConcreteStmt::Assign { lhs, rhs, .. } => {
+            let sub = subst_expr(rhs, env);
+            out.push(sub.clone());
+            let name = lhs.tensor().name().to_string();
+            // Accumulating writes extend the tensor's definition (sequence
+            // statements: `w = B ; w += C` defines w as B + C).
+            let def = match env.remove(&name) {
+                Some(prev) => IndexExpr::Add(Box::new(prev), Box::new(sub)),
+                None => sub,
+            };
+            env.insert(name, def);
+        }
+        ConcreteStmt::Forall { body, .. } => collect_substituted(body, env, out),
+        ConcreteStmt::Where { consumer, producer } => {
+            collect_substituted(producer, env, out);
+            collect_substituted(consumer, env, out);
+        }
+        ConcreteStmt::Sequence { first, second } => {
+            collect_substituted(first, env, out);
+            collect_substituted(second, env, out);
+        }
+    }
+}
+
+/// Replaces reads of defined tensors with their definitions (for lattice
+/// analysis only — index variables are not remapped).
+fn subst_expr(e: &IndexExpr, env: &HashMap<String, IndexExpr>) -> IndexExpr {
+    match e {
+        IndexExpr::Access(a) => match env.get(a.tensor().name()) {
+            Some(def) => def.clone(),
+            None => e.clone(),
+        },
+        IndexExpr::Literal(_) => e.clone(),
+        IndexExpr::Neg(a) => IndexExpr::Neg(Box::new(subst_expr(a, env))),
+        IndexExpr::Add(a, b) => {
+            IndexExpr::Add(Box::new(subst_expr(a, env)), Box::new(subst_expr(b, env)))
+        }
+        IndexExpr::Sub(a, b) => {
+            IndexExpr::Sub(Box::new(subst_expr(a, env)), Box::new(subst_expr(b, env)))
+        }
+        IndexExpr::Mul(a, b) => {
+            IndexExpr::Mul(Box::new(subst_expr(a, env)), Box::new(subst_expr(b, env)))
+        }
+        IndexExpr::Sum(..) => unreachable!("concrete index notation contains no Sum nodes"),
+    }
+}
+
+/// Symbolically zeroes the `absent` tensors in the statement, simplifying
+/// expressions; returns `None` when the whole statement vanishes
+/// (Section VI: "the concrete index notation substatement is rewritten to
+/// remove them by symbolically setting them to zero").
+fn restrict_stmt(stmt: &ConcreteStmt, absent: &HashSet<String>) -> Option<ConcreteStmt> {
+    match stmt {
+        ConcreteStmt::Assign { lhs, op, rhs } => match restrict_expr(rhs, absent) {
+            Some(r) => Some(ConcreteStmt::Assign { lhs: lhs.clone(), op: *op, rhs: r }),
+            None => match op {
+                AssignOp::Accum => None,
+                AssignOp::Assign => Some(ConcreteStmt::Assign {
+                    lhs: lhs.clone(),
+                    op: *op,
+                    rhs: IndexExpr::Literal(0.0),
+                }),
+            },
+        },
+        ConcreteStmt::Forall { var, body } => {
+            restrict_stmt(body, absent).map(|b| ConcreteStmt::forall(var.clone(), b))
+        }
+        ConcreteStmt::Where { consumer, producer } => {
+            let c = restrict_stmt(consumer, absent)?;
+            match restrict_stmt(producer, absent) {
+                Some(p) => Some(ConcreteStmt::where_(c, p)),
+                None => Some(c),
+            }
+        }
+        ConcreteStmt::Sequence { first, second } => {
+            match (restrict_stmt(first, absent), restrict_stmt(second, absent)) {
+                (Some(f), Some(s)) => Some(ConcreteStmt::sequence(f, s)),
+                (Some(f), None) => Some(f),
+                (None, Some(s)) => Some(s),
+                (None, None) => None,
+            }
+        }
+    }
+}
+
+fn restrict_expr(e: &IndexExpr, absent: &HashSet<String>) -> Option<IndexExpr> {
+    match e {
+        IndexExpr::Access(a) => {
+            if absent.contains(a.tensor().name()) {
+                None
+            } else {
+                Some(e.clone())
+            }
+        }
+        IndexExpr::Literal(_) => Some(e.clone()),
+        IndexExpr::Neg(a) => restrict_expr(a, absent).map(|r| IndexExpr::Neg(Box::new(r))),
+        IndexExpr::Add(a, b) => match (restrict_expr(a, absent), restrict_expr(b, absent)) {
+            (Some(x), Some(y)) => Some(IndexExpr::Add(Box::new(x), Box::new(y))),
+            (Some(x), None) => Some(x),
+            (None, Some(y)) => Some(y),
+            (None, None) => None,
+        },
+        IndexExpr::Sub(a, b) => match (restrict_expr(a, absent), restrict_expr(b, absent)) {
+            (Some(x), Some(y)) => Some(IndexExpr::Sub(Box::new(x), Box::new(y))),
+            (Some(x), None) => Some(x),
+            (None, Some(y)) => Some(IndexExpr::Neg(Box::new(y))),
+            (None, None) => None,
+        },
+        IndexExpr::Mul(a, b) => match (restrict_expr(a, absent), restrict_expr(b, absent)) {
+            (Some(x), Some(y)) => Some(IndexExpr::Mul(Box::new(x), Box::new(y))),
+            _ => None,
+        },
+        IndexExpr::Sum(..) => unreachable!("concrete index notation contains no Sum nodes"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taco_ir::concretize::concretize;
+    use taco_ir::expr::sum;
+    use taco_ir::notation::IndexAssignment;
+    use taco_ir::transform;
+    use taco_tensor::Format;
+
+    fn iv(n: &str) -> IndexVar {
+        IndexVar::new(n)
+    }
+
+    fn scheduled_spgemm(n: usize) -> ConcreteStmt {
+        let a = TensorVar::new("A", vec![n, n], Format::csr());
+        let b = TensorVar::new("B", vec![n, n], Format::csr());
+        let c = TensorVar::new("C", vec![n, n], Format::csr());
+        let (i, j, k) = (iv("i"), iv("j"), iv("k"));
+        let mul = b.access([i.clone(), k.clone()]) * c.access([k.clone(), j.clone()]);
+        let s = concretize(&IndexAssignment::assign(
+            a.access([i.clone(), j.clone()]),
+            sum(k.clone(), mul.clone()),
+        ))
+        .unwrap();
+        let s = transform::reorder(&s, &k, &j).unwrap();
+        let w = TensorVar::new("w", vec![n], Format::dvec());
+        transform::precompute(&s, &mul, &[(j.clone(), j.clone(), j.clone())], &w).unwrap()
+    }
+
+    #[test]
+    fn parameter_naming_convention() {
+        let lk = lower(&scheduled_spgemm(8), &LowerOptions::fused("k")).unwrap();
+        let names: Vec<&str> =
+            lk.kernel.array_params.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["B2_pos", "B2_crd", "B", "C2_pos", "C2_crd", "C", "A2_pos", "A2_crd", "A"]
+        );
+        assert_eq!(
+            lk.kernel.scalar_params,
+            ["B1_dim", "B2_dim", "C1_dim", "C2_dim", "A1_dim", "A2_dim"]
+        );
+        assert_eq!(lk.nnz_output.as_deref(), Some("pA2"));
+    }
+
+    #[test]
+    fn operand_order_is_first_use() {
+        let lk = lower(&scheduled_spgemm(8), &LowerOptions::fused("k")).unwrap();
+        let ops: Vec<&str> = lk.operands.iter().map(|t| t.name()).collect();
+        assert_eq!(ops, ["B", "C"]);
+        assert_eq!(lk.result.name(), "A");
+    }
+
+    #[test]
+    fn assemble_kernel_has_no_value_arrays() {
+        let lk = lower(&scheduled_spgemm(8), &LowerOptions::assemble("k")).unwrap();
+        let names: Vec<&str> =
+            lk.kernel.array_params.iter().map(|p| p.name.as_str()).collect();
+        assert!(!names.contains(&"B"), "operand values excluded: {names:?}");
+        assert!(!names.contains(&"A"), "result values excluded: {names:?}");
+        assert!(names.contains(&"A2_crd"));
+        // No floating point stores anywhere in the body.
+        assert!(!lk.kernel.to_c().contains("A["));
+    }
+
+    #[test]
+    fn compute_kernel_takes_preassembled_structure_as_input() {
+        let lk = lower(&scheduled_spgemm(8), &LowerOptions::compute("k")).unwrap();
+        let pos = lk
+            .kernel
+            .array_params
+            .iter()
+            .find(|p| p.name == "A2_pos")
+            .expect("pos param exists");
+        assert_eq!(pos.kind, taco_llir::ParamKind::Input);
+        assert!(lk.nnz_output.is_none());
+    }
+
+    #[test]
+    fn unsorted_option_drops_the_sort() {
+        let sorted = lower(&scheduled_spgemm(8), &LowerOptions::fused("k")).unwrap();
+        let unsorted =
+            lower(&scheduled_spgemm(8), &LowerOptions::fused("k").unsorted()).unwrap();
+        assert!(sorted.kernel.to_c().contains("sort("));
+        assert!(!unsorted.kernel.to_c().contains("sort("));
+    }
+
+    #[test]
+    fn f32_workspace_allocates_float() {
+        let lk = lower(
+            &scheduled_spgemm(8),
+            &LowerOptions::fused("k").with_f32_workspaces(),
+        )
+        .unwrap();
+        assert!(lk.kernel.to_c().contains("float* restrict w"));
+    }
+
+    #[test]
+    fn dense_union_is_rejected() {
+        // a(i) = b(i) + d(i) with sparse b and dense d coiterated at i.
+        let n = 8;
+        let a = TensorVar::new("a", vec![n], Format::svec());
+        let b = TensorVar::new("b", vec![n], Format::svec());
+        let d = TensorVar::new("d", vec![n], Format::dvec());
+        let i = iv("i");
+        let s = concretize(&IndexAssignment::assign(
+            a.access([i.clone()]),
+            b.access([i.clone()]) + d.access([i.clone()]),
+        ))
+        .unwrap();
+        assert_eq!(
+            lower(&s, &LowerOptions::fused("k")).unwrap_err(),
+            LowerError::DenseUnionUnsupported("i".into())
+        );
+    }
+
+    #[test]
+    fn non_innermost_compressed_result_is_rejected() {
+        // A result in (s, d) format: compressed level is not innermost.
+        let n = 8;
+        let a = TensorVar::new(
+            "A",
+            vec![n, n],
+            Format::new(vec![ModeFormat::Compressed, ModeFormat::Dense]),
+        );
+        let b = TensorVar::new("B", vec![n, n], Format::csr());
+        let (i, j) = (iv("i"), iv("j"));
+        let s = concretize(&IndexAssignment::assign(
+            a.access([i.clone(), j.clone()]),
+            IndexExpr::from(b.access([i.clone(), j.clone()])),
+        ))
+        .unwrap();
+        assert_eq!(
+            lower(&s, &LowerOptions::compute("k")).unwrap_err(),
+            LowerError::UnsupportedResultFormat("A".into())
+        );
+    }
+
+    #[test]
+    fn restrict_stmt_zeroes_absent_operands() {
+        let n = 4;
+        let a = TensorVar::new("a", vec![n], Format::dvec());
+        let b = TensorVar::new("b", vec![n], Format::svec());
+        let c = TensorVar::new("c", vec![n], Format::svec());
+        let i = iv("i");
+        let stmt = ConcreteStmt::assign(
+            a.access([i.clone()]),
+            AssignOp::Assign,
+            b.access([i.clone()]) + c.access([i.clone()]),
+        );
+        let mut absent = HashSet::new();
+        absent.insert("c".to_string());
+        let restricted = restrict_stmt(&stmt, &absent).unwrap();
+        match restricted {
+            ConcreteStmt::Assign { rhs, .. } => assert_eq!(rhs.to_string(), "b(i)"),
+            other => panic!("expected assignment, got {other:?}"),
+        }
+        // Zeroing everything drops an accumulation entirely.
+        absent.insert("b".to_string());
+        let accum = ConcreteStmt::assign(
+            a.access([i.clone()]),
+            AssignOp::Accum,
+            b.access([i.clone()]) + c.access([i.clone()]),
+        );
+        assert!(restrict_stmt(&accum, &absent).is_none());
+    }
+
+    #[test]
+    fn combined_rhs_substitutes_workspace_producers() {
+        // The MTTKRP consumer's lattice at k must see B through w.
+        let n = 8;
+        let a = TensorVar::new("A", vec![n, n], Format::dense(2));
+        let b = TensorVar::new("B", vec![n, n, n], Format::csf3());
+        let c = TensorVar::new("C", vec![n, n], Format::dense(2));
+        let d = TensorVar::new("D", vec![n, n], Format::dense(2));
+        let (i, j, k, l) = (iv("i"), iv("j"), iv("k"), iv("l"));
+        let bc = b.access([i.clone(), k.clone(), l.clone()]) * c.access([l.clone(), j.clone()]);
+        let s = concretize(&IndexAssignment::assign(
+            a.access([i.clone(), j.clone()]),
+            sum(k.clone(), sum(l.clone(), bc.clone() * d.access([k.clone(), j.clone()]))),
+        ))
+        .unwrap();
+        let s = transform::reorder(&s, &j, &k).unwrap();
+        let s = transform::reorder(&s, &j, &l).unwrap();
+        let w = TensorVar::new("w", vec![n], Format::dvec());
+        let s = transform::precompute(&s, &bc, &[(j.clone(), j.clone(), j.clone())], &w).unwrap();
+
+        // Drill to the ∀k body (below ∀i).
+        let ConcreteStmt::Forall { body: bi, .. } = &s else { panic!("expected ∀i") };
+        let ConcreteStmt::Forall { var, body: bk } = &**bi else { panic!("expected ∀k") };
+        assert_eq!(var.name(), "k");
+        let combined = combined_rhs(bk, &iv("k")).expect("k used");
+        let lat = MergeLattice::build(&combined, &iv("k"));
+        // Single intersection point driven by B's level 1 — no dense union
+        // from the consumer's D access.
+        assert!(!lat.has_dense_union());
+        assert_eq!(lat.loop_points().len(), 1);
+        assert_eq!(lat.loop_points()[0].iters[0].tensor, "B");
+    }
+}

@@ -1,0 +1,214 @@
+use crate::{Format, ModeFormat, ModeStorage, Result, Tensor, TensorError};
+
+/// Incremental builder for [`Tensor`] values.
+///
+/// Entries may be inserted in any order; [`TensorBuilder::build`] sorts them
+/// lexicographically, sums duplicates, and packs the per-level `pos`/`crd`
+/// arrays.
+///
+/// # Example
+///
+/// ```
+/// use taco_tensor::{Format, TensorBuilder};
+///
+/// let mut b = TensorBuilder::new(vec![3, 3], Format::csr())?;
+/// b.insert(&[2, 1], 4.0)?;
+/// b.insert(&[0, 0], 1.0)?;
+/// b.insert(&[2, 1], 1.0)?; // duplicates are summed
+/// let t = b.build();
+/// assert_eq!(t.nnz(), 2);
+/// assert_eq!(t.to_dense().get(&[2, 1]), 5.0);
+/// # Ok::<(), taco_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TensorBuilder {
+    shape: Vec<usize>,
+    format: Format,
+    entries: Vec<(Vec<usize>, f64)>,
+}
+
+impl TensorBuilder {
+    /// Creates a builder for a tensor of the given shape and format.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the format rank does not match the shape rank or
+    /// the shape is empty.
+    pub fn new(shape: Vec<usize>, format: Format) -> Result<Self> {
+        if shape.is_empty() {
+            return Err(TensorError::EmptyShape);
+        }
+        if shape.len() != format.rank() {
+            return Err(TensorError::FormatRankMismatch {
+                shape_rank: shape.len(),
+                format_rank: format.rank(),
+            });
+        }
+        Ok(TensorBuilder { shape, format, entries: Vec::new() })
+    }
+
+    /// Queues a component for insertion.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the coordinate has the wrong rank or is out of
+    /// bounds.
+    pub fn insert(&mut self, coord: &[usize], value: f64) -> Result<&mut Self> {
+        if coord.len() != self.shape.len() {
+            return Err(TensorError::RankMismatch {
+                expected: self.shape.len(),
+                found: coord.len(),
+            });
+        }
+        for (mode, (&c, &d)) in coord.iter().zip(&self.shape).enumerate() {
+            if c >= d {
+                return Err(TensorError::CoordOutOfBounds { mode, coord: c, dim: d });
+            }
+        }
+        self.entries.push((coord.to_vec(), value));
+        Ok(self)
+    }
+
+    /// Number of queued entries (before duplicate merging).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sorts, merges and packs the queued entries into a [`Tensor`].
+    pub fn build(mut self) -> Tensor {
+        self.entries.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let rank = self.shape.len();
+        let n = self.entries.len();
+        let mut modes: Vec<ModeStorage> = Vec::with_capacity(rank);
+
+        // `parent_pos[e]` is the position of entry `e` in the level above the
+        // one currently being packed. Level -1 (the root) has one position.
+        let mut parent_pos: Vec<usize> = vec![0; n];
+        let mut num_parent_positions = 1usize;
+
+        for level in 0..rank {
+            let dim = self.shape[level];
+            match self.format.mode(level) {
+                ModeFormat::Dense => {
+                    for (e, (coord, _)) in self.entries.iter().enumerate() {
+                        parent_pos[e] = parent_pos[e] * dim + coord[level];
+                    }
+                    num_parent_positions *= dim;
+                    modes.push(ModeStorage::Dense { dim });
+                }
+                ModeFormat::Compressed => {
+                    let mut pos = vec![0usize; num_parent_positions + 1];
+                    let mut crd = Vec::new();
+                    let mut prev: Option<(usize, usize)> = None;
+                    for e in 0..n {
+                        let key = (parent_pos[e], self.entries[e].0[level]);
+                        if prev != Some(key) {
+                            // A new (parent, coordinate) group starts here.
+                            pos[key.0 + 1] += 1;
+                            crd.push(key.1);
+                            prev = Some(key);
+                        }
+                        parent_pos[e] = crd.len() - 1;
+                    }
+                    // Prefix-sum the per-parent counts into segment bounds.
+                    for p in 0..num_parent_positions {
+                        pos[p + 1] += pos[p];
+                    }
+                    num_parent_positions = crd.len();
+                    modes.push(ModeStorage::Compressed { pos, crd });
+                }
+            }
+        }
+
+        let mut vals = vec![0.0; num_parent_positions];
+        for (e, (_, v)) in self.entries.iter().enumerate() {
+            vals[parent_pos[e]] += v;
+        }
+
+        Tensor::from_parts(self.shape, self.format, modes, vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_builder_builds_empty_tensor() {
+        let t = TensorBuilder::new(vec![3, 3], Format::csr()).unwrap().build();
+        assert_eq!(t.nnz(), 0);
+        assert_eq!(t.pos(1).unwrap(), &[0, 0, 0, 0]);
+        assert_eq!(t.crd(1).unwrap(), &[] as &[usize]);
+    }
+
+    #[test]
+    fn empty_dense_tensor_is_all_zero() {
+        let t = TensorBuilder::new(vec![2, 2], Format::dense(2)).unwrap().build();
+        assert_eq!(t.nnz(), 4);
+        assert_eq!(t.vals(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn out_of_order_insertion_is_sorted() {
+        let mut b = TensorBuilder::new(vec![4], Format::svec()).unwrap();
+        b.insert(&[3], 3.0).unwrap();
+        b.insert(&[0], 0.5).unwrap();
+        b.insert(&[1], 1.0).unwrap();
+        let t = b.build();
+        assert_eq!(t.crd(0).unwrap(), &[0, 1, 3]);
+        assert_eq!(t.vals(), &[0.5, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn rank_mismatch_rejected() {
+        let mut b = TensorBuilder::new(vec![4], Format::svec()).unwrap();
+        let err = b.insert(&[1, 2], 1.0).unwrap_err();
+        assert_eq!(err, TensorError::RankMismatch { expected: 1, found: 2 });
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let mut b = TensorBuilder::new(vec![2, 4], Format::csr()).unwrap();
+        let err = b.insert(&[1, 4], 1.0).unwrap_err();
+        assert_eq!(err, TensorError::CoordOutOfBounds { mode: 1, coord: 4, dim: 4 });
+    }
+
+    #[test]
+    fn format_rank_checked() {
+        let err = TensorBuilder::new(vec![2, 2], Format::svec()).unwrap_err();
+        assert_eq!(err, TensorError::FormatRankMismatch { shape_rank: 2, format_rank: 1 });
+    }
+
+    #[test]
+    fn dcsr_skips_empty_rows() {
+        let mut b = TensorBuilder::new(vec![4, 4], Format::dcsr()).unwrap();
+        b.insert(&[0, 1], 1.0).unwrap();
+        b.insert(&[3, 2], 2.0).unwrap();
+        let t = b.build();
+        // Only two rows are stored at the outer level.
+        assert_eq!(t.crd(0).unwrap(), &[0, 3]);
+        assert_eq!(t.pos(0).unwrap(), &[0, 2]);
+        assert_eq!(t.pos(1).unwrap(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn dense_inner_level() {
+        // Row-major dense columns under compressed rows ({s, d}).
+        let mut b = TensorBuilder::new(
+            vec![3, 2],
+            Format::new(vec![ModeFormat::Compressed, ModeFormat::Dense]),
+        )
+        .unwrap();
+        b.insert(&[1, 1], 5.0).unwrap();
+        let t = b.build();
+        assert_eq!(t.crd(0).unwrap(), &[1]);
+        // One stored row of 2 dense values.
+        assert_eq!(t.vals(), &[0.0, 5.0]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Synthetic stand-ins for the Table I datasets.
+//!
+//! The paper evaluates on real-world matrices from the SuiteSparse Matrix
+//! Collection and tensors from FROSTT. Those collections are not available
+//! offline, so this module records the Table I metadata (name, domain, nnz,
+//! density — and dimensions from the public collections) and *generates*
+//! matrices/tensors with matching shape, nonzero count and a structure class
+//! appropriate for the domain (banded for FEM/structural problems, power-law
+//! for web/circuit graphs, uniform otherwise).
+//!
+//! Because full-size generation would take minutes and gigabytes, every
+//! generator takes a `scale` in `(0, 1]` that shrinks dimensions by
+//! `sqrt(scale)` and nonzeros by `scale`, preserving density — the quantity
+//! the paper's experiments sweep and report.
+
+use crate::gen::{random_csf3_fibered, random_csr_nnz, Pattern};
+use crate::{Csf3, Csr};
+
+/// Metadata of one Table I matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatrixInfo {
+    /// Matrix number in Table I (0–10).
+    pub id: usize,
+    /// SuiteSparse name.
+    pub name: &'static str,
+    /// Application domain (Table I column).
+    pub domain: &'static str,
+    /// Number of rows (= columns; all Table I matrices are square).
+    pub dim: usize,
+    /// Number of stored nonzeros.
+    pub nnz: usize,
+    /// Structure class used by the synthetic generator.
+    pub pattern: Pattern,
+}
+
+impl MatrixInfo {
+    /// Density (fraction of nonzeros), as reported in Table I.
+    pub fn density(&self) -> f64 {
+        self.nnz as f64 / (self.dim as f64 * self.dim as f64)
+    }
+
+    /// Generates a synthetic stand-in at the given scale.
+    ///
+    /// `scale = 1.0` reproduces the full-size matrix; smaller values shrink
+    /// dimensions by `sqrt(scale)` and nonzeros by `scale`, keeping density
+    /// fixed. Deterministic in the matrix id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not in `(0, 1]`.
+    pub fn generate(&self, scale: f64) -> Csr {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        let dim = ((self.dim as f64 * scale.sqrt()).round() as usize).max(8);
+        let nnz = ((self.nnz as f64 * scale).round() as usize).max(1);
+        random_csr_nnz(dim, dim, nnz, self.pattern, 0x7ac0 + self.id as u64)
+    }
+}
+
+/// Metadata of one Table I FROSTT tensor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TensorInfo {
+    /// FROSTT name.
+    pub name: &'static str,
+    /// Application domain (Table I column).
+    pub domain: &'static str,
+    /// Mode dimensions, from FROSTT.
+    pub dims: [usize; 3],
+    /// Number of stored nonzeros.
+    pub nnz: usize,
+    /// Average entries per `(mode-0, mode-1)` fiber, estimated from the
+    /// FROSTT statistics; governs how profitable loop-invariant hoisting is
+    /// (paper Section VIII-C).
+    pub fiber_len: f64,
+}
+
+impl TensorInfo {
+    /// Density as reported in Table I.
+    pub fn density(&self) -> f64 {
+        self.nnz as f64 / (self.dims[0] as f64 * self.dims[1] as f64 * self.dims[2] as f64)
+    }
+
+    /// Generates a synthetic stand-in at the given scale, with each mode
+    /// dimension additionally capped at `max_dim` (dense MTTKRP outputs are
+    /// `dim0 x rank` and must stay allocatable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not in `(0, 1]` or `max_dim` is zero.
+    pub fn generate(&self, scale: f64, max_dim: usize) -> Csf3 {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        assert!(max_dim > 0, "max_dim must be nonzero");
+        let f = scale.cbrt();
+        let dims = [
+            (((self.dims[0] as f64) * f).round() as usize).clamp(4, max_dim),
+            (((self.dims[1] as f64) * f).round() as usize).clamp(4, max_dim),
+            (((self.dims[2] as f64) * f).round() as usize).clamp(4, max_dim),
+        ];
+        let nnz = ((self.nnz as f64 * scale).round() as usize).max(1);
+        random_csf3_fibered(dims, nnz, self.fiber_len, 0x7e45 + self.dims[0] as u64)
+    }
+}
+
+/// The eleven matrices of Table I.
+pub const MATRICES: [MatrixInfo; 11] = [
+    MatrixInfo { id: 0, name: "bcsstk17", domain: "Structural", dim: 10_974, nnz: 428_650, pattern: Pattern::Banded(0.02) },
+    MatrixInfo { id: 1, name: "pdb1HYS", domain: "Protein data base", dim: 36_417, nnz: 4_344_765, pattern: Pattern::Banded(0.02) },
+    MatrixInfo { id: 2, name: "rma10", domain: "3D CFD", dim: 46_835, nnz: 2_329_092, pattern: Pattern::Banded(0.02) },
+    MatrixInfo { id: 3, name: "cant", domain: "FEM/Cantilever", dim: 62_451, nnz: 4_007_383, pattern: Pattern::Banded(0.01) },
+    MatrixInfo { id: 4, name: "consph", domain: "FEM/Spheres", dim: 83_334, nnz: 6_010_480, pattern: Pattern::Banded(0.01) },
+    MatrixInfo { id: 5, name: "cop20k", domain: "FEM/Accelerator", dim: 121_192, nnz: 2_624_331, pattern: Pattern::Uniform },
+    MatrixInfo { id: 6, name: "shipsec1", domain: "FEM", dim: 140_874, nnz: 3_568_176, pattern: Pattern::Banded(0.01) },
+    MatrixInfo { id: 7, name: "scircuit", domain: "Circuit", dim: 170_998, nnz: 958_936, pattern: Pattern::PowerLaw },
+    MatrixInfo { id: 8, name: "mac-econ", domain: "Economics", dim: 119_000, nnz: 1_273_389, pattern: Pattern::Uniform },
+    MatrixInfo { id: 9, name: "pwtk", domain: "Wind tunnel", dim: 217_918, nnz: 11_524_432, pattern: Pattern::Banded(0.005) },
+    MatrixInfo { id: 10, name: "webbase-1M", domain: "Web connectivity", dim: 1_000_005, nnz: 3_105_536, pattern: Pattern::PowerLaw },
+];
+
+/// The three tensors of Table I (dimensions from FROSTT).
+pub const TENSORS: [TensorInfo; 3] = [
+    TensorInfo { name: "Facebook", domain: "Social Media", dims: [1_591, 63_891, 63_890], nnz: 737_934, fiber_len: 1.0 },
+    TensorInfo { name: "NELL-2", domain: "Machine learning", dims: [12_092, 9_184, 28_818], nnz: 76_879_419, fiber_len: 24.0 },
+    TensorInfo { name: "NELL-1", domain: "Machine learning", dims: [2_902_330, 2_143_368, 25_495_389], nnz: 143_599_552, fiber_len: 6.0 },
+];
+
+/// Looks up a Table I matrix by name.
+pub fn matrix_by_name(name: &str) -> Option<&'static MatrixInfo> {
+    MATRICES.iter().find(|m| m.name == name)
+}
+
+/// Looks up a Table I tensor by name.
+pub fn tensor_by_name(name: &str) -> Option<&'static TensorInfo> {
+    TENSORS.iter().find(|t| t.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn densities_match_table1_orders_of_magnitude() {
+        // Table I reports densities 4E-3 ... 3E-6 for the matrices.
+        let expected = [4e-3, 3e-3, 1e-3, 1e-3, 9e-4, 2e-4, 2e-4, 3e-5, 9e-5, 2e-4, 3e-6];
+        for (m, e) in MATRICES.iter().zip(expected) {
+            let d = m.density();
+            assert!(
+                d / e > 0.4 && d / e < 2.6,
+                "{}: density {d:.1e} does not match Table I {e:.1e}",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn tensor_densities_match_table1() {
+        let expected = [1e-7, 2e-5, 9e-13];
+        for (t, e) in TENSORS.iter().zip(expected) {
+            let d = t.density();
+            assert!(
+                d / e > 0.2 && d / e < 5.0,
+                "{}: density {d:.1e} does not match Table I {e:.1e}",
+                t.name
+            );
+        }
+    }
+
+    #[test]
+    fn generate_preserves_density() {
+        let m = &MATRICES[0];
+        let g = m.generate(0.01);
+        let gd = g.nnz() as f64 / (g.nrows() as f64 * g.ncols() as f64);
+        assert!((gd / m.density()).abs() > 0.3 && (gd / m.density()) < 3.0);
+    }
+
+    #[test]
+    fn generate_tensor_respects_cap() {
+        let t = &TENSORS[2]; // NELL-1, enormous dims
+        let g = t.generate(1e-5, 4096);
+        assert!(g.dims().iter().all(|d| *d <= 4096));
+        assert!(g.nnz() > 0);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(matrix_by_name("pwtk").unwrap().id, 9);
+        assert!(matrix_by_name("nope").is_none());
+        assert_eq!(tensor_by_name("NELL-2").unwrap().dims[0], 12_092);
+    }
+}

@@ -1,0 +1,63 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or converting tensors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// A coordinate tuple had the wrong number of modes.
+    RankMismatch {
+        /// Number of modes the tensor has.
+        expected: usize,
+        /// Number of coordinates supplied.
+        found: usize,
+    },
+    /// A coordinate was outside the tensor dimensions.
+    CoordOutOfBounds {
+        /// Mode in which the coordinate was out of bounds.
+        mode: usize,
+        /// The offending coordinate.
+        coord: usize,
+        /// The dimension of that mode.
+        dim: usize,
+    },
+    /// The format rank does not match the shape rank.
+    FormatRankMismatch {
+        /// Rank of the shape.
+        shape_rank: usize,
+        /// Rank of the format.
+        format_rank: usize,
+    },
+    /// A tensor had an unexpected format for the requested conversion.
+    FormatMismatch {
+        /// Human-readable description of what was expected.
+        expected: &'static str,
+    },
+    /// A zero-dimensional or zero-sized shape where one is not allowed.
+    EmptyShape,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::RankMismatch { expected, found } => {
+                write!(f, "coordinate rank mismatch: expected {expected}, found {found}")
+            }
+            TensorError::CoordOutOfBounds { mode, coord, dim } => {
+                write!(f, "coordinate {coord} out of bounds for mode {mode} with dimension {dim}")
+            }
+            TensorError::FormatRankMismatch { shape_rank, format_rank } => {
+                write!(
+                    f,
+                    "format rank {format_rank} does not match shape rank {shape_rank}"
+                )
+            }
+            TensorError::FormatMismatch { expected } => {
+                write!(f, "tensor format mismatch: expected {expected}")
+            }
+            TensorError::EmptyShape => write!(f, "tensor shape must have at least one mode"),
+        }
+    }
+}
+
+impl Error for TensorError {}

@@ -1,0 +1,153 @@
+use std::fmt;
+
+/// Storage format of a single tensor mode (dimension level).
+///
+/// The paper (Section II) classifies per-level formats as *dense* (every
+/// component stored) or *sparse/compressed* (only nonzeros stored, using a
+/// `pos` array of segment boundaries and a `crd` array of coordinates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ModeFormat {
+    /// Every coordinate in `0..dim` is stored.
+    Dense,
+    /// Only nonzero coordinates are stored in `pos`/`crd` arrays
+    /// (Figure 1b of the paper).
+    Compressed,
+}
+
+impl fmt::Display for ModeFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModeFormat::Dense => write!(f, "d"),
+            ModeFormat::Compressed => write!(f, "s"),
+        }
+    }
+}
+
+/// A tensor storage format: one [`ModeFormat`] per mode, outermost first.
+///
+/// # Example
+///
+/// ```
+/// use taco_tensor::{Format, ModeFormat};
+///
+/// let csr = Format::csr();
+/// assert_eq!(csr.mode(0), ModeFormat::Dense);
+/// assert_eq!(csr.mode(1), ModeFormat::Compressed);
+/// assert_eq!(csr.to_string(), "(d,s)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Format {
+    modes: Vec<ModeFormat>,
+}
+
+impl Format {
+    /// Creates a format from per-mode formats, outermost mode first.
+    pub fn new(modes: Vec<ModeFormat>) -> Self {
+        Format { modes }
+    }
+
+    /// All-dense format of the given rank.
+    pub fn dense(rank: usize) -> Self {
+        Format::new(vec![ModeFormat::Dense; rank])
+    }
+
+    /// All-compressed format of the given rank (CSF for rank 3, DCSR for 2).
+    pub fn compressed(rank: usize) -> Self {
+        Format::new(vec![ModeFormat::Compressed; rank])
+    }
+
+    /// Compressed sparse row: `{Dense, Compressed}`.
+    pub fn csr() -> Self {
+        Format::new(vec![ModeFormat::Dense, ModeFormat::Compressed])
+    }
+
+    /// Doubly compressed sparse row: `{Compressed, Compressed}`.
+    pub fn dcsr() -> Self {
+        Format::compressed(2)
+    }
+
+    /// Compressed sparse fiber for 3-tensors: `{Compressed, Compressed, Compressed}`.
+    pub fn csf3() -> Self {
+        Format::compressed(3)
+    }
+
+    /// Dense vector: `{Dense}`.
+    pub fn dvec() -> Self {
+        Format::dense(1)
+    }
+
+    /// Sparse (compressed) vector: `{Compressed}`.
+    pub fn svec() -> Self {
+        Format::compressed(1)
+    }
+
+    /// Number of modes in the format.
+    pub fn rank(&self) -> usize {
+        self.modes.len()
+    }
+
+    /// The format of mode `level` (0 = outermost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= self.rank()`.
+    pub fn mode(&self, level: usize) -> ModeFormat {
+        self.modes[level]
+    }
+
+    /// Per-mode formats, outermost first.
+    pub fn modes(&self) -> &[ModeFormat] {
+        &self.modes
+    }
+
+    /// True if every mode is dense.
+    pub fn is_all_dense(&self) -> bool {
+        self.modes.iter().all(|m| *m == ModeFormat::Dense)
+    }
+
+    /// True if any mode is compressed.
+    pub fn has_compressed(&self) -> bool {
+        self.modes.iter().any(|m| *m == ModeFormat::Compressed)
+    }
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, m) in self.modes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Format::csr().modes(), &[ModeFormat::Dense, ModeFormat::Compressed]);
+        assert_eq!(Format::dcsr().modes(), &[ModeFormat::Compressed; 2]);
+        assert_eq!(Format::csf3().rank(), 3);
+        assert_eq!(Format::dvec().mode(0), ModeFormat::Dense);
+        assert_eq!(Format::svec().mode(0), ModeFormat::Compressed);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Format::dense(3).is_all_dense());
+        assert!(!Format::csr().is_all_dense());
+        assert!(Format::csr().has_compressed());
+        assert!(!Format::dense(2).has_compressed());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Format::csr().to_string(), "(d,s)");
+        assert_eq!(Format::csf3().to_string(), "(s,s,s)");
+    }
+}

@@ -1,0 +1,231 @@
+//! Random tensor generators.
+//!
+//! The paper constructs synthetic operands "using the random matrix
+//! generator in taco, which places nonzeros randomly to reach a target
+//! sparsity" (Section VIII-A). This module reproduces that generator and adds
+//! banded and power-law variants used to mimic the structure of the Table I
+//! matrices (FEM problems are banded; web/circuit graphs have skewed row
+//! degrees).
+
+use crate::{Csf3, Csr, DenseTensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Sparsity structure used when placing nonzeros.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pattern {
+    /// Uniformly random placement (taco's generator).
+    Uniform,
+    /// Nonzeros clustered within a band around the diagonal; the parameter is
+    /// the band half-width as a fraction of the number of columns.
+    Banded(f64),
+    /// Row degrees follow a power law (a few very dense rows).
+    PowerLaw,
+}
+
+/// Generates a sparse CSR matrix with `nnz` nonzeros placed according to
+/// `pattern`. Values are uniform in `[0, 1)`. Deterministic in `seed`.
+///
+/// The requested `nnz` is clamped to `nrows * ncols`.
+///
+/// # Panics
+///
+/// Panics if `nrows` or `ncols` is zero.
+pub fn random_csr_nnz(nrows: usize, ncols: usize, nnz: usize, pattern: Pattern, seed: u64) -> Csr {
+    assert!(nrows > 0 && ncols > 0, "matrix dimensions must be nonzero");
+    let nnz = nnz.min(nrows * ncols);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Dense Bernoulli sweep is cheaper and exact-ish for high densities.
+    let density = nnz as f64 / (nrows * ncols) as f64;
+    if density > 0.25 {
+        let mut triplets = Vec::with_capacity(nnz + 16);
+        for r in 0..nrows {
+            for c in 0..ncols {
+                if rng.gen::<f64>() < density {
+                    triplets.push((r, c, rng.gen::<f64>()));
+                }
+            }
+        }
+        return Csr::from_triplets(nrows, ncols, &triplets);
+    }
+
+    let mut seen = HashSet::with_capacity(nnz * 2);
+    let mut triplets = Vec::with_capacity(nnz);
+    // Power-law row weights: weight(r) ~ 1 / (r+1), shuffled implicitly by
+    // hashing the row id.
+    while triplets.len() < nnz {
+        let (r, c) = match pattern {
+            Pattern::Uniform => (rng.gen_range(0..nrows), rng.gen_range(0..ncols)),
+            Pattern::Banded(frac) => {
+                let r = rng.gen_range(0..nrows);
+                let half = ((ncols as f64 * frac).ceil() as usize).max(1);
+                let center = (r as f64 / nrows as f64 * ncols as f64) as usize;
+                let lo = center.saturating_sub(half);
+                let hi = (center + half).min(ncols - 1);
+                (r, rng.gen_range(lo..=hi))
+            }
+            Pattern::PowerLaw => {
+                // Inverse-CDF sample of a Zipf-ish distribution over rows.
+                let u: f64 = rng.gen_range(0.0f64..1.0);
+                let r = ((nrows as f64).powf(u) - 1.0) as usize;
+                (r.min(nrows - 1), rng.gen_range(0..ncols))
+            }
+        };
+        if seen.insert((r, c)) {
+            triplets.push((r, c, rng.gen::<f64>()));
+        }
+    }
+    Csr::from_triplets(nrows, ncols, &triplets)
+}
+
+/// Generates a sparse CSR matrix with a target `density` (fraction of
+/// nonzeros), like taco's random generator. Deterministic in `seed`.
+pub fn random_csr(nrows: usize, ncols: usize, density: f64, seed: u64) -> Csr {
+    let nnz = ((nrows * ncols) as f64 * density).round() as usize;
+    random_csr_nnz(nrows, ncols, nnz, Pattern::Uniform, seed)
+}
+
+/// Generates a dense matrix with uniform `[0, 1)` values.
+pub fn random_dense(nrows: usize, ncols: usize, seed: u64) -> DenseTensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = (0..nrows * ncols).map(|_| rng.gen::<f64>()).collect();
+    DenseTensor::from_data(vec![nrows, ncols], data)
+}
+
+/// Generates a sparse 3-tensor in CSF with `nnz` uniformly placed nonzeros.
+pub fn random_csf3(dims: [usize; 3], nnz: usize, seed: u64) -> Csf3 {
+    let cap = dims[0]
+        .saturating_mul(dims[1])
+        .saturating_mul(dims[2]);
+    let nnz = nnz.min(cap);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = HashSet::with_capacity(nnz * 2);
+    let mut quads = Vec::with_capacity(nnz);
+    while quads.len() < nnz {
+        let c = (rng.gen_range(0..dims[0]), rng.gen_range(0..dims[1]), rng.gen_range(0..dims[2]));
+        if seen.insert(c) {
+            quads.push((c.0, c.1, c.2, rng.gen::<f64>()));
+        }
+    }
+    Csf3::from_quads(dims, &quads)
+}
+
+/// Generates a sparse 3-tensor whose nonzeros cluster into fibers: about
+/// `nnz / fiber_len` distinct `(i, k)` fibers, each holding `~fiber_len`
+/// entries along the last mode.
+///
+/// Real tensors differ sharply in fiber density — NELL-2's long fibers are
+/// what make loop-invariant hoisting (the first MTTKRP workspace
+/// transformation) profitable, while Facebook's near-singleton fibers make
+/// it a loss (paper Section VIII-C).
+pub fn random_csf3_fibered(dims: [usize; 3], nnz: usize, fiber_len: f64, seed: u64) -> Csf3 {
+    assert!(fiber_len >= 1.0, "fibers hold at least one entry");
+    let cap = dims[0].saturating_mul(dims[1]).saturating_mul(dims[2]);
+    let nnz = nnz.min(cap);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Enough fibers that the target nnz fits (each fiber holds at most
+    // dims[2] entries).
+    let nfibers = ((nnz as f64 / fiber_len).ceil() as usize)
+        .max(nnz.div_ceil(dims[2].max(1)))
+        .clamp(1, dims[0].saturating_mul(dims[1]).max(1));
+    let mut fibers = HashSet::with_capacity(nfibers * 2);
+    while fibers.len() < nfibers {
+        fibers.insert((rng.gen_range(0..dims[0]), rng.gen_range(0..dims[1])));
+    }
+    let fibers: Vec<(usize, usize)> = fibers.into_iter().collect();
+    let mut seen = HashSet::with_capacity(nnz * 2);
+    let mut quads = Vec::with_capacity(nnz);
+    while quads.len() < nnz {
+        let (i, k) = fibers[rng.gen_range(0..fibers.len())];
+        let l = rng.gen_range(0..dims[2]);
+        if seen.insert((i, k, l)) {
+            quads.push((i, k, l, rng.gen::<f64>()));
+        }
+    }
+    Csf3::from_quads(dims, &quads)
+}
+
+/// Generates a sparse vector as a single-row CSR (convenience for tests).
+pub fn random_svec(len: usize, density: f64, seed: u64) -> Vec<(usize, f64)> {
+    let nnz = ((len as f64) * density).round() as usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = HashSet::new();
+    let mut out = Vec::with_capacity(nnz);
+    while out.len() < nnz.min(len) {
+        let i = rng.gen_range(0..len);
+        if seen.insert(i) {
+            out.push((i, rng.gen::<f64>()));
+        }
+    }
+    out.sort_by_key(|e| e.0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = random_csr(50, 50, 0.05, 42);
+        let b = random_csr(50, 50, 0.05, 42);
+        let c = random_csr(50, 50, 0.05, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hits_target_nnz() {
+        let a = random_csr_nnz(100, 100, 500, Pattern::Uniform, 1);
+        assert_eq!(a.nnz(), 500);
+        assert!(a.is_sorted());
+    }
+
+    #[test]
+    fn nnz_clamped_to_capacity() {
+        let a = random_csr_nnz(4, 4, 100, Pattern::Uniform, 1);
+        assert_eq!(a.nnz(), 16);
+    }
+
+    #[test]
+    fn banded_stays_in_band() {
+        let a = random_csr_nnz(100, 100, 400, Pattern::Banded(0.05), 7);
+        for r in 0..100 {
+            let (cols, _) = a.row(r);
+            for &c in cols {
+                assert!((c as i64 - r as i64).unsigned_abs() <= 12, "row {r} col {c} outside band");
+            }
+        }
+    }
+
+    #[test]
+    fn power_law_is_skewed() {
+        let a = random_csr_nnz(1000, 100, 5000, Pattern::PowerLaw, 3);
+        // The first rows (log-uniform head) should hold far more than the last.
+        let head: usize = (0..100).map(|r| a.row(r).0.len()).sum();
+        let tail: usize = (900..1000).map(|r| a.row(r).0.len()).sum();
+        assert!(head > 4 * tail, "expected skew: head={head} tail={tail}");
+    }
+
+    #[test]
+    fn csf3_generator() {
+        let t = random_csf3([20, 30, 40], 200, 5);
+        assert_eq!(t.nnz(), 200);
+        assert_eq!(t.dims(), [20, 30, 40]);
+    }
+
+    #[test]
+    fn dense_generator_shape() {
+        let d = random_dense(3, 5, 9);
+        assert_eq!(d.shape(), &[3, 5]);
+        assert!(d.data().iter().all(|v| (0.0..1.0).contains(v)));
+    }
+
+    #[test]
+    fn svec_sorted_unique() {
+        let v = random_svec(100, 0.2, 11);
+        assert!(v.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}

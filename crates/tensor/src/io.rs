@@ -1,0 +1,290 @@
+//! Text I/O for the exchange formats the paper's datasets ship in:
+//! MatrixMarket coordinate files (SuiteSparse) and FROSTT `.tns` files.
+//!
+//! With these parsers the benchmark harness can run against the *real*
+//! Table I datasets when they are available locally, instead of the
+//! synthetic stand-ins:
+//!
+//! ```no_run
+//! use taco_tensor::io::{read_matrix_market, read_tns};
+//!
+//! let b = read_matrix_market("bcsstk17.mtx")?;
+//! let t = read_tns("nell-2.tns", 3)?;
+//! # Ok::<(), taco_tensor::io::IoError>(())
+//! ```
+
+use crate::{Csf3, Csr, Tensor, TensorError};
+use std::error::Error;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Errors from reading or writing tensor exchange files.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is malformed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The parsed data could not form a tensor.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, detail } => write!(f, "parse error on line {line}: {detail}"),
+            IoError::Tensor(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for IoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Tensor(e) => Some(e),
+            IoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+impl From<TensorError> for IoError {
+    fn from(e: TensorError) -> Self {
+        IoError::Tensor(e)
+    }
+}
+
+fn parse<T: std::str::FromStr>(tok: Option<&str>, line: usize, what: &str) -> Result<T, IoError> {
+    tok.ok_or_else(|| IoError::Parse { line, detail: format!("missing {what}") })?
+        .parse::<T>()
+        .map_err(|_| IoError::Parse { line, detail: format!("invalid {what}") })
+}
+
+/// Reads a MatrixMarket coordinate file into a CSR matrix.
+///
+/// Supports the `matrix coordinate real/integer/pattern general/symmetric`
+/// headers used by the SuiteSparse collection. Pattern entries get value
+/// 1.0; symmetric files are expanded.
+///
+/// # Errors
+///
+/// Returns [`IoError`] on malformed input.
+pub fn read_matrix_market(path: impl AsRef<Path>) -> Result<Csr, IoError> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut lines = reader.lines().enumerate();
+
+    // Header.
+    let (mut pattern, mut symmetric) = (false, false);
+    let mut first_data: Option<(usize, String)> = None;
+    for (n, line) in lines.by_ref() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(header) = trimmed.strip_prefix("%%MatrixMarket") {
+            let h = header.to_ascii_lowercase();
+            if !h.contains("matrix") || !h.contains("coordinate") {
+                return Err(IoError::Parse {
+                    line: n + 1,
+                    detail: "only `matrix coordinate` files are supported".into(),
+                });
+            }
+            pattern = h.contains("pattern");
+            symmetric = h.contains("symmetric") || h.contains("skew-symmetric");
+            continue;
+        }
+        if trimmed.starts_with('%') {
+            continue;
+        }
+        first_data = Some((n + 1, trimmed.to_string()));
+        break;
+    }
+    let (size_line_no, size_line) =
+        first_data.ok_or(IoError::Parse { line: 0, detail: "missing size line".into() })?;
+    let mut toks = size_line.split_whitespace();
+    let nrows: usize = parse(toks.next(), size_line_no, "row count")?;
+    let ncols: usize = parse(toks.next(), size_line_no, "column count")?;
+    let nnz: usize = parse(toks.next(), size_line_no, "nonzero count")?;
+
+    let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(nnz * 2);
+    for (n, line) in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut toks = t.split_whitespace();
+        let r: usize = parse(toks.next(), n + 1, "row index")?;
+        let c: usize = parse(toks.next(), n + 1, "column index")?;
+        if r == 0 || c == 0 || r > nrows || c > ncols {
+            return Err(IoError::Parse { line: n + 1, detail: format!("index ({r},{c}) out of bounds") });
+        }
+        let v: f64 = if pattern { 1.0 } else { parse(toks.next(), n + 1, "value")? };
+        triplets.push((r - 1, c - 1, v));
+        if symmetric && r != c {
+            triplets.push((c - 1, r - 1, v));
+        }
+    }
+    Ok(Csr::from_triplets(nrows, ncols, &triplets))
+}
+
+/// Writes a CSR matrix as a MatrixMarket coordinate file (general, real).
+///
+/// # Errors
+///
+/// Returns [`IoError`] on I/O failure.
+pub fn write_matrix_market(path: impl AsRef<Path>, m: &Csr) -> Result<(), IoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "{} {} {}", m.nrows(), m.ncols(), m.nnz())?;
+    for i in 0..m.nrows() {
+        let (cs, vs) = m.row(i);
+        for (c, v) in cs.iter().zip(vs) {
+            writeln!(w, "{} {} {}", i + 1, c + 1, v)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a FROSTT `.tns` file of the given order into a [`Tensor`] in the
+/// all-compressed (CSF) format. Coordinates in `.tns` files are 1-based;
+/// dimensions are inferred from the data.
+///
+/// # Errors
+///
+/// Returns [`IoError`] on malformed input or the wrong order.
+pub fn read_tns(path: impl AsRef<Path>, order: usize) -> Result<Tensor, IoError> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut entries: Vec<(Vec<usize>, f64)> = Vec::new();
+    let mut dims = vec![0usize; order];
+    for (n, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let toks: Vec<&str> = t.split_whitespace().collect();
+        if toks.len() != order + 1 {
+            return Err(IoError::Parse {
+                line: n + 1,
+                detail: format!("expected {} fields, found {}", order + 1, toks.len()),
+            });
+        }
+        let mut coord = Vec::with_capacity(order);
+        for (m, tok) in toks[..order].iter().enumerate() {
+            let c: usize = parse(Some(tok), n + 1, "coordinate")?;
+            if c == 0 {
+                return Err(IoError::Parse { line: n + 1, detail: "coordinates are 1-based".into() });
+            }
+            dims[m] = dims[m].max(c);
+            coord.push(c - 1);
+        }
+        let v: f64 = parse(Some(toks[order]), n + 1, "value")?;
+        entries.push((coord, v));
+    }
+    if entries.is_empty() {
+        return Err(IoError::Parse { line: 0, detail: "empty tensor file".into() });
+    }
+    Ok(Tensor::from_entries(dims, crate::Format::compressed(order), entries)?)
+}
+
+/// Writes a rank-3 CSF tensor as a FROSTT `.tns` file.
+///
+/// # Errors
+///
+/// Returns [`IoError`] on I/O failure.
+pub fn write_tns(path: impl AsRef<Path>, t: &Csf3) -> Result<(), IoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    let tensor = t.to_tensor();
+    for (coord, v) in tensor.entries() {
+        writeln!(w, "{} {} {} {}", coord[0] + 1, coord[1] + 1, coord[2] + 1, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{random_csf3, random_csr};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("taco_ws_io_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn matrix_market_round_trip() {
+        let m = random_csr(20, 30, 0.1, 1);
+        let path = tmp("mm_rt.mtx");
+        write_matrix_market(&path, &m).unwrap();
+        let back = read_matrix_market(&path).unwrap();
+        assert!(m.approx_eq(&back, 1e-12));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn matrix_market_symmetric_and_pattern() {
+        let path = tmp("mm_sym.mtx");
+        std::fs::write(
+            &path,
+            "%%MatrixMarket matrix coordinate pattern symmetric\n% comment\n3 3 2\n2 1\n3 3\n",
+        )
+        .unwrap();
+        let m = read_matrix_market(&path).unwrap();
+        // (2,1) expands to (1,2); (3,3) is diagonal.
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.row(0).0, &[1]);
+        assert_eq!(m.row(1).0, &[0]);
+        assert_eq!(m.row(2).0, &[2]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn matrix_market_rejects_garbage() {
+        let path = tmp("mm_bad.mtx");
+        std::fs::write(&path, "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 3.0\n")
+            .unwrap();
+        let err = read_matrix_market(&path).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 3, .. }), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn tns_round_trip() {
+        let t = random_csf3([5, 6, 7], 40, 2);
+        let path = tmp("rt.tns");
+        write_tns(&path, &t).unwrap();
+        let back = read_tns(&path, 3).unwrap();
+        // Dims are inferred, so compare entries.
+        let expect = t.to_tensor();
+        for ((c1, v1), (c2, v2)) in expect.entries().iter().zip(back.entries()) {
+            assert_eq!(*c1, c2);
+            assert!((v1 - v2).abs() < 1e-12);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn tns_wrong_order_rejected() {
+        let path = tmp("bad.tns");
+        std::fs::write(&path, "1 2 3 4 5.0\n").unwrap();
+        assert!(matches!(read_tns(&path, 3), Err(IoError::Parse { .. })));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,371 @@
+use crate::{DenseTensor, Format, Result, TensorBuilder, TensorError};
+
+/// Storage of a single tensor level (mode).
+///
+/// A tensor of rank *k* is stored as a hierarchy of *k* levels. Each level
+/// stores, for every *position* of its parent level, the coordinates present
+/// in this mode. A [`ModeStorage::Dense`] level stores all `0..dim`
+/// coordinates implicitly; a [`ModeStorage::Compressed`] level stores a
+/// `pos`/`crd` pair exactly as in Figure 1b of the paper: the children of
+/// parent position `p` live at positions `pos[p]..pos[p+1]`, and `crd[q]` is
+/// the coordinate at position `q`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModeStorage {
+    /// Dense level: all coordinates in `0..dim` exist at every parent
+    /// position. Child position = `parent_pos * dim + coord`.
+    Dense {
+        /// Dimension of this mode.
+        dim: usize,
+    },
+    /// Compressed level: explicit segment boundaries and coordinates.
+    Compressed {
+        /// `pos[p]..pos[p+1]` is the position range of parent position `p`.
+        pos: Vec<usize>,
+        /// `crd[q]` is the coordinate stored at position `q`.
+        crd: Vec<usize>,
+    },
+}
+
+impl ModeStorage {
+    /// Number of positions (stored entries) at this level given the parent
+    /// level had `parent_positions` positions.
+    pub fn num_positions(&self, parent_positions: usize) -> usize {
+        match self {
+            ModeStorage::Dense { dim } => parent_positions * dim,
+            ModeStorage::Compressed { pos, .. } => *pos.last().unwrap_or(&0),
+        }
+    }
+}
+
+/// A sparse (or dense) tensor stored level by level.
+///
+/// The value array stores one `f64` per position of the innermost level, in
+/// position order — exactly the layout taco generates code against.
+///
+/// Construct tensors with [`Tensor::from_entries`], [`TensorBuilder`], or
+/// [`Tensor::from_dense`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    format: Format,
+    modes: Vec<ModeStorage>,
+    vals: Vec<f64>,
+}
+
+impl Tensor {
+    /// Creates a tensor directly from its level storage and values.
+    ///
+    /// This is the raw constructor used by builders and kernel output
+    /// extraction; most callers want [`Tensor::from_entries`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of levels does not match the shape/format rank,
+    /// or if `vals` does not have one value per innermost position.
+    pub fn from_parts(
+        shape: Vec<usize>,
+        format: Format,
+        modes: Vec<ModeStorage>,
+        vals: Vec<f64>,
+    ) -> Self {
+        assert_eq!(shape.len(), format.rank(), "shape/format rank mismatch");
+        assert_eq!(shape.len(), modes.len(), "shape/levels rank mismatch");
+        let mut positions = 1;
+        for m in &modes {
+            positions = m.num_positions(positions);
+        }
+        assert_eq!(positions, vals.len(), "vals length must match innermost positions");
+        Tensor { shape, format, modes, vals }
+    }
+
+    /// Builds a tensor from `(coordinate, value)` entries.
+    ///
+    /// Duplicate coordinates are summed; explicit zeros are kept (they are
+    /// stored nonzeros, as in taco).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the format rank does not match the shape, or any
+    /// entry is out of bounds.
+    pub fn from_entries(
+        shape: Vec<usize>,
+        format: Format,
+        entries: Vec<(Vec<usize>, f64)>,
+    ) -> Result<Self> {
+        let mut b = TensorBuilder::new(shape, format)?;
+        for (coord, val) in entries {
+            b.insert(&coord, val)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Converts a dense tensor into this format, keeping only nonzeros in
+    /// compressed levels.
+    pub fn from_dense(dense: &DenseTensor, format: Format) -> Result<Self> {
+        let mut b = TensorBuilder::new(dense.shape().to_vec(), format.clone())?;
+        if format.is_all_dense() {
+            // Preserve every component, including zeros.
+            return Ok(Tensor::from_parts(
+                dense.shape().to_vec(),
+                Format::dense(dense.rank()),
+                dense.shape().iter().map(|d| ModeStorage::Dense { dim: *d }).collect(),
+                dense.data().to_vec(),
+            ));
+        }
+        for (coord, val) in dense.iter_nonzeros() {
+            b.insert(&coord, val)?;
+        }
+        Ok(b.build())
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The dimension of mode `level`.
+    pub fn dim(&self, level: usize) -> usize {
+        self.shape[level]
+    }
+
+    /// Number of modes.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// The storage format.
+    pub fn format(&self) -> &Format {
+        &self.format
+    }
+
+    /// The storage of level `level`.
+    pub fn mode_storage(&self, level: usize) -> &ModeStorage {
+        &self.modes[level]
+    }
+
+    /// The `pos` array of a compressed level.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the level is dense.
+    pub fn pos(&self, level: usize) -> Result<&[usize]> {
+        match &self.modes[level] {
+            ModeStorage::Compressed { pos, .. } => Ok(pos),
+            ModeStorage::Dense { .. } => {
+                Err(TensorError::FormatMismatch { expected: "compressed level" })
+            }
+        }
+    }
+
+    /// The `crd` array of a compressed level.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the level is dense.
+    pub fn crd(&self, level: usize) -> Result<&[usize]> {
+        match &self.modes[level] {
+            ModeStorage::Compressed { crd, .. } => Ok(crd),
+            ModeStorage::Dense { .. } => {
+                Err(TensorError::FormatMismatch { expected: "compressed level" })
+            }
+        }
+    }
+
+    /// The value array (one value per innermost position).
+    pub fn vals(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Number of stored components.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Collects all stored `(coordinate, value)` entries in lexicographic
+    /// coordinate order.
+    pub fn entries(&self) -> Vec<(Vec<usize>, f64)> {
+        let mut out = Vec::with_capacity(self.vals.len());
+        let mut coord = vec![0usize; self.rank()];
+        self.walk(0, 0, &mut coord, &mut out);
+        out
+    }
+
+    fn walk(&self, level: usize, parent_pos: usize, coord: &mut Vec<usize>, out: &mut Vec<(Vec<usize>, f64)>) {
+        if level == self.rank() {
+            out.push((coord.clone(), self.vals[parent_pos]));
+            return;
+        }
+        match &self.modes[level] {
+            ModeStorage::Dense { dim } => {
+                for c in 0..*dim {
+                    coord[level] = c;
+                    self.walk(level + 1, parent_pos * dim + c, coord, out);
+                }
+            }
+            ModeStorage::Compressed { pos, crd } => {
+                for p in pos[parent_pos]..pos[parent_pos + 1] {
+                    coord[level] = crd[p];
+                    self.walk(level + 1, p, coord, out);
+                }
+            }
+        }
+    }
+
+    /// Converts to a dense tensor.
+    pub fn to_dense(&self) -> DenseTensor {
+        let mut out = DenseTensor::zeros(self.shape.clone());
+        for (coord, val) in self.entries() {
+            out.add(&coord, val);
+        }
+        out
+    }
+
+    /// True if this tensor and `other` represent the same mathematical
+    /// tensor up to tolerance `tol`, regardless of format (absent entries
+    /// compare as zero).
+    pub fn approx_eq(&self, other: &Tensor, tol: f64) -> bool {
+        if self.shape != other.shape {
+            return false;
+        }
+        // Merge the two sorted entry streams.
+        let a = self.entries();
+        let b = other.entries();
+        let (mut i, mut j) = (0, 0);
+        let close = |x: f64, y: f64| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs()));
+        while i < a.len() || j < b.len() {
+            if j == b.len() || (i < a.len() && a[i].0 < b[j].0) {
+                if !close(a[i].1, 0.0) {
+                    return false;
+                }
+                i += 1;
+            } else if i == a.len() || b[j].0 < a[i].0 {
+                if !close(0.0, b[j].1) {
+                    return false;
+                }
+                j += 1;
+            } else {
+                if !close(a[i].1, b[j].1) {
+                    return false;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The matrix of Figure 1a/1b of the paper.
+    fn fig1_matrix() -> Tensor {
+        Tensor::from_entries(
+            vec![4, 4],
+            Format::csr(),
+            vec![
+                (vec![0, 1], 1.0),
+                (vec![0, 3], 2.0),
+                (vec![2, 2], 3.0),
+                (vec![3, 0], 4.0),
+                (vec![3, 1], 5.0),
+                (vec![3, 2], 6.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn csr_arrays_match_paper_figure_1b() {
+        let b = fig1_matrix();
+        assert_eq!(b.pos(1).unwrap(), &[0, 2, 2, 3, 6]);
+        assert_eq!(b.crd(1).unwrap(), &[1, 3, 2, 0, 1, 2]);
+        assert_eq!(b.vals(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn entries_round_trip() {
+        let b = fig1_matrix();
+        let entries = b.entries();
+        let b2 = Tensor::from_entries(vec![4, 4], Format::csr(), entries).unwrap();
+        assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn to_dense_and_back() {
+        let b = fig1_matrix();
+        let d = b.to_dense();
+        assert_eq!(d.get(&[3, 2]), 6.0);
+        assert_eq!(d.get(&[1, 1]), 0.0);
+        let b2 = Tensor::from_dense(&d, Format::csr()).unwrap();
+        assert!(b.approx_eq(&b2, 0.0));
+    }
+
+    #[test]
+    fn duplicate_entries_are_summed() {
+        let t = Tensor::from_entries(
+            vec![3],
+            Format::svec(),
+            vec![(vec![1], 2.0), (vec![1], 3.0)],
+        )
+        .unwrap();
+        assert_eq!(t.nnz(), 1);
+        assert_eq!(t.vals(), &[5.0]);
+    }
+
+    #[test]
+    fn approx_eq_across_formats() {
+        let d = {
+            let mut d = DenseTensor::zeros(vec![3, 3]);
+            d.set(&[0, 2], 1.5);
+            d.set(&[2, 0], -2.5);
+            d
+        };
+        let csr = Tensor::from_dense(&d, Format::csr()).unwrap();
+        let dcsr = Tensor::from_dense(&d, Format::dcsr()).unwrap();
+        let dense = Tensor::from_dense(&d, Format::dense(2)).unwrap();
+        assert!(csr.approx_eq(&dcsr, 0.0));
+        assert!(csr.approx_eq(&dense, 0.0));
+        assert!(dense.approx_eq(&csr, 0.0));
+    }
+
+    #[test]
+    fn approx_eq_detects_differences() {
+        let a = Tensor::from_entries(vec![3], Format::svec(), vec![(vec![0], 1.0)]).unwrap();
+        let b = Tensor::from_entries(vec![3], Format::svec(), vec![(vec![0], 2.0)]).unwrap();
+        let c = Tensor::from_entries(vec![3], Format::svec(), vec![(vec![1], 1.0)]).unwrap();
+        assert!(!a.approx_eq(&b, 1e-9));
+        assert!(!a.approx_eq(&c, 1e-9));
+    }
+
+    #[test]
+    fn csf3_storage() {
+        let t = Tensor::from_entries(
+            vec![2, 3, 4],
+            Format::csf3(),
+            vec![
+                (vec![0, 1, 2], 1.0),
+                (vec![0, 1, 3], 2.0),
+                (vec![1, 0, 0], 3.0),
+                (vec![1, 2, 1], 4.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(t.pos(0).unwrap(), &[0, 2]);
+        assert_eq!(t.crd(0).unwrap(), &[0, 1]);
+        assert_eq!(t.pos(1).unwrap(), &[0, 1, 3]);
+        assert_eq!(t.crd(1).unwrap(), &[1, 0, 2]);
+        assert_eq!(t.pos(2).unwrap(), &[0, 2, 3, 4]);
+        assert_eq!(t.crd(2).unwrap(), &[2, 3, 0, 1]);
+        assert_eq!(t.vals(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn dense_format_tensor_stores_zeros() {
+        let d = DenseTensor::from_data(vec![2, 2], vec![0.0, 1.0, 0.0, 0.0]);
+        let t = Tensor::from_dense(&d, Format::dense(2)).unwrap();
+        assert_eq!(t.nnz(), 4); // all positions stored
+        assert_eq!(t.vals(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+}

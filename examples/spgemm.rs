@@ -1,0 +1,84 @@
+//! Sparse matrix multiplication case study (paper Section II + VIII-B).
+//!
+//! Compiles the workspace SpGEMM kernel, compares it against the dense
+//! oracle and the hand-written Gustavson kernel, and prints a small
+//! performance comparison against the Eigen-style and MKL-style baselines
+//! on a Table I stand-in.
+//!
+//! ```text
+//! cargo run --release --example spgemm
+//! ```
+
+use std::time::Instant;
+use taco_core::oracle::eval_dense;
+use taco_kernels::spgemm::{
+    spgemm_eigen_style, spgemm_mkl_style, spgemm_workspace_sorted, spgemm_workspace_unsorted,
+};
+use taco_tensor::datasets::matrix_by_name;
+use taco_tensor::gen::random_csr;
+use taco_workspaces::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Correctness: compiled kernel vs oracle on a small instance -------
+    let n = 32;
+    let a = TensorVar::new("A", vec![n, n], Format::csr());
+    let b = TensorVar::new("B", vec![n, n], Format::csr());
+    let c = TensorVar::new("C", vec![n, n], Format::csr());
+    let (i, j, k) = (IndexVar::new("i"), IndexVar::new("j"), IndexVar::new("k"));
+    let mul = b.access([i.clone(), k.clone()]) * c.access([k.clone(), j.clone()]);
+    let source =
+        IndexAssignment::assign(a.access([i.clone(), j.clone()]), sum(k.clone(), mul.clone()));
+
+    let mut stmt = IndexStmt::new(source.clone())?;
+    stmt.reorder(&k, &j)?;
+    let w = TensorVar::new("w", vec![n], Format::dvec());
+    stmt.precompute(&mul, &[(j.clone(), j.clone(), j.clone())], &w)?;
+    let kernel = stmt.compile(LowerOptions::fused("spgemm"))?;
+
+    let bm = random_csr(n, n, 0.2, 1);
+    let cm = random_csr(n, n, 0.2, 2);
+    let (bt, ct) = (bm.to_tensor(), cm.to_tensor());
+    let out = kernel.run(&[("B", &bt), ("C", &ct)])?;
+    let oracle = eval_dense(&source, &[("B", &bt), ("C", &ct)])?;
+    assert!(out.to_dense().approx_eq(&oracle, 1e-10));
+    println!("compiled workspace SpGEMM matches the dense oracle on {n}x{n} (nnz={})", out.nnz());
+
+    let native = spgemm_workspace_sorted(&bm, &cm);
+    assert!(Csr::from_tensor(&out)?.approx_eq(&native, 1e-12));
+    println!("compiled kernel matches the native Gustavson workspace kernel\n");
+
+    // --- Performance shape: workspace vs library baselines ----------------
+    let info = matrix_by_name("pdb1HYS").expect("table 1 matrix");
+    let big = info.generate(0.05);
+    let synth = random_csr(big.nrows(), big.ncols(), 4e-4, 3);
+    println!(
+        "pdb1HYS stand-in ({}x{}, nnz {}) times synthetic density 4E-4:",
+        big.nrows(),
+        big.ncols(),
+        big.nnz()
+    );
+
+    let time = |name: &str, f: &dyn Fn() -> Csr| {
+        let mut best = f64::MAX;
+        let mut nnz = 0;
+        for _ in 0..4 {
+            let start = Instant::now();
+            let r = f();
+            best = best.min(start.elapsed().as_secs_f64());
+            nnz = r.nnz();
+        }
+        println!("  {name:<22} {:>10.3} ms  (nnz {nnz})", best * 1e3);
+        best
+    };
+    let tw = time("workspace sorted", &|| spgemm_workspace_sorted(&big, &synth));
+    let te = time("Eigen-style sorted", &|| spgemm_eigen_style(&big, &synth));
+    let tu = time("workspace unsorted", &|| spgemm_workspace_unsorted(&big, &synth));
+    let tm = time("MKL-style unsorted", &|| spgemm_mkl_style(&big, &synth));
+    println!(
+        "\nEigen-style / workspace-sorted: {:.2}x   MKL-style / workspace-unsorted: {:.2}x",
+        te / tw,
+        tm / tu
+    );
+    println!("(paper: 4x over Eigen, 1.28x over MKL at full scale)");
+    Ok(())
+}

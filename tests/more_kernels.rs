@@ -1,0 +1,227 @@
+//! Integration tests for kernel shapes beyond the paper's figures:
+//! DCSR operands, rank-1 sparse results, subtraction, scalar literals, and
+//! multi-way union merges — all checked against the dense oracle.
+
+use taco_core::oracle::eval_dense;
+use taco_core::IndexStmt;
+use taco_ir::expr::{sum, IndexExpr, IndexVar, TensorVar};
+use taco_ir::notation::IndexAssignment;
+use taco_lower::LowerOptions;
+use taco_tensor::gen::{random_csr, random_svec};
+use taco_tensor::{DenseTensor, Format, Tensor};
+
+fn iv(n: &str) -> IndexVar {
+    IndexVar::new(n)
+}
+
+fn svec_tensor(n: usize, entries: &[(usize, f64)]) -> Tensor {
+    Tensor::from_entries(
+        vec![n],
+        Format::svec(),
+        entries.iter().map(|(i, v)| (vec![*i], *v)).collect(),
+    )
+    .unwrap()
+}
+
+fn check(stmt: &IndexAssignment, result: &Tensor, inputs: &[(&str, &Tensor)]) {
+    let expect = eval_dense(stmt, inputs).expect("oracle evaluates");
+    assert!(
+        result.to_dense().approx_eq(&expect, 1e-10),
+        "kernel disagrees with oracle for {stmt}:\nexpected {expect}\ngot      {}",
+        result.to_dense()
+    );
+}
+
+/// SpMV with a doubly-compressed (DCSR) matrix: both levels iterate
+/// sparsely, including the outer row level.
+#[test]
+fn spmv_with_dcsr_matrix() {
+    let n = 30;
+    let a = TensorVar::new("a", vec![n], Format::dvec());
+    let b = TensorVar::new("B", vec![n, n], Format::dcsr());
+    let x = TensorVar::new("x", vec![n], Format::dvec());
+    let (i, j) = (iv("i"), iv("j"));
+    let source = IndexAssignment::assign(
+        a.access([i.clone()]),
+        sum(j.clone(), b.access([i.clone(), j.clone()]) * x.access([j.clone()])),
+    );
+    let stmt = IndexStmt::new(source.clone()).unwrap();
+    let kernel = stmt.compile(LowerOptions::compute("spmv_dcsr")).unwrap();
+    // The outer loop iterates B's compressed row level, not 0..n.
+    let src = kernel.to_c();
+    assert!(src.contains("B1_pos[0]"), "outer loop over B's compressed rows:\n{src}");
+
+    let bm = random_csr(n, n, 0.1, 1);
+    let bt = Tensor::from_dense(
+        &DenseTensor::from_data(vec![n, n], bm.to_dense_vec()),
+        Format::dcsr(),
+    )
+    .unwrap();
+    let xt = Tensor::from_dense(
+        &DenseTensor::from_data(vec![n], (0..n).map(|v| v as f64 * 0.5).collect()),
+        Format::dvec(),
+    )
+    .unwrap();
+    let out = kernel.run(&[("B", &bt), ("x", &xt)]).unwrap();
+    check(&source, &out, &[("B", &bt), ("x", &xt)]);
+}
+
+/// Sparse vector addition with a *sparse* rank-1 result: the pos array has
+/// a single segment closed at the kernel root.
+#[test]
+fn sparse_vector_add_sparse_result() {
+    let n = 40;
+    let a = TensorVar::new("a", vec![n], Format::svec());
+    let b = TensorVar::new("b", vec![n], Format::svec());
+    let c = TensorVar::new("c", vec![n], Format::svec());
+    let i = iv("i");
+    let source = IndexAssignment::assign(
+        a.access([i.clone()]),
+        b.access([i.clone()]) + c.access([i.clone()]),
+    );
+    let stmt = IndexStmt::new(source.clone()).unwrap();
+    // Merge union append, fused assembly.
+    let kernel = stmt.compile(LowerOptions::fused("svec_add")).unwrap();
+
+    let bv = random_svec(n, 0.2, 2);
+    let cv = random_svec(n, 0.25, 3);
+    let bt = svec_tensor(n, &bv);
+    let ct = svec_tensor(n, &cv);
+    let out = kernel.run(&[("b", &bt), ("c", &ct)]).unwrap();
+    check(&source, &out, &[("b", &bt), ("c", &ct)]);
+
+    // Structure is exactly the union of the operand coordinate sets.
+    let mut union: Vec<usize> = bv.iter().chain(&cv).map(|(k, _)| *k).collect();
+    union.sort_unstable();
+    union.dedup();
+    assert_eq!(out.crd(0).unwrap(), &union[..]);
+    assert_eq!(out.pos(0).unwrap(), &[0, union.len()]);
+}
+
+/// Subtraction lowers through union merges with negated lone subtrahends.
+#[test]
+fn sparse_vector_subtraction() {
+    let n = 25;
+    let a = TensorVar::new("a", vec![n], Format::dvec());
+    let b = TensorVar::new("b", vec![n], Format::svec());
+    let c = TensorVar::new("c", vec![n], Format::svec());
+    let i = iv("i");
+    let source = IndexAssignment::assign(
+        a.access([i.clone()]),
+        IndexExpr::Sub(
+            Box::new(b.access([i.clone()]).into()),
+            Box::new(c.access([i.clone()]).into()),
+        ),
+    );
+    let stmt = IndexStmt::new(source.clone()).unwrap();
+    let kernel = stmt.compile(LowerOptions::compute("vec_sub")).unwrap();
+    let bt = svec_tensor(n, &random_svec(n, 0.3, 4));
+    let ct = svec_tensor(n, &random_svec(n, 0.3, 5));
+    let out = kernel.run(&[("b", &bt), ("c", &ct)]).unwrap();
+    check(&source, &out, &[("b", &bt), ("c", &ct)]);
+}
+
+/// Scalar literals in expressions: `A(i,j) = 2.5 * B(i,j)`.
+#[test]
+fn literal_scaling() {
+    let n = 15;
+    let a = TensorVar::new("A", vec![n, n], Format::dense(2));
+    let b = TensorVar::new("B", vec![n, n], Format::csr());
+    let (i, j) = (iv("i"), iv("j"));
+    let source = IndexAssignment::assign(
+        a.access([i.clone(), j.clone()]),
+        IndexExpr::Literal(2.5) * b.access([i.clone(), j.clone()]),
+    );
+    let stmt = IndexStmt::new(source.clone()).unwrap();
+    let kernel = stmt.compile(LowerOptions::compute("scale")).unwrap();
+    let bt = random_csr(n, n, 0.3, 6).to_tensor();
+    let out = kernel.run(&[("B", &bt)]).unwrap();
+    check(&source, &out, &[("B", &bt)]);
+}
+
+/// Three-way union: the merge lattice has seven points and the generated
+/// code has a loop per point (Figure 5a generalized).
+#[test]
+fn three_way_union_merge() {
+    let n = 20;
+    let fmt = Format::csr();
+    let a = TensorVar::new("A", vec![n, n], fmt.clone());
+    let b = TensorVar::new("B", vec![n, n], fmt.clone());
+    let c = TensorVar::new("C", vec![n, n], fmt.clone());
+    let d = TensorVar::new("D", vec![n, n], fmt.clone());
+    let (i, j) = (iv("i"), iv("j"));
+    let source = IndexAssignment::assign(
+        a.access([i.clone(), j.clone()]),
+        IndexExpr::from(b.access([i.clone(), j.clone()]))
+            + c.access([i.clone(), j.clone()])
+            + d.access([i.clone(), j.clone()]),
+    );
+    let stmt = IndexStmt::new(source.clone()).unwrap();
+    let kernel = stmt.compile(LowerOptions::fused("add3")).unwrap();
+    let src = kernel.to_c();
+    assert_eq!(src.matches("while (").count(), 7, "one loop per lattice point:\n{src}");
+
+    let bt = random_csr(n, n, 0.08, 7).to_tensor();
+    let ct = random_csr(n, n, 0.08, 8).to_tensor();
+    let dt = random_csr(n, n, 0.08, 9).to_tensor();
+    let out = kernel.run(&[("B", &bt), ("C", &ct), ("D", &dt)]).unwrap();
+    check(&source, &out, &[("B", &bt), ("C", &ct), ("D", &dt)]);
+
+    // Agrees with the native k-way merge.
+    let native = taco_kernels::add::add_kway_merge(&[
+        &taco_tensor::Csr::from_tensor(&bt).unwrap(),
+        &taco_tensor::Csr::from_tensor(&ct).unwrap(),
+        &taco_tensor::Csr::from_tensor(&dt).unwrap(),
+    ]);
+    assert!(taco_tensor::Csr::from_tensor(&out).unwrap().approx_eq(&native, 1e-12));
+}
+
+/// Mixed expression: product inside a union, `a = b*c + d` over sparse
+/// vectors — the lattice of Section VI's mixed product/sum example.
+#[test]
+fn product_inside_union() {
+    let n = 30;
+    let a = TensorVar::new("a", vec![n], Format::dvec());
+    let b = TensorVar::new("b", vec![n], Format::svec());
+    let c = TensorVar::new("c", vec![n], Format::svec());
+    let d = TensorVar::new("d", vec![n], Format::svec());
+    let i = iv("i");
+    let source = IndexAssignment::assign(
+        a.access([i.clone()]),
+        b.access([i.clone()]) * c.access([i.clone()]) + d.access([i.clone()]),
+    );
+    let stmt = IndexStmt::new(source.clone()).unwrap();
+    let kernel = stmt.compile(LowerOptions::compute("bc_plus_d")).unwrap();
+
+    let bt = svec_tensor(n, &random_svec(n, 0.3, 10));
+    let ct = svec_tensor(n, &random_svec(n, 0.3, 11));
+    let dt = svec_tensor(n, &random_svec(n, 0.3, 12));
+    let out = kernel.run(&[("b", &bt), ("c", &ct), ("d", &dt)]).unwrap();
+    check(&source, &out, &[("b", &bt), ("c", &ct), ("d", &dt)]);
+}
+
+/// A dense matrix times a sparse vector from the right: dense loops over
+/// the matrix with a located sparse operand are rejected (dense union is
+/// not needed — multiplication restricts to the vector's nonzeros).
+#[test]
+fn dense_matrix_sparse_vector() {
+    let n = 18;
+    let a = TensorVar::new("a", vec![n], Format::dvec());
+    let b = TensorVar::new("B", vec![n, n], Format::dense(2));
+    let x = TensorVar::new("x", vec![n], Format::svec());
+    let (i, j) = (iv("i"), iv("j"));
+    let source = IndexAssignment::assign(
+        a.access([i.clone()]),
+        sum(j.clone(), b.access([i.clone(), j.clone()]) * x.access([j.clone()])),
+    );
+    let stmt = IndexStmt::new(source.clone()).unwrap();
+    let kernel = stmt.compile(LowerOptions::compute("gemv_sparse_x")).unwrap();
+    // The j loop iterates x's nonzeros only.
+    assert!(kernel.to_c().contains("x1_pos"), "j loop driven by x:\n{}", kernel.to_c());
+
+    let bd = taco_tensor::gen::random_dense(n, n, 13);
+    let bt = Tensor::from_dense(&bd, Format::dense(2)).unwrap();
+    let xt = svec_tensor(n, &random_svec(n, 0.4, 14));
+    let out = kernel.run(&[("B", &bt), ("x", &xt)]).unwrap();
+    check(&source, &out, &[("B", &bt), ("x", &xt)]);
+}
