@@ -30,7 +30,7 @@ pub fn fig11_workloads(scale: f64) -> Vec<SpgemmWorkload> {
         let b = m.generate(scale);
         let n = b.nrows();
         for density in [4e-4, 1e-4] {
-            let c = random_csr(n, n, density, 0xF16_11 + m.id as u64);
+            let c = random_csr(n, n, density, 0x000F_1611 + m.id as u64);
             out.push(SpgemmWorkload { id: m.id, name: m.name, b: b.clone(), c, density });
         }
     }
@@ -59,8 +59,8 @@ pub fn fig12_workloads(scale: f64, rank: usize, max_dim: usize) -> Vec<MttkrpWor
         .map(|t| {
             let b = t.generate(scale, max_dim);
             let [_, dk, dl] = b.dims();
-            let c = dense_mat(dl, rank, 0xF16_12);
-            let d = dense_mat(dk, rank, 0xF16_13);
+            let c = dense_mat(dl, rank, 0x000F_1612);
+            let d = dense_mat(dk, rank, 0x000F_1613);
             MttkrpWorkload { name: t.name, b, c, d }
         })
         .collect()
@@ -74,8 +74,8 @@ pub fn dense_mat(rows: usize, cols: usize, seed: u64) -> DenseMat {
 
 /// Sparse factor matrices for the Figure 12 (right) density sweep.
 pub fn sparse_factors(dk: usize, dl: usize, rank: usize, density: f64) -> (Csr, Csr) {
-    let c = random_csr(dl, rank, density, 0xF16_14);
-    let d = random_csr(dk, rank, density, 0xF16_15);
+    let c = random_csr(dl, rank, density, 0x000F_1614);
+    let d = random_csr(dk, rank, density, 0x000F_1615);
     (c, d)
 }
 
@@ -97,7 +97,7 @@ pub fn fig13_operands(n: usize, count: usize) -> Vec<Csr> {
             } else {
                 1e-3
             };
-            random_csr(n, n, density, 0xF16_30 + x as u64)
+            random_csr(n, n, density, 0x000F_1630 + x as u64)
         })
         .collect()
 }

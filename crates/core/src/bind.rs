@@ -30,6 +30,13 @@ pub(crate) fn bind_operand(
             expected: format!("shape {:?} format {}", var.shape(), var.format()),
         });
     }
+    // Reject corrupted storage before the executor can index with it: the
+    // generated kernels trust pos/crd invariants the way the paper's C code
+    // does.
+    t.validate().map_err(|e| CoreError::OperandMismatch {
+        name: var.name().to_string(),
+        expected: format!("valid {} storage: {e}", var.format()),
+    })?;
     for l in 0..t.rank() {
         b.set_scalar(dim_name(var.name(), l), t.dim(l) as i64);
         if var.format().mode(l) == ModeFormat::Compressed {
@@ -77,6 +84,10 @@ pub(crate) fn bind_result(
                             ),
                         });
                     }
+                    s.validate().map_err(|e| CoreError::OperandMismatch {
+                        name: name.to_string(),
+                        expected: format!("valid output structure: {e}"),
+                    })?;
                     b.set_usize(pos_name(name, l), s.pos(l)?);
                     b.set_usize(crd_name(name, l), s.crd(l)?);
                     b.set_f64(name, vec![0.0; s.nnz()]);
@@ -140,9 +151,22 @@ pub(crate) fn extract_result(
                     .and_then(|n| b.scalar_output(n))
                     .map(|v| v as usize)
                     .unwrap_or(*pos.last().unwrap_or(&0));
+                // The kernel owns these arrays during the run, so treat their
+                // relative sizes as untrusted when rebuilding the tensor.
+                let inconsistent = |detail: String| {
+                    CoreError::Tensor(taco_tensor::TensorError::InvalidStorage { level: l, detail })
+                };
                 let vals: Vec<f64> = if kind == KernelKind::Fused {
-                    b.f64_array(name)
-                        .ok_or_else(|| CoreError::UnknownOperand(name.to_string()))?[..nnz]
+                    let all = b
+                        .f64_array(name)
+                        .ok_or_else(|| CoreError::UnknownOperand(name.to_string()))?;
+                    all.get(..nnz)
+                        .ok_or_else(|| {
+                            inconsistent(format!(
+                                "kernel reported {nnz} result entries but produced {}",
+                                all.len()
+                            ))
+                        })?
                         .to_vec()
                 } else {
                     vec![0.0; nnz]
@@ -160,10 +184,30 @@ pub(crate) fn extract_result(
                         coord[k] = rem % d;
                         rem /= d;
                     }
-                    for q in pos[p]..pos[p + 1] {
+                    let seg = pos.get(p..=p + 1).ok_or_else(|| {
+                        inconsistent(format!(
+                            "result pos has {} entries, expected {}",
+                            pos.len(),
+                            parents + 1
+                        ))
+                    })?;
+                    let (lo, hi) = (seg[0], seg[1]);
+                    for q in lo..hi {
                         let mut full = coord.clone();
-                        full.push(crd[q]);
-                        entries.push((full, vals[q]));
+                        let c = crd.get(q).ok_or_else(|| {
+                            inconsistent(format!(
+                                "result pos segment {lo}..{hi} exceeds crd length {}",
+                                crd.len()
+                            ))
+                        })?;
+                        let v = vals.get(q).ok_or_else(|| {
+                            inconsistent(format!(
+                                "result pos segment {lo}..{hi} exceeds value count {}",
+                                vals.len()
+                            ))
+                        })?;
+                        full.push(*c);
+                        entries.push((full, *v));
                     }
                 }
                 Ok(Tensor::from_entries(var.shape().to_vec(), var.format().clone(), entries)?)

@@ -28,6 +28,19 @@ pub enum CoreError {
     /// A compute kernel with a sparse result needs a pre-assembled output
     /// structure.
     MissingOutputStructure,
+    /// A resource budget was exceeded, at compile time (workspace footprint
+    /// with no viable fallback) or at run time (allocation or iteration
+    /// limits).
+    BudgetExceeded {
+        /// Which budgeted resource was exhausted.
+        resource: taco_llir::BudgetResource,
+        /// The configured limit.
+        limit: u64,
+        /// The amount that was requested or reached.
+        requested: u64,
+        /// The array or workspace involved, when known.
+        context: Option<String>,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -47,6 +60,13 @@ impl fmt::Display for CoreError {
                 "compute kernels with sparse results require a pre-assembled output structure; \
                  pass one with `run_with` or use a fused kernel"
             ),
+            CoreError::BudgetExceeded { resource, limit, requested, context } => {
+                write!(f, "resource budget exceeded: {resource} limit {limit}, needed {requested}")?;
+                if let Some(ctx) = context {
+                    write!(f, " (for `{ctx}`)")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -81,7 +101,14 @@ impl From<taco_llir::CompileError> for CoreError {
 }
 impl From<taco_llir::RunError> for CoreError {
     fn from(e: taco_llir::RunError) -> Self {
-        CoreError::Run(e)
+        // Budget violations get their own structured variant so callers can
+        // distinguish "over budget" from genuine execution failures.
+        match e {
+            taco_llir::RunError::BudgetExceeded { resource, limit, requested, array } => {
+                CoreError::BudgetExceeded { resource, limit, requested, context: array }
+            }
+            other => CoreError::Run(other),
+        }
     }
 }
 impl From<taco_tensor::TensorError> for CoreError {

@@ -53,7 +53,8 @@ pub mod parse;
 mod schedule;
 
 pub use error::CoreError;
-pub use schedule::{CompiledKernel, IndexStmt};
+pub use schedule::{CompiledKernel, FallbackEvent, IndexStmt};
+pub use taco_llir::{BudgetResource, ResourceBudget};
 
 /// Result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

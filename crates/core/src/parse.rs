@@ -77,7 +77,7 @@ impl Declarations {
 /// # Ok::<(), taco_core::CoreError>(())
 /// ```
 pub fn parse_assignment(input: &str, decls: &Declarations) -> Result<IndexAssignment> {
-    let mut p = Parser { toks: tokenize(input)?, pos: 0, decls };
+    let mut p = Parser { toks: tokenize(input)?, pos: 0, depth: 0, decls };
     let lhs = p.parse_access()?;
     p.expect(Tok::Eq)?;
     let mut rhs = p.parse_expr()?;
@@ -188,9 +188,15 @@ fn tokenize(input: &str) -> Result<Vec<Tok>> {
     Ok(out)
 }
 
+/// Nesting depth at which parsing gives up. Recursive descent uses the call
+/// stack, so pathological inputs like `((((((...` must be cut off with an
+/// error before they overflow it.
+const MAX_DEPTH: usize = 256;
+
 struct Parser<'d> {
     toks: Vec<Tok>,
     pos: usize,
+    depth: usize,
     decls: &'d Declarations,
 }
 
@@ -279,9 +285,13 @@ impl Parser<'_> {
     }
 
     fn parse_factor(&mut self) -> Result<IndexExpr> {
-        match self.peek() {
-            Some(Tok::Number(_)) => {
-                let Tok::Number(v) = self.next()? else { unreachable!() };
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(err(format!("expression nesting exceeds {MAX_DEPTH} levels")));
+        }
+        let result = match self.peek() {
+            Some(&Tok::Number(v)) => {
+                self.pos += 1;
                 Ok(IndexExpr::Literal(v))
             }
             Some(Tok::Minus) => {
@@ -296,7 +306,9 @@ impl Parser<'_> {
             }
             Some(Tok::Ident(_)) => Ok(IndexExpr::Access(self.parse_access()?)),
             other => Err(err(format!("expected a factor, found {other:?}"))),
-        }
+        };
+        self.depth -= 1;
+        result
     }
 }
 
@@ -365,6 +377,13 @@ mod tests {
         assert!(parse_assignment("A(i,j) = ", &decls()).is_err());
         assert!(parse_assignment("A(i,j) B(i,j)", &decls()).is_err());
         assert!(parse_assignment("A(i,j) = B(i,j) ??", &decls()).is_err());
+    }
+
+    #[test]
+    fn deeply_nested_parens_error_instead_of_overflowing() {
+        let input = format!("A(i,j) = {}B(i,j){}", "(".repeat(100_000), ")".repeat(100_000));
+        let err = parse_assignment(&input, &decls()).unwrap_err();
+        assert!(err.to_string().contains("nesting"), "got: {err}");
     }
 
     #[test]

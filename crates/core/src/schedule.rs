@@ -5,10 +5,10 @@ use crate::Result;
 use taco_ir::concrete::ConcreteStmt;
 use taco_ir::concretize::concretize;
 use taco_ir::expr::{IndexExpr, IndexVar, TensorVar};
-use taco_ir::heuristics::{suggest, Suggestion};
+use taco_ir::heuristics::{estimate_workspace_bytes, suggest, Suggestion};
 use taco_ir::notation::IndexAssignment;
 use taco_ir::transform;
-use taco_llir::{Binding, Executable};
+use taco_llir::{Binding, BudgetResource, Executable, ResourceBudget};
 use taco_lower::{lower, KernelKind, LowerOptions, LoweredKernel};
 use taco_tensor::Tensor;
 
@@ -75,16 +75,106 @@ impl IndexStmt {
         suggest(&self.concrete)
     }
 
-    /// Lowers and compiles the statement into a runnable kernel.
+    /// Lowers and compiles the statement into a runnable kernel with no
+    /// resource limits.
     ///
     /// # Errors
     ///
     /// Returns a lowering error if the schedule is not realizable — e.g.
     /// scattering into a sparse result without a workspace.
     pub fn compile(&self, opts: LowerOptions) -> Result<CompiledKernel> {
-        let lowered = lower(&self.concrete, &opts)?;
+        self.compile_with_budget(opts, ResourceBudget::unlimited())
+    }
+
+    /// Lowers and compiles the statement under a [`ResourceBudget`].
+    ///
+    /// The budget applies at both ends of the pipeline. At compile time the
+    /// dense-workspace footprint of every `where` statement is estimated
+    /// (see [`estimate_workspace_bytes`]); if the total exceeds
+    /// `max_workspace_bytes`, the schedule's transformations are dropped and
+    /// the original statement is lowered directly — the slower merge kernel
+    /// instead of an over-budget workspace kernel — with one
+    /// [`FallbackEvent`] recorded per skipped workspace. At run time the
+    /// compiled kernel enforces the budget's allocation and iteration limits
+    /// on every [`CompiledKernel::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a lowering error if the schedule is not realizable, or
+    /// [`CoreError::BudgetExceeded`](crate::CoreError::BudgetExceeded) if the
+    /// workspaces are over budget *and* the untransformed statement cannot be
+    /// lowered either (e.g. it scatters into a sparse result, which is only
+    /// realizable through a workspace).
+    pub fn compile_with_budget(
+        &self,
+        opts: LowerOptions,
+        budget: ResourceBudget,
+    ) -> Result<CompiledKernel> {
+        let mut fallbacks = Vec::new();
+        let mut concrete = &self.concrete;
+        let fallback_concrete;
+        if let Some(limit) = budget.max_workspace_bytes {
+            let estimates = estimate_workspace_bytes(&self.concrete);
+            let total: u64 = estimates.iter().map(|e| e.bytes).fold(0, u64::saturating_add);
+            if total > limit {
+                for e in &estimates {
+                    fallbacks.push(FallbackEvent {
+                        workspace: e.workspace.clone(),
+                        dims: e.dims.clone(),
+                        estimated_bytes: e.bytes,
+                        budget_bytes: limit,
+                    });
+                }
+                fallback_concrete = concretize(&self.source)?;
+                concrete = &fallback_concrete;
+            }
+        }
+        let lowered = match lower(concrete, &opts) {
+            Ok(l) => l,
+            // The fallback kernel can be unrealizable where the workspace
+            // kernel was not (a workspace is what makes sparse scatter
+            // lowerable); report that as a budget failure, not a lowering
+            // bug.
+            Err(e) => match fallbacks.first() {
+                Some(f) => {
+                    return Err(crate::CoreError::BudgetExceeded {
+                        resource: BudgetResource::WorkspaceBytes,
+                        limit: f.budget_bytes,
+                        requested: f.estimated_bytes,
+                        context: Some(f.workspace.clone()),
+                    })
+                }
+                None => return Err(e.into()),
+            },
+        };
         let exe = Executable::compile(&lowered.kernel)?;
-        Ok(CompiledKernel { lowered, exe })
+        Ok(CompiledKernel { lowered, exe, budget, fallbacks })
+    }
+}
+
+/// A record of a workspace that was skipped because its estimated footprint
+/// exceeded the compile-time budget (see
+/// [`IndexStmt::compile_with_budget`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FallbackEvent {
+    /// Name of the workspace tensor that was not materialized.
+    pub workspace: String,
+    /// Dense dimensions the workspace would have had.
+    pub dims: Vec<usize>,
+    /// Estimated bytes the workspace would have allocated.
+    pub estimated_bytes: u64,
+    /// The `max_workspace_bytes` limit in force.
+    pub budget_bytes: u64,
+}
+
+impl std::fmt::Display for FallbackEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "workspace `{}` (dims {:?}, ~{} bytes) exceeds the {}-byte workspace budget; \
+             compiled the direct kernel instead",
+            self.workspace, self.dims, self.estimated_bytes, self.budget_bytes
+        )
     }
 }
 
@@ -99,6 +189,8 @@ impl std::fmt::Display for IndexStmt {
 pub struct CompiledKernel {
     lowered: LoweredKernel,
     exe: Executable,
+    budget: ResourceBudget,
+    fallbacks: Vec<FallbackEvent>,
 }
 
 impl CompiledKernel {
@@ -110,6 +202,18 @@ impl CompiledKernel {
     /// The lowered kernel and binding metadata.
     pub fn lowered(&self) -> &LoweredKernel {
         &self.lowered
+    }
+
+    /// The resource budget every run of this kernel is held to.
+    pub fn budget(&self) -> ResourceBudget {
+        self.budget
+    }
+
+    /// Workspaces that were skipped at compile time because their estimated
+    /// footprint exceeded the budget. Empty when the kernel was compiled as
+    /// scheduled.
+    pub fn fallback_events(&self) -> &[FallbackEvent] {
+        &self.fallbacks
     }
 
     /// Runs the kernel on named operand tensors and returns the result.
@@ -139,7 +243,7 @@ impl CompiledKernel {
         output_structure: Option<&Tensor>,
     ) -> Result<Tensor> {
         let mut binding = self.bind(inputs, output_structure)?;
-        self.exe.run(&mut binding)?;
+        self.exe.run_with_budget(&mut binding, &self.budget)?;
         extract_result(
             &binding,
             &self.lowered.result,
@@ -181,7 +285,7 @@ impl CompiledKernel {
     ///
     /// Propagates kernel runtime errors.
     pub fn run_bound(&self, binding: &mut Binding) -> Result<()> {
-        self.exe.run(binding)?;
+        self.exe.run_with_budget(binding, &self.budget)?;
         Ok(())
     }
 }

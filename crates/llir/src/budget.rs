@@ -1,0 +1,133 @@
+//! Resource budgets for kernel execution.
+//!
+//! The workspace transformation (paper §IV) trades memory for speed: a dense
+//! workspace allocates a full dimension regardless of how sparse the data is,
+//! and assembly kernels grow result arrays by repeated doubling. When the
+//! compiler runs untrusted expressions over untrusted tensors, both are
+//! unbounded resource sinks, and corrupted `pos` arrays can additionally drive
+//! merge loops effectively forever. A [`ResourceBudget`] bounds all of these
+//! at the executor level, turning would-be OOMs and hangs into structured
+//! [`RunError::BudgetExceeded`](crate::RunError::BudgetExceeded) errors.
+
+/// Which budgeted resource a violation refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BudgetResource {
+    /// A single allocation (workspace or result buffer) was too large.
+    WorkspaceBytes,
+    /// Cumulative bytes allocated across the whole run.
+    TotalBytes,
+    /// Total loop iterations executed (the iteration fuse).
+    LoopIterations,
+    /// Times a single array was grown by `Realloc`.
+    ReallocDoublings,
+}
+
+impl std::fmt::Display for BudgetResource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetResource::WorkspaceBytes => write!(f, "workspace bytes"),
+            BudgetResource::TotalBytes => write!(f, "total allocated bytes"),
+            BudgetResource::LoopIterations => write!(f, "loop iterations"),
+            BudgetResource::ReallocDoublings => write!(f, "realloc doublings"),
+        }
+    }
+}
+
+/// Execution resource limits enforced by [`Executable::run_with_budget`]
+/// (crate::Executable::run_with_budget).
+///
+/// Every limit is optional; `None` means unbounded, and
+/// [`ResourceBudget::unlimited`] (also the `Default`) disables everything so
+/// existing callers keep their behavior.
+///
+/// # Example
+///
+/// ```
+/// use taco_llir::ResourceBudget;
+///
+/// let budget = ResourceBudget::unlimited()
+///     .with_max_workspace_bytes(1 << 20)
+///     .with_max_loop_iterations(10_000_000);
+/// assert_eq!(budget.max_workspace_bytes, Some(1 << 20));
+/// assert_eq!(budget.max_total_bytes, None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceBudget {
+    /// Largest single allocation, in bytes. This is what a dense workspace
+    /// must fit into.
+    pub max_workspace_bytes: Option<u64>,
+    /// Cumulative allocation ceiling for one run, in bytes. `Realloc` growth
+    /// counts the delta.
+    pub max_total_bytes: Option<u64>,
+    /// Loop-iteration fuse: total `For`/`While` body executions before the
+    /// run is aborted. Guards against hangs from corrupted `pos` arrays.
+    pub max_loop_iterations: Option<u64>,
+    /// How many times any single array may be grown by `Realloc`. Lowered
+    /// assembly kernels double capacity each time, so `k` doublings bound an
+    /// array at `initial * 2^k` elements.
+    pub max_realloc_doublings: Option<u32>,
+}
+
+impl ResourceBudget {
+    /// No limits — execution behaves exactly as without a budget.
+    pub fn unlimited() -> Self {
+        ResourceBudget::default()
+    }
+
+    /// Sets the single-allocation (dense workspace) ceiling.
+    pub fn with_max_workspace_bytes(mut self, bytes: u64) -> Self {
+        self.max_workspace_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the cumulative allocation ceiling.
+    pub fn with_max_total_bytes(mut self, bytes: u64) -> Self {
+        self.max_total_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the loop-iteration fuse.
+    pub fn with_max_loop_iterations(mut self, iterations: u64) -> Self {
+        self.max_loop_iterations = Some(iterations);
+        self
+    }
+
+    /// Sets the per-array realloc-doubling cap.
+    pub fn with_max_realloc_doublings(mut self, doublings: u32) -> Self {
+        self.max_realloc_doublings = Some(doublings);
+        self
+    }
+
+    /// True if no limit is set on any resource.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_workspace_bytes.is_none()
+            && self.max_total_bytes.is_none()
+            && self.max_loop_iterations.is_none()
+            && self.max_realloc_doublings.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unlimited() {
+        assert!(ResourceBudget::default().is_unlimited());
+        assert!(ResourceBudget::unlimited().is_unlimited());
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let b = ResourceBudget::unlimited()
+            .with_max_workspace_bytes(100)
+            .with_max_total_bytes(200)
+            .with_max_loop_iterations(300)
+            .with_max_realloc_doublings(4);
+        assert!(!b.is_unlimited());
+        assert_eq!(b.max_workspace_bytes, Some(100));
+        assert_eq!(b.max_total_bytes, Some(200));
+        assert_eq!(b.max_loop_iterations, Some(300));
+        assert_eq!(b.max_realloc_doublings, Some(4));
+    }
+}

@@ -1,4 +1,4 @@
-use crate::ArrayTy;
+use crate::{ArrayTy, BudgetResource};
 use std::error::Error;
 use std::fmt;
 
@@ -71,6 +71,21 @@ pub enum RunError {
         /// Requested length.
         len: i64,
     },
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// A [`ResourceBudget`](crate::ResourceBudget) limit was exceeded.
+    BudgetExceeded {
+        /// Which limit was violated.
+        resource: BudgetResource,
+        /// The configured ceiling.
+        limit: u64,
+        /// What the kernel tried to use (for byte limits, the amount that
+        /// would have been reached; for fuses/caps, the first count past the
+        /// limit).
+        requested: u64,
+        /// The array involved, when the violation is tied to one.
+        array: Option<String>,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -86,6 +101,14 @@ impl fmt::Display for RunError {
             }
             RunError::NegativeLength { name, len } => {
                 write!(f, "negative length {len} requested for array `{name}`")
+            }
+            RunError::DivisionByZero => write!(f, "integer division by zero"),
+            RunError::BudgetExceeded { resource, limit, requested, array } => {
+                write!(f, "resource budget exceeded: {resource} limit {limit}, needed {requested}")?;
+                if let Some(name) = array {
+                    write!(f, " (array `{name}`)")?;
+                }
+                Ok(())
             }
         }
     }

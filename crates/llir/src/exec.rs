@@ -6,7 +6,7 @@
 //! name lookups in any inner loop — this plays the role of the paper's
 //! "target code" stage (Figure 6) in a pure-Rust setting.
 
-use crate::{ArrayTy, BinOp, CompileError, Expr, Kernel, RunError, Stmt, UnOp};
+use crate::{ArrayTy, BinOp, BudgetResource, CompileError, Expr, Kernel, ResourceBudget, RunError, Stmt, UnOp};
 use std::collections::HashMap;
 
 /// A buffer bound to (or allocated by) a kernel.
@@ -421,12 +421,49 @@ impl Compiler {
 // Execution
 // ---------------------------------------------------------------------------
 
+/// Mutable budget accounting for one run. Limits of `u64::MAX`/`u32::MAX`
+/// mean "unbounded" so the hot-path checks stay branch-cheap.
+struct BudgetState {
+    iterations_left: u64,
+    max_iterations: u64,
+    max_single_bytes: u64,
+    max_total_bytes: u64,
+    total_bytes: u64,
+    max_doublings: u32,
+    realloc_counts: Vec<u32>,
+}
+
+impl BudgetState {
+    fn new(budget: &ResourceBudget, n_arrays: usize) -> BudgetState {
+        let max_iterations = budget.max_loop_iterations.unwrap_or(u64::MAX);
+        BudgetState {
+            iterations_left: max_iterations,
+            max_iterations,
+            max_single_bytes: budget.max_workspace_bytes.unwrap_or(u64::MAX),
+            max_total_bytes: budget.max_total_bytes.unwrap_or(u64::MAX),
+            total_bytes: 0,
+            max_doublings: budget.max_realloc_doublings.unwrap_or(u32::MAX),
+            realloc_counts: vec![0; n_arrays],
+        }
+    }
+}
+
+fn elem_bytes(ty: ArrayTy) -> u64 {
+    match ty {
+        ArrayTy::Int => 8,
+        ArrayTy::F64 => 8,
+        ArrayTy::F32 => 4,
+        ArrayTy::Bool => 1,
+    }
+}
+
 struct Mach {
     ints: Vec<i64>,
     floats: Vec<f64>,
     bools: Vec<bool>,
     arrays: Vec<ArrayVal>,
     array_names: Vec<String>,
+    budget: BudgetState,
 }
 
 impl Mach {
@@ -444,6 +481,62 @@ impl Mach {
         }
     }
 
+    /// Burns one unit of the loop-iteration fuse.
+    #[inline]
+    fn consume_iteration(&mut self) -> Result<(), RunError> {
+        match self.budget.iterations_left.checked_sub(1) {
+            Some(left) => {
+                self.budget.iterations_left = left;
+                Ok(())
+            }
+            None => Err(RunError::BudgetExceeded {
+                resource: BudgetResource::LoopIterations,
+                limit: self.budget.max_iterations,
+                requested: self.budget.max_iterations.saturating_add(1),
+                array: None,
+            }),
+        }
+    }
+
+    /// Charges `new_bytes` of growth for `arr` against the single-allocation
+    /// and cumulative byte limits.
+    fn charge_bytes(&mut self, arr: usize, new_bytes: u64) -> Result<(), RunError> {
+        if new_bytes > self.budget.max_single_bytes {
+            return Err(RunError::BudgetExceeded {
+                resource: BudgetResource::WorkspaceBytes,
+                limit: self.budget.max_single_bytes,
+                requested: new_bytes,
+                array: Some(self.array_names[arr].clone()),
+            });
+        }
+        let total = self.budget.total_bytes.saturating_add(new_bytes);
+        if total > self.budget.max_total_bytes {
+            return Err(RunError::BudgetExceeded {
+                resource: BudgetResource::TotalBytes,
+                limit: self.budget.max_total_bytes,
+                requested: total,
+                array: Some(self.array_names[arr].clone()),
+            });
+        }
+        self.budget.total_bytes = total;
+        Ok(())
+    }
+
+    /// Counts one `Realloc` growth of `arr` against the doubling cap.
+    fn charge_realloc(&mut self, arr: usize) -> Result<(), RunError> {
+        let count = self.budget.realloc_counts[arr].saturating_add(1);
+        if count > self.budget.max_doublings {
+            return Err(RunError::BudgetExceeded {
+                resource: BudgetResource::ReallocDoublings,
+                limit: self.budget.max_doublings as u64,
+                requested: count as u64,
+                array: Some(self.array_names[arr].clone()),
+            });
+        }
+        self.budget.realloc_counts[arr] = count;
+        Ok(())
+    }
+
     fn eval_i(&self, e: &IExpr) -> Result<i64, RunError> {
         Ok(match e {
             IExpr::Lit(v) => *v,
@@ -459,18 +552,33 @@ impl Mach {
             IExpr::Bin(op, a, b) => {
                 let x = self.eval_i(a)?;
                 let y = self.eval_i(b)?;
+                // Wrapping semantics match C integer arithmetic and keep
+                // hostile index expressions from aborting the process in
+                // debug builds; division errors out instead of trapping.
                 match op {
-                    BinOp::Add => x + y,
-                    BinOp::Sub => x - y,
-                    BinOp::Mul => x * y,
-                    BinOp::Div => x / y,
-                    BinOp::Rem => x % y,
+                    BinOp::Add => x.wrapping_add(y),
+                    BinOp::Sub => x.wrapping_sub(y),
+                    BinOp::Mul => x.wrapping_mul(y),
+                    BinOp::Div => {
+                        if y == 0 {
+                            return Err(RunError::DivisionByZero);
+                        }
+                        x.wrapping_div(y)
+                    }
+                    BinOp::Rem => {
+                        if y == 0 {
+                            return Err(RunError::DivisionByZero);
+                        }
+                        x.wrapping_rem(y)
+                    }
                     BinOp::Min => x.min(y),
                     BinOp::Max => x.max(y),
+                    // Invariant: `Compiler::bin` only builds `IExpr::Bin` for
+                    // the arithmetic operators matched above.
                     _ => unreachable!("non-arithmetic op in integer expression"),
                 }
             }
-            IExpr::Neg(a) => -self.eval_i(a)?,
+            IExpr::Neg(a) => self.eval_i(a)?.wrapping_neg(),
         })
     }
 
@@ -615,6 +723,7 @@ impl Mach {
                 let hi = self.eval_i(hi)?;
                 let mut iv = lo;
                 while iv < hi {
+                    self.consume_iteration()?;
                     self.ints[*slot] = iv;
                     self.exec_block(body)?;
                     iv += 1;
@@ -622,6 +731,7 @@ impl Mach {
             }
             RStmt::While(cond, body) => {
                 while self.eval_b(cond)? {
+                    self.consume_iteration()?;
                     self.exec_block(body)?;
                 }
             }
@@ -664,6 +774,7 @@ impl Mach {
                         len,
                     });
                 }
+                self.charge_bytes(*arr, len as u64 * elem_bytes(*ty))?;
                 self.arrays[*arr] = match ty {
                     ArrayTy::Int => ArrayVal::Int(vec![0; len as usize]),
                     ArrayTy::F64 => ArrayVal::F64(vec![0.0; len as usize]),
@@ -680,6 +791,12 @@ impl Mach {
                     });
                 }
                 let len = len as usize;
+                let old_len = self.arrays[*arr].len();
+                if len > old_len {
+                    let ty = self.arrays[*arr].ty();
+                    self.charge_bytes(*arr, (len - old_len) as u64 * elem_bytes(ty))?;
+                    self.charge_realloc(*arr)?;
+                }
                 match &mut self.arrays[*arr] {
                     ArrayVal::Int(a) if len > a.len() => a.resize(len, 0),
                     ArrayVal::F64(a) if len > a.len() => a.resize(len, 0.0),
@@ -829,15 +946,10 @@ impl Binding {
 
     /// Reads back an integer array as `usize` values.
     ///
-    /// # Panics
-    ///
-    /// Panics if any element is negative.
+    /// Returns `None` if the array is missing, has the wrong type, or holds a
+    /// negative value (a malformed kernel output, never a valid `pos`/`crd`).
     pub fn usize_array(&self, name: &str) -> Option<Vec<usize>> {
-        self.int_array(name).map(|v| {
-            v.iter()
-                .map(|x| usize::try_from(*x).expect("negative index in usize array"))
-                .collect()
-        })
+        self.int_array(name)?.iter().map(|x| usize::try_from(*x).ok()).collect()
     }
 
     /// Reads the final value of a kernel scalar output.
@@ -936,12 +1048,24 @@ impl Executable {
     /// Returns a [`RunError`] for missing/mistyped bindings, out-of-bounds
     /// accesses or negative allocation lengths.
     pub fn run(&self, binding: &mut Binding) -> Result<(), RunError> {
+        self.run_with_budget(binding, &ResourceBudget::unlimited())
+    }
+
+    /// Runs the kernel like [`Executable::run`], but enforces `budget`:
+    /// allocations, realloc growth and loop iterations are metered, and the
+    /// first violation aborts the run with [`RunError::BudgetExceeded`].
+    pub fn run_with_budget(
+        &self,
+        binding: &mut Binding,
+        budget: &ResourceBudget,
+    ) -> Result<(), RunError> {
         let mut mach = Mach {
             ints: vec![0; self.n_int],
             floats: vec![0.0; self.n_float],
             bools: vec![false; self.n_bool],
             arrays: self.array_names.iter().map(|_| ArrayVal::empty(ArrayTy::Int)).collect(),
             array_names: self.array_names.clone(),
+            budget: BudgetState::new(budget, self.array_names.len()),
         };
         for (name, slot) in &self.scalar_params {
             let v = *binding
@@ -1206,6 +1330,186 @@ mod tests {
             exe.run(&mut b).unwrap_err(),
             RunError::WrongArrayType { name: "x".into(), expected: ArrayTy::F64 }
         );
+    }
+
+    #[test]
+    fn iteration_fuse_stops_infinite_loop() {
+        let k = Kernel::new("spin").body(vec![
+            Stmt::DeclInt("i".into(), Expr::int(0)),
+            Stmt::while_(Expr::var("i").ge(Expr::int(0)), vec![Stmt::incr("i")]),
+        ]);
+        let exe = Executable::compile(&k).unwrap();
+        let mut b = Binding::new();
+        let budget = ResourceBudget::unlimited().with_max_loop_iterations(1000);
+        let err = exe.run_with_budget(&mut b, &budget).unwrap_err();
+        assert_eq!(
+            err,
+            RunError::BudgetExceeded {
+                resource: BudgetResource::LoopIterations,
+                limit: 1000,
+                requested: 1001,
+                array: None,
+            }
+        );
+    }
+
+    #[test]
+    fn fuse_counts_nested_for_iterations() {
+        let k = Kernel::new("nest").body(vec![Stmt::for_(
+            "i",
+            Expr::int(0),
+            Expr::int(10),
+            vec![Stmt::for_("j", Expr::int(0), Expr::int(10), vec![])],
+        )]);
+        let exe = Executable::compile(&k).unwrap();
+        // 10 outer + 100 inner iterations: a fuse of 110 just fits.
+        let mut b = Binding::new();
+        exe.run_with_budget(&mut b, &ResourceBudget::unlimited().with_max_loop_iterations(110))
+            .expect("exactly at the fuse");
+        let err = exe
+            .run_with_budget(&mut b, &ResourceBudget::unlimited().with_max_loop_iterations(109))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RunError::BudgetExceeded { resource: BudgetResource::LoopIterations, .. }
+        ));
+    }
+
+    #[test]
+    fn workspace_byte_limit_blocks_large_alloc() {
+        let k = Kernel::new("big").body(vec![Stmt::Alloc {
+            arr: "w".into(),
+            ty: ArrayTy::F64,
+            len: Expr::int(1000),
+        }]);
+        let exe = Executable::compile(&k).unwrap();
+        let mut b = Binding::new();
+        exe.run_with_budget(&mut b, &ResourceBudget::unlimited().with_max_workspace_bytes(8000))
+            .expect("8000 bytes fit exactly");
+        let err = exe
+            .run_with_budget(&mut b, &ResourceBudget::unlimited().with_max_workspace_bytes(7999))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RunError::BudgetExceeded {
+                resource: BudgetResource::WorkspaceBytes,
+                limit: 7999,
+                requested: 8000,
+                array: Some("w".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn total_byte_limit_sums_allocations() {
+        let k = Kernel::new("two").body(vec![
+            Stmt::Alloc { arr: "a".into(), ty: ArrayTy::Int, len: Expr::int(100) },
+            Stmt::Alloc { arr: "b".into(), ty: ArrayTy::Int, len: Expr::int(100) },
+        ]);
+        let exe = Executable::compile(&k).unwrap();
+        let mut b = Binding::new();
+        exe.run_with_budget(&mut b, &ResourceBudget::unlimited().with_max_total_bytes(1600))
+            .expect("both allocations fit");
+        let err = exe
+            .run_with_budget(&mut b, &ResourceBudget::unlimited().with_max_total_bytes(1200))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RunError::BudgetExceeded {
+                resource: BudgetResource::TotalBytes,
+                limit: 1200,
+                requested: 1600,
+                array: Some("b".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn realloc_doubling_cap() {
+        // Doubles `w` from 1 element 5 times: reallocs to 2, 4, 8, 16, 32.
+        let k = Kernel::new("grow").body(vec![
+            Stmt::Alloc { arr: "w".into(), ty: ArrayTy::Int, len: Expr::int(1) },
+            Stmt::for_(
+                "i",
+                Expr::int(0),
+                Expr::int(5),
+                vec![Stmt::Realloc { arr: "w".into(), len: Expr::len("w") * Expr::int(2) }],
+            ),
+        ]);
+        let exe = Executable::compile(&k).unwrap();
+        let mut b = Binding::new();
+        exe.run_with_budget(&mut b, &ResourceBudget::unlimited().with_max_realloc_doublings(5))
+            .expect("five doublings allowed");
+        let err = exe
+            .run_with_budget(&mut b, &ResourceBudget::unlimited().with_max_realloc_doublings(4))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RunError::BudgetExceeded {
+                resource: BudgetResource::ReallocDoublings,
+                limit: 4,
+                requested: 5,
+                array: Some("w".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn unlimited_budget_matches_run() {
+        let k = Kernel::new("sum")
+            .scalar_param("n")
+            .array_param(Param::output("out", ArrayTy::Int))
+            .body(vec![
+                Stmt::store("out", Expr::int(0), Expr::int(0)),
+                Stmt::for_(
+                    "i",
+                    Expr::int(0),
+                    Expr::var("n"),
+                    vec![Stmt::store_add("out", Expr::int(0), Expr::var("i"))],
+                ),
+            ]);
+        let exe = Executable::compile(&k).unwrap();
+        let mut b1 = Binding::new();
+        b1.set_scalar("n", 100).set_int("out", vec![0]);
+        exe.run(&mut b1).unwrap();
+        let mut b2 = Binding::new();
+        b2.set_scalar("n", 100).set_int("out", vec![0]);
+        exe.run_with_budget(&mut b2, &ResourceBudget::unlimited()).unwrap();
+        assert_eq!(b1.int_array("out"), b2.int_array("out"));
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error_not_a_panic() {
+        let k = Kernel::new("div")
+            .scalar_param("d")
+            .array_param(Param::output("out", ArrayTy::Int))
+            .body(vec![Stmt::store("out", Expr::int(0), Expr::int(1) / Expr::var("d"))]);
+        let exe = Executable::compile(&k).unwrap();
+        let mut b = Binding::new();
+        b.set_scalar("d", 0).set_int("out", vec![0]);
+        assert_eq!(exe.run(&mut b).unwrap_err(), RunError::DivisionByZero);
+    }
+
+    #[test]
+    fn integer_overflow_wraps_instead_of_panicking() {
+        let k = Kernel::new("wrap")
+            .scalar_param("x")
+            .array_param(Param::output("out", ArrayTy::Int))
+            .body(vec![Stmt::store("out", Expr::int(0), Expr::var("x") + Expr::var("x"))]);
+        let exe = Executable::compile(&k).unwrap();
+        let mut b = Binding::new();
+        b.set_scalar("x", i64::MAX).set_int("out", vec![0]);
+        exe.run(&mut b).unwrap();
+        assert_eq!(b.int_array("out").unwrap(), &[i64::MAX.wrapping_add(i64::MAX)]);
+    }
+
+    #[test]
+    fn negative_usize_array_returns_none() {
+        let mut b = Binding::new();
+        b.set_int("p", vec![0, 3, -1]);
+        assert_eq!(b.usize_array("p"), None);
+        b.set_int("q", vec![0, 3, 7]);
+        assert_eq!(b.usize_array("q"), Some(vec![0, 3, 7]));
     }
 
     #[test]

@@ -138,12 +138,20 @@ impl Expr {
     pub fn or(self, other: Expr) -> Expr {
         Expr::bin(BinOp::Or, self, other)
     }
+}
+
+impl std::ops::Not for Expr {
+    type Output = Expr;
     /// Logical negation.
-    pub fn not(self) -> Expr {
+    fn not(self) -> Expr {
         Expr::Un(UnOp::Not, Box::new(self))
     }
+}
+
+impl std::ops::Neg for Expr {
+    type Output = Expr;
     /// Arithmetic negation.
-    pub fn neg(self) -> Expr {
+    fn neg(self) -> Expr {
         Expr::Un(UnOp::Neg, Box::new(self))
     }
 }

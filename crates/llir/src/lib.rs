@@ -40,12 +40,14 @@
 
 #![warn(missing_docs)]
 
+mod budget;
 mod error;
 mod exec;
 mod ir;
 mod printer;
 mod simplify;
 
+pub use budget::{BudgetResource, ResourceBudget};
 pub use error::{CompileError, RunError};
 pub use exec::{ArrayVal, Binding, Executable};
 pub use ir::{ArrayTy, BinOp, Expr, Kernel, Param, ParamKind, Stmt, UnOp};

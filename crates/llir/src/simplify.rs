@@ -16,7 +16,10 @@ impl Expr {
             Expr::Un(op, a) => {
                 let a = a.simplified();
                 match (op, &a) {
-                    (UnOp::Neg, Expr::Int(v)) => Expr::Int(-v),
+                    // checked_neg: folding `-i64::MIN` would otherwise abort
+                    // debug builds; leave such expressions for the executor,
+                    // whose wrapping semantics handle them.
+                    (UnOp::Neg, Expr::Int(v)) if v.checked_neg().is_some() => Expr::Int(-v),
                     (UnOp::Neg, Expr::Float(v)) => Expr::Float(-v),
                     (UnOp::Not, Expr::Bool(v)) => Expr::Bool(!v),
                     _ => Expr::Un(*op, Box::new(a)),
@@ -26,10 +29,18 @@ impl Expr {
                 let a = a.simplified();
                 let b = b.simplified();
                 match (op, &a, &b) {
-                    // Integer constant folding.
-                    (BinOp::Add, Expr::Int(x), Expr::Int(y)) => Expr::Int(x + y),
-                    (BinOp::Sub, Expr::Int(x), Expr::Int(y)) => Expr::Int(x - y),
-                    (BinOp::Mul, Expr::Int(x), Expr::Int(y)) => Expr::Int(x * y),
+                    // Integer constant folding. Overflowing folds are left
+                    // unsimplified rather than aborting debug builds; the
+                    // executor evaluates them with wrapping semantics.
+                    (BinOp::Add, Expr::Int(x), Expr::Int(y)) if x.checked_add(*y).is_some() => {
+                        Expr::Int(x + y)
+                    }
+                    (BinOp::Sub, Expr::Int(x), Expr::Int(y)) if x.checked_sub(*y).is_some() => {
+                        Expr::Int(x - y)
+                    }
+                    (BinOp::Mul, Expr::Int(x), Expr::Int(y)) if x.checked_mul(*y).is_some() => {
+                        Expr::Int(x * y)
+                    }
                     (BinOp::Min, Expr::Int(x), Expr::Int(y)) => Expr::Int(*x.min(y)),
                     (BinOp::Max, Expr::Int(x), Expr::Int(y)) => Expr::Int(*x.max(y)),
                     // Additive and multiplicative identities.
@@ -120,6 +131,18 @@ mod tests {
         assert_eq!(e.simplified(), Expr::Int(1));
         let e2 = (Expr::int(2) * Expr::int(3)).min(Expr::int(5));
         assert_eq!(e2.simplified(), Expr::Int(5));
+    }
+
+    #[test]
+    fn overflowing_folds_are_left_alone() {
+        let e = Expr::int(i64::MAX) + Expr::int(1);
+        assert_eq!(e.simplified(), Expr::int(i64::MAX) + Expr::int(1));
+        let m = Expr::int(i64::MAX) * Expr::int(2);
+        assert_eq!(m.simplified(), Expr::int(i64::MAX) * Expr::int(2));
+        let n = Expr::Un(UnOp::Neg, Box::new(Expr::int(i64::MIN)));
+        assert_eq!(n.simplified(), Expr::Un(UnOp::Neg, Box::new(Expr::int(i64::MIN))));
+        let s = Expr::int(i64::MIN) - Expr::int(1);
+        assert_eq!(s.simplified(), Expr::int(i64::MIN) - Expr::int(1));
     }
 
     #[test]

@@ -241,7 +241,9 @@ impl<'o> Lowerer<'o> {
                 return Err(LowerError::DuplicateTensorAccess(t));
             }
         }
-        let result_access = result_access.expect("result written implies an access exists");
+        let result_access = result_access.ok_or_else(|| {
+            LowerError::Unsupported(format!("result tensor `{result_name}` is never accessed"))
+        })?;
         let result = result_access.tensor().clone();
 
         // Validate result format: compressed levels only at the innermost
@@ -404,7 +406,11 @@ impl<'o> Lowerer<'o> {
                     }
                 }
             });
-            let ws_var = ws_var.expect("written tensor has an access");
+            let ws_var = ws_var.ok_or_else(|| {
+                LowerError::Unsupported(format!(
+                    "where-producer writes `{ws_name}` without an access to it"
+                ))
+            })?;
 
             if ws_var.rank() == 0 {
                 // Scalar reduction temporary: a fresh float accumulator.
@@ -432,11 +438,9 @@ impl<'o> Lowerer<'o> {
                 let drainable = self.consumer_drains(consumer, &ws_name);
 
                 // Allocate the workspace (zero-filled) in the preamble.
-                let len = dims
-                    .iter()
-                    .cloned()
-                    .reduce(|a, b| a * b)
-                    .expect("workspace has at least one mode");
+                let len = dims.iter().cloned().reduce(|a, b| a * b).ok_or_else(|| {
+                    LowerError::Unsupported(format!("workspace `{ws_name}` has no modes"))
+                })?;
                 self.preamble.push(Stmt::Comment(format!("workspace for `{ws_name}`")));
                 self.preamble.push(Stmt::Alloc {
                     arr: ws_name.clone(),
@@ -581,13 +585,11 @@ impl<'o> Lowerer<'o> {
                 inner_ctx.append_result = true;
             }
             let loop_points = lattice.loop_points();
-            let loops = (|| {
-                if loop_points.len() == 1 && loop_points[0].iters.len() == 1 {
-                    self.position_loop(var, body, &loop_points[0].iters[0].clone(), &inner_ctx)
-                } else {
-                    self.merge_loops(var, body, &lattice, &inner_ctx)
-                }
-            })();
+            let loops = if loop_points.len() == 1 && loop_points[0].iters.len() == 1 {
+                self.position_loop(var, body, &loop_points[0].iters[0].clone(), &inner_ctx)
+            } else {
+                self.merge_loops(var, body, &lattice, &inner_ctx)
+            };
             if result_sparse_here {
                 let l = self.result_sparse_level.expect("checked above");
                 self.pos.remove(&(self.result.name().to_string(), l));
@@ -695,7 +697,11 @@ impl<'o> Lowerer<'o> {
                 .iter()
                 .map(|it| Expr::var(pos_var(&it.tensor, it.level)).lt(ends[it].clone()))
                 .reduce(|a, b| a.and(b))
-                .expect("loop point has iterators");
+                .ok_or_else(|| {
+                    LowerError::Unsupported(format!(
+                        "merge lattice for `{var}` produced a loop point with no iterators"
+                    ))
+                })?;
 
             let mut loop_body = Vec::new();
             // Candidate coordinates and the merged coordinate.
@@ -710,7 +716,11 @@ impl<'o> Lowerer<'o> {
                 .iter()
                 .map(|it| Expr::var(coord_var(var, &it.tensor)))
                 .reduce(|a, b| a.min(b))
-                .expect("loop point has iterators");
+                .ok_or_else(|| {
+                    LowerError::Unsupported(format!(
+                        "merge lattice for `{var}` produced a loop point with no iterators"
+                    ))
+                })?;
             loop_body.push(Stmt::DeclInt(var.name().to_string(), merged));
 
             // Case chain over the sub-points.
@@ -723,7 +733,11 @@ impl<'o> Lowerer<'o> {
                     .iter()
                     .map(|it| Expr::var(coord_var(var, &it.tensor)).eq(Expr::var(var.name())))
                     .reduce(|a, b| a.and(b))
-                    .expect("sub-point has iterators");
+                    .ok_or_else(|| {
+                        LowerError::Unsupported(format!(
+                            "merge lattice for `{var}` produced a sub-point with no iterators"
+                        ))
+                    })?;
 
                 // Restrict the body to this sub-point: iterators absent from
                 // it are symbolically zero.
@@ -907,7 +921,7 @@ impl<'o> Lowerer<'o> {
                 let coord = Expr::var(lhs.vars()[0].name());
                 let sz = size_name(&lhs_name);
                 out.push(Stmt::if_(
-                    Expr::load(set_name(&lhs_name), coord.clone()).not(),
+                    !Expr::load(set_name(&lhs_name), coord.clone()),
                     vec![
                         Stmt::store(list_name(&lhs_name), Expr::var(&sz), coord.clone()),
                         Stmt::assign(&sz, Expr::var(&sz) + Expr::int(1)),
@@ -1004,7 +1018,7 @@ impl<'o> Lowerer<'o> {
                 }
             }
             IndexExpr::Literal(v) => Expr::float(*v),
-            IndexExpr::Neg(a) => self.value_expr(a)?.neg(),
+            IndexExpr::Neg(a) => -self.value_expr(a)?,
             IndexExpr::Add(a, b) => self.value_expr(a)? + self.value_expr(b)?,
             IndexExpr::Sub(a, b) => self.value_expr(a)? - self.value_expr(b)?,
             IndexExpr::Mul(a, b) => self.value_expr(a)? * self.value_expr(b)?,

@@ -1,0 +1,282 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment for this workspace has no network access, so external
+//! crates cannot be fetched. This shim implements the subset of the proptest
+//! 1.x API the workspace's property tests use: the [`proptest!`] macro with an
+//! optional `#![proptest_config(..)]` line, numeric range strategies
+//! (`1usize..24`, `0.0f64..0.5`, ...), [`prop_assert!`] and
+//! [`prop_assert_eq!`]. Case generation is deterministic: each test derives a
+//! seed from its own name, so failures reproduce exactly across runs. There is
+//! no shrinking — a failing case reports the sampled arguments instead.
+
+use std::fmt::Write as _;
+use std::ops::{Range, RangeInclusive};
+
+/// Test-runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to generate per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A source of sampled values for one property (subset of
+/// `proptest::test_runner::TestRunner`).
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    state: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner whose stream is deterministic in `name`.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        // FNV-1a over the property name: stable across runs and platforms.
+        let mut seed = 0xCBF29CE484222325u64;
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x100000001B3);
+        }
+        TestRunner { config, state: seed }
+    }
+
+    /// Number of cases this runner generates.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64.
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Samples one value from `strategy`.
+    pub fn sample<S: Strategy>(&mut self, strategy: &S) -> S::Value {
+        strategy.new_value(self)
+    }
+}
+
+/// Value-generation strategy (heavily reduced from `proptest::strategy`).
+pub trait Strategy {
+    type Value;
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + (runner.next_u64() % span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi - lo) as u64 + 1;
+                if span == 0 {
+                    return runner.next_u64() as $t;
+                }
+                lo + (runner.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+int_strategy!(usize, u64, u32, u16, u8);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn new_value(&self, runner: &mut TestRunner) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let unit = (runner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Constant strategy (stand-in for `proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// Formats one sampled argument for the failure report.
+pub fn format_arg(out: &mut String, name: &str, value: &dyn std::fmt::Debug) {
+    let _ = write!(out, "\n    {name} = {value:?}");
+}
+
+/// Defines property tests (reduced form of `proptest::proptest!`).
+///
+/// Each property becomes a normal `#[test]` that loops over `cases`
+/// deterministic samples of its argument strategies. The body runs in a
+/// closure returning `Result<(), String>`, which is what lets
+/// [`prop_assert!`]/[`prop_assert_eq!`] report failures with the sampled
+/// arguments attached.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner = $crate::TestRunner::new(config, stringify!($name));
+            for case in 0..runner.cases() {
+                $(let $arg = runner.sample(&($strategy));)+
+                let outcome: ::std::result::Result<(), ::std::string::String> =
+                    (|| { $body Ok(()) })();
+                if let Err(message) = outcome {
+                    let mut report = ::std::string::String::new();
+                    $($crate::format_arg(&mut report, stringify!($arg), &$arg);)+
+                    panic!(
+                        "property `{}` failed at case {}/{}: {}\n  sampled arguments:{}",
+                        stringify!($name), case + 1, runner.cases(), message, report,
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (not the
+/// process) so the harness can attach the sampled arguments.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{}` == `{}`\n    left: {:?}\n   right: {:?}",
+                stringify!($left), stringify!($right), left, right,
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{}` != `{}`\n    both: {:?}",
+                stringify!($left), stringify!($right), left,
+            ));
+        }
+    }};
+}
+
+/// Everything a property-test file needs (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::{
+        format_arg, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
+        Strategy, TestRunner,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_are_respected(a in 1usize..24, b in 0.0f64..0.5, s in 0u64..1000) {
+            prop_assert!((1..24).contains(&a));
+            prop_assert!((0.0..0.5).contains(&b));
+            prop_assert!(s < 1000);
+        }
+
+        #[test]
+        fn eq_assertion_passes(n in 1usize..10) {
+            prop_assert_eq!(n + n, 2 * n);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u32..5) {
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_name() {
+        let cfg = ProptestConfig::with_cases(4);
+        let mut a = TestRunner::new(cfg.clone(), "some_property");
+        let mut b = TestRunner::new(cfg, "some_property");
+        for _ in 0..16 {
+            assert_eq!(a.sample(&(0usize..1000)), b.sample(&(0usize..1000)));
+        }
+    }
+
+    #[test]
+    fn failure_reports_arguments() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(2))]
+                #[test]
+                fn always_fails(v in 0usize..10) {
+                    prop_assert!(v > 100, "v was {}", v);
+                }
+            }
+            always_fails();
+        });
+        let err = result.expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("string panic payload");
+        assert!(msg.contains("always_fails"), "report names the property: {msg}");
+        assert!(msg.contains("v ="), "report includes sampled arguments: {msg}");
+    }
+}

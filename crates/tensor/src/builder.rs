@@ -106,15 +106,15 @@ impl TensorBuilder {
                     let mut pos = vec![0usize; num_parent_positions + 1];
                     let mut crd = Vec::new();
                     let mut prev: Option<(usize, usize)> = None;
-                    for e in 0..n {
-                        let key = (parent_pos[e], self.entries[e].0[level]);
+                    for (pp, entry) in parent_pos.iter_mut().zip(&self.entries) {
+                        let key = (*pp, entry.0[level]);
                         if prev != Some(key) {
                             // A new (parent, coordinate) group starts here.
                             pos[key.0 + 1] += 1;
                             crd.push(key.1);
                             prev = Some(key);
                         }
-                        parent_pos[e] = crd.len() - 1;
+                        *pp = crd.len() - 1;
                     }
                     // Prefix-sum the per-parent counts into segment bounds.
                     for p in 0..num_parent_positions {

@@ -1,0 +1,227 @@
+//! Systematic tensor corruption for fault-injection testing.
+//!
+//! Robustness of the compilation pipeline is defined by a contract: any
+//! corrupted operand must produce a typed error from [`Tensor::validate`] (and
+//! therefore from bind-time validation), never a panic, hang, or unbounded
+//! allocation further down. This module produces the corrupted operands. Each
+//! [`Corruption`] mutates one storage field of a valid tensor the way real
+//! corruption does — truncated arrays, shuffled or duplicated coordinates,
+//! out-of-range offsets, non-finite values, shrunken dimensions.
+//!
+//! Tensors are rebuilt with [`Tensor::from_parts_unchecked`], so the mutations
+//! bypass every constructor check; whether they are *caught* is exactly what
+//! the fault-injection suite measures.
+//!
+//! # Example
+//!
+//! ```
+//! use taco_tensor::{corrupt, Format, Tensor};
+//!
+//! let t = Tensor::from_entries(
+//!     vec![2, 2],
+//!     Format::csr(),
+//!     vec![(vec![0, 1], 1.0), (vec![1, 0], 2.0)],
+//! )?;
+//! for (corruption, mutant) in corrupt::all_corruptions(&t) {
+//!     assert!(mutant.validate().is_err(), "{corruption:?} must be detected");
+//! }
+//! # Ok::<(), taco_tensor::TensorError>(())
+//! ```
+
+use crate::{ModeStorage, Tensor};
+
+/// A single-field storage mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// Drop the last entry of a compressed level's `pos` array.
+    TruncatePos(usize),
+    /// Make a compressed level's `pos` array non-monotone.
+    NonMonotonePos(usize),
+    /// Push a compressed level's final `pos` bound past `crd.len()`.
+    OverflowPos(usize),
+    /// Reverse a multi-entry `crd` segment (unsorted coordinates).
+    ShuffleCrd(usize),
+    /// Duplicate a coordinate within a `crd` segment.
+    DuplicateCrd(usize),
+    /// Set a coordinate to the mode dimension (one past the last valid).
+    OutOfBoundsCrd(usize),
+    /// Drop the last value, breaking the positions/values agreement.
+    TruncateVals,
+    /// Replace a stored value with NaN.
+    NanValue,
+    /// Replace a stored value with +∞.
+    InfValue,
+    /// Shrink a mode dimension below its stored data.
+    ShrinkDim(usize),
+}
+
+/// Applies `corruption` to a copy of `tensor`.
+///
+/// Returns `None` when the corruption does not apply (for example
+/// [`Corruption::ShuffleCrd`] on a tensor with no multi-entry segment, or any
+/// `crd` corruption on a dense level).
+pub fn apply(tensor: &Tensor, corruption: Corruption) -> Option<Tensor> {
+    let (mut shape, format, mut modes, mut vals) = tensor.clone().into_parts();
+    match corruption {
+        Corruption::TruncatePos(level) => {
+            let (pos, _) = compressed(&mut modes, level)?;
+            if pos.len() < 2 {
+                return None;
+            }
+            pos.pop();
+        }
+        Corruption::NonMonotonePos(level) => {
+            let (pos, _) = compressed(&mut modes, level)?;
+            if pos.len() < 2 {
+                return None;
+            }
+            let last = pos.len() - 1;
+            pos[last - 1] = pos[last] + 1;
+        }
+        Corruption::OverflowPos(level) => {
+            let (pos, _) = compressed(&mut modes, level)?;
+            *pos.last_mut()? += 7;
+        }
+        Corruption::ShuffleCrd(level) => {
+            let (pos, crd) = compressed(&mut modes, level)?;
+            let seg = multi_entry_segment(pos)?;
+            crd[seg.0..seg.1].reverse();
+        }
+        Corruption::DuplicateCrd(level) => {
+            let (pos, crd) = compressed(&mut modes, level)?;
+            let seg = multi_entry_segment(pos)?;
+            crd[seg.0 + 1] = crd[seg.0];
+        }
+        Corruption::OutOfBoundsCrd(level) => {
+            let dim = *shape.get(level)?;
+            let (_, crd) = compressed(&mut modes, level)?;
+            *crd.first_mut()? = dim;
+        }
+        Corruption::TruncateVals => {
+            vals.pop()?;
+        }
+        Corruption::NanValue => {
+            *vals.first_mut()? = f64::NAN;
+        }
+        Corruption::InfValue => {
+            *vals.first_mut()? = f64::INFINITY;
+        }
+        Corruption::ShrinkDim(level) => {
+            // Shrink far enough that stored data no longer fits: dense
+            // storage keeps its original width and disagrees with the shape;
+            // compressed storage is cut to its largest stored coordinate,
+            // putting that coordinate out of bounds.
+            let new_dim = match modes.get(level)? {
+                ModeStorage::Dense { .. } => shape.get(level)?.checked_sub(1)?,
+                ModeStorage::Compressed { crd, .. } => *crd.iter().max()?,
+            };
+            shape[level] = new_dim;
+        }
+    }
+    Some(Tensor::from_parts_unchecked(shape, format, modes, vals))
+}
+
+/// Every applicable `(corruption, mutated tensor)` pair for `tensor`.
+///
+/// Covers each corruption kind at each level it applies to. The returned
+/// tensors share `tensor`'s format and are all storage-invalid — callers
+/// assert that [`Tensor::validate`] rejects them and that no pipeline entry
+/// point panics on them.
+pub fn all_corruptions(tensor: &Tensor) -> Vec<(Corruption, Tensor)> {
+    let mut kinds = vec![
+        Corruption::TruncateVals,
+        Corruption::NanValue,
+        Corruption::InfValue,
+    ];
+    for level in 0..tensor.rank() {
+        kinds.extend([
+            Corruption::TruncatePos(level),
+            Corruption::NonMonotonePos(level),
+            Corruption::OverflowPos(level),
+            Corruption::ShuffleCrd(level),
+            Corruption::DuplicateCrd(level),
+            Corruption::OutOfBoundsCrd(level),
+            Corruption::ShrinkDim(level),
+        ]);
+    }
+    kinds
+        .into_iter()
+        .filter_map(|c| apply(tensor, c).map(|t| (c, t)))
+        .collect()
+}
+
+/// The `pos`/`crd` arrays of a compressed level, or `None` if dense.
+fn compressed(
+    modes: &mut [ModeStorage],
+    level: usize,
+) -> Option<(&mut Vec<usize>, &mut Vec<usize>)> {
+    match modes.get_mut(level)? {
+        ModeStorage::Compressed { pos, crd } => Some((pos, crd)),
+        ModeStorage::Dense { .. } => None,
+    }
+}
+
+/// Bounds of the first segment holding at least two coordinates.
+fn multi_entry_segment(pos: &[usize]) -> Option<(usize, usize)> {
+    pos.windows(2).find(|w| w[1].checked_sub(w[0]).is_some_and(|n| n >= 2)).map(|w| (w[0], w[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Format;
+
+    fn sample_csr() -> Tensor {
+        Tensor::from_entries(
+            vec![3, 4],
+            Format::csr(),
+            vec![(vec![0, 1], 1.0), (vec![0, 3], 2.0), (vec![2, 0], 3.0)],
+        )
+        .unwrap()
+    }
+
+    fn sample_csf() -> Tensor {
+        Tensor::from_entries(
+            vec![2, 3, 4],
+            Format::csf3(),
+            vec![(vec![0, 1, 2], 1.0), (vec![0, 1, 3], 2.0), (vec![1, 0, 0], 3.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn every_corruption_is_rejected_by_validate() {
+        for t in [sample_csr(), sample_csf()] {
+            assert!(t.validate().is_ok(), "sample must start valid");
+            let mutants = all_corruptions(&t);
+            assert!(mutants.len() >= 8, "expected broad coverage, got {}", mutants.len());
+            for (c, mutant) in mutants {
+                assert!(
+                    mutant.validate().is_err(),
+                    "corruption {c:?} slipped past validate()"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inapplicable_corruptions_return_none() {
+        let t = sample_csr();
+        // Level 0 of CSR is dense: no pos/crd to corrupt there.
+        assert!(apply(&t, Corruption::TruncatePos(0)).is_none());
+        assert!(apply(&t, Corruption::ShuffleCrd(0)).is_none());
+        // Out-of-range level.
+        assert!(apply(&t, Corruption::TruncatePos(9)).is_none());
+    }
+
+    #[test]
+    fn corruption_changes_exactly_the_targeted_field() {
+        let t = sample_csr();
+        let mutant = apply(&t, Corruption::NanValue).unwrap();
+        assert_eq!(mutant.shape(), t.shape());
+        assert_eq!(mutant.pos(1).unwrap(), t.pos(1).unwrap());
+        assert_eq!(mutant.crd(1).unwrap(), t.crd(1).unwrap());
+        assert!(mutant.vals()[0].is_nan());
+        assert_eq!(&mutant.vals()[1..], &t.vals()[1..]);
+    }
+}

@@ -65,6 +65,102 @@ impl Csf3 {
         })
     }
 
+    /// Creates a CSF tensor from raw arrays with **no** invariant checks.
+    ///
+    /// This exists for fault-injection testing: it can represent corrupted
+    /// storage that [`Csf3::validate`] rejects. Any other use is a bug —
+    /// [`Csf3::to_tensor`] may panic on tensors built this way.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_unchecked(
+        dims: [usize; 3],
+        pos1: Vec<usize>,
+        crd1: Vec<usize>,
+        pos2: Vec<usize>,
+        crd2: Vec<usize>,
+        pos3: Vec<usize>,
+        crd3: Vec<usize>,
+        vals: Vec<f64>,
+    ) -> Self {
+        Csf3 { dims, pos1, crd1, pos2, crd2, pos3, crd3, vals }
+    }
+
+    /// Checks the CSF storage invariants at all three levels: each `pos`
+    /// array starts at 0, is monotone, has one entry per parent position
+    /// plus one, and ends at its `crd` length; each `crd` segment is strictly
+    /// increasing and in bounds; `vals` has one entry per innermost position;
+    /// and every value is finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidStorage`] describing the first violated
+    /// invariant.
+    pub fn validate(&self) -> Result<()> {
+        let levels: [(&[usize], &[usize], usize); 3] = [
+            (&self.pos1, &self.crd1, self.dims[0]),
+            (&self.pos2, &self.crd2, self.dims[1]),
+            (&self.pos3, &self.crd3, self.dims[2]),
+        ];
+        let bad = |level: usize, detail: String| {
+            Err(TensorError::InvalidStorage { level, detail })
+        };
+        let mut parent_positions = 1usize;
+        for (level, (pos, crd, dim)) in levels.into_iter().enumerate() {
+            if pos.len() != parent_positions + 1 {
+                return bad(
+                    level,
+                    format!(
+                        "pos has {} entries, expected {} (parent positions + 1)",
+                        pos.len(),
+                        parent_positions + 1
+                    ),
+                );
+            }
+            if pos[0] != 0 {
+                return bad(level, format!("pos must start at 0, found {}", pos[0]));
+            }
+            if let Some(w) = pos.windows(2).find(|w| w[0] > w[1]) {
+                return bad(
+                    level,
+                    format!("pos is not monotone: segment bound {} follows {}", w[1], w[0]),
+                );
+            }
+            let end = *pos.last().expect("pos nonempty: checked length above");
+            if end != crd.len() {
+                return bad(level, format!("pos ends at {end} but crd has {} entries", crd.len()));
+            }
+            for p in 0..parent_positions {
+                let seg = &crd[pos[p]..pos[p + 1]];
+                if let Some(w) = seg.windows(2).find(|w| w[0] >= w[1]) {
+                    return bad(
+                        level,
+                        format!(
+                            "crd segment of parent position {p} is not strictly increasing \
+                             ({} then {})",
+                            w[0], w[1]
+                        ),
+                    );
+                }
+                if let Some(c) = seg.iter().find(|c| **c >= dim) {
+                    return bad(level, format!("coordinate {c} out of bounds for dimension {dim}"));
+                }
+            }
+            parent_positions = crd.len();
+        }
+        if self.vals.len() != parent_positions {
+            return bad(
+                2,
+                format!(
+                    "vals has {} entries, expected one per innermost position ({parent_positions})",
+                    self.vals.len()
+                ),
+            );
+        }
+        if let Some(q) = self.vals.iter().position(|v| !v.is_finite()) {
+            return bad(2, format!("non-finite value {} at position {q}", self.vals[q]));
+        }
+        Ok(())
+    }
+
     /// Converts back into a rank-3 CSF [`Tensor`].
     pub fn to_tensor(&self) -> Tensor {
         let mut entries = Vec::with_capacity(self.vals.len());

@@ -52,6 +52,67 @@ impl Csr {
         Csr { nrows, ncols, pos, crd, vals }
     }
 
+    /// Creates a CSR matrix from raw arrays with **no** invariant checks.
+    ///
+    /// This exists for fault-injection testing: it can represent corrupted
+    /// storage that [`Csr::validate`] rejects and [`Csr::from_raw`] would
+    /// panic on. Any other use is a bug — accessors like [`Csr::row`] may
+    /// panic on matrices built this way.
+    pub fn from_raw_unchecked(
+        nrows: usize,
+        ncols: usize,
+        pos: Vec<usize>,
+        crd: Vec<usize>,
+        vals: Vec<f64>,
+    ) -> Self {
+        Csr { nrows, ncols, pos, crd, vals }
+    }
+
+    /// Checks the CSR storage invariants: `pos` has `nrows + 1` entries,
+    /// starts at 0, is monotone and ends at `crd.len()`; `crd` and `vals`
+    /// have equal length; every column coordinate is in bounds; and every
+    /// value is finite. Row entries may be unsorted (MKL-style results are
+    /// legal), so sortedness is *not* required — see [`Csr::is_sorted`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidStorage`] describing the first violated
+    /// invariant (level 0 for `pos` faults, level 1 for `crd`/`vals` faults).
+    pub fn validate(&self) -> Result<()> {
+        let bad = |level: usize, detail: String| {
+            Err(TensorError::InvalidStorage { level, detail })
+        };
+        if self.pos.len() != self.nrows + 1 {
+            return bad(
+                0,
+                format!("pos has {} entries, expected nrows + 1 = {}", self.pos.len(), self.nrows + 1),
+            );
+        }
+        if self.pos[0] != 0 {
+            return bad(0, format!("pos must start at 0, found {}", self.pos[0]));
+        }
+        if let Some(w) = self.pos.windows(2).find(|w| w[0] > w[1]) {
+            return bad(0, format!("pos is not monotone: segment bound {} follows {}", w[1], w[0]));
+        }
+        let end = *self.pos.last().expect("pos nonempty: checked length above");
+        if end != self.crd.len() {
+            return bad(0, format!("pos ends at {end} but crd has {} entries", self.crd.len()));
+        }
+        if self.crd.len() != self.vals.len() {
+            return bad(
+                1,
+                format!("crd has {} entries but vals has {}", self.crd.len(), self.vals.len()),
+            );
+        }
+        if let Some(c) = self.crd.iter().find(|c| **c >= self.ncols) {
+            return bad(1, format!("column coordinate {c} out of bounds for {} columns", self.ncols));
+        }
+        if let Some(q) = self.vals.iter().position(|v| !v.is_finite()) {
+            return bad(1, format!("non-finite value {} at position {q}", self.vals[q]));
+        }
+        Ok(())
+    }
+
     /// Creates an empty (all-zero) matrix.
     pub fn zero(nrows: usize, ncols: usize) -> Self {
         Csr { nrows, ncols, pos: vec![0; nrows + 1], crd: Vec::new(), vals: Vec::new() }

@@ -35,6 +35,15 @@ pub enum TensorError {
     },
     /// A zero-dimensional or zero-sized shape where one is not allowed.
     EmptyShape,
+    /// Storage arrays violate a format invariant (corrupted or hand-built
+    /// data): non-monotone `pos`, unsorted or out-of-bounds `crd`, array
+    /// length disagreement, or non-finite values.
+    InvalidStorage {
+        /// Level (mode index) at which the violation was detected.
+        level: usize,
+        /// Description of the violated invariant.
+        detail: String,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -56,6 +65,9 @@ impl fmt::Display for TensorError {
                 write!(f, "tensor format mismatch: expected {expected}")
             }
             TensorError::EmptyShape => write!(f, "tensor shape must have at least one mode"),
+            TensorError::InvalidStorage { level, detail } => {
+                write!(f, "invalid tensor storage at level {level}: {detail}")
+            }
         }
     }
 }

@@ -107,7 +107,7 @@ impl Format {
 
     /// True if any mode is compressed.
     pub fn has_compressed(&self) -> bool {
-        self.modes.iter().any(|m| *m == ModeFormat::Compressed)
+        self.modes.contains(&ModeFormat::Compressed)
     }
 }
 

@@ -74,11 +74,25 @@ fn parse<T: std::str::FromStr>(tok: Option<&str>, line: usize, what: &str) -> Re
         .map_err(|_| IoError::Parse { line, detail: format!("invalid {what}") })
 }
 
+/// Parses a value token, rejecting non-finite values. `"nan"` and `"inf"`
+/// parse successfully as `f64`, so the finiteness check must be explicit —
+/// a NaN smuggled in through a data file would otherwise defeat every
+/// downstream numeric check.
+fn parse_value(tok: Option<&str>, line: usize) -> Result<f64, IoError> {
+    let v: f64 = parse(tok, line, "value")?;
+    if !v.is_finite() {
+        return Err(IoError::Parse { line, detail: format!("non-finite value `{v}`") });
+    }
+    Ok(v)
+}
+
 /// Reads a MatrixMarket coordinate file into a CSR matrix.
 ///
 /// Supports the `matrix coordinate real/integer/pattern general/symmetric`
 /// headers used by the SuiteSparse collection. Pattern entries get value
-/// 1.0; symmetric files are expanded.
+/// 1.0; symmetric files are expanded. Entries repeating a coordinate are
+/// summed (as taco does), so parsing is deterministic regardless of file
+/// order; non-finite values are rejected with their line number.
 ///
 /// # Errors
 ///
@@ -134,7 +148,7 @@ pub fn read_matrix_market(path: impl AsRef<Path>) -> Result<Csr, IoError> {
         if r == 0 || c == 0 || r > nrows || c > ncols {
             return Err(IoError::Parse { line: n + 1, detail: format!("index ({r},{c}) out of bounds") });
         }
-        let v: f64 = if pattern { 1.0 } else { parse(toks.next(), n + 1, "value")? };
+        let v: f64 = if pattern { 1.0 } else { parse_value(toks.next(), n + 1)? };
         triplets.push((r - 1, c - 1, v));
         if symmetric && r != c {
             triplets.push((c - 1, r - 1, v));
@@ -163,7 +177,9 @@ pub fn write_matrix_market(path: impl AsRef<Path>, m: &Csr) -> Result<(), IoErro
 
 /// Reads a FROSTT `.tns` file of the given order into a [`Tensor`] in the
 /// all-compressed (CSF) format. Coordinates in `.tns` files are 1-based;
-/// dimensions are inferred from the data.
+/// dimensions are inferred from the data. Entries repeating a coordinate are
+/// summed (as taco does); non-finite values are rejected with their line
+/// number.
 ///
 /// # Errors
 ///
@@ -194,7 +210,7 @@ pub fn read_tns(path: impl AsRef<Path>, order: usize) -> Result<Tensor, IoError>
             dims[m] = dims[m].max(c);
             coord.push(c - 1);
         }
-        let v: f64 = parse(Some(toks[order]), n + 1, "value")?;
+        let v: f64 = parse_value(Some(toks[order]), n + 1)?;
         entries.push((coord, v));
     }
     if entries.is_empty() {
@@ -262,6 +278,52 @@ mod tests {
             .unwrap();
         let err = read_matrix_market(&path).unwrap_err();
         assert!(matches!(err, IoError::Parse { line: 3, .. }), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn matrix_market_sums_duplicate_coordinates() {
+        let path = tmp("mm_dup.mtx");
+        std::fs::write(
+            &path,
+            "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 2 1.5\n2 1 4.0\n1 2 2.5\n",
+        )
+        .unwrap();
+        let m = read_matrix_market(&path).unwrap();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.row(0), (&[1usize][..], &[4.0][..]));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn matrix_market_rejects_non_finite_values() {
+        let path = tmp("mm_nan.mtx");
+        std::fs::write(
+            &path,
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n2 2 nan\n",
+        )
+        .unwrap();
+        let err = read_matrix_market(&path).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 4, .. }), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn tns_sums_duplicate_coordinates() {
+        let path = tmp("dup.tns");
+        std::fs::write(&path, "1 1 2 1.0\n2 1 1 3.0\n1 1 2 0.5\n").unwrap();
+        let t = read_tns(&path, 3).unwrap();
+        assert_eq!(t.nnz(), 2);
+        assert_eq!(t.to_dense().get(&[0, 0, 1]), 1.5);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn tns_rejects_non_finite_values() {
+        let path = tmp("inf.tns");
+        std::fs::write(&path, "1 1 1 2.0\n2 2 2 inf\n").unwrap();
+        let err = read_tns(&path, 3).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 2, .. }), "{err}");
         std::fs::remove_file(path).ok();
     }
 

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+pub mod corrupt;
 mod csf;
 mod csr;
 pub mod datasets;

@@ -1,4 +1,4 @@
-use crate::{DenseTensor, Format, Result, TensorBuilder, TensorError};
+use crate::{DenseTensor, Format, ModeFormat, Result, TensorBuilder, TensorError};
 
 /// Storage of a single tensor level (mode).
 ///
@@ -76,6 +76,161 @@ impl Tensor {
         }
         assert_eq!(positions, vals.len(), "vals length must match innermost positions");
         Tensor { shape, format, modes, vals }
+    }
+
+    /// Creates a tensor from its level storage and values with **no**
+    /// invariant checks.
+    ///
+    /// This exists for fault-injection testing (see [`crate::corrupt`]): it
+    /// can represent corrupted storage that [`Tensor::validate`] rejects and
+    /// [`Tensor::from_parts`] would refuse to build. Any other use is a bug —
+    /// methods like [`Tensor::entries`] may panic on tensors built this way.
+    pub fn from_parts_unchecked(
+        shape: Vec<usize>,
+        format: Format,
+        modes: Vec<ModeStorage>,
+        vals: Vec<f64>,
+    ) -> Self {
+        Tensor { shape, format, modes, vals }
+    }
+
+    /// Decomposes the tensor into `(shape, format, modes, vals)`.
+    pub fn into_parts(self) -> (Vec<usize>, Format, Vec<ModeStorage>, Vec<f64>) {
+        (self.shape, self.format, self.modes, self.vals)
+    }
+
+    /// Checks every storage invariant the compiled kernels rely on:
+    ///
+    /// * shape, format and level storage agree in rank, and each level's
+    ///   storage variant matches its [`ModeFormat`];
+    /// * each compressed level's `pos` starts at 0, is monotonically
+    ///   non-decreasing, has one entry per parent position plus one, and ends
+    ///   exactly at `crd.len()`;
+    /// * each `crd` segment is strictly increasing (sorted, duplicate-free)
+    ///   with coordinates inside the mode dimension;
+    /// * `vals` holds exactly one value per innermost position, and every
+    ///   value is finite.
+    ///
+    /// Binding a tensor into the execution pipeline runs this check first, so
+    /// corrupted operands fail with a typed error before any kernel touches
+    /// their arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidStorage`] describing the first violated
+    /// invariant.
+    pub fn validate(&self) -> Result<()> {
+        let bad = |level: usize, detail: String| {
+            Err(TensorError::InvalidStorage { level, detail })
+        };
+        if self.shape.is_empty() {
+            return Err(TensorError::EmptyShape);
+        }
+        if self.format.rank() != self.shape.len() || self.modes.len() != self.shape.len() {
+            return bad(
+                0,
+                format!(
+                    "rank disagreement: shape has {} modes, format {}, storage {}",
+                    self.shape.len(),
+                    self.format.rank(),
+                    self.modes.len()
+                ),
+            );
+        }
+        let mut parent_positions = 1usize;
+        for (level, mode) in self.modes.iter().enumerate() {
+            let dim = self.shape[level];
+            match (mode, self.format.mode(level)) {
+                (ModeStorage::Dense { dim: stored }, ModeFormat::Dense) => {
+                    if *stored != dim {
+                        return bad(
+                            level,
+                            format!("dense level stores dimension {stored}, shape says {dim}"),
+                        );
+                    }
+                    parent_positions = match parent_positions.checked_mul(dim) {
+                        Some(p) => p,
+                        None => {
+                            return bad(level, format!("dense level size overflows ({dim} wide)"))
+                        }
+                    };
+                }
+                (ModeStorage::Compressed { pos, crd }, ModeFormat::Compressed) => {
+                    if pos.len() != parent_positions + 1 {
+                        return bad(
+                            level,
+                            format!(
+                                "pos has {} entries, expected {} (parent positions + 1)",
+                                pos.len(),
+                                parent_positions + 1
+                            ),
+                        );
+                    }
+                    if pos[0] != 0 {
+                        return bad(level, format!("pos must start at 0, found {}", pos[0]));
+                    }
+                    if let Some(w) = pos.windows(2).find(|w| w[0] > w[1]) {
+                        return bad(
+                            level,
+                            format!("pos is not monotone: segment bound {} follows {}", w[1], w[0]),
+                        );
+                    }
+                    let end = *pos.last().expect("pos nonempty: checked length above");
+                    if end != crd.len() {
+                        return bad(
+                            level,
+                            format!("pos ends at {end} but crd has {} entries", crd.len()),
+                        );
+                    }
+                    for p in 0..parent_positions {
+                        let seg = &crd[pos[p]..pos[p + 1]];
+                        if let Some(w) = seg.windows(2).find(|w| w[0] >= w[1]) {
+                            return bad(
+                                level,
+                                format!(
+                                    "crd segment of parent position {p} is not strictly \
+                                     increasing ({} then {})",
+                                    w[0], w[1]
+                                ),
+                            );
+                        }
+                        if let Some(c) = seg.iter().find(|c| **c >= dim) {
+                            return bad(
+                                level,
+                                format!("coordinate {c} out of bounds for dimension {dim}"),
+                            );
+                        }
+                    }
+                    parent_positions = crd.len();
+                }
+                (stored, declared) => {
+                    let kind = match stored {
+                        ModeStorage::Dense { .. } => "dense",
+                        ModeStorage::Compressed { .. } => "compressed",
+                    };
+                    return bad(
+                        level,
+                        format!("storage is {kind} but the format declares {declared}"),
+                    );
+                }
+            }
+        }
+        if self.vals.len() != parent_positions {
+            return bad(
+                self.rank() - 1,
+                format!(
+                    "vals has {} entries, expected one per innermost position ({parent_positions})",
+                    self.vals.len()
+                ),
+            );
+        }
+        if let Some(q) = self.vals.iter().position(|v| !v.is_finite()) {
+            return bad(
+                self.rank() - 1,
+                format!("non-finite value {} at position {q}", self.vals[q]),
+            );
+        }
+        Ok(())
     }
 
     /// Builds a tensor from `(coordinate, value)` entries.
@@ -203,6 +358,9 @@ impl Tensor {
                 }
             }
             ModeStorage::Compressed { pos, crd } => {
+                // Position is threaded to the next level, so the index-based
+                // loop is the natural form here.
+                #[allow(clippy::needless_range_loop)]
                 for p in pos[parent_pos]..pos[parent_pos + 1] {
                     coord[level] = crd[p];
                     self.walk(level + 1, p, coord, out);

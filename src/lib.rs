@@ -55,7 +55,9 @@ pub use taco_tensor as tensor;
 
 /// Commonly used items, for `use taco_workspaces::prelude::*`.
 pub mod prelude {
-    pub use taco_core::{CompiledKernel, IndexStmt};
+    pub use taco_core::{
+        BudgetResource, CompiledKernel, CoreError, FallbackEvent, IndexStmt, ResourceBudget,
+    };
     pub use taco_ir::concrete::{AssignOp, ConcreteStmt};
     pub use taco_ir::expr::{sum, IndexExpr, IndexVar, TensorVar};
     pub use taco_ir::notation::IndexAssignment;

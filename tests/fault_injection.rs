@@ -1,0 +1,293 @@
+//! Fault-injection suite: every public pipeline entry point must return a
+//! typed error — never panic, hang, or allocate without bound — when fed
+//! corrupted tensors or starved budgets.
+//!
+//! Corrupted operands come from `taco_tensor::corrupt`, which mutates one
+//! storage field at a time (truncated `pos`, shuffled/duplicated `crd`,
+//! out-of-bounds coordinates, NaN values, shrunken dims). Each mutant is
+//! driven through binding and execution under `catch_unwind` so that a panic
+//! is reported as a test failure rather than aborting the harness.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use taco_workspaces::core::oracle::eval_dense;
+use taco_workspaces::prelude::*;
+use taco_workspaces::tensor::{corrupt, gen};
+
+fn iv(n: &str) -> IndexVar {
+    IndexVar::new(n)
+}
+
+/// SpGEMM with the paper's Figure 2 schedule: reorder + row workspace.
+fn scheduled_spgemm(n: usize) -> IndexStmt {
+    let a = TensorVar::new("A", vec![n, n], Format::csr());
+    let b = TensorVar::new("B", vec![n, n], Format::csr());
+    let c = TensorVar::new("C", vec![n, n], Format::csr());
+    let (i, j, k) = (iv("i"), iv("j"), iv("k"));
+    let mul = b.access([i.clone(), k.clone()]) * c.access([k.clone(), j.clone()]);
+    let mut stmt = IndexStmt::new(IndexAssignment::assign(
+        a.access([i.clone(), j.clone()]),
+        sum(k.clone(), mul.clone()),
+    ))
+    .unwrap();
+    stmt.reorder(&k, &j).unwrap();
+    let w = TensorVar::new("w", vec![n], Format::dvec());
+    stmt.precompute(&mul, &[(j.clone(), j.clone(), j.clone())], &w).unwrap();
+    stmt
+}
+
+/// Dense-result SpMM (sparse B, dense C), scheduled with a row workspace.
+/// Unlike SpGEMM its unscheduled form also lowers, so it exercises the
+/// budget fallback path end to end.
+fn scheduled_dense_matmul(n: usize) -> IndexStmt {
+    let a = TensorVar::new("A", vec![n, n], Format::dense(2));
+    let b = TensorVar::new("B", vec![n, n], Format::csr());
+    let c = TensorVar::new("C", vec![n, n], Format::dense(2));
+    let (i, j, k) = (iv("i"), iv("j"), iv("k"));
+    let mul = b.access([i.clone(), k.clone()]) * c.access([k.clone(), j.clone()]);
+    let mut stmt = IndexStmt::new(IndexAssignment::assign(
+        a.access([i.clone(), j.clone()]),
+        sum(k.clone(), mul.clone()),
+    ))
+    .unwrap();
+    stmt.reorder(&k, &j).unwrap();
+    let w = TensorVar::new("w", vec![n], Format::dvec());
+    stmt.precompute(&mul, &[(j.clone(), j.clone(), j.clone())], &w).unwrap();
+    stmt
+}
+
+fn sample_inputs(n: usize) -> (Tensor, Tensor) {
+    (gen::random_csr(n, n, 0.4, 7).to_tensor(), gen::random_csr(n, n, 0.4, 8).to_tensor())
+}
+
+/// Asserts that `f` returns an `Err` without panicking; `what` labels the
+/// scenario in failure messages.
+fn assert_graceful<T: std::fmt::Debug>(
+    what: &str,
+    f: impl FnOnce() -> Result<T, CoreError>,
+) {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(Ok(v)) => panic!("{what}: expected an error, got success {v:?}"),
+        Ok(Err(_)) => {}
+        Err(_) => panic!("{what}: panicked instead of returning an error"),
+    }
+}
+
+#[test]
+fn corrupted_operands_error_at_bind_time_in_every_kernel_kind() {
+    let n = 8;
+    let stmt = scheduled_spgemm(n);
+    let (b, c) = sample_inputs(n);
+
+    for opts in
+        [LowerOptions::fused("spgemm"), LowerOptions::assemble("spgemm_a")]
+    {
+        let kernel = stmt.compile(opts).unwrap();
+        // Sanity: valid inputs run.
+        kernel.run(&[("B", &b), ("C", &c)]).unwrap();
+
+        for (why, bad) in corrupt::all_corruptions(&b) {
+            assert_graceful(&format!("fused/assemble with B corrupted by {why:?}"), || {
+                kernel.run(&[("B", &bad), ("C", &c)])
+            });
+        }
+        for (why, bad) in corrupt::all_corruptions(&c) {
+            assert_graceful(&format!("fused/assemble with C corrupted by {why:?}"), || {
+                kernel.run(&[("B", &b), ("C", &bad)])
+            });
+        }
+    }
+}
+
+#[test]
+fn corrupted_output_structure_errors_in_compute_kernels() {
+    let n = 8;
+    let stmt = scheduled_spgemm(n);
+    let (b, c) = sample_inputs(n);
+
+    let fused = stmt.compile(LowerOptions::fused("spgemm")).unwrap();
+    let structure = fused.run(&[("B", &b), ("C", &c)]).unwrap();
+    let compute = stmt.compile(LowerOptions::compute("spgemm_c")).unwrap();
+    compute.run_with(&[("B", &b), ("C", &c)], Some(&structure)).unwrap();
+
+    for (why, bad) in corrupt::all_corruptions(&structure) {
+        assert_graceful(&format!("compute with output structure corrupted by {why:?}"), || {
+            compute.run_with(&[("B", &b), ("C", &c)], Some(&bad))
+        });
+    }
+    assert_graceful("compute without an output structure", || {
+        compute.run(&[("B", &b), ("C", &c)])
+    });
+}
+
+#[test]
+fn corrupted_csf_operands_error_in_mttkrp() {
+    let n = 6;
+    let a = TensorVar::new("A", vec![n, n], Format::dense(2));
+    let bt = TensorVar::new("B", vec![n, n, n], Format::csf3());
+    let ct = TensorVar::new("C", vec![n, n], Format::dense(2));
+    let dt = TensorVar::new("D", vec![n, n], Format::dense(2));
+    let (i, j, k, l) = (iv("i"), iv("j"), iv("k"), iv("l"));
+    let stmt = IndexStmt::new(IndexAssignment::assign(
+        a.access([i.clone(), j.clone()]),
+        sum(
+            k.clone(),
+            sum(
+                l.clone(),
+                bt.access([i, k.clone(), l.clone()]) * ct.access([l, j.clone()]) * dt.access([k, j]),
+            ),
+        ),
+    ))
+    .unwrap();
+    let kernel = stmt.compile(LowerOptions::compute("mttkrp")).unwrap();
+
+    let b3 = gen::random_csf3([n, n, n], 30, 3).to_tensor();
+    let cd = Tensor::from_dense(&gen::random_dense(n, n, 5), Format::dense(2)).unwrap();
+    let dd = Tensor::from_dense(&gen::random_dense(n, n, 6), Format::dense(2)).unwrap();
+    kernel.run(&[("B", &b3), ("C", &cd), ("D", &dd)]).unwrap();
+
+    for (why, bad) in corrupt::all_corruptions(&b3) {
+        assert_graceful(&format!("mttkrp with B corrupted by {why:?}"), || {
+            kernel.run(&[("B", &bad), ("C", &cd), ("D", &dd)])
+        });
+    }
+}
+
+#[test]
+fn over_budget_workspace_falls_back_to_direct_kernel() {
+    let n = 16;
+    let stmt = scheduled_dense_matmul(n);
+    let b = gen::random_csr(n, n, 0.4, 7).to_tensor();
+    let c = Tensor::from_dense(&gen::random_dense(n, n, 9), Format::dense(2)).unwrap();
+
+    // With no budget the workspace kernel runs and matches the oracle.
+    let scheduled = stmt.compile(LowerOptions::compute("matmul")).unwrap();
+    assert!(scheduled.fallback_events().is_empty());
+    let expect = eval_dense(stmt.source(), &[("B", &b), ("C", &c)]).unwrap();
+
+    // The n-element dense workspace wants n * 8 bytes; allow less.
+    let budget = ResourceBudget::default().with_max_workspace_bytes(8 * n as u64 - 1);
+    let fallback = stmt.compile_with_budget(LowerOptions::compute("matmul_fb"), budget).unwrap();
+
+    let events = fallback.fallback_events();
+    assert_eq!(events.len(), 1, "one skipped workspace expected");
+    assert_eq!(events[0].workspace, "w");
+    assert_eq!(events[0].budget_bytes, 8 * n as u64 - 1);
+    assert!(events[0].estimated_bytes > events[0].budget_bytes);
+    assert!(
+        !fallback.to_c().contains("workspace"),
+        "fallback kernel must not allocate the workspace"
+    );
+
+    let got = fallback.run(&[("B", &b), ("C", &c)]).unwrap();
+    assert!(got.to_dense().approx_eq(&expect, 1e-10), "fallback result must match the oracle");
+}
+
+#[test]
+fn over_budget_workspace_without_viable_fallback_is_a_budget_error() {
+    // SpGEMM into a CSR result is only lowerable through a workspace, so a
+    // budget that forbids the workspace must surface as BudgetExceeded, not
+    // as a panic or a confusing lowering error.
+    let n = 16;
+    let stmt = scheduled_spgemm(n);
+    let budget = ResourceBudget::default().with_max_workspace_bytes(16);
+    let err = stmt.compile_with_budget(LowerOptions::fused("spgemm"), budget).unwrap_err();
+    match err {
+        CoreError::BudgetExceeded { resource, limit, requested, context } => {
+            assert_eq!(resource, BudgetResource::WorkspaceBytes);
+            assert_eq!(limit, 16);
+            assert!(requested > limit);
+            assert_eq!(context.as_deref(), Some("w"));
+        }
+        other => panic!("expected BudgetExceeded, got {other}"),
+    }
+}
+
+#[test]
+fn iteration_fuse_stops_runaway_kernels() {
+    let n = 12;
+    let stmt = scheduled_spgemm(n);
+    let (b, c) = sample_inputs(n);
+    let kernel = stmt
+        .compile_with_budget(
+            LowerOptions::fused("spgemm"),
+            ResourceBudget::default().with_max_loop_iterations(10),
+        )
+        .unwrap();
+    let err = kernel.run(&[("B", &b), ("C", &c)]).unwrap_err();
+    match err {
+        CoreError::BudgetExceeded { resource, limit, .. } => {
+            assert_eq!(resource, BudgetResource::LoopIterations);
+            assert_eq!(limit, 10);
+        }
+        other => panic!("expected an iteration-fuse error, got {other}"),
+    }
+}
+
+#[test]
+fn allocation_budget_stops_oversized_runs() {
+    let n = 12;
+    let stmt = scheduled_spgemm(n);
+    let (b, c) = sample_inputs(n);
+    let kernel = stmt
+        .compile_with_budget(
+            LowerOptions::fused("spgemm"),
+            ResourceBudget::default().with_max_total_bytes(32),
+        )
+        .unwrap();
+    let err = kernel.run(&[("B", &b), ("C", &c)]).unwrap_err();
+    match err {
+        CoreError::BudgetExceeded { resource, .. } => {
+            assert!(
+                resource == BudgetResource::TotalBytes
+                    || resource == BudgetResource::WorkspaceBytes,
+                "unexpected resource {resource:?}"
+            );
+        }
+        other => panic!("expected an allocation budget error, got {other}"),
+    }
+}
+
+#[test]
+fn unlimited_budget_matches_unbudgeted_compile() {
+    let n = 10;
+    let stmt = scheduled_spgemm(n);
+    let (b, c) = sample_inputs(n);
+    let plain = stmt.compile(LowerOptions::fused("spgemm")).unwrap();
+    let budgeted = stmt
+        .compile_with_budget(LowerOptions::fused("spgemm"), ResourceBudget::unlimited())
+        .unwrap();
+    assert!(budgeted.fallback_events().is_empty());
+    let r1 = plain.run(&[("B", &b), ("C", &c)]).unwrap();
+    let r2 = budgeted.run(&[("B", &b), ("C", &c)]).unwrap();
+    assert!(r1.to_dense().approx_eq(&r2.to_dense(), 0.0));
+}
+
+#[test]
+fn corrupted_raw_csr_and_csf_are_rejected_by_validate() {
+    let m = gen::random_csr(6, 6, 0.5, 11);
+    assert!(m.validate().is_ok());
+    let bad = Csr::from_raw_unchecked(
+        6,
+        6,
+        m.pos().to_vec(),
+        m.crd().iter().map(|c| c + 6).collect(), // every column out of bounds
+        m.vals().to_vec(),
+    );
+    assert!(bad.validate().is_err());
+
+    let t = gen::random_csf3([4, 4, 4], 12, 13);
+    assert!(t.validate().is_ok());
+    let mut pos1 = t.pos1().to_vec();
+    *pos1.last_mut().unwrap() += 3; // points past crd1
+    let bad = Csf3::from_raw_unchecked(
+        t.dims(),
+        pos1,
+        t.crd1().to_vec(),
+        t.pos2().to_vec(),
+        t.crd2().to_vec(),
+        t.pos3().to_vec(),
+        t.crd3().to_vec(),
+        t.vals().to_vec(),
+    );
+    assert!(bad.validate().is_err());
+}

@@ -223,6 +223,56 @@ proptest! {
     }
 }
 
+// Robustness property: corrupting any single storage field of a valid
+// operand either leaves it valid (benign) or makes every pipeline entry
+// point return an error — never panic.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn single_field_corruption_is_rejected_or_benign(
+        m in 2usize..12,
+        n in 2usize..12,
+        density in 0.1f64..0.6,
+        seed in 0u64..1000,
+        which in 0usize..64,
+    ) {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use taco_tensor::corrupt;
+
+        let a = TensorVar::new("A", vec![m, n], Format::csr());
+        let b = TensorVar::new("B", vec![m, n], Format::csr());
+        let c = TensorVar::new("C", vec![m, n], Format::csr());
+        let (i, j) = (iv("i"), iv("j"));
+        let bij: IndexExpr = b.access([i.clone(), j.clone()]).into();
+        let cij: IndexExpr = c.access([i.clone(), j.clone()]).into();
+        let source = IndexAssignment::assign(a.access([i.clone(), j.clone()]), bij.clone() + cij.clone());
+        let mut stmt = IndexStmt::new(source).unwrap();
+        let w = TensorVar::new("w", vec![n], Format::dvec());
+        stmt.precompute(&(bij + cij), &[(j.clone(), j.clone(), j.clone())], &w).unwrap();
+        let kernel = stmt.compile(LowerOptions::fused("add")).unwrap();
+
+        let bt = csr(&random_csr(m, n, density, seed + 60));
+        let ct = csr(&random_csr(m, n, density, seed + 61));
+        prop_assert!(bt.validate().is_ok());
+
+        // The pos corruptions always apply to a CSR tensor, so the mutant
+        // list is never empty even for an all-zero matrix.
+        let mutants = corrupt::all_corruptions(&bt);
+        let (why, bad) = &mutants[which % mutants.len()];
+        // `apply` only produces storage-invalid mutants; the property under
+        // test is that invalidity implies a graceful error downstream.
+        prop_assert!(bad.validate().is_err(), "corruption {:?} must invalidate", why);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            kernel.run(&[("B", bad), ("C", &ct)]).map(|_| ())
+        }));
+        match outcome {
+            Ok(Err(_)) => {}
+            Ok(Ok(())) => prop_assert!(false, "corruption {:?} ran to completion", why),
+            Err(_) => prop_assert!(false, "corruption {:?} caused a panic", why),
+        }
+    }
+}
+
 // The reorder exchange equivalence on concrete statements themselves:
 // `reorder(a, b)` twice is the identity.
 proptest! {
