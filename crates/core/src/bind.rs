@@ -141,20 +141,30 @@ pub(crate) fn extract_result(
                 Ok(Tensor::from_entries(var.shape().to_vec(), var.format().clone(), entries)?)
             }
             KernelKind::Fused | KernelKind::Assemble => {
+                // Borrow the kernel's i64 buffers directly — converting
+                // through `usize_array` would copy both index arrays on
+                // every extraction. Elements are range-checked as they are
+                // consumed instead.
                 let pos = b
-                    .usize_array(&pos_name(name, l))
+                    .int_array(&pos_name(name, l))
                     .ok_or_else(|| CoreError::UnknownOperand(name.to_string()))?;
                 let crd = b
-                    .usize_array(&crd_name(name, l))
+                    .int_array(&crd_name(name, l))
                     .ok_or_else(|| CoreError::UnknownOperand(name.to_string()))?;
-                let nnz = nnz_output
-                    .and_then(|n| b.scalar_output(n))
-                    .map(|v| v as usize)
-                    .unwrap_or(*pos.last().unwrap_or(&0));
                 // The kernel owns these arrays during the run, so treat their
-                // relative sizes as untrusted when rebuilding the tensor.
+                // relative sizes and signs as untrusted when rebuilding the
+                // tensor.
                 let inconsistent = |detail: String| {
                     CoreError::Tensor(taco_tensor::TensorError::InvalidStorage { level: l, detail })
+                };
+                let index = |v: i64, what: &str| {
+                    usize::try_from(v).map_err(|_| {
+                        inconsistent(format!("negative {what} value {v} in kernel output"))
+                    })
+                };
+                let nnz = match nnz_output.and_then(|n| b.scalar_output(n)) {
+                    Some(v) => index(v, "nnz")?,
+                    None => index(pos.last().copied().unwrap_or(0), "pos")?,
                 };
                 let vals: Vec<f64> = if kind == KernelKind::Fused {
                     let all = b
@@ -191,10 +201,10 @@ pub(crate) fn extract_result(
                             parents + 1
                         ))
                     })?;
-                    let (lo, hi) = (seg[0], seg[1]);
+                    let (lo, hi) = (index(seg[0], "pos")?, index(seg[1], "pos")?);
                     for q in lo..hi {
                         let mut full = coord.clone();
-                        let c = crd.get(q).ok_or_else(|| {
+                        let c = crd.get(q).copied().ok_or_else(|| {
                             inconsistent(format!(
                                 "result pos segment {lo}..{hi} exceeds crd length {}",
                                 crd.len()
@@ -206,7 +216,7 @@ pub(crate) fn extract_result(
                                 vals.len()
                             ))
                         })?;
-                        full.push(*c);
+                        full.push(index(c, "crd")?);
                         entries.push((full, *v));
                     }
                 }

@@ -41,6 +41,11 @@ pub enum CoreError {
         /// The array or workspace involved, when known.
         context: Option<String>,
     },
+    /// A supervised run was rolled back (deadline, cancellation, budget, or
+    /// runtime failure) and every rung of the degradation ladder that was
+    /// tried also aborted. The payload describes the *last* abort; the
+    /// output tensors were never mutated.
+    Aborted(taco_llir::Aborted),
 }
 
 impl fmt::Display for CoreError {
@@ -67,6 +72,7 @@ impl fmt::Display for CoreError {
                 }
                 Ok(())
             }
+            CoreError::Aborted(a) => write!(f, "supervised execution {a}"),
         }
     }
 }
@@ -79,8 +85,15 @@ impl Error for CoreError {
             CoreError::Compile(e) => Some(e),
             CoreError::Run(e) => Some(e),
             CoreError::Tensor(e) => Some(e),
+            CoreError::Aborted(a) => Some(a),
             _ => None,
         }
+    }
+}
+
+impl From<taco_llir::Aborted> for CoreError {
+    fn from(a: taco_llir::Aborted) -> Self {
+        CoreError::Aborted(a)
     }
 }
 

@@ -53,8 +53,11 @@ pub mod parse;
 mod schedule;
 
 pub use error::CoreError;
-pub use schedule::{CompiledKernel, FallbackEvent, IndexStmt};
-pub use taco_llir::{BudgetResource, ResourceBudget};
+pub use schedule::{CompiledKernel, DegradeRung, FallbackEvent, IndexStmt, SupervisedOutcome};
+pub use taco_llir::{
+    Aborted, AbortReason, BudgetResource, CancelToken, ExecReport, HeartbeatSample, Progress,
+    ResourceBudget, Supervisor,
+};
 
 /// Result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,4 +1,5 @@
-//! The scheduling API (paper Section III) and compiled-kernel execution.
+//! The scheduling API (paper Section III), compiled-kernel execution, and
+//! supervised degrade-and-retry execution.
 
 use crate::bind::{bind_operand, bind_result, extract_result};
 use crate::Result;
@@ -8,7 +9,9 @@ use taco_ir::expr::{IndexExpr, IndexVar, TensorVar};
 use taco_ir::heuristics::{estimate_workspace_bytes, suggest, Suggestion};
 use taco_ir::notation::IndexAssignment;
 use taco_ir::transform;
-use taco_llir::{Binding, BudgetResource, Executable, ResourceBudget};
+use taco_llir::{
+    AbortReason, Binding, BudgetResource, Executable, ExecReport, ResourceBudget, Supervisor,
+};
 use taco_lower::{lower, KernelKind, LowerOptions, LoweredKernel};
 use taco_tensor::Tensor;
 
@@ -118,7 +121,7 @@ impl IndexStmt {
             let total: u64 = estimates.iter().map(|e| e.bytes).fold(0, u64::saturating_add);
             if total > limit {
                 for e in &estimates {
-                    fallbacks.push(FallbackEvent {
+                    fallbacks.push(FallbackEvent::WorkspaceOverBudget {
                         workspace: e.workspace.clone(),
                         dims: e.dims.clone(),
                         estimated_bytes: e.bytes,
@@ -136,45 +139,243 @@ impl IndexStmt {
             // lowerable); report that as a budget failure, not a lowering
             // bug.
             Err(e) => match fallbacks.first() {
-                Some(f) => {
+                Some(FallbackEvent::WorkspaceOverBudget {
+                    workspace,
+                    estimated_bytes,
+                    budget_bytes,
+                    ..
+                }) => {
                     return Err(crate::CoreError::BudgetExceeded {
                         resource: BudgetResource::WorkspaceBytes,
-                        limit: f.budget_bytes,
-                        requested: f.estimated_bytes,
-                        context: Some(f.workspace.clone()),
+                        limit: *budget_bytes,
+                        requested: *estimated_bytes,
+                        context: Some(workspace.clone()),
                     })
                 }
-                None => return Err(e.into()),
+                _ => return Err(e.into()),
             },
         };
         let exe = Executable::compile(&lowered.kernel)?;
         Ok(CompiledKernel { lowered, exe, budget, fallbacks })
     }
+
+    /// Runs the statement under a [`Supervisor`], descending the degradation
+    /// ladder on retryable aborts.
+    ///
+    /// The first rung compiles the statement as scheduled (under the
+    /// supervisor's budget, so an over-budget workspace already falls back
+    /// at compile time). If the run aborts with a *retryable* reason — a
+    /// missed deadline or an exhausted resource budget — the statement is
+    /// re-lowered one rung down the ladder and retried with a fresh
+    /// deadline:
+    ///
+    /// 1. [`DegradeRung::AsScheduled`] — the full schedule (workspace
+    ///    precompute, sorted output);
+    /// 2. [`DegradeRung::UnsortedAssembly`] — the schedule kept but the
+    ///    output-sort pass dropped (paper §VI, unsorted kernels);
+    /// 3. [`DegradeRung::DirectMerge`] — every transformation dropped and
+    ///    the original statement lowered to the direct merge kernel (the
+    ///    reverse of the Section V-C heuristics).
+    ///
+    /// Every abandoned rung is recorded as a
+    /// [`FallbackEvent::DegradedRetry`] in the returned
+    /// [`SupervisedOutcome`], so callers can query *why* a result was
+    /// slower than scheduled. Cancellation and genuine runtime failures are
+    /// not retried.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Aborted`](crate::CoreError::Aborted) when every
+    /// viable rung aborted (carrying the last abort), or the usual
+    /// compile/bind errors for problems no rung can fix.
+    pub fn run_supervised(
+        &self,
+        opts: LowerOptions,
+        supervisor: &Supervisor,
+        inputs: &[(&str, &Tensor)],
+        output_structure: Option<&Tensor>,
+    ) -> Result<SupervisedOutcome> {
+        let budget = supervisor.budget();
+        let mut fallbacks: Vec<FallbackEvent> = Vec::new();
+        let mut last_err: Option<crate::CoreError> = None;
+        for rung in [
+            DegradeRung::AsScheduled,
+            DegradeRung::UnsortedAssembly,
+            DegradeRung::DirectMerge,
+        ] {
+            let kernel = match self.compile_rung(rung, &opts, budget, &fallbacks) {
+                Ok(Some(k)) => k,
+                // Rung not applicable (already unsorted, no transformations
+                // to drop, ...): try the next one.
+                Ok(None) => continue,
+                // Rung not realizable (e.g. direct sparse scatter): try the
+                // next one, but remember why in case nothing works.
+                Err(e) => {
+                    last_err.get_or_insert(e);
+                    continue;
+                }
+            };
+            if rung == DegradeRung::AsScheduled {
+                fallbacks.extend(kernel.fallback_events().iter().cloned());
+            }
+            match kernel.run_supervised(inputs, output_structure, supervisor) {
+                Ok((result, report)) => {
+                    return Ok(SupervisedOutcome { result, report, rung, fallbacks })
+                }
+                Err(crate::CoreError::Aborted(aborted)) if aborted.reason.is_retryable() => {
+                    fallbacks.push(FallbackEvent::DegradedRetry {
+                        rung,
+                        reason: aborted.reason.clone(),
+                    });
+                    last_err = Some(crate::CoreError::Aborted(aborted));
+                }
+                // Cancellation, runtime failures, and bind errors are not
+                // fixed by a degraded schedule.
+                Err(other) => return Err(other),
+            }
+        }
+        Err(last_err.expect("at least the as-scheduled rung is always attempted"))
+    }
+
+    /// Compiles one rung of the degradation ladder, or `None` if the rung
+    /// would not produce a different kernel.
+    fn compile_rung(
+        &self,
+        rung: DegradeRung,
+        opts: &LowerOptions,
+        budget: ResourceBudget,
+        fallbacks: &[FallbackEvent],
+    ) -> Result<Option<CompiledKernel>> {
+        match rung {
+            DegradeRung::AsScheduled => self.compile_with_budget(opts.clone(), budget).map(Some),
+            DegradeRung::UnsortedAssembly => {
+                // The sort pass only exists in kernels that assemble; a
+                // compute kernel is unchanged by `unsorted()`.
+                if !opts.sort_output || opts.kind == KernelKind::Compute {
+                    return Ok(None);
+                }
+                self.compile_with_budget(opts.clone().unsorted(), budget).map(Some)
+            }
+            DegradeRung::DirectMerge => {
+                // If the compile-time workspace estimate already forced the
+                // direct kernel, the as-scheduled rung was this one.
+                if fallbacks
+                    .iter()
+                    .any(|f| matches!(f, FallbackEvent::WorkspaceOverBudget { .. }))
+                {
+                    return Ok(None);
+                }
+                let direct = concretize(&self.source)?;
+                if direct == self.concrete {
+                    return Ok(None);
+                }
+                let lowered = lower(&direct, opts)?;
+                let exe = Executable::compile(&lowered.kernel)?;
+                Ok(Some(CompiledKernel { lowered, exe, budget, fallbacks: Vec::new() }))
+            }
+        }
+    }
 }
 
-/// A record of a workspace that was skipped because its estimated footprint
-/// exceeded the compile-time budget (see
-/// [`IndexStmt::compile_with_budget`]).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct FallbackEvent {
-    /// Name of the workspace tensor that was not materialized.
-    pub workspace: String,
-    /// Dense dimensions the workspace would have had.
-    pub dims: Vec<usize>,
-    /// Estimated bytes the workspace would have allocated.
-    pub estimated_bytes: u64,
-    /// The `max_workspace_bytes` limit in force.
-    pub budget_bytes: u64,
+/// One rung of the degradation ladder
+/// [`IndexStmt::run_supervised`] descends on retryable aborts: faster
+/// schedules first, the plain merge kernel last.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DegradeRung {
+    /// The statement exactly as scheduled.
+    AsScheduled,
+    /// The schedule with the output-sort pass dropped.
+    UnsortedAssembly,
+    /// All transformations dropped: the direct merge kernel.
+    DirectMerge,
+}
+
+impl std::fmt::Display for DegradeRung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradeRung::AsScheduled => write!(f, "as scheduled"),
+            DegradeRung::UnsortedAssembly => write!(f, "unsorted assembly"),
+            DegradeRung::DirectMerge => write!(f, "direct merge"),
+        }
+    }
+}
+
+/// Why a kernel was compiled or retried in a degraded form. Queryable via
+/// [`CompiledKernel::fallback_events`] and
+/// [`SupervisedOutcome::fallbacks`], and printable for operator-facing
+/// output.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FallbackEvent {
+    /// A workspace was skipped at compile time because its estimated
+    /// footprint exceeded the budget (see
+    /// [`IndexStmt::compile_with_budget`]).
+    WorkspaceOverBudget {
+        /// Name of the workspace tensor that was not materialized.
+        workspace: String,
+        /// Dense dimensions the workspace would have had.
+        dims: Vec<usize>,
+        /// Estimated bytes the workspace would have allocated.
+        estimated_bytes: u64,
+        /// The `max_workspace_bytes` limit in force.
+        budget_bytes: u64,
+    },
+    /// A supervised run of one degradation-ladder rung aborted and the next
+    /// rung was tried (see [`IndexStmt::run_supervised`]).
+    DegradedRetry {
+        /// The rung that aborted.
+        rung: DegradeRung,
+        /// Why it was abandoned.
+        reason: AbortReason,
+    },
 }
 
 impl std::fmt::Display for FallbackEvent {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "workspace `{}` (dims {:?}, ~{} bytes) exceeds the {}-byte workspace budget; \
-             compiled the direct kernel instead",
-            self.workspace, self.dims, self.estimated_bytes, self.budget_bytes
-        )
+        match self {
+            FallbackEvent::WorkspaceOverBudget {
+                workspace,
+                dims,
+                estimated_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "workspace `{workspace}` (dims {dims:?}, ~{estimated_bytes} bytes) exceeds the \
+                 {budget_bytes}-byte workspace budget; compiled the direct kernel instead",
+            ),
+            FallbackEvent::DegradedRetry { rung, reason } => {
+                write!(f, "{rung} kernel aborted ({reason}); retried one rung down the ladder")
+            }
+        }
+    }
+}
+
+/// The committed result of [`IndexStmt::run_supervised`]: the tensor, the
+/// run report of the rung that committed, which rung that was, and the
+/// fallback trail explaining any degradation.
+#[derive(Debug, Clone)]
+pub struct SupervisedOutcome {
+    /// The computed tensor.
+    pub result: Tensor,
+    /// Wall-clock, progress counters and heartbeat samples of the
+    /// committing run.
+    pub report: ExecReport,
+    /// The degradation-ladder rung that produced the result.
+    pub rung: DegradeRung,
+    /// Compile-time workspace skips and aborted rungs, in order.
+    pub fallbacks: Vec<FallbackEvent>,
+}
+
+impl SupervisedOutcome {
+    /// A human-readable account of the run: how it committed and why it was
+    /// degraded, if it was.
+    pub fn summary(&self) -> String {
+        let mut s = format!("{} kernel {}", self.rung, self.report.summary());
+        for event in &self.fallbacks {
+            s.push_str("\n  - ");
+            s.push_str(&event.to_string());
+        }
+        s
     }
 }
 
@@ -287,5 +488,52 @@ impl CompiledKernel {
     pub fn run_bound(&self, binding: &mut Binding) -> Result<()> {
         self.exe.run_with_budget(binding, &self.budget)?;
         Ok(())
+    }
+
+    /// Runs the kernel once under a [`Supervisor`]: transactional outputs,
+    /// deadline and cancellation checked at loop back-edges, and the
+    /// tighter of the supervisor's and this kernel's budgets enforced. No
+    /// degrade-and-retry — see [`IndexStmt::run_supervised`] for the ladder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Aborted`](crate::CoreError::Aborted) on
+    /// deadline, cancellation, budget exhaustion or runtime failure, plus
+    /// the usual bind errors.
+    pub fn run_supervised(
+        &self,
+        inputs: &[(&str, &Tensor)],
+        output_structure: Option<&Tensor>,
+        supervisor: &Supervisor,
+    ) -> Result<(Tensor, ExecReport)> {
+        let mut binding = self.bind(inputs, output_structure)?;
+        let report = self.run_bound_supervised(&mut binding, supervisor)?;
+        let result = extract_result(
+            &binding,
+            &self.lowered.result,
+            self.lowered.kind,
+            output_structure,
+            self.lowered.nnz_output.as_deref(),
+        )?;
+        Ok((result, report))
+    }
+
+    /// Runs against an existing binding under a [`Supervisor`]. On abort
+    /// the binding is byte-identical to its pre-run state (the
+    /// transactional guarantee of
+    /// [`ExecSession::run`](taco_llir::ExecSession::run)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Aborted`](crate::CoreError::Aborted) on any
+    /// abort.
+    pub fn run_bound_supervised(
+        &self,
+        binding: &mut Binding,
+        supervisor: &Supervisor,
+    ) -> Result<ExecReport> {
+        let combined = supervisor.budget().min_with(&self.budget);
+        let supervisor = supervisor.clone().with_budget(combined);
+        Ok(supervisor.run(&self.exe, binding)?)
     }
 }

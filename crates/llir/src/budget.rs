@@ -98,6 +98,27 @@ impl ResourceBudget {
         self
     }
 
+    /// Combines two budgets, taking the tighter limit for each resource.
+    /// Used when a kernel's compile-time budget and a supervisor's run-time
+    /// budget both apply to one run.
+    pub fn min_with(&self, other: &ResourceBudget) -> ResourceBudget {
+        fn tighter<T: Ord + Copy>(a: Option<T>, b: Option<T>) -> Option<T> {
+            match (a, b) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, y) => x.or(y),
+            }
+        }
+        ResourceBudget {
+            max_workspace_bytes: tighter(self.max_workspace_bytes, other.max_workspace_bytes),
+            max_total_bytes: tighter(self.max_total_bytes, other.max_total_bytes),
+            max_loop_iterations: tighter(self.max_loop_iterations, other.max_loop_iterations),
+            max_realloc_doublings: tighter(
+                self.max_realloc_doublings,
+                other.max_realloc_doublings,
+            ),
+        }
+    }
+
     /// True if no limit is set on any resource.
     pub fn is_unlimited(&self) -> bool {
         self.max_workspace_bytes.is_none()
@@ -115,6 +136,18 @@ mod tests {
     fn default_is_unlimited() {
         assert!(ResourceBudget::default().is_unlimited());
         assert!(ResourceBudget::unlimited().is_unlimited());
+    }
+
+    #[test]
+    fn min_with_takes_tighter_limits() {
+        let a = ResourceBudget::unlimited().with_max_workspace_bytes(100).with_max_total_bytes(500);
+        let b = ResourceBudget::unlimited().with_max_workspace_bytes(50).with_max_loop_iterations(9);
+        let m = a.min_with(&b);
+        assert_eq!(m.max_workspace_bytes, Some(50));
+        assert_eq!(m.max_total_bytes, Some(500));
+        assert_eq!(m.max_loop_iterations, Some(9));
+        assert_eq!(m.max_realloc_doublings, None);
+        assert_eq!(ResourceBudget::unlimited().min_with(&ResourceBudget::unlimited()), ResourceBudget::unlimited());
     }
 
     #[test]

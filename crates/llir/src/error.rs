@@ -73,6 +73,18 @@ pub enum RunError {
     },
     /// Integer division or remainder by zero.
     DivisionByZero,
+    /// Execution was stopped through a
+    /// [`CancelToken`](crate::CancelToken) observed at a loop back-edge.
+    Cancelled,
+    /// The wall-clock deadline expired mid-run (checked at loop back-edges
+    /// alongside the iteration fuse).
+    DeadlineExceeded {
+        /// The configured deadline, in milliseconds.
+        deadline_ms: u64,
+        /// Wall-clock time elapsed when the overrun was detected, in
+        /// milliseconds.
+        elapsed_ms: u64,
+    },
     /// A [`ResourceBudget`](crate::ResourceBudget) limit was exceeded.
     BudgetExceeded {
         /// Which limit was violated.
@@ -103,6 +115,10 @@ impl fmt::Display for RunError {
                 write!(f, "negative length {len} requested for array `{name}`")
             }
             RunError::DivisionByZero => write!(f, "integer division by zero"),
+            RunError::Cancelled => write!(f, "execution cancelled"),
+            RunError::DeadlineExceeded { deadline_ms, elapsed_ms } => {
+                write!(f, "deadline of {deadline_ms} ms exceeded after {elapsed_ms} ms")
+            }
             RunError::BudgetExceeded { resource, limit, requested, array } => {
                 write!(f, "resource budget exceeded: {resource} limit {limit}, needed {requested}")?;
                 if let Some(name) = array {

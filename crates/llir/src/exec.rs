@@ -6,8 +6,14 @@
 //! name lookups in any inner loop — this plays the role of the paper's
 //! "target code" stage (Figure 6) in a pure-Rust setting.
 
-use crate::{ArrayTy, BinOp, BudgetResource, CompileError, Expr, Kernel, ResourceBudget, RunError, Stmt, UnOp};
+use crate::supervise::SharedProgress;
+use crate::{
+    ArrayTy, BinOp, BudgetResource, CompileError, Expr, Kernel, ParamKind, ResourceBudget,
+    RunError, Stmt, UnOp,
+};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 /// A buffer bound to (or allocated by) a kernel.
 #[derive(Debug, Clone, PartialEq)]
@@ -448,6 +454,24 @@ impl BudgetState {
     }
 }
 
+/// How often (in loop iterations) the interpreter performs the expensive
+/// supervision checks: reading the clock, the cancel flag, and publishing
+/// progress counters. Back-edges between checks cost one countdown decrement.
+const SUPERVISION_STRIDE: u32 = 1024;
+
+/// Supervision hooks threaded into one run by
+/// [`ExecSession::run`](crate::ExecSession::run). All-`None` (the `Default`)
+/// runs unsupervised with zero overhead beyond the stride countdown.
+#[derive(Default)]
+pub(crate) struct RunControls<'a> {
+    /// Cooperative cancellation flag, checked at loop back-edges.
+    pub(crate) cancel: Option<&'a AtomicBool>,
+    /// Wall-clock deadline as (run start, allowed duration).
+    pub(crate) deadline: Option<(Instant, Duration)>,
+    /// Progress counters published for the watchdog thread.
+    pub(crate) shared: Option<&'a SharedProgress>,
+}
+
 fn elem_bytes(ty: ArrayTy) -> u64 {
     match ty {
         ArrayTy::Int => 8,
@@ -457,16 +481,19 @@ fn elem_bytes(ty: ArrayTy) -> u64 {
     }
 }
 
-struct Mach {
+struct Mach<'a> {
     ints: Vec<i64>,
     floats: Vec<f64>,
     bools: Vec<bool>,
     arrays: Vec<ArrayVal>,
     array_names: Vec<String>,
     budget: BudgetState,
+    ctl: RunControls<'a>,
+    /// Iterations until the next supervision check.
+    check_countdown: u32,
 }
 
-impl Mach {
+impl Mach<'_> {
     #[inline]
     fn oob(&self, arr: usize, idx: i64, len: usize) -> RunError {
         RunError::OutOfBounds { name: self.array_names[arr].clone(), idx, len }
@@ -481,13 +508,21 @@ impl Mach {
         }
     }
 
-    /// Burns one unit of the loop-iteration fuse.
+    /// Burns one unit of the loop-iteration fuse and, every
+    /// [`SUPERVISION_STRIDE`] back-edges, performs the supervision checks
+    /// (deadline, cancellation, progress publication).
     #[inline]
     fn consume_iteration(&mut self) -> Result<(), RunError> {
         match self.budget.iterations_left.checked_sub(1) {
             Some(left) => {
                 self.budget.iterations_left = left;
-                Ok(())
+                if self.check_countdown == 0 {
+                    self.check_countdown = SUPERVISION_STRIDE;
+                    self.supervision_check()
+                } else {
+                    self.check_countdown -= 1;
+                    Ok(())
+                }
             }
             None => Err(RunError::BudgetExceeded {
                 resource: BudgetResource::LoopIterations,
@@ -496,6 +531,38 @@ impl Mach {
                 array: None,
             }),
         }
+    }
+
+    /// Iterations executed so far, recovered from the fuse without an extra
+    /// hot-path counter.
+    fn iterations_done(&self) -> u64 {
+        self.budget.max_iterations - self.budget.iterations_left
+    }
+
+    /// The expensive periodic checks: publish progress, observe the cancel
+    /// flag, compare the clock against the deadline.
+    #[cold]
+    #[inline(never)]
+    fn supervision_check(&mut self) -> Result<(), RunError> {
+        if let Some(shared) = self.ctl.shared {
+            shared.iterations.store(self.iterations_done(), Ordering::Relaxed);
+            shared.allocated_bytes.store(self.budget.total_bytes, Ordering::Relaxed);
+        }
+        if let Some(flag) = self.ctl.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Err(RunError::Cancelled);
+            }
+        }
+        if let Some((start, limit)) = self.ctl.deadline {
+            let elapsed = start.elapsed();
+            if elapsed >= limit {
+                return Err(RunError::DeadlineExceeded {
+                    deadline_ms: limit.as_millis() as u64,
+                    elapsed_ms: elapsed.as_millis() as u64,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Charges `new_bytes` of growth for `arr` against the single-allocation
@@ -871,7 +938,7 @@ fn cmp<T: PartialOrd>(op: BinOp, x: &T, y: &T) -> bool {
 
 /// Buffers and scalar inputs bound to a kernel before [`Executable::run`],
 /// and outputs read back afterwards.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct Binding {
     arrays: HashMap<String, ArrayVal>,
     scalars: HashMap<String, i64>,
@@ -948,6 +1015,11 @@ impl Binding {
     ///
     /// Returns `None` if the array is missing, has the wrong type, or holds a
     /// negative value (a malformed kernel output, never a valid `pos`/`crd`).
+    ///
+    /// Unlike the other accessors this returns an owned `Vec`: integer
+    /// buffers are stored as `i64` and a `usize` view cannot be borrowed
+    /// from them. Hot paths should use [`Binding::int_array`] and convert
+    /// elements as they are consumed instead of materializing a copy.
     pub fn usize_array(&self, name: &str) -> Option<Vec<usize>> {
         self.int_array(name)?.iter().map(|x| usize::try_from(*x).ok()).collect()
     }
@@ -961,6 +1033,29 @@ impl Binding {
     pub fn take(&mut self, name: &str) -> Option<ArrayVal> {
         self.arrays.remove(name)
     }
+
+    /// Records the pre-run state of the named arrays (present or absent)
+    /// for transactional rollback.
+    pub(crate) fn snapshot<'a>(
+        &self,
+        names: impl Iterator<Item = &'a str>,
+    ) -> Vec<(String, Option<ArrayVal>)> {
+        names.map(|n| (n.to_string(), self.arrays.get(n).cloned())).collect()
+    }
+
+    /// Restores a snapshot taken by [`Binding::snapshot`], byte-identically.
+    pub(crate) fn restore(&mut self, snapshot: Vec<(String, Option<ArrayVal>)>) {
+        for (name, val) in snapshot {
+            match val {
+                Some(v) => {
+                    self.arrays.insert(name, v);
+                }
+                None => {
+                    self.arrays.remove(&name);
+                }
+            }
+        }
+    }
 }
 
 /// A compiled kernel ready to run against a [`Binding`].
@@ -968,7 +1063,7 @@ impl Binding {
 pub struct Executable {
     name: String,
     scalar_params: Vec<(String, usize)>,
-    array_params: Vec<(String, usize, ArrayTy)>,
+    array_params: Vec<(String, usize, ArrayTy, ParamKind)>,
     scalar_outputs: Vec<(String, usize)>,
     array_names: Vec<String>,
     n_int: usize,
@@ -1005,7 +1100,7 @@ impl Executable {
                 return Err(CompileError::Duplicate(p.name.clone()));
             }
             let slot = c.declare_array(&p.name, p.ty)?;
-            array_params.push((p.name.clone(), slot, p.ty));
+            array_params.push((p.name.clone(), slot, p.ty, p.kind));
         }
 
         // The kernel body shares the top-level scope so that scalar outputs
@@ -1038,6 +1133,16 @@ impl Executable {
         &self.name
     }
 
+    /// Names of the array parameters the kernel may write (`Output` and
+    /// `InOut`); the arrays a transactional run must snapshot. Lowered
+    /// kernels never store into `Input` parameters.
+    pub fn writable_arrays(&self) -> impl Iterator<Item = &str> {
+        self.array_params
+            .iter()
+            .filter(|(_, _, _, kind)| *kind != ParamKind::Input)
+            .map(|(name, ..)| name.as_str())
+    }
+
     /// Runs the kernel against bound buffers. Parameter arrays are moved
     /// into the machine and moved back afterwards, so repeated runs against
     /// the same binding do not reallocate. Scalar outputs become readable
@@ -1059,6 +1164,21 @@ impl Executable {
         binding: &mut Binding,
         budget: &ResourceBudget,
     ) -> Result<(), RunError> {
+        self.run_controlled(binding, budget, RunControls::default())
+    }
+
+    /// The full-featured run loop: budget metering plus the supervision
+    /// hooks (cancel flag, deadline, progress publication) used by
+    /// [`ExecSession`](crate::ExecSession).
+    ///
+    /// Binding errors (missing or mistyped parameters) are detected before
+    /// any array is moved out of the binding, so they leave it untouched.
+    pub(crate) fn run_controlled(
+        &self,
+        binding: &mut Binding,
+        budget: &ResourceBudget,
+        ctl: RunControls<'_>,
+    ) -> Result<(), RunError> {
         let mut mach = Mach {
             ints: vec![0; self.n_int],
             floats: vec![0.0; self.n_float],
@@ -1066,6 +1186,8 @@ impl Executable {
             arrays: self.array_names.iter().map(|_| ArrayVal::empty(ArrayTy::Int)).collect(),
             array_names: self.array_names.clone(),
             budget: BudgetState::new(budget, self.array_names.len()),
+            ctl,
+            check_countdown: 0,
         };
         for (name, slot) in &self.scalar_params {
             let v = *binding
@@ -1074,24 +1196,35 @@ impl Executable {
                 .ok_or_else(|| RunError::MissingScalar(name.clone()))?;
             mach.ints[*slot] = v;
         }
-        for (name, slot, ty) in &self.array_params {
-            let v = binding
-                .arrays
-                .remove(name)
-                .ok_or_else(|| RunError::MissingArray(name.clone()))?;
-            if v.ty() != *ty {
-                return Err(RunError::WrongArrayType { name: name.clone(), expected: *ty });
+        // Validate every array parameter before moving any of them, so a
+        // missing or mistyped binding fails with the binding fully intact.
+        for (name, _, ty, _) in &self.array_params {
+            match binding.arrays.get(name) {
+                None => return Err(RunError::MissingArray(name.clone())),
+                Some(v) if v.ty() != *ty => {
+                    return Err(RunError::WrongArrayType { name: name.clone(), expected: *ty })
+                }
+                Some(_) => {}
             }
+        }
+        for (name, slot, _, _) in &self.array_params {
+            let v = binding.arrays.remove(name).expect("validated above");
             mach.arrays[*slot] = v;
         }
 
         let result = mach.exec_block(&self.body);
 
         // Return parameter arrays to the binding even on error so callers
-        // can inspect partial state.
-        for (name, slot, _) in &self.array_params {
+        // can inspect partial state (supervised runs roll writable arrays
+        // back from a snapshot on top of this).
+        for (name, slot, _, _) in &self.array_params {
             let v = std::mem::replace(&mut mach.arrays[*slot], ArrayVal::empty(ArrayTy::Int));
             binding.arrays.insert(name.clone(), v);
+        }
+        // Publish final counters so reports reflect the whole run.
+        if let Some(shared) = mach.ctl.shared {
+            shared.iterations.store(mach.iterations_done(), Ordering::Relaxed);
+            shared.allocated_bytes.store(mach.budget.total_bytes, Ordering::Relaxed);
         }
         result?;
 

@@ -46,8 +46,13 @@ mod exec;
 mod ir;
 mod printer;
 mod simplify;
+mod supervise;
 
 pub use budget::{BudgetResource, ResourceBudget};
 pub use error::{CompileError, RunError};
 pub use exec::{ArrayVal, Binding, Executable};
 pub use ir::{ArrayTy, BinOp, Expr, Kernel, Param, ParamKind, Stmt, UnOp};
+pub use supervise::{
+    Aborted, AbortReason, CancelToken, ExecReport, ExecSession, HeartbeatSample, Progress,
+    Supervisor,
+};

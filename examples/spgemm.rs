@@ -47,6 +47,52 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(Csr::from_tensor(&out)?.approx_eq(&native, 1e-12));
     println!("compiled kernel matches the native Gustavson workspace kernel\n");
 
+    // --- Supervised execution: deadlines and the degradation ladder -------
+    // The same kernel under a generous deadline, with a progress heartbeat.
+    let supervisor = Supervisor::new()
+        .with_deadline(std::time::Duration::from_secs(10))
+        .with_heartbeat(std::time::Duration::from_millis(5));
+    let (_, report) = kernel.run_supervised(&[("B", &bt), ("C", &ct)], None, &supervisor)?;
+    println!("supervised SpGEMM: {}", report.summary());
+
+    // A deliberately pathological schedule: precompute a dense operand of
+    // the sampled product A = B .* C into a row workspace, so the scheduled
+    // kernel scans all n columns per row while B holds three nonzeros. A
+    // 50 ms deadline aborts it (rolling the outputs back) and the retry
+    // ladder lands on the direct merge kernel.
+    let (m, nn) = (128, 1 << 15);
+    let a2 = TensorVar::new("A", vec![m, nn], Format::csr());
+    let b2 = TensorVar::new("B", vec![m, nn], Format::csr());
+    let c2 = TensorVar::new("C", vec![m, nn], Format::dense(2));
+    let cij: IndexExpr = c2.access([i.clone(), j.clone()]).into();
+    let mut sampled = IndexStmt::new(IndexAssignment::assign(
+        a2.access([i.clone(), j.clone()]),
+        b2.access([i.clone(), j.clone()]) * c2.access([i.clone(), j.clone()]),
+    ))?;
+    let w2 = TensorVar::new("w", vec![nn], Format::dvec());
+    sampled.precompute(&cij, &[(j.clone(), j.clone(), j.clone())], &w2)?;
+
+    let b2t = Tensor::from_entries(
+        vec![m, nn],
+        Format::csr(),
+        vec![(vec![0, 5], 2.0), (vec![64, 100], 3.0), (vec![127, 7], 4.0)],
+    )?;
+    let c2t = Tensor::from_dense(
+        &taco_tensor::DenseTensor::from_data(
+            vec![m, nn],
+            (0..m * nn).map(|p| (p % 97) as f64 + 1.0).collect(),
+        ),
+        Format::dense(2),
+    )?;
+    let deadline = Supervisor::new().with_deadline(std::time::Duration::from_millis(50));
+    let outcome = sampled.run_supervised(
+        LowerOptions::fused("sampled"),
+        &deadline,
+        &[("B", &b2t), ("C", &c2t)],
+        None,
+    )?;
+    println!("{}\n", outcome.summary());
+
     // --- Performance shape: workspace vs library baselines ----------------
     let info = matrix_by_name("pdb1HYS").expect("table 1 matrix");
     let big = info.generate(0.05);

@@ -56,7 +56,9 @@ pub use taco_tensor as tensor;
 /// Commonly used items, for `use taco_workspaces::prelude::*`.
 pub mod prelude {
     pub use taco_core::{
-        BudgetResource, CompiledKernel, CoreError, FallbackEvent, IndexStmt, ResourceBudget,
+        Aborted, AbortReason, BudgetResource, CancelToken, CompiledKernel, CoreError, DegradeRung,
+        ExecReport, FallbackEvent, IndexStmt, Progress, ResourceBudget, SupervisedOutcome,
+        Supervisor,
     };
     pub use taco_ir::concrete::{AssignOp, ConcreteStmt};
     pub use taco_ir::expr::{sum, IndexExpr, IndexVar, TensorVar};

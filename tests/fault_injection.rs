@@ -9,6 +9,7 @@
 //! is reported as a test failure rather than aborting the harness.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
 use taco_workspaces::core::oracle::eval_dense;
 use taco_workspaces::prelude::*;
 use taco_workspaces::tensor::{corrupt, gen};
@@ -170,9 +171,14 @@ fn over_budget_workspace_falls_back_to_direct_kernel() {
 
     let events = fallback.fallback_events();
     assert_eq!(events.len(), 1, "one skipped workspace expected");
-    assert_eq!(events[0].workspace, "w");
-    assert_eq!(events[0].budget_bytes, 8 * n as u64 - 1);
-    assert!(events[0].estimated_bytes > events[0].budget_bytes);
+    match &events[0] {
+        FallbackEvent::WorkspaceOverBudget { workspace, estimated_bytes, budget_bytes, .. } => {
+            assert_eq!(workspace, "w");
+            assert_eq!(*budget_bytes, 8 * n as u64 - 1);
+            assert!(estimated_bytes > budget_bytes);
+        }
+        other => panic!("expected WorkspaceOverBudget, got {other}"),
+    }
     assert!(
         !fallback.to_c().contains("workspace"),
         "fallback kernel must not allocate the workspace"
@@ -260,6 +266,226 @@ fn unlimited_budget_matches_unbudgeted_compile() {
     let r1 = plain.run(&[("B", &b), ("C", &c)]).unwrap();
     let r2 = budgeted.run(&[("B", &b), ("C", &c)]).unwrap();
     assert!(r1.to_dense().approx_eq(&r2.to_dense(), 0.0));
+}
+
+/// Sampled dense product `A(i,j) = B(i,j) * C(i,j)` (B hypersparse CSR,
+/// C dense) with a deliberately pathological schedule: the dense operand is
+/// precomputed into a row workspace, so the scheduled producer loop scans
+/// all `n` columns of every row while the direct merge kernel only visits
+/// B's nonzeros. This is the asymmetry the degradation ladder exists for.
+fn pathological_sampled_product(m: usize, n: usize) -> IndexStmt {
+    let a = TensorVar::new("A", vec![m, n], Format::csr());
+    let b = TensorVar::new("B", vec![m, n], Format::csr());
+    let c = TensorVar::new("C", vec![m, n], Format::dense(2));
+    let (i, j) = (iv("i"), iv("j"));
+    let cij: IndexExpr = c.access([i.clone(), j.clone()]).into();
+    let mut stmt = IndexStmt::new(IndexAssignment::assign(
+        a.access([i.clone(), j.clone()]),
+        b.access([i.clone(), j.clone()]) * c.access([i.clone(), j.clone()]),
+    ))
+    .unwrap();
+    let w = TensorVar::new("w", vec![n], Format::dvec());
+    stmt.precompute(&cij, &[(j.clone(), j.clone(), j.clone())], &w).unwrap();
+    stmt
+}
+
+fn sampled_product_inputs(m: usize, n: usize) -> (Tensor, Tensor) {
+    let b = Tensor::from_entries(
+        vec![m, n],
+        Format::csr(),
+        vec![(vec![0, 5], 2.0), (vec![m / 2, 100], 3.0), (vec![m - 1, 7], 4.0)],
+    )
+    .unwrap();
+    let vals: Vec<f64> = (0..m * n).map(|p| (p % 97) as f64 + 1.0).collect();
+    let c = Tensor::from_dense(
+        &taco_workspaces::tensor::DenseTensor::from_data(vec![m, n], vals),
+        Format::dense(2),
+    )
+    .unwrap();
+    (b, c)
+}
+
+/// A dense-ish SpGEMM large enough that its workspace kernel cannot finish
+/// within a tens-of-milliseconds deadline on any plausible machine.
+fn big_spgemm() -> (IndexStmt, Tensor, Tensor) {
+    let n = 512;
+    let stmt = scheduled_spgemm(n);
+    let b = gen::random_csr(n, n, 0.5, 21).to_tensor();
+    let c = gen::random_csr(n, n, 0.5, 22).to_tensor();
+    (stmt, b, c)
+}
+
+#[test]
+fn deadline_abort_rolls_back_the_output_binding() {
+    let (stmt, b, c) = big_spgemm();
+    let kernel = stmt.compile(LowerOptions::fused("spgemm")).unwrap();
+    let mut binding = kernel.bind(&[("B", &b), ("C", &c)], None).unwrap();
+    let before = binding.clone();
+
+    let supervisor = Supervisor::new().with_deadline(Duration::from_millis(20));
+    let err = kernel.run_bound_supervised(&mut binding, &supervisor).unwrap_err();
+    match err {
+        CoreError::Aborted(a) => {
+            assert!(
+                matches!(a.reason, AbortReason::DeadlineExceeded { .. }),
+                "expected a deadline abort, got {}",
+                a.reason
+            );
+            assert!(a.progress.iterations > 0, "the kernel should have made progress");
+        }
+        other => panic!("expected CoreError::Aborted, got {other}"),
+    }
+    assert_eq!(binding, before, "aborted run must leave the binding byte-identical");
+}
+
+#[test]
+fn mid_execution_cancellation_rolls_back_and_is_not_retried() {
+    let (stmt, b, c) = big_spgemm();
+    let kernel = stmt.compile(LowerOptions::fused("spgemm")).unwrap();
+    let mut binding = kernel.bind(&[("B", &b), ("C", &c)], None).unwrap();
+    let before = binding.clone();
+
+    let token = CancelToken::new();
+    let supervisor = Supervisor::new().with_cancel_token(token.clone());
+    let canceller = std::thread::spawn({
+        let token = token.clone();
+        move || {
+            std::thread::sleep(Duration::from_millis(5));
+            token.cancel();
+        }
+    });
+    let err = kernel.run_bound_supervised(&mut binding, &supervisor).unwrap_err();
+    canceller.join().unwrap();
+    match err {
+        CoreError::Aborted(a) => {
+            assert_eq!(a.reason, AbortReason::Cancelled);
+            assert!(!a.reason.is_retryable(), "cancellation must not trigger the ladder");
+        }
+        other => panic!("expected CoreError::Aborted, got {other}"),
+    }
+    assert_eq!(binding, before, "cancelled run must leave the binding byte-identical");
+
+    // The degradation ladder refuses to retry a cancelled run: the whole
+    // pipeline surfaces the abort instead of burning time on lower rungs.
+    let err = stmt
+        .run_supervised(LowerOptions::fused("spgemm"), &supervisor, &[("B", &b), ("C", &c)], None)
+        .unwrap_err();
+    assert!(
+        matches!(err, CoreError::Aborted(ref a) if a.reason == AbortReason::Cancelled),
+        "expected an unretried cancellation, got {err}"
+    );
+}
+
+#[test]
+fn ladder_exhaustion_surfaces_the_last_abort() {
+    // True SpGEMM only lowers through the workspace, so when every viable
+    // rung blows the deadline the caller gets the final abort, typed.
+    let (stmt, b, c) = big_spgemm();
+    let supervisor = Supervisor::new().with_deadline(Duration::from_millis(10));
+    let err = stmt
+        .run_supervised(LowerOptions::fused("spgemm"), &supervisor, &[("B", &b), ("C", &c)], None)
+        .unwrap_err();
+    match err {
+        CoreError::Aborted(a) => {
+            assert!(matches!(a.reason, AbortReason::DeadlineExceeded { .. }));
+        }
+        other => panic!("expected CoreError::Aborted, got {other}"),
+    }
+}
+
+#[test]
+fn pathological_schedule_degrades_to_direct_merge_under_deadline() {
+    // The acceptance scenario: under a 50 ms deadline the as-scheduled
+    // workspace kernel (which scans all n columns per row) aborts, the
+    // binding is rolled back byte-identically, and the retry ladder lands on
+    // the direct merge kernel, which only touches B's nonzeros and commits.
+    let (m, n) = (128, 1 << 15);
+    let stmt = pathological_sampled_product(m, n);
+    let (b, c) = sampled_product_inputs(m, n);
+    let supervisor = Supervisor::new().with_deadline(Duration::from_millis(50));
+
+    // First, the transactional half: the scheduled kernel alone aborts on
+    // the deadline and leaves its binding byte-identical.
+    let scheduled = stmt.compile(LowerOptions::fused("sample")).unwrap();
+    let mut binding = scheduled.bind(&[("B", &b), ("C", &c)], None).unwrap();
+    let before = binding.clone();
+    let err = scheduled.run_bound_supervised(&mut binding, &supervisor).unwrap_err();
+    match err {
+        CoreError::Aborted(a) => {
+            assert!(
+                matches!(a.reason, AbortReason::DeadlineExceeded { .. }),
+                "expected a deadline abort, got {}",
+                a.reason
+            );
+        }
+        other => panic!("expected CoreError::Aborted, got {other}"),
+    }
+    assert_eq!(binding, before, "aborted run must leave the binding byte-identical");
+
+    // Then the ladder: the retry lands on direct merge and the abandoned
+    // rungs are on the record.
+    let outcome = stmt
+        .run_supervised(LowerOptions::fused("sample"), &supervisor, &[("B", &b), ("C", &c)], None)
+        .unwrap();
+    assert_eq!(outcome.rung, DegradeRung::DirectMerge);
+    assert!(
+        outcome.fallbacks.iter().any(|f| matches!(
+            f,
+            FallbackEvent::DegradedRetry {
+                rung: DegradeRung::AsScheduled,
+                reason: AbortReason::DeadlineExceeded { .. },
+            }
+        )),
+        "the as-scheduled deadline abort must be recorded: {:?}",
+        outcome.fallbacks
+    );
+
+    let expect = eval_dense(stmt.source(), &[("B", &b), ("C", &c)]).unwrap();
+    assert!(outcome.result.to_dense().approx_eq(&expect, 1e-10));
+    assert_eq!(outcome.result.nnz(), b.nnz(), "sampling preserves B's pattern");
+}
+
+#[test]
+fn supervised_runs_over_corrupted_operands_stay_graceful() {
+    // Supervision must not weaken bind-time validation: every corrupted
+    // operand still produces a typed error (never a panic or a partial
+    // result), even with a deadline and a cancel token armed.
+    let n = 8;
+    let stmt = scheduled_spgemm(n);
+    let (b, c) = sample_inputs(n);
+    let token = CancelToken::new();
+    let supervisor = Supervisor::new()
+        .with_deadline(Duration::from_secs(5))
+        .with_cancel_token(token.clone());
+
+    for (why, bad) in corrupt::all_corruptions(&b) {
+        assert_graceful(&format!("supervised run with B corrupted by {why:?}"), || {
+            stmt.run_supervised(
+                LowerOptions::fused("spgemm"),
+                &supervisor,
+                &[("B", &bad), ("C", &c)],
+                None,
+            )
+        });
+    }
+
+    // A pre-cancelled supervisor aborts before the first write, over good
+    // and corrupted inputs alike.
+    token.cancel();
+    let err = stmt
+        .run_supervised(LowerOptions::fused("spgemm"), &supervisor, &[("B", &b), ("C", &c)], None)
+        .unwrap_err();
+    match err {
+        CoreError::Aborted(a) => {
+            assert_eq!(a.reason, AbortReason::Cancelled);
+            assert!(
+                a.progress.iterations <= 1,
+                "pre-cancelled runs abort at the first back-edge, got {}",
+                a.progress
+            );
+        }
+        other => panic!("expected CoreError::Aborted, got {other}"),
+    }
 }
 
 #[test]

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use taco_core::oracle::eval_dense;
-use taco_core::IndexStmt;
+use taco_core::{AbortReason, DegradeRung, FallbackEvent, IndexStmt, ResourceBudget, Supervisor};
 use taco_ir::expr::{sum, IndexExpr, IndexVar, TensorVar};
 use taco_ir::notation::IndexAssignment;
 use taco_ir::transform;
@@ -294,5 +294,135 @@ proptest! {
         let once = transform::reorder(stmt.concrete(), x, y).unwrap();
         let twice = transform::reorder(&once, x, y).unwrap();
         prop_assert_eq!(stmt.concrete(), &twice);
+    }
+}
+
+// Supervised execution is semantics-preserving: running a kernel under a
+// supervisor — with the back-edge cancellation/deadline checks armed, and
+// even after the degradation ladder abandoned the scheduled kernel — must
+// produce exactly the oracle's answer.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Supervised SpGEMM (generous deadline, armed cancel token) equals the
+    /// oracle and commits on the as-scheduled rung.
+    #[test]
+    fn supervised_spgemm_matches_oracle(
+        m in 1usize..20,
+        k in 1usize..20,
+        n in 1usize..20,
+        db in 0.0f64..0.5,
+        dc in 0.0f64..0.5,
+        seed in 0u64..1000,
+    ) {
+        let a = TensorVar::new("A", vec![m, n], Format::csr());
+        let b = TensorVar::new("B", vec![m, k], Format::csr());
+        let c = TensorVar::new("C", vec![k, n], Format::csr());
+        let (i, j, kk) = (iv("i"), iv("j"), iv("k"));
+        let mul = b.access([i.clone(), kk.clone()]) * c.access([kk.clone(), j.clone()]);
+        let source = IndexAssignment::assign(a.access([i.clone(), j.clone()]), sum(kk.clone(), mul.clone()));
+        let mut stmt = IndexStmt::new(source.clone()).unwrap();
+        stmt.reorder(&kk, &j).unwrap();
+        let w = TensorVar::new("w", vec![n], Format::dvec());
+        stmt.precompute(&mul, &[(j.clone(), j.clone(), j.clone())], &w).unwrap();
+
+        let bt = csr(&random_csr(m, k, db, seed + 40));
+        let ct = csr(&random_csr(k, n, dc, seed + 41));
+        let supervisor = Supervisor::new()
+            .with_deadline(std::time::Duration::from_secs(30))
+            .with_cancel_token(taco_core::CancelToken::new());
+        let outcome = stmt
+            .run_supervised(LowerOptions::fused("spgemm"), &supervisor, &[("B", &bt), ("C", &ct)], None)
+            .unwrap();
+        prop_assert_eq!(outcome.rung, DegradeRung::AsScheduled);
+        prop_assert!(outcome.fallbacks.is_empty());
+        check(&source, &outcome.result, &[("B", &bt), ("C", &ct)]);
+    }
+
+    /// Supervised MTTKRP (unscheduled, so the ladder has nothing to drop)
+    /// equals the oracle.
+    #[test]
+    fn supervised_mttkrp_matches_oracle(
+        nnz in 0usize..80,
+        r in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let (di, dk, dl) = (8, 7, 6);
+        let a = TensorVar::new("A", vec![di, r], Format::dense(2));
+        let b = TensorVar::new("B", vec![di, dk, dl], Format::csf3());
+        let c = TensorVar::new("C", vec![dl, r], Format::dense(2));
+        let d = TensorVar::new("D", vec![dk, r], Format::dense(2));
+        let (i, j, k, l) = (iv("i"), iv("j"), iv("k"), iv("l"));
+        let source = IndexAssignment::assign(
+            a.access([i.clone(), j.clone()]),
+            sum(k.clone(), sum(l.clone(),
+                b.access([i.clone(), k.clone(), l.clone()])
+                    * c.access([l.clone(), j.clone()])
+                    * d.access([k.clone(), j.clone()]))),
+        );
+        let bt = random_csf3([di, dk, dl], nnz, seed + 50).to_tensor();
+        let ct = Tensor::from_dense(&taco_tensor::gen::random_dense(dl, r, seed + 51), Format::dense(2)).unwrap();
+        let dt = Tensor::from_dense(&taco_tensor::gen::random_dense(dk, r, seed + 52), Format::dense(2)).unwrap();
+        let inputs: Vec<(&str, &Tensor)> = vec![("B", &bt), ("C", &ct), ("D", &dt)];
+
+        let stmt = IndexStmt::new(source.clone()).unwrap();
+        let supervisor = Supervisor::new().with_deadline(std::time::Duration::from_secs(30));
+        let outcome = stmt
+            .run_supervised(LowerOptions::compute("mttkrp"), &supervisor, &inputs, None)
+            .unwrap();
+        prop_assert_eq!(outcome.rung, DegradeRung::AsScheduled);
+        check(&source, &outcome.result, &inputs);
+    }
+
+    /// The degraded direct-merge rung equals the oracle. A workspace
+    /// schedule for the sampled product `A = B .* C` (C dense, precomputed
+    /// into a row workspace) scans every column per row, so an iteration
+    /// budget between the direct kernel's cost and the scheduled kernel's
+    /// cost deterministically forces the ladder all the way down — and the
+    /// degraded answer must still be exact.
+    #[test]
+    fn degraded_direct_merge_matches_oracle(
+        m in 4usize..20,
+        n in 64usize..160,
+        db in 0.0f64..0.04,
+        seed in 0u64..1000,
+    ) {
+        let a = TensorVar::new("A", vec![m, n], Format::csr());
+        let b = TensorVar::new("B", vec![m, n], Format::csr());
+        let c = TensorVar::new("C", vec![m, n], Format::dense(2));
+        let (i, j) = (iv("i"), iv("j"));
+        let cij: IndexExpr = c.access([i.clone(), j.clone()]).into();
+        let source = IndexAssignment::assign(
+            a.access([i.clone(), j.clone()]),
+            b.access([i.clone(), j.clone()]) * c.access([i.clone(), j.clone()]),
+        );
+        let mut stmt = IndexStmt::new(source.clone()).unwrap();
+        let w = TensorVar::new("w", vec![n], Format::dvec());
+        stmt.precompute(&cij, &[(j.clone(), j.clone(), j.clone())], &w).unwrap();
+
+        let bt = csr(&random_csr(m, n, db, seed + 60));
+        let ct = Tensor::from_dense(&taco_tensor::gen::random_dense(m, n, seed + 61), Format::dense(2)).unwrap();
+
+        // The scheduled producer alone needs >= m*n back-edges; the direct
+        // merge kernel needs ~m + nnz. Half of m*n separates the two for
+        // the sparse B drawn above.
+        let fuse = (m * n / 2) as u64;
+        let supervisor = Supervisor::new()
+            .with_budget(ResourceBudget::default().with_max_loop_iterations(fuse));
+        let outcome = stmt
+            .run_supervised(LowerOptions::fused("sample"), &supervisor, &[("B", &bt), ("C", &ct)], None)
+            .unwrap();
+        prop_assert_eq!(outcome.rung, DegradeRung::DirectMerge);
+        prop_assert!(
+            outcome.fallbacks.iter().any(|f| matches!(
+                f,
+                FallbackEvent::DegradedRetry {
+                    rung: DegradeRung::AsScheduled,
+                    reason: AbortReason::BudgetExceeded { .. },
+                }
+            )),
+            "expected a recorded budget abort, got {:?}", outcome.fallbacks
+        );
+        check(&source, &outcome.result, &[("B", &bt), ("C", &ct)]);
     }
 }
