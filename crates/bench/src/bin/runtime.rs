@@ -1,0 +1,108 @@
+//! Measures the kernel engine's cold/warm split: what the first request
+//! pays (autotune search + compile + run) versus what every later request
+//! pays (decision reuse + cache hit + run).
+//!
+//! ```text
+//! cargo run --release -p taco-bench --bin runtime [-- --scale 0.05 --reps 3 --json]
+//! ```
+//!
+//! With `--json`, writes the results to `BENCH_runtime.json` in the working
+//! directory (CI asserts this file is produced and parses).
+
+use std::time::Duration;
+use taco_bench::timing::{fmt_duration, time_once};
+use taco_bench::BenchArgs;
+use taco_core::{enumerate_candidates, IndexStmt};
+use taco_ir::expr::{sum, IndexVar, TensorVar};
+use taco_ir::notation::IndexAssignment;
+use taco_lower::LowerOptions;
+use taco_runtime::Engine;
+use taco_tensor::gen::random_csr;
+use taco_tensor::{Format, Tensor};
+
+fn spgemm_unscheduled(n: usize) -> IndexStmt {
+    let a = TensorVar::new("A", vec![n, n], Format::csr());
+    let b = TensorVar::new("B", vec![n, n], Format::csr());
+    let c = TensorVar::new("C", vec![n, n], Format::csr());
+    let (i, j, k) = (IndexVar::new("i"), IndexVar::new("j"), IndexVar::new("k"));
+    IndexStmt::new(IndexAssignment::assign(
+        a.access([i.clone(), j.clone()]),
+        sum(k.clone(), b.access([i, k.clone()]) * c.access([k, j])),
+    ))
+    .expect("valid statement")
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    // --scale 1.0 is a 1024×1024 SpGEMM; the default smoke scale keeps the
+    // whole bin under a second.
+    let n = ((1024.0 * args.scale) as usize).clamp(32, 4096);
+    let stmt = spgemm_unscheduled(n);
+    let opts = LowerOptions::fused("spgemm");
+    let b = random_csr(n, n, 0.05, 41).to_tensor();
+    let c = random_csr(n, n, 0.05, 42).to_tensor();
+    let inputs: Vec<(&str, &Tensor)> = vec![("B", &b), ("C", &c)];
+
+    println!("KERNEL ENGINE: {n}x{n} SpGEMM, density 0.05, no manual schedule\n");
+    let engine = Engine::new();
+
+    // Cold: autotune search (every candidate compiled and timed) + run.
+    let (cold, outcome) =
+        time_once(|| engine.run_tuned(&stmt, opts.clone(), &inputs).expect("tunes"));
+    assert!(outcome.tuned, "first request must run the search");
+    let schedule = outcome.schedule.clone();
+
+    // Warm: decision reuse + kernel-cache hit + run (best of reps).
+    let mut warm = Duration::MAX;
+    for _ in 0..args.reps {
+        let (d, o) = time_once(|| engine.run_tuned(&stmt, opts.clone(), &inputs).expect("runs"));
+        assert!(!o.tuned, "later requests must reuse the decision");
+        warm = warm.min(d);
+    }
+
+    // Compile-only split, measured on the tuned schedule through a fresh
+    // engine so the cold side is a genuine miss.
+    let tuned = enumerate_candidates(&stmt)
+        .into_iter()
+        .find(|cand| cand.name == schedule)
+        .expect("tuned schedule is in the candidate space");
+    let fresh = Engine::new();
+    let (cold_compile, _) = time_once(|| fresh.compile(&tuned.stmt, opts.clone()).expect("compiles"));
+    let (warm_compile, kernel) =
+        time_once(|| fresh.compile(&tuned.stmt, opts.clone()).expect("compiles"));
+    let (run_only, _) = time_once(|| kernel.run(&inputs).expect("runs"));
+
+    let stats = engine.cache_stats();
+    println!("  tuned schedule          {schedule}");
+    println!("  cold request (tune+run) {:>12}", fmt_duration(cold));
+    println!("  warm request            {:>12}", fmt_duration(warm));
+    println!("  cold compile            {:>12}", fmt_duration(cold_compile));
+    println!("  warm compile (hit)      {:>12}", fmt_duration(warm_compile));
+    println!("  run only                {:>12}", fmt_duration(run_only));
+    println!("  cache                   {stats}");
+    for event in engine.last_events() {
+        println!("  event: {event}");
+    }
+
+    if args.json {
+        let json = format!(
+            "{{\n  \"kernel\": \"spgemm\",\n  \"n\": {n},\n  \"schedule\": {schedule:?},\n  \
+             \"cold_request_nanos\": {},\n  \"warm_request_nanos\": {},\n  \
+             \"cold_compile_nanos\": {},\n  \"warm_compile_nanos\": {},\n  \
+             \"run_nanos\": {},\n  \"cache_hit_rate\": {:.4},\n  \"cache_hits\": {},\n  \
+             \"cache_misses\": {},\n  \"cache_compiles\": {},\n  \"tunings\": {}\n}}\n",
+            cold.as_nanos(),
+            warm.as_nanos(),
+            cold_compile.as_nanos(),
+            warm_compile.as_nanos(),
+            run_only.as_nanos(),
+            stats.hit_rate(),
+            stats.hits,
+            stats.misses,
+            stats.compiles,
+            engine.tuner().tunings(),
+        );
+        std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
+        println!("\nwrote BENCH_runtime.json");
+    }
+}

@@ -24,7 +24,8 @@ pub mod figures;
 pub mod timing;
 pub mod workloads;
 
-/// Parses `--scale X`, `--rank N` and `--reps N` style options from argv.
+/// Parses `--scale X`, `--rank N`, `--reps N` and `--json` style options
+/// from argv.
 #[derive(Debug, Clone, Copy)]
 pub struct BenchArgs {
     /// Dataset scale factor in `(0, 1]`.
@@ -33,11 +34,14 @@ pub struct BenchArgs {
     pub rank: usize,
     /// Timing repetitions (minimum is reported).
     pub reps: usize,
+    /// Also write the bin's machine-readable results to a `BENCH_*.json`
+    /// file next to the working directory (bins that support it say which).
+    pub json: bool,
 }
 
 impl Default for BenchArgs {
     fn default() -> Self {
-        BenchArgs { scale: 0.02, rank: 16, reps: 3 }
+        BenchArgs { scale: 0.02, rank: 16, reps: 3, json: false }
     }
 }
 
@@ -60,7 +64,10 @@ impl BenchArgs {
                 "--scale" => out.scale = grab(),
                 "--rank" => out.rank = grab() as usize,
                 "--reps" => out.reps = (grab() as usize).max(1),
-                other => panic!("unknown option `{other}` (expected --scale/--rank/--reps)"),
+                "--json" => out.json = true,
+                other => {
+                    panic!("unknown option `{other}` (expected --scale/--rank/--reps/--json)")
+                }
             }
         }
         out

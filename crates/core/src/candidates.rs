@@ -1,0 +1,194 @@
+//! Candidate-schedule enumeration for the autotuner.
+//!
+//! The Section V-C heuristics ([`IndexStmt::suggestions`]) say *where* a
+//! workspace is likely to pay off, but the paper is explicit that the best
+//! placement depends on formats and sparsity, and that the transformation
+//! "should therefore be applied judiciously" (Section VII). This module
+//! turns the heuristics into a concrete search space: the direct-merge
+//! baseline, every loop reorder of the outer forall chain, and every legal
+//! workspace placement the heuristics propose on each of those loop orders.
+//! The runtime engine's autotuner times the candidates on real operands and
+//! picks the winner.
+
+use crate::fingerprint::fingerprint_stmt;
+use crate::IndexStmt;
+use std::collections::HashSet;
+use taco_ir::concrete::ConcreteStmt;
+use taco_ir::expr::{IndexVar, TensorVar};
+use taco_ir::transform;
+use taco_tensor::Format;
+
+/// One point in the schedule search space: a named, fully transformed
+/// statement ready to compile.
+#[derive(Debug, Clone)]
+pub struct ScheduleCandidate {
+    /// Human-readable schedule description, e.g.
+    /// `"reorder(k,j) + precompute(j)"`. Stable across runs for a given
+    /// statement, so autotune decisions can be keyed and logged by name.
+    pub name: String,
+    /// The scheduled statement.
+    pub stmt: IndexStmt,
+}
+
+/// Name of the candidate that applies no transformation at all.
+pub const DIRECT_MERGE: &str = "direct-merge";
+
+/// Enumerates candidate schedules for a statement.
+///
+/// The search space, deduplicated by structural fingerprint:
+///
+/// 1. the statement **as currently scheduled** (so a user schedule always
+///    competes);
+/// 2. the **direct-merge baseline** — the source statement with every
+///    transformation dropped;
+/// 3. each **pairwise loop reorder** of the direct baseline's outer forall
+///    chain;
+/// 4. for each loop order from (2)–(3), every **workspace placement** the
+///    Section V-C heuristics suggest for it, applied with a fresh dense
+///    workspace sized from the precomputed variables' ranges.
+///
+/// Candidates are *syntactically* legal schedules; some may still fail to
+/// lower (e.g. a loop order that requires random access into compressed
+/// storage). The autotuner treats a failed compile as an infinitely slow
+/// candidate, which also means the direct baseline of an intrinsically
+/// workspace-requiring kernel (sparse scatter, as in SpGEMM with a
+/// compressed result) simply drops out of the race.
+pub fn enumerate_candidates(stmt: &IndexStmt) -> Vec<ScheduleCandidate> {
+    let mut out: Vec<ScheduleCandidate> = Vec::new();
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut push = |name: String, s: IndexStmt| {
+        if seen.insert(fingerprint_stmt(s.concrete())) {
+            out.push(ScheduleCandidate { name, stmt: s });
+        }
+    };
+
+    // Base loop orders: the direct concretization plus every pairwise
+    // reorder of its outer forall chain.
+    let Ok(direct) = IndexStmt::new(stmt.source().clone()) else {
+        push("as-scheduled".to_string(), stmt.clone());
+        return out;
+    };
+    // An unscheduled statement *is* the direct baseline; only list
+    // "as-scheduled" separately when a schedule has actually been applied.
+    if fingerprint_stmt(stmt.concrete()) != fingerprint_stmt(direct.concrete()) {
+        push("as-scheduled".to_string(), stmt.clone());
+    }
+    let chain = forall_chain(direct.concrete());
+    let mut bases: Vec<(String, IndexStmt)> = vec![(DIRECT_MERGE.to_string(), direct.clone())];
+    for a in 0..chain.len() {
+        for b in (a + 1)..chain.len() {
+            if let Ok(r) = transform::reorder(direct.concrete(), &chain[a], &chain[b]) {
+                bases.push((
+                    format!("reorder({},{})", chain[a], chain[b]),
+                    IndexStmt::from_parts(stmt.source().clone(), r),
+                ));
+            }
+        }
+    }
+
+    // Workspace placements on every base loop order.
+    for (base_name, base) in &bases {
+        push(base_name.clone(), base.clone());
+        for (n, sugg) in base.suggestions().into_iter().enumerate() {
+            let Some(ws) = workspace_for(base.concrete(), &sugg.over, n) else {
+                continue;
+            };
+            let splits: Vec<(IndexVar, IndexVar, IndexVar)> =
+                sugg.over.iter().map(|v| (v.clone(), v.clone(), v.clone())).collect();
+            if let Ok(t) = transform::precompute(base.concrete(), &sugg.expr, &splits, &ws) {
+                let over: Vec<String> = sugg.over.iter().map(|v| v.to_string()).collect();
+                let name = if *base_name == DIRECT_MERGE {
+                    format!("precompute({})", over.join(","))
+                } else {
+                    format!("{} + precompute({})", base_name, over.join(","))
+                };
+                push(name, IndexStmt::from_parts(stmt.source().clone(), t));
+            }
+        }
+    }
+    out
+}
+
+/// A fresh dense workspace tensor over the suggestion's index set, sized
+/// from the variables' inferred ranges. Returns `None` when a range cannot
+/// be inferred (the suggestion is then skipped).
+fn workspace_for(stmt: &ConcreteStmt, over: &[IndexVar], n: usize) -> Option<TensorVar> {
+    let dims: Option<Vec<usize>> = over.iter().map(|v| stmt.var_dimension(v)).collect();
+    let dims = dims?;
+    if dims.is_empty() {
+        return None;
+    }
+    Some(TensorVar::new(format!("w_tune{n}"), dims.clone(), Format::dense(dims.len())))
+}
+
+/// The index variables of the outermost forall chain, outermost first.
+fn forall_chain(stmt: &ConcreteStmt) -> Vec<IndexVar> {
+    let mut vars = Vec::new();
+    let mut cur = stmt;
+    while let ConcreteStmt::Forall { var, body } = cur {
+        vars.push(var.clone());
+        cur = body;
+    }
+    vars
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taco_ir::expr::{sum, IndexVar, TensorVar};
+    use taco_ir::notation::IndexAssignment;
+    use taco_lower::LowerOptions;
+
+    fn spgemm_unscheduled() -> IndexStmt {
+        let n = 16;
+        let a = TensorVar::new("A", vec![n, n], Format::csr());
+        let b = TensorVar::new("B", vec![n, n], Format::csr());
+        let c = TensorVar::new("C", vec![n, n], Format::csr());
+        let (i, j, k) = (IndexVar::new("i"), IndexVar::new("j"), IndexVar::new("k"));
+        IndexStmt::new(IndexAssignment::assign(
+            a.access([i.clone(), j.clone()]),
+            sum(k.clone(), b.access([i, k.clone()]) * c.access([k, j])),
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn spgemm_space_contains_figure2_schedule() {
+        let cands = enumerate_candidates(&spgemm_unscheduled());
+        let names: Vec<&str> = cands.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&DIRECT_MERGE), "baseline present: {names:?}");
+        assert!(
+            names.iter().any(|n| n.contains("reorder(j,k)") && n.contains("precompute(j)")),
+            "the paper's Figure 2 schedule (Gustavson) must be in the space: {names:?}"
+        );
+        // At least one workspace candidate must actually compile: SpGEMM
+        // into CSR is unrealizable without one.
+        assert!(
+            cands
+                .iter()
+                .filter(|c| c.name.contains("precompute"))
+                .any(|c| c.stmt.compile(LowerOptions::fused("t")).is_ok()),
+            "no workspace candidate compiles"
+        );
+    }
+
+    #[test]
+    fn candidates_are_deduplicated() {
+        let cands = enumerate_candidates(&spgemm_unscheduled());
+        let mut fps: Vec<u64> =
+            cands.iter().map(|c| fingerprint_stmt(c.stmt.concrete())).collect();
+        fps.sort_unstable();
+        fps.dedup();
+        assert_eq!(fps.len(), cands.len(), "duplicate schedules in candidate set");
+    }
+
+    #[test]
+    fn as_scheduled_statement_is_first_candidate() {
+        let mut s = spgemm_unscheduled();
+        let (j, k) = (IndexVar::new("j"), IndexVar::new("k"));
+        s.reorder(&k, &j).unwrap();
+        let cands = enumerate_candidates(&s);
+        assert_eq!(cands[0].name, "as-scheduled");
+        assert_eq!(cands[0].stmt.concrete(), s.concrete());
+    }
+}

@@ -47,12 +47,16 @@
 #![warn(missing_docs)]
 
 mod bind;
+pub mod candidates;
 mod error;
+pub mod fingerprint;
 pub mod oracle;
 pub mod parse;
 mod schedule;
 
+pub use candidates::{enumerate_candidates, ScheduleCandidate};
 pub use error::CoreError;
+pub use fingerprint::fingerprint;
 pub use schedule::{CompiledKernel, DegradeRung, FallbackEvent, IndexStmt, SupervisedOutcome};
 pub use taco_llir::{
     Aborted, AbortReason, BudgetResource, CancelToken, ExecReport, HeartbeatSample, Progress,

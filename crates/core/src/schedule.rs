@@ -34,6 +34,13 @@ impl IndexStmt {
         Ok(IndexStmt { source, concrete })
     }
 
+    /// Rebuilds a statement from a source assignment and an
+    /// already-transformed concrete statement (used by the candidate
+    /// enumerator to materialize alternative schedules).
+    pub(crate) fn from_parts(source: IndexAssignment, concrete: ConcreteStmt) -> IndexStmt {
+        IndexStmt { source, concrete }
+    }
+
     /// The current concrete index notation.
     pub fn concrete(&self) -> &ConcreteStmt {
         &self.concrete
@@ -156,7 +163,8 @@ impl IndexStmt {
             },
         };
         let exe = Executable::compile(&lowered.kernel)?;
-        Ok(CompiledKernel { lowered, exe, budget, fallbacks })
+        let fingerprint = crate::fingerprint::fingerprint(&self.concrete, &opts, &budget);
+        Ok(CompiledKernel { lowered, exe, budget, fallbacks, fingerprint })
     }
 
     /// Runs the statement under a [`Supervisor`], descending the degradation
@@ -271,7 +279,14 @@ impl IndexStmt {
                 }
                 let lowered = lower(&direct, opts)?;
                 let exe = Executable::compile(&lowered.kernel)?;
-                Ok(Some(CompiledKernel { lowered, exe, budget, fallbacks: Vec::new() }))
+                let fingerprint = crate::fingerprint::fingerprint(&direct, opts, &budget);
+                Ok(Some(CompiledKernel {
+                    lowered,
+                    exe,
+                    budget,
+                    fallbacks: Vec::new(),
+                    fingerprint,
+                }))
             }
         }
     }
@@ -386,18 +401,33 @@ impl std::fmt::Display for IndexStmt {
 }
 
 /// A fully compiled kernel, ready to run against tensors.
+///
+/// `CompiledKernel` is `Send + Sync` and cheap to share behind an `Arc`
+/// (the runtime engine's kernel cache does exactly that): the executable's
+/// statement tree is reference-counted and a run only borrows it.
 #[derive(Debug)]
 pub struct CompiledKernel {
     lowered: LoweredKernel,
     exe: Executable,
     budget: ResourceBudget,
     fallbacks: Vec<FallbackEvent>,
+    fingerprint: u64,
 }
 
 impl CompiledKernel {
     /// The generated C source (paper-style listing).
     pub fn to_c(&self) -> String {
         self.lowered.kernel.to_c()
+    }
+
+    /// The canonical structural fingerprint of the compilation request this
+    /// kernel answers: concrete statement (applied schedule + operand
+    /// format/dimension signature) × lowering options × budget class. See
+    /// [`crate::fingerprint::fingerprint`]. Equal fingerprints mean the
+    /// compile pipeline would regenerate identical code, so the runtime
+    /// kernel cache keys on this value.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The lowered kernel and binding metadata.

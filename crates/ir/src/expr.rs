@@ -3,20 +3,22 @@
 use crate::{IrError, Result};
 use std::fmt;
 use std::ops;
-use std::rc::Rc;
+use std::sync::Arc;
 use taco_tensor::Format;
 
 /// An index variable such as `i`, `j`, `k` (paper Section III).
 ///
 /// Index variables are interned by name: two `IndexVar`s with the same name
-/// are the same variable.
+/// are the same variable. The name is reference-counted with `Arc` so that
+/// statements, lowered kernels and compiled kernels built from them are
+/// `Send + Sync` and can be shared across engine threads.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct IndexVar(Rc<str>);
+pub struct IndexVar(Arc<str>);
 
 impl IndexVar {
     /// Creates (or references) the index variable with the given name.
     pub fn new(name: impl AsRef<str>) -> IndexVar {
-        IndexVar(Rc::from(name.as_ref()))
+        IndexVar(Arc::from(name.as_ref()))
     }
 
     /// The variable name.
@@ -47,23 +49,23 @@ struct TensorVarInner {
 /// A tensor variable: a name, shape and storage format (paper Figure 2,
 /// `TensorVar`).
 ///
-/// Cloning is cheap (reference-counted). Equality is structural over name,
-/// shape and format.
+/// Cloning is cheap (reference-counted with `Arc`, so `Send + Sync`).
+/// Equality is structural over name, shape and format.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TensorVar(Rc<TensorVarInner>);
+pub struct TensorVar(Arc<TensorVarInner>);
 
 impl TensorVar {
     /// Creates a tensor variable.
     pub fn new(name: impl Into<String>, shape: Vec<usize>, format: Format) -> TensorVar {
         let name = name.into();
         assert_eq!(shape.len(), format.rank(), "tensor `{name}`: shape/format rank mismatch");
-        TensorVar(Rc::new(TensorVarInner { name, shape, format }))
+        TensorVar(Arc::new(TensorVarInner { name, shape, format }))
     }
 
     /// Creates a rank-0 (scalar) tensor variable, used for reduction
     /// temporaries.
     pub fn scalar(name: impl Into<String>) -> TensorVar {
-        TensorVar(Rc::new(TensorVarInner {
+        TensorVar(Arc::new(TensorVarInner {
             name: name.into(),
             shape: Vec::new(),
             format: Format::new(Vec::new()),

@@ -13,6 +13,7 @@ use crate::{
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A buffer bound to (or allocated by) a kernel.
@@ -486,7 +487,7 @@ struct Mach<'a> {
     floats: Vec<f64>,
     bools: Vec<bool>,
     arrays: Vec<ArrayVal>,
-    array_names: Vec<String>,
+    array_names: Arc<Vec<String>>,
     budget: BudgetState,
     ctl: RunControls<'a>,
     /// Iterations until the next supervision check.
@@ -1059,17 +1060,22 @@ impl Binding {
 }
 
 /// A compiled kernel ready to run against a [`Binding`].
-#[derive(Debug)]
+///
+/// The compiled statement tree and metadata tables are reference-counted
+/// (`Arc`), so cloning an `Executable` is cheap and the same compiled kernel
+/// can be shared across threads — `Executable` is `Send + Sync`, and a run
+/// borrows it immutably.
+#[derive(Debug, Clone)]
 pub struct Executable {
     name: String,
-    scalar_params: Vec<(String, usize)>,
-    array_params: Vec<(String, usize, ArrayTy, ParamKind)>,
-    scalar_outputs: Vec<(String, usize)>,
-    array_names: Vec<String>,
+    scalar_params: Arc<Vec<(String, usize)>>,
+    array_params: Arc<Vec<(String, usize, ArrayTy, ParamKind)>>,
+    scalar_outputs: Arc<Vec<(String, usize)>>,
+    array_names: Arc<Vec<String>>,
     n_int: usize,
     n_float: usize,
     n_bool: usize,
-    body: Vec<RStmt>,
+    body: Arc<Vec<RStmt>>,
 }
 
 impl Executable {
@@ -1117,14 +1123,14 @@ impl Executable {
 
         Ok(Executable {
             name: kernel.name.clone(),
-            scalar_params,
-            array_params,
-            scalar_outputs,
-            array_names: c.array_names,
+            scalar_params: Arc::new(scalar_params),
+            array_params: Arc::new(array_params),
+            scalar_outputs: Arc::new(scalar_outputs),
+            array_names: Arc::new(c.array_names),
             n_int: c.n_int,
             n_float: c.n_float,
             n_bool: c.n_bool,
-            body,
+            body: Arc::new(body),
         })
     }
 
@@ -1189,7 +1195,7 @@ impl Executable {
             ctl,
             check_countdown: 0,
         };
-        for (name, slot) in &self.scalar_params {
+        for (name, slot) in self.scalar_params.iter() {
             let v = *binding
                 .scalars
                 .get(name)
@@ -1198,7 +1204,7 @@ impl Executable {
         }
         // Validate every array parameter before moving any of them, so a
         // missing or mistyped binding fails with the binding fully intact.
-        for (name, _, ty, _) in &self.array_params {
+        for (name, _, ty, _) in self.array_params.iter() {
             match binding.arrays.get(name) {
                 None => return Err(RunError::MissingArray(name.clone())),
                 Some(v) if v.ty() != *ty => {
@@ -1207,7 +1213,7 @@ impl Executable {
                 Some(_) => {}
             }
         }
-        for (name, slot, _, _) in &self.array_params {
+        for (name, slot, _, _) in self.array_params.iter() {
             let v = binding.arrays.remove(name).expect("validated above");
             mach.arrays[*slot] = v;
         }
@@ -1217,7 +1223,7 @@ impl Executable {
         // Return parameter arrays to the binding even on error so callers
         // can inspect partial state (supervised runs roll writable arrays
         // back from a snapshot on top of this).
-        for (name, slot, _, _) in &self.array_params {
+        for (name, slot, _, _) in self.array_params.iter() {
             let v = std::mem::replace(&mut mach.arrays[*slot], ArrayVal::empty(ArrayTy::Int));
             binding.arrays.insert(name.clone(), v);
         }
@@ -1228,7 +1234,7 @@ impl Executable {
         }
         result?;
 
-        for (name, slot) in &self.scalar_outputs {
+        for (name, slot) in self.scalar_outputs.iter() {
             binding.scalar_outputs.insert(name.clone(), mach.ints[*slot]);
         }
         Ok(())

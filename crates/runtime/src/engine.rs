@@ -1,0 +1,343 @@
+//! The [`Engine`]: one front door for compile-with-caching, supervised
+//! execution, and schedule autotuning.
+
+use crate::cache::{CacheStats, KernelCache};
+use crate::tuner::{Autotuner, TuneDecision, TuneKey};
+use crate::{EngineError, Result};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use taco_core::candidates::enumerate_candidates;
+use taco_core::{
+    CompiledKernel, FallbackEvent, IndexStmt, ResourceBudget, Supervisor, SupervisedOutcome,
+};
+use taco_lower::LowerOptions;
+use taco_tensor::Tensor;
+
+/// Engine construction parameters. `EngineConfig::default()` is sized for a
+/// long-lived process serving many kernels.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Total byte budget of the kernel cache (charged per
+    /// [`crate::cache::entry_weight`]). Default 64 MiB.
+    pub cache_max_bytes: u64,
+    /// Maximum resident compiled kernels. Default 1024.
+    pub cache_max_entries: usize,
+    /// Cache shard count; one shard gives exact global LRU order, more
+    /// shards give less lock contention. Default 8.
+    pub cache_shards: usize,
+    /// Resource budget applied to every compile and run issued through the
+    /// engine (and folded into the cache key, so the same statement under a
+    /// different budget class is a different kernel). Default unlimited.
+    pub budget: ResourceBudget,
+    /// Wall-clock budget for one autotune search. Once a viable candidate
+    /// is in hand, no new candidate is timed past this deadline. Default
+    /// 250 ms.
+    pub tuning_deadline: Duration,
+    /// Ring-buffer capacity of [`Engine::last_events`]; oldest events are
+    /// dropped beyond it. Default 256.
+    pub max_events: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            cache_max_bytes: 64 << 20,
+            cache_max_entries: 1024,
+            cache_shards: 8,
+            budget: ResourceBudget::unlimited(),
+            tuning_deadline: Duration::from_millis(250),
+            max_events: 256,
+        }
+    }
+}
+
+/// Something the engine did on the caller's behalf that changed how a
+/// result was produced: a compile-time or runtime fallback, or an autotune
+/// decision (fresh or reused). All such events flow through one query path,
+/// [`Engine::last_events`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EngineEvent {
+    /// A kernel was compiled or retried in degraded form (see
+    /// [`FallbackEvent`]). Recorded once per actual compile or supervised
+    /// retry — cache hits on a degraded kernel do not repeat it.
+    Fallback(FallbackEvent),
+    /// An autotune search ran and picked a schedule.
+    Autotuned {
+        /// The decision key (expression × formats × sparsity class).
+        key: TuneKey,
+        /// Name of the winning candidate schedule.
+        schedule: String,
+        /// Candidates enumerated.
+        candidates: usize,
+        /// Candidates that compiled and ran to completion.
+        viable: usize,
+        /// Measured nanoseconds of the winner.
+        best_nanos: u64,
+    },
+    /// A previously tuned decision was reused without searching.
+    AutotuneReused {
+        /// The decision key that hit.
+        key: TuneKey,
+        /// The remembered schedule.
+        schedule: String,
+    },
+}
+
+impl std::fmt::Display for EngineEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineEvent::Fallback(e) => write!(f, "fallback: {e}"),
+            EngineEvent::Autotuned { key, schedule, candidates, viable, best_nanos } => write!(
+                f,
+                "autotuned [{key}]: chose `{schedule}` ({viable}/{candidates} candidates viable, \
+                 best {:.3} ms)",
+                *best_nanos as f64 / 1e6
+            ),
+            EngineEvent::AutotuneReused { key, schedule } => {
+                write!(f, "autotune reused [{key}]: `{schedule}`")
+            }
+        }
+    }
+}
+
+/// The result of [`Engine::run_tuned`].
+#[derive(Debug, Clone)]
+pub struct TunedOutcome {
+    /// The computed tensor.
+    pub result: Tensor,
+    /// Name of the schedule that produced it.
+    pub schedule: String,
+    /// True if this call ran the search; false if a cached decision was
+    /// reused.
+    pub tuned: bool,
+}
+
+/// A long-lived kernel engine: compiled-kernel cache, autotuner, and event
+/// log behind one thread-safe façade. Share it across threads with an
+/// `Arc<Engine>`; every method takes `&self`.
+#[derive(Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    cache: KernelCache,
+    tuner: Autotuner,
+    events: Mutex<VecDeque<EngineEvent>>,
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine with [`EngineConfig::default`].
+    pub fn new() -> Engine {
+        Engine::with_config(EngineConfig::default())
+    }
+
+    /// An engine with explicit configuration.
+    pub fn with_config(config: EngineConfig) -> Engine {
+        let cache =
+            KernelCache::new(config.cache_max_bytes, config.cache_max_entries, config.cache_shards);
+        Engine { config, cache, tuner: Autotuner::new(), events: Mutex::new(VecDeque::new()) }
+    }
+
+    /// The configuration this engine was built with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Compiles a statement through the cache.
+    ///
+    /// The cache key is the kernel's canonical fingerprint
+    /// ([`CompiledKernel::fingerprint`]): statement structure, applied
+    /// schedule, operand formats/dimensions, lowering options, and the
+    /// engine's budget class. A hit returns the shared kernel without
+    /// touching the compile pipeline; concurrent misses of one key coalesce
+    /// into a single compile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile errors; waiters that coalesced onto a failed
+    /// compile get [`EngineError::SharedCompileFailed`].
+    pub fn compile(&self, stmt: &IndexStmt, opts: LowerOptions) -> Result<Arc<CompiledKernel>> {
+        let budget = self.config.budget;
+        let key = taco_core::fingerprint(stmt.concrete(), &opts, &budget);
+        let mut compiled_now = false;
+        let kernel = self.cache.get_or_compile(key, || {
+            compiled_now = true;
+            stmt.compile_with_budget(opts, budget)
+        })?;
+        if compiled_now {
+            for e in kernel.fallback_events() {
+                self.push_event(EngineEvent::Fallback(e.clone()));
+            }
+        }
+        Ok(kernel)
+    }
+
+    /// Compiles (through the cache) and runs a statement.
+    ///
+    /// # Errors
+    ///
+    /// Compile errors, or the usual bind/run errors.
+    pub fn run(&self, stmt: &IndexStmt, opts: LowerOptions, inputs: &[(&str, &Tensor)]) -> Result<Tensor> {
+        self.run_with(stmt, opts, inputs, None)
+    }
+
+    /// Like [`Engine::run`], with a pre-assembled output structure for
+    /// compute kernels with sparse results.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::run`].
+    pub fn run_with(
+        &self,
+        stmt: &IndexStmt,
+        opts: LowerOptions,
+        inputs: &[(&str, &Tensor)],
+        output_structure: Option<&Tensor>,
+    ) -> Result<Tensor> {
+        let kernel = self.compile(stmt, opts)?;
+        Ok(kernel.run_with(inputs, output_structure)?)
+    }
+
+    /// Runs a statement under a [`Supervisor`], descending the
+    /// degrade-and-retry ladder on retryable aborts
+    /// ([`IndexStmt::run_supervised`]) and recording every fallback in the
+    /// engine's event log. The ladder re-lowers per rung, so this path does
+    /// not consult the kernel cache.
+    ///
+    /// # Errors
+    ///
+    /// See [`IndexStmt::run_supervised`].
+    pub fn run_supervised(
+        &self,
+        stmt: &IndexStmt,
+        opts: LowerOptions,
+        supervisor: &Supervisor,
+        inputs: &[(&str, &Tensor)],
+        output_structure: Option<&Tensor>,
+    ) -> Result<SupervisedOutcome> {
+        let outcome = stmt.run_supervised(opts, supervisor, inputs, output_structure)?;
+        for e in &outcome.fallbacks {
+            self.push_event(EngineEvent::Fallback(e.clone()));
+        }
+        Ok(outcome)
+    }
+
+    /// Picks the best schedule for a statement by measurement, then runs it.
+    ///
+    /// On the first call for a [`TuneKey`] (expression fingerprint × operand
+    /// format signature × sparsity bucket) the engine enumerates the
+    /// candidate space ([`enumerate_candidates`]: direct merge, loop
+    /// reorders, and every Section V-C workspace placement), compiles each
+    /// through the cache, times it on the *actual operands* under the
+    /// engine budget, and picks the fastest. Candidates that fail to
+    /// compile or abort count as infinitely slow. Once one viable candidate
+    /// is in hand, no new candidate starts after
+    /// [`EngineConfig::tuning_deadline`]; later candidates race under the
+    /// remaining time.
+    ///
+    /// The decision is remembered: later calls with the same key skip the
+    /// search (`tuned == false` in the outcome, one
+    /// [`EngineEvent::AutotuneReused`] logged) and go straight through the
+    /// kernel cache.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NoViableCandidate`] when nothing compiles and runs;
+    /// otherwise the usual compile/run errors.
+    pub fn run_tuned(
+        &self,
+        stmt: &IndexStmt,
+        opts: LowerOptions,
+        inputs: &[(&str, &Tensor)],
+    ) -> Result<TunedOutcome> {
+        let key = TuneKey::new(stmt, inputs);
+        if let Some(decision) = self.tuner.decision(&key) {
+            let schedule = decision.schedule;
+            let cand = enumerate_candidates(stmt)
+                .into_iter()
+                .find(|c| c.name == schedule)
+                .ok_or_else(|| EngineError::UnknownSchedule { schedule: schedule.clone() })?;
+            self.push_event(EngineEvent::AutotuneReused { key, schedule: schedule.clone() });
+            let result = self.run(&cand.stmt, opts, inputs)?;
+            return Ok(TunedOutcome { result, schedule, tuned: false });
+        }
+
+        let started = Instant::now();
+        let candidates = enumerate_candidates(stmt);
+        let total = candidates.len();
+        let mut viable = 0usize;
+        let mut best: Option<(String, IndexStmt, Tensor, u64)> = None;
+        for cand in candidates {
+            let remaining = self.config.tuning_deadline.saturating_sub(started.elapsed());
+            if best.is_some() && remaining.is_zero() {
+                break;
+            }
+            let Ok(kernel) = self.compile(&cand.stmt, opts.clone()) else {
+                continue;
+            };
+            // The first viable candidate runs without a deadline so a slow
+            // search budget can never turn a tunable statement into an
+            // error; later candidates only get the remaining time.
+            let mut supervisor = Supervisor::new().with_budget(self.config.budget);
+            if best.is_some() {
+                supervisor = supervisor.with_deadline(remaining);
+            }
+            match kernel.run_supervised(inputs, None, &supervisor) {
+                Ok((result, report)) => {
+                    viable += 1;
+                    let nanos = report.elapsed.as_nanos() as u64;
+                    if best.as_ref().is_none_or(|(_, _, _, b)| nanos < *b) {
+                        best = Some((cand.name, cand.stmt, result, nanos));
+                    }
+                }
+                Err(_) => continue,
+            }
+        }
+        let Some((schedule, _stmt, result, best_nanos)) = best else {
+            return Err(EngineError::NoViableCandidate { candidates: total });
+        };
+        self.tuner.record(
+            key,
+            TuneDecision { schedule: schedule.clone(), best_nanos, candidates: total, viable },
+        );
+        self.push_event(EngineEvent::Autotuned {
+            key,
+            schedule: schedule.clone(),
+            candidates: total,
+            viable,
+            best_nanos,
+        });
+        Ok(TunedOutcome { result, schedule, tuned: true })
+    }
+
+    /// Snapshot of the kernel-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The autotune decision store (for inspecting decisions and the
+    /// tuning-run count).
+    pub fn tuner(&self) -> &Autotuner {
+        &self.tuner
+    }
+
+    /// The engine's event log, oldest first: every fallback and autotune
+    /// decision since construction, up to [`EngineConfig::max_events`].
+    pub fn last_events(&self) -> Vec<EngineEvent> {
+        self.events.lock().unwrap_or_else(|p| p.into_inner()).iter().cloned().collect()
+    }
+
+    fn push_event(&self, event: EngineEvent) {
+        let mut events = self.events.lock().unwrap_or_else(|p| p.into_inner());
+        if events.len() >= self.config.max_events {
+            events.pop_front();
+        }
+        events.push_back(event);
+    }
+}

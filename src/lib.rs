@@ -15,6 +15,7 @@
 //! | [`llir`] | §VI, Fig. 6 | the C-like imperative IR, pretty printer and slot-resolved executor |
 //! | [`core`] | §III, §VI | the `IndexStmt` scheduling API, compilation pipeline, execution, dense oracle |
 //! | [`kernels`] | §VII–VIII | hand-written baselines (Eigen/MKL/SPLATT stand-ins) and generated-equivalent kernels |
+//! | [`runtime`] | §V-C, §VII | the serving layer: concurrent compiled-kernel cache (fingerprint-keyed, single-flight) and the measurement-driven schedule autotuner |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@ pub use taco_ir as ir;
 pub use taco_kernels as kernels;
 pub use taco_llir as llir;
 pub use taco_lower as lower;
+pub use taco_runtime as runtime;
 pub use taco_tensor as tensor;
 
 /// Commonly used items, for `use taco_workspaces::prelude::*`.
@@ -64,5 +66,6 @@ pub mod prelude {
     pub use taco_ir::expr::{sum, IndexExpr, IndexVar, TensorVar};
     pub use taco_ir::notation::IndexAssignment;
     pub use taco_lower::{KernelKind, LowerOptions};
+    pub use taco_runtime::{CacheStats, Engine, EngineConfig, EngineError, EngineEvent, TuneKey};
     pub use taco_tensor::{Csf3, Csr, DenseTensor, Format, ModeFormat, Tensor};
 }
