@@ -72,6 +72,43 @@ fn main() {
         time_once(|| fresh.compile(&tuned.stmt, opts.clone()).expect("compiles"));
     let (run_only, _) = time_once(|| kernel.run(&inputs).expect("runs"));
 
+    // Parallel scaling: the Figure 2 schedule with the outer row loop
+    // parallelized, timed at increasing pinned thread counts. threads = 1
+    // exercises the executor's serial fallback and is the baseline the
+    // speedup column divides by.
+    let avail = std::thread::available_parallelism().map_or(1, |t| t.get());
+    let par_stmt = {
+        let a = TensorVar::new("A", vec![n, n], Format::csr());
+        let b = TensorVar::new("B", vec![n, n], Format::csr());
+        let c = TensorVar::new("C", vec![n, n], Format::csr());
+        let (i, j, k) = (IndexVar::new("i"), IndexVar::new("j"), IndexVar::new("k"));
+        let mul = b.access([i.clone(), k.clone()]) * c.access([k.clone(), j.clone()]);
+        let mut s = IndexStmt::new(IndexAssignment::assign(
+            a.access([i.clone(), j.clone()]),
+            sum(k.clone(), mul.clone()),
+        ))
+        .expect("valid statement");
+        s.reorder(&k, &j).expect("reorders");
+        let w = TensorVar::new("w", vec![n], Format::dvec());
+        s.precompute(&mul, &[(j.clone(), j.clone(), j.clone())], &w).expect("precomputes");
+        s.parallelize(&i).expect("workspace privatizes the reduction");
+        s
+    };
+    let mut thread_counts: Vec<usize> = vec![1, 2, 4, avail];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+    let mut scaling: Vec<(usize, Duration)> = Vec::new();
+    for &t in &thread_counts {
+        let kernel =
+            engine.compile(&par_stmt, opts.clone().with_threads(t)).expect("parallel compiles");
+        let mut best = Duration::MAX;
+        for _ in 0..args.reps.max(1) {
+            let (d, _) = time_once(|| kernel.run(&inputs).expect("runs"));
+            best = best.min(d);
+        }
+        scaling.push((t, best));
+    }
+
     let stats = engine.cache_stats();
     println!("  tuned schedule          {schedule}");
     println!("  cold request (tune+run) {:>12}", fmt_duration(cold));
@@ -79,17 +116,37 @@ fn main() {
     println!("  cold compile            {:>12}", fmt_duration(cold_compile));
     println!("  warm compile (hit)      {:>12}", fmt_duration(warm_compile));
     println!("  run only                {:>12}", fmt_duration(run_only));
+    println!("  available parallelism   {avail:>12}");
+    let base = scaling[0].1;
+    for &(t, d) in &scaling {
+        println!(
+            "  parallel run, {t} thread{} {:>11}  ({:.2}x vs 1 thread)",
+            if t == 1 { " " } else { "s" },
+            fmt_duration(d),
+            base.as_secs_f64() / d.as_secs_f64().max(f64::MIN_POSITIVE),
+        );
+    }
     println!("  cache                   {stats}");
     for event in engine.last_events() {
         println!("  event: {event}");
     }
 
     if args.json {
+        let threads_json =
+            thread_counts.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ");
+        let scaling_json = scaling
+            .iter()
+            .map(|(t, d)| format!("\"{t}\": {}", d.as_nanos()))
+            .collect::<Vec<_>>()
+            .join(", ");
         let json = format!(
             "{{\n  \"kernel\": \"spgemm\",\n  \"n\": {n},\n  \"schedule\": {schedule:?},\n  \
              \"cold_request_nanos\": {},\n  \"warm_request_nanos\": {},\n  \
              \"cold_compile_nanos\": {},\n  \"warm_compile_nanos\": {},\n  \
-             \"run_nanos\": {},\n  \"cache_hit_rate\": {:.4},\n  \"cache_hits\": {},\n  \
+             \"run_nanos\": {},\n  \"available_parallelism\": {avail},\n  \
+             \"threads\": [{threads_json}],\n  \
+             \"parallel_run_nanos\": {{{scaling_json}}},\n  \
+             \"cache_hit_rate\": {:.4},\n  \"cache_hits\": {},\n  \
              \"cache_misses\": {},\n  \"cache_compiles\": {},\n  \"tunings\": {}\n}}\n",
             cold.as_nanos(),
             warm.as_nanos(),

@@ -56,22 +56,27 @@ pub const DIRECT_MERGE: &str = "direct-merge";
 pub fn enumerate_candidates(stmt: &IndexStmt) -> Vec<ScheduleCandidate> {
     let mut out: Vec<ScheduleCandidate> = Vec::new();
     let mut seen: HashSet<u64> = HashSet::new();
-    let mut push = |name: String, s: IndexStmt| {
+    fn push(
+        out: &mut Vec<ScheduleCandidate>,
+        seen: &mut HashSet<u64>,
+        name: String,
+        s: IndexStmt,
+    ) {
         if seen.insert(fingerprint_stmt(s.concrete())) {
             out.push(ScheduleCandidate { name, stmt: s });
         }
-    };
+    }
 
     // Base loop orders: the direct concretization plus every pairwise
     // reorder of its outer forall chain.
     let Ok(direct) = IndexStmt::new(stmt.source().clone()) else {
-        push("as-scheduled".to_string(), stmt.clone());
+        push(&mut out, &mut seen, "as-scheduled".to_string(), stmt.clone());
         return out;
     };
     // An unscheduled statement *is* the direct baseline; only list
     // "as-scheduled" separately when a schedule has actually been applied.
     if fingerprint_stmt(stmt.concrete()) != fingerprint_stmt(direct.concrete()) {
-        push("as-scheduled".to_string(), stmt.clone());
+        push(&mut out, &mut seen, "as-scheduled".to_string(), stmt.clone());
     }
     let chain = forall_chain(direct.concrete());
     let mut bases: Vec<(String, IndexStmt)> = vec![(DIRECT_MERGE.to_string(), direct.clone())];
@@ -88,7 +93,7 @@ pub fn enumerate_candidates(stmt: &IndexStmt) -> Vec<ScheduleCandidate> {
 
     // Workspace placements on every base loop order.
     for (base_name, base) in &bases {
-        push(base_name.clone(), base.clone());
+        push(&mut out, &mut seen, base_name.clone(), base.clone());
         for (n, sugg) in base.suggestions().into_iter().enumerate() {
             let Some(ws) = workspace_for(base.concrete(), &sugg.over, n) else {
                 continue;
@@ -102,8 +107,27 @@ pub fn enumerate_candidates(stmt: &IndexStmt) -> Vec<ScheduleCandidate> {
                 } else {
                     format!("{} + precompute({})", base_name, over.join(","))
                 };
-                push(name, IndexStmt::from_parts(stmt.source().clone(), t));
+                push(&mut out, &mut seen, name, IndexStmt::from_parts(stmt.source().clone(), t));
             }
+        }
+    }
+
+    // Parallel variants: every candidate whose outermost loop passes the
+    // privatization legality check (`transform::parallelize`) also competes
+    // with that loop parallelized. Some may still fail to lower (the
+    // parallel executor only chunks dense loops); the autotuner treats those
+    // as infinitely slow, as with any other uncompilable candidate.
+    let serial: Vec<ScheduleCandidate> = out.clone();
+    for c in serial {
+        let chain = forall_chain(c.stmt.concrete());
+        let Some(v) = chain.first() else { continue };
+        if let Ok(p) = transform::parallelize(c.stmt.concrete(), v) {
+            push(
+                &mut out,
+                &mut seen,
+                format!("{} + parallelize({v})", c.name),
+                IndexStmt::from_parts(stmt.source().clone(), p),
+            );
         }
     }
     out
@@ -125,7 +149,7 @@ fn workspace_for(stmt: &ConcreteStmt, over: &[IndexVar], n: usize) -> Option<Ten
 fn forall_chain(stmt: &ConcreteStmt) -> Vec<IndexVar> {
     let mut vars = Vec::new();
     let mut cur = stmt;
-    while let ConcreteStmt::Forall { var, body } = cur {
+    while let ConcreteStmt::Forall { var, body, .. } = cur {
         vars.push(var.clone());
         cur = body;
     }

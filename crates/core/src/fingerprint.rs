@@ -111,8 +111,9 @@ fn hash_stmt(h: &mut Fnv64, stmt: &ConcreteStmt) {
             });
             hash_expr(h, rhs);
         }
-        ConcreteStmt::Forall { var, body } => {
+        ConcreteStmt::Forall { var, body, parallel } => {
             h.write_tag(2).write_str(var.name());
+            h.write_tag(*parallel as u8);
             hash_stmt(h, body);
         }
         ConcreteStmt::Where { consumer, producer } => {
@@ -194,6 +195,13 @@ fn hash_opts(h: &mut Fnv64, opts: &LowerOptions) {
     });
     h.write_tag(opts.sort_output as u8);
     h.write_tag(opts.f32_workspaces as u8);
+    // A pinned worker-thread count changes the generated parallel loop (it
+    // is baked into the kernel), so it is part of the kernel's identity.
+    // The statement's own parallel flags are hashed with the statement.
+    match opts.num_threads {
+        Some(n) => h.write_tag(1).write_u64(n as u64),
+        None => h.write_tag(0),
+    };
 }
 
 fn hash_budget(h: &mut Fnv64, budget: &ResourceBudget) {

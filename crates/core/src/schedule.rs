@@ -63,6 +63,25 @@ impl IndexStmt {
         Ok(self)
     }
 
+    /// Marks the forall over `var` parallel: its iterations are distributed
+    /// over worker threads, each with private clones of the workspaces
+    /// allocated inside the loop, and merged back deterministically
+    /// (byte-identical to the serial schedule).
+    ///
+    /// Apply this **last**: other transformations (`reorder`, `precompute`)
+    /// rebuild foralls and drop the parallel flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::ReductionNotPrivatized`](taco_ir::IrError) when
+    /// iterations of `var` reduce into a tensor no workspace inside the loop
+    /// privatizes — precompute it into a workspace first (Section V of the
+    /// paper) — and an error if `var` is not a forall variable.
+    pub fn parallelize(&mut self, var: &IndexVar) -> Result<&mut IndexStmt> {
+        self.concrete = transform::parallelize(&self.concrete, var)?;
+        Ok(self)
+    }
+
     /// Applies the workspace transformation (paper Sections III and V):
     /// precomputes `expr` into `workspace` over the `splits` variables.
     ///

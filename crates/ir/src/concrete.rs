@@ -46,6 +46,11 @@ pub enum ConcreteStmt {
         var: IndexVar,
         /// Statement executed per iteration.
         body: Box<ConcreteStmt>,
+        /// True if the schedule has marked this loop for parallel execution
+        /// (see [`crate::transform::parallelize`]). Iterations must then be
+        /// independent: any reduction not indexed by `var` has to be
+        /// privatized by a `where` nested inside the body.
+        parallel: bool,
     },
     /// `consumer where producer` — executes the producer first, storing
     /// sub-results in temporaries (workspaces) read by the consumer.
@@ -66,9 +71,17 @@ pub enum ConcreteStmt {
 }
 
 impl ConcreteStmt {
-    /// Builds `∀ var body`.
+    /// Builds `∀ var body` (serial; see [`ConcreteStmt::forall_parallel`]).
     pub fn forall(var: impl Into<IndexVar>, body: ConcreteStmt) -> ConcreteStmt {
-        ConcreteStmt::Forall { var: var.into(), body: Box::new(body) }
+        ConcreteStmt::Forall { var: var.into(), body: Box::new(body), parallel: false }
+    }
+
+    /// Builds `∀∥ var body` — a forall annotated for parallel execution.
+    ///
+    /// Prefer [`crate::transform::parallelize`], which checks legality;
+    /// this constructor is for code that has already established it.
+    pub fn forall_parallel(var: impl Into<IndexVar>, body: ConcreteStmt) -> ConcreteStmt {
+        ConcreteStmt::Forall { var: var.into(), body: Box::new(body), parallel: true }
     }
 
     /// Builds nested foralls `∀ v1 ∀ v2 ... body`.
@@ -204,9 +217,10 @@ impl ConcreteStmt {
                 op: *op,
                 rhs: rhs.rename(from, to),
             },
-            ConcreteStmt::Forall { var, body } => ConcreteStmt::Forall {
+            ConcreteStmt::Forall { var, body, parallel } => ConcreteStmt::Forall {
                 var: if var == from { to.clone() } else { var.clone() },
                 body: Box::new(body.rename(from, to)),
+                parallel: *parallel,
             },
             ConcreteStmt::Where { consumer, producer } => ConcreteStmt::Where {
                 consumer: Box::new(consumer.rename(from, to)),
@@ -244,9 +258,14 @@ impl fmt::Display for ConcreteStmt {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConcreteStmt::Assign { lhs, op, rhs } => write!(f, "{lhs} {op} {rhs}"),
-            ConcreteStmt::Forall { var, body } => {
-                // Collapse ∀i ∀j ... into ∀i ∀j prefix form.
-                write!(f, "∀{var} ")?;
+            ConcreteStmt::Forall { var, body, parallel } => {
+                // Collapse ∀i ∀j ... into ∀i ∀j prefix form; parallel
+                // foralls render as ∀∥i.
+                if *parallel {
+                    write!(f, "∀∥{var} ")?;
+                } else {
+                    write!(f, "∀{var} ")?;
+                }
                 match body.as_ref() {
                     b @ ConcreteStmt::Forall { .. } => write!(f, "{b}"),
                     b @ ConcreteStmt::Assign { .. } => write!(f, "{b}"),
@@ -343,5 +362,14 @@ mod tests {
         let s = matmul_stmt();
         let r = s.rename(&IndexVar::new("j"), &IndexVar::new("jp"));
         assert_eq!(r.to_string(), "∀i ∀k ∀jp A(i,jp) += B(i,k) * C(k,jp)");
+    }
+
+    #[test]
+    fn parallel_forall_displays_and_survives_rename() {
+        let ConcreteStmt::Forall { var, body, .. } = matmul_stmt() else { unreachable!() };
+        let s = ConcreteStmt::forall_parallel(var, *body);
+        assert_eq!(s.to_string(), "∀∥i ∀k ∀j A(i,j) += B(i,k) * C(k,j)");
+        let r = s.rename(&IndexVar::new("i"), &IndexVar::new("io"));
+        assert_eq!(r.to_string(), "∀∥io ∀k ∀j A(io,j) += B(io,k) * C(k,j)");
     }
 }

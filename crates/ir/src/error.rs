@@ -48,6 +48,16 @@ pub enum IrError {
     /// Concretization failed (e.g. a reduction variable also indexes the
     /// result).
     InvalidIndexNotation(String),
+    /// `parallelize` was asked to parallelize a forall whose iterations
+    /// carry a cross-iteration reduction into `tensor` that the workspace
+    /// transformation has not privatized (no `where` inside the loop body
+    /// produces it). Apply `precompute` first (Section V).
+    ReductionNotPrivatized {
+        /// The forall variable that cannot be parallelized.
+        var: String,
+        /// The tensor reduced into across iterations.
+        tensor: String,
+    },
 }
 
 impl fmt::Display for IrError {
@@ -80,6 +90,12 @@ impl fmt::Display for IrError {
                  into the result"
             ),
             IrError::InvalidIndexNotation(d) => write!(f, "invalid index notation: {d}"),
+            IrError::ReductionNotPrivatized { var, tensor } => write!(
+                f,
+                "cannot parallelize `{var}`: iterations reduce into `{tensor}`, which no \
+                 workspace inside the loop privatizes — precompute it into a workspace first \
+                 (Section V of the paper)"
+            ),
         }
     }
 }

@@ -134,7 +134,7 @@ fn walk(stmt: &ConcreteStmt, enclosing: &mut Vec<IndexVar>, out: &mut Vec<Sugges
                 }
             }
         }
-        ConcreteStmt::Forall { var, body } => {
+        ConcreteStmt::Forall { var, body, .. } => {
             enclosing.push(var.clone());
             walk(body, enclosing, out);
             enclosing.pop();

@@ -29,7 +29,7 @@ pub fn reorder(stmt: &ConcreteStmt, a: &IndexVar, b: &IndexVar) -> Result<Concre
                 // Gather the maximal forall chain starting here.
                 let mut vars = Vec::new();
                 let mut cur = stmt;
-                while let ConcreteStmt::Forall { var, body } = cur {
+                while let ConcreteStmt::Forall { var, body, .. } = cur {
                     vars.push(var.clone());
                     cur = body;
                 }
@@ -215,7 +215,7 @@ fn walk(
                 }
             }
         }
-        ConcreteStmt::Forall { var, body } => match walk(body, target, old_vars, workspace)? {
+        ConcreteStmt::Forall { var, body, .. } => match walk(body, target, old_vars, workspace)? {
             Walk::NotFound(b) => Ok(Walk::NotFound(ConcreteStmt::forall(var.clone(), b))),
             Walk::Done(b) => Ok(Walk::Done(ConcreteStmt::forall(var.clone(), b))),
             Walk::Pending { consumer, producer } => {
@@ -355,7 +355,7 @@ fn rename_sides(
             }
             ConcreteStmt::where_(c, p)
         }
-        ConcreteStmt::Forall { var, body } => {
+        ConcreteStmt::Forall { var, body, .. } => {
             ConcreteStmt::forall(var.clone(), rename_sides(body, splits, workspace))
         }
         ConcreteStmt::Where { consumer, producer } => ConcreteStmt::where_(
@@ -381,7 +381,7 @@ fn convert_consumer_op(stmt: &mut ConcreteStmt, workspace: &TensorVar, enclosing
                 *op = AssignOp::Assign;
             }
         }
-        ConcreteStmt::Forall { var, body } => {
+        ConcreteStmt::Forall { var, body, .. } => {
             let mut inner = enclosing.to_vec();
             inner.push(var.clone());
             convert_consumer_op(body, workspace, &inner);
@@ -419,7 +419,7 @@ fn convert_producer_op(
                 *op = AssignOp::Assign;
             }
         }
-        ConcreteStmt::Forall { var, body } => {
+        ConcreteStmt::Forall { var, body, .. } => {
             since_where.push(var.clone());
             convert_producer_op(body, workspace, consumer_i, producer_i, since_where, in_producer);
             since_where.pop();
@@ -451,6 +451,110 @@ fn convert_producer_op(
 }
 
 // ---------------------------------------------------------------------------
+// Parallelize
+// ---------------------------------------------------------------------------
+
+/// Marks the forall binding `var` for parallel execution (the `parallelize`
+/// scheduling directive).
+///
+/// Iterations of a parallel forall must be independent. An accumulation
+/// whose left-hand side is not indexed by `var` is a cross-iteration
+/// reduction — every iteration of `var` updates the same components — and
+/// is only legal when the written tensor has been **privatized** by the
+/// workspace transformation: produced by a `where` statement nested inside
+/// the forall body, so each iteration materializes its own copy (the
+/// paper's Section V workspaces are exactly this privatization). Writes
+/// whose left-hand side is indexed by `var` land in disjoint slices and are
+/// always legal.
+///
+/// `parallelize` should be applied *after* `reorder`/`precompute`: the
+/// other transformations rebuild the forall chain and drop the annotation.
+///
+/// # Errors
+///
+/// Returns [`IrError::UnknownIndexVar`] if no forall binds `var`, and
+/// [`IrError::ReductionNotPrivatized`] if the loop carries an unprivatized
+/// cross-iteration reduction.
+pub fn parallelize(stmt: &ConcreteStmt, var: &IndexVar) -> Result<ConcreteStmt> {
+    fn go(stmt: &ConcreteStmt, var: &IndexVar) -> Result<Option<ConcreteStmt>> {
+        match stmt {
+            ConcreteStmt::Forall { var: v, body, parallel } => {
+                if v == var {
+                    check_independent(body, var, &mut Vec::new())?;
+                    Ok(Some(ConcreteStmt::forall_parallel(v.clone(), (**body).clone())))
+                } else {
+                    Ok(go(body, var)?.map(|b| ConcreteStmt::Forall {
+                        var: v.clone(),
+                        body: Box::new(b),
+                        parallel: *parallel,
+                    }))
+                }
+            }
+            ConcreteStmt::Where { consumer, producer } => {
+                if let Some(c) = go(consumer, var)? {
+                    return Ok(Some(ConcreteStmt::where_(c, (**producer).clone())));
+                }
+                if let Some(p) = go(producer, var)? {
+                    return Ok(Some(ConcreteStmt::where_((**consumer).clone(), p)));
+                }
+                Ok(None)
+            }
+            ConcreteStmt::Sequence { first, second } => {
+                if let Some(f) = go(first, var)? {
+                    return Ok(Some(ConcreteStmt::sequence(f, (**second).clone())));
+                }
+                if let Some(s) = go(second, var)? {
+                    return Ok(Some(ConcreteStmt::sequence((**first).clone(), s)));
+                }
+                Ok(None)
+            }
+            ConcreteStmt::Assign { .. } => Ok(None),
+        }
+    }
+
+    /// Walks the body of the to-be-parallel forall over `var`, carrying the
+    /// set of tensors privatized by enclosing `where` producers.
+    fn check_independent(
+        stmt: &ConcreteStmt,
+        var: &IndexVar,
+        privatized: &mut Vec<String>,
+    ) -> Result<()> {
+        match stmt {
+            ConcreteStmt::Assign { lhs, op, .. } => {
+                if *op == AssignOp::Accum
+                    && !lhs.uses_var(var)
+                    && !privatized.iter().any(|t| t == lhs.tensor().name())
+                {
+                    return Err(IrError::ReductionNotPrivatized {
+                        var: var.name().to_string(),
+                        tensor: lhs.tensor().name().to_string(),
+                    });
+                }
+                Ok(())
+            }
+            ConcreteStmt::Forall { body, .. } => check_independent(body, var, privatized),
+            ConcreteStmt::Where { consumer, producer } => {
+                // Everything the producer writes is materialized afresh per
+                // iteration of `var`: private to both sides of the where.
+                let added = producer.written_tensors();
+                let before = privatized.len();
+                privatized.extend(added);
+                check_independent(producer, var, privatized)?;
+                check_independent(consumer, var, privatized)?;
+                privatized.truncate(before);
+                Ok(())
+            }
+            ConcreteStmt::Sequence { first, second } => {
+                check_independent(first, var, privatized)?;
+                check_independent(second, var, privatized)
+            }
+        }
+    }
+
+    go(stmt, var)?.ok_or_else(|| IrError::UnknownIndexVar(var.name().to_string()))
+}
+
+// ---------------------------------------------------------------------------
 // Result reuse (Section V-B)
 // ---------------------------------------------------------------------------
 
@@ -471,7 +575,7 @@ fn result_reuse(
                 // Gather the forall chain down to the assignment.
                 let mut vars = Vec::new();
                 let mut cur = stmt;
-                while let ConcreteStmt::Forall { var, body } = cur {
+                while let ConcreteStmt::Forall { var, body, .. } = cur {
                     vars.push(var.clone());
                     cur = body;
                 }
@@ -731,6 +835,52 @@ mod tests {
             precompute(&s, &bogus, &[(jv.clone(), jv.clone(), jv.clone())], &w),
             Err(IrError::ExpressionNotFound(_))
         ));
+    }
+
+    #[test]
+    fn parallelize_workspace_spgemm_outer_loop() {
+        // Figure 2 schedule: the workspace privatizes w per i, so ∀i is
+        // embarrassingly parallel.
+        let (s, mul, w) = matmul_concrete();
+        let r = reorder(&s, &iv("k"), &iv("j")).unwrap();
+        let jv = iv("j");
+        let ws = precompute(&r, &mul, &[(jv.clone(), jv.clone(), jv.clone())], &w).unwrap();
+        let p = parallelize(&ws, &iv("i")).unwrap();
+        assert_eq!(
+            p.to_string(),
+            "∀∥i ((∀j A(i,j) = w(j)) where (∀k ∀j w(j) += B(i,k) * C(k,j)))"
+        );
+    }
+
+    #[test]
+    fn parallelize_rejects_unprivatized_reduction() {
+        // ∀i ∀j ∀k A(i,j) += ...: k carries the reduction into A, which no
+        // workspace privatizes.
+        let (s, _, _) = matmul_concrete();
+        assert_eq!(
+            parallelize(&s, &iv("k")),
+            Err(IrError::ReductionNotPrivatized { var: "k".into(), tensor: "A".into() })
+        );
+        // The workspace form privatizes w against i but not against k: the
+        // where sits outside ∀k, so all k iterations share one w.
+        let (s, mul, w) = matmul_concrete();
+        let r = reorder(&s, &iv("k"), &iv("j")).unwrap();
+        let jv = iv("j");
+        let ws = precompute(&r, &mul, &[(jv.clone(), jv.clone(), jv.clone())], &w).unwrap();
+        assert_eq!(
+            parallelize(&ws, &iv("k")),
+            Err(IrError::ReductionNotPrivatized { var: "k".into(), tensor: "w".into() })
+        );
+    }
+
+    #[test]
+    fn parallelize_allows_disjoint_rows_and_rejects_unknown_vars() {
+        // ∀i of the plain merge form writes disjoint rows A(i,_): legal even
+        // without a workspace.
+        let (s, _, _) = matmul_concrete();
+        let p = parallelize(&s, &iv("i")).unwrap();
+        assert_eq!(p.to_string(), "∀∥i ∀j ∀k A(i,j) += B(i,k) * C(k,j)");
+        assert_eq!(parallelize(&s, &iv("z")), Err(IrError::UnknownIndexVar("z".into())));
     }
 
     #[test]

@@ -77,6 +77,108 @@ fn spgemm_workspace(b: &Csr, c: &Csr, sort: bool) -> Csr {
     Csr::from_raw(m, n, pos, crd, vals)
 }
 
+/// Hand-parallel workspace SpGEMM: the rayon-free baseline the compiled
+/// `ParallelFor` path is benchmarked against.
+///
+/// Rows of `B` are split into contiguous chunks, one per worker; each
+/// worker owns a *private* dense workspace (`w`/`wset`/`wlist` — exactly
+/// the privatization the compiler's `parallelize` schedule performs) and
+/// appends into private `crd`/`vals` segments. The segments are stitched
+/// back in row order afterwards, so the result is byte-identical to
+/// [`spgemm_workspace_sorted`] for every thread count.
+///
+/// `threads == 0` uses [`std::thread::available_parallelism`]; any value is
+/// clamped to the row count, and `<= 1` runs serial.
+///
+/// # Panics
+///
+/// Panics if `b.ncols() != c.nrows()`.
+pub fn spgemm_workspace_parallel(b: &Csr, c: &Csr, threads: usize) -> Csr {
+    assert_eq!(b.ncols(), c.nrows(), "dimension mismatch in SpGEMM");
+    let m = b.nrows();
+    let n = c.ncols();
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |t| t.get())
+    } else {
+        threads
+    }
+    .min(m.max(1));
+    if threads <= 1 {
+        return spgemm_workspace_sorted(b, c);
+    }
+
+    // Static row chunking, identical to the executor's ParallelFor split.
+    let per = m / threads;
+    let extra = m % threads;
+    let mut chunks: Vec<(usize, usize)> = Vec::with_capacity(threads);
+    let mut lo = 0usize;
+    for t in 0..threads {
+        let len = per + usize::from(t < extra);
+        chunks.push((lo, lo + len));
+        lo += len;
+    }
+
+    // Each worker returns (row_lens, crd, vals) for its chunk.
+    let parts: Vec<(Vec<usize>, Vec<usize>, Vec<f64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|&(rlo, rhi)| {
+                scope.spawn(move || {
+                    let (bpos, bcrd, bvals) = (b.pos(), b.crd(), b.vals());
+                    let (cpos, ccrd, cvals) = (c.pos(), c.crd(), c.vals());
+                    // Private workspace: one dense scatter array per worker.
+                    let mut w = vec![0.0f64; n];
+                    let mut wset = vec![false; n];
+                    let mut wlist: Vec<usize> = Vec::with_capacity(n);
+                    let mut lens = Vec::with_capacity(rhi - rlo);
+                    let mut crd: Vec<usize> = Vec::new();
+                    let mut vals: Vec<f64> = Vec::new();
+                    for i in rlo..rhi {
+                        wlist.clear();
+                        for pb in bpos[i]..bpos[i + 1] {
+                            let k = bcrd[pb];
+                            let bv = bvals[pb];
+                            for pc in cpos[k]..cpos[k + 1] {
+                                let j = ccrd[pc];
+                                if !wset[j] {
+                                    wset[j] = true;
+                                    wlist.push(j);
+                                }
+                                w[j] += bv * cvals[pc];
+                            }
+                        }
+                        wlist.sort_unstable();
+                        for &j in &wlist {
+                            crd.push(j);
+                            vals.push(w[j]);
+                            w[j] = 0.0;
+                            wset[j] = false;
+                        }
+                        lens.push(wlist.len());
+                    }
+                    (lens, crd, vals)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("SpGEMM worker panicked")).collect()
+    });
+
+    // Deterministic stitch: chunk segments concatenated in row order.
+    let total: usize = parts.iter().map(|(_, c, _)| c.len()).sum();
+    let mut pos = Vec::with_capacity(m + 1);
+    pos.push(0usize);
+    let mut crd: Vec<usize> = Vec::with_capacity(total);
+    let mut vals: Vec<f64> = Vec::with_capacity(total);
+    for (lens, pcrd, pvals) in parts {
+        for len in lens {
+            pos.push(pos.last().unwrap() + len);
+        }
+        crd.extend_from_slice(&pcrd);
+        vals.extend_from_slice(&pvals);
+    }
+    Csr::from_raw(m, n, pos, crd, vals)
+}
+
 /// Eigen-style sorted SpGEMM baseline.
 ///
 /// Eigen's `SparseMatrix` product keeps every result row *sorted while it
@@ -363,6 +465,24 @@ mod tests {
         let u = spgemm_workspace_unsorted(&b, &c);
         let s = spgemm_workspace_sorted(&b, &c);
         assert!(u.approx_eq(&s, 1e-12));
+    }
+
+    #[test]
+    fn parallel_is_byte_identical_to_serial_at_every_thread_count() {
+        let b = random_csr(37, 41, 0.12, 8);
+        let c = random_csr(41, 29, 0.12, 9);
+        let serial = spgemm_workspace_sorted(&b, &c);
+        for threads in [0, 1, 2, 3, 4, 7, 37, 100] {
+            let par = spgemm_workspace_parallel(&b, &c, threads);
+            assert_eq!(serial.pos(), par.pos(), "pos differs at {threads} threads");
+            assert_eq!(serial.crd(), par.crd(), "crd differs at {threads} threads");
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(
+                bits(serial.vals()),
+                bits(par.vals()),
+                "vals differ bitwise at {threads} threads"
+            );
+        }
     }
 
     #[test]

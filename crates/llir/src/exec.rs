@@ -113,6 +113,7 @@ enum RStmt {
     StoreAddF64(usize, IExpr, FExpr),
     StoreAddF32(usize, IExpr, FExpr),
     For(usize, IExpr, IExpr, Vec<RStmt>),
+    ParallelFor(Box<RParFor>),
     While(BExpr, Vec<RStmt>),
     If(BExpr, Vec<RStmt>, Vec<RStmt>),
     MemsetI(usize, IExpr),
@@ -122,6 +123,36 @@ enum RStmt {
     Alloc(usize, ArrayTy, IExpr),
     Realloc(usize, IExpr),
     Sort(usize, IExpr, IExpr),
+}
+
+/// A slot-resolved [`Stmt::ParallelFor`]: a counting loop whose iterations
+/// are distributed over worker threads in contiguous chunks and whose
+/// per-worker state is merged back deterministically (boxed to keep the
+/// common `RStmt` variants small).
+#[derive(Debug, Clone)]
+struct RParFor {
+    /// Loop-variable int slot.
+    var: usize,
+    lo: IExpr,
+    hi: IExpr,
+    /// Worker count baked in at lowering; 0 resolves at run time.
+    threads: usize,
+    /// Array slots private to each worker (per-thread workspaces): workers
+    /// run on clones, and the parent's pristine copies survive the loop.
+    private: Vec<usize>,
+    append: Option<RAppend>,
+    body: Vec<RStmt>,
+}
+
+/// Slot-resolved [`AppendMerge`](crate::AppendMerge).
+#[derive(Debug, Clone)]
+struct RAppend {
+    /// Int slot of the append counter scalar.
+    counter: usize,
+    /// Array slots appended to at counter positions.
+    data: Vec<usize>,
+    /// Slot of the result `pos` array whose per-row entries need rebasing.
+    pos: Option<usize>,
 }
 
 // ---------------------------------------------------------------------------
@@ -382,6 +413,46 @@ impl Compiler {
                 self.scopes.pop();
                 RStmt::For(slot, lo, hi, body)
             }
+            Stmt::ParallelFor { var, lo, hi, threads, private, append, body } => {
+                let lo = self.int_expr(lo)?;
+                let hi = self.int_expr(hi)?;
+                let private = private
+                    .iter()
+                    .map(|n| self.array(n).map(|(slot, _)| slot))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let append = match append {
+                    Some(a) => {
+                        let counter = match self.lookup_var(&a.counter) {
+                            Some((ScalarTy::Int, slot)) => slot,
+                            _ => return Err(CompileError::UnknownVar(a.counter.clone())),
+                        };
+                        let data = a
+                            .data
+                            .iter()
+                            .map(|n| self.array(n).map(|(slot, _)| slot))
+                            .collect::<Result<Vec<_>, _>>()?;
+                        let pos = match &a.pos {
+                            Some(p) => Some(self.array(p)?.0),
+                            None => None,
+                        };
+                        Some(RAppend { counter, data, pos })
+                    }
+                    None => None,
+                };
+                self.scopes.push(HashMap::new());
+                let slot = self.declare(var, ScalarTy::Int)?;
+                let body = self.block_in_current_scope(body)?;
+                self.scopes.pop();
+                RStmt::ParallelFor(Box::new(RParFor {
+                    var: slot,
+                    lo,
+                    hi,
+                    threads: *threads,
+                    private,
+                    append,
+                    body,
+                }))
+            }
             Stmt::While { cond, body } => {
                 let cond = self.bool_expr(cond)?;
                 let body = self.block(body)?;
@@ -463,7 +534,7 @@ const SUPERVISION_STRIDE: u32 = 1024;
 /// Supervision hooks threaded into one run by
 /// [`ExecSession::run`](crate::ExecSession::run). All-`None` (the `Default`)
 /// runs unsupervised with zero overhead beyond the stride countdown.
-#[derive(Default)]
+#[derive(Default, Clone, Copy)]
 pub(crate) struct RunControls<'a> {
     /// Cooperative cancellation flag, checked at loop back-edges.
     pub(crate) cancel: Option<&'a AtomicBool>,
@@ -492,6 +563,9 @@ struct Mach<'a> {
     ctl: RunControls<'a>,
     /// Iterations until the next supervision check.
     check_countdown: u32,
+    /// True inside a worker thread of a parallel loop: nested
+    /// `ParallelFor`s then run serially instead of spawning again.
+    in_parallel: bool,
 }
 
 impl Mach<'_> {
@@ -797,6 +871,9 @@ impl Mach<'_> {
                     iv += 1;
                 }
             }
+            RStmt::ParallelFor(pf) => {
+                self.exec_parallel_for(pf)?;
+            }
             RStmt::While(cond, body) => {
                 while self.eval_b(cond)? {
                     self.consume_iteration()?;
@@ -918,6 +995,358 @@ impl Mach<'_> {
             }
         }
         Ok(())
+    }
+
+    /// Executes `[clo, chi)` of a parallel loop body serially — the chunk a
+    /// worker runs, and also the whole-range fallback when only one thread
+    /// is available.
+    fn exec_chunk(&mut self, pf: &RParFor, clo: i64, chi: i64) -> Result<(), RunError> {
+        let mut iv = clo;
+        while iv < chi {
+            self.consume_iteration()?;
+            self.ints[pf.var] = iv;
+            self.exec_block(&pf.body)?;
+            iv += 1;
+        }
+        Ok(())
+    }
+
+    fn exec_parallel_for(&mut self, pf: &RParFor) -> Result<(), RunError> {
+        let lo = self.eval_i(&pf.lo)?;
+        let hi = self.eval_i(&pf.hi)?;
+        if hi <= lo {
+            return Ok(());
+        }
+        let trip = (hi - lo) as usize;
+        let threads = if self.in_parallel { 1 } else { resolved_threads(pf.threads).min(trip) };
+        if let Some(shared) = self.ctl.shared {
+            shared.note_workers(threads.max(1) as u64);
+        }
+        if threads <= 1 {
+            return self.exec_chunk(pf, lo, hi);
+        }
+        self.run_workers(pf, lo, hi, threads)
+    }
+
+    /// The multi-threaded path: iterations are split into `threads`
+    /// contiguous chunks (OpenMP `schedule(static)`), each worker interprets
+    /// its chunk on a full private clone of the machine state, and the
+    /// per-worker states are merged back in chunk order so the parent ends
+    /// byte-identical to a serial run. Shared arrays merge by bitwise diff
+    /// against the pre-loop state (legal schedules write disjoint regions);
+    /// private (workspace) arrays are discarded; append-style output (sparse
+    /// coordinate lists) is stitched by explicit segment rebasing.
+    #[cold]
+    #[inline(never)]
+    fn run_workers(&mut self, pf: &RParFor, lo: i64, hi: i64, threads: usize) -> Result<(), RunError> {
+        let trip = (hi - lo) as usize;
+        let per = trip / threads;
+        let extra = trip % threads;
+        let mut chunks: Vec<(i64, i64)> = Vec::with_capacity(threads);
+        let mut start = lo;
+        for w in 0..threads {
+            let len = (per + usize::from(w < extra)) as i64;
+            chunks.push((start, start + len));
+            start += len;
+        }
+
+        let cancel = self.ctl.cancel;
+        let deadline = self.ctl.deadline;
+        let parent_bytes = self.budget.total_bytes;
+
+        let results: Vec<Result<WorkerOut, RunError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|&(clo, chi)| {
+                    let mut m = Mach {
+                        ints: self.ints.clone(),
+                        floats: self.floats.clone(),
+                        bools: self.bools.clone(),
+                        arrays: self.arrays.clone(),
+                        array_names: self.array_names.clone(),
+                        budget: BudgetState {
+                            iterations_left: self.budget.iterations_left,
+                            // Start the fuse at the parent's remaining count
+                            // so `iterations_done()` reports exactly what
+                            // this worker consumed.
+                            max_iterations: self.budget.iterations_left,
+                            max_single_bytes: self.budget.max_single_bytes,
+                            max_total_bytes: self.budget.max_total_bytes,
+                            total_bytes: self.budget.total_bytes,
+                            max_doublings: self.budget.max_doublings,
+                            realloc_counts: self.budget.realloc_counts.clone(),
+                        },
+                        ctl: RunControls { cancel, deadline, shared: None },
+                        check_countdown: 0,
+                        in_parallel: true,
+                    };
+                    scope.spawn(move || -> Result<WorkerOut, RunError> {
+                        m.exec_chunk(pf, clo, chi)?;
+                        Ok(WorkerOut {
+                            iterations: m.iterations_done(),
+                            grown_bytes: m.budget.total_bytes - parent_bytes,
+                            realloc_counts: m.budget.realloc_counts,
+                            ints: m.ints,
+                            floats: m.floats,
+                            bools: m.bools,
+                            arrays: m.arrays,
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+        });
+
+        // The first error in chunk order wins, matching the serial run's
+        // error for deterministic failures; the parent state is untouched
+        // (workers ran on clones), so supervised rollback works unchanged.
+        let mut outs: Vec<WorkerOut> = Vec::with_capacity(results.len());
+        for r in results {
+            outs.push(r?);
+        }
+
+        // Charge the combined budget use before mutating any parent state.
+        let consumed: u64 = outs.iter().map(|o| o.iterations).sum();
+        match self.budget.iterations_left.checked_sub(consumed) {
+            Some(left) => self.budget.iterations_left = left,
+            None => {
+                return Err(RunError::BudgetExceeded {
+                    resource: BudgetResource::LoopIterations,
+                    limit: self.budget.max_iterations,
+                    requested: self.iterations_done().saturating_add(consumed),
+                    array: None,
+                })
+            }
+        }
+        let grown: u64 = outs.iter().map(|o| o.grown_bytes).sum();
+        let total = self.budget.total_bytes.saturating_add(grown);
+        if total > self.budget.max_total_bytes {
+            return Err(RunError::BudgetExceeded {
+                resource: BudgetResource::TotalBytes,
+                limit: self.budget.max_total_bytes,
+                requested: total,
+                array: None,
+            });
+        }
+        self.budget.total_bytes = total;
+        for o in &outs {
+            for (i, &c) in o.realloc_counts.iter().enumerate() {
+                let delta = c.saturating_sub(self.budget.realloc_counts[i]);
+                // Deltas accumulate without a post-hoc cap check: each
+                // worker already enforced the doubling limit individually.
+                self.budget.realloc_counts[i] =
+                    self.budget.realloc_counts[i].saturating_add(delta);
+            }
+        }
+        self.supervision_check()?;
+
+        // Scalar merge in chunk order: later chunks overwrite, matching the
+        // serial run where the last iteration's writes survive. The append
+        // counter is excluded — it accumulates across chunks and is rebased
+        // below.
+        let counter_slot = pf.append.as_ref().map(|a| a.counter);
+        let c0 = counter_slot.map(|s| self.ints[s]).unwrap_or(0);
+        let int_snap = self.ints.clone();
+        let float_snap = self.floats.clone();
+        let bool_snap = self.bools.clone();
+        for o in &outs {
+            for (i, &v) in o.ints.iter().enumerate() {
+                if Some(i) != counter_slot && int_snap[i] != v {
+                    self.ints[i] = v;
+                }
+            }
+            for (i, &v) in o.floats.iter().enumerate() {
+                if float_snap[i].to_bits() != v.to_bits() {
+                    self.floats[i] = v;
+                }
+            }
+            for (i, &v) in o.bools.iter().enumerate() {
+                if bool_snap[i] != v {
+                    self.bools[i] = v;
+                }
+            }
+        }
+
+        // Shared-array merge: bitwise diff against the pre-loop snapshot,
+        // applied in chunk order. Private workspaces keep the parent's
+        // pristine copies; append arrays are handled by rebasing below.
+        let mut skip: Vec<bool> = vec![false; self.arrays.len()];
+        for &s in &pf.private {
+            skip[s] = true;
+        }
+        if let Some(a) = &pf.append {
+            for &s in &a.data {
+                skip[s] = true;
+            }
+            if let Some(p) = a.pos {
+                skip[p] = true;
+            }
+        }
+        let snapshot: Vec<Option<ArrayVal>> = self
+            .arrays
+            .iter()
+            .enumerate()
+            .map(|(i, a)| if skip[i] { None } else { Some(a.clone()) })
+            .collect();
+        for o in &outs {
+            for (i, worker) in o.arrays.iter().enumerate() {
+                if let Some(snap) = &snapshot[i] {
+                    merge_shared(&mut self.arrays[i], snap, worker);
+                }
+            }
+        }
+
+        // Append merge (sparse result rows): worker `w`'s segment
+        // `[c0, counter_w)` lands after the segments of workers `0..w`, its
+        // `pos` entries shift by the same offset, and the parent counter
+        // ends at the total — exactly the serial values.
+        if let Some(ap) = &pf.append {
+            let mut base = c0;
+            for (w, o) in outs.iter().enumerate() {
+                let wc = o.ints[ap.counter];
+                if wc > c0 {
+                    let (src_lo, src_hi) = (c0 as usize, wc as usize);
+                    let dst = base as usize;
+                    for &slot in &ap.data {
+                        append_copy(&mut self.arrays[slot], &o.arrays[slot], src_lo, src_hi, dst);
+                    }
+                }
+                // Rebase the worker's `pos` entries even when it appended
+                // nothing: its rows still closed at (its view of) the
+                // counter, which maps to `base` in the stitched output.
+                if let Some(pos_slot) = ap.pos {
+                    let shift = base - c0;
+                    let (clo, chi) = chunks[w];
+                    if let (ArrayVal::Int(p), ArrayVal::Int(wv)) =
+                        (&mut self.arrays[pos_slot], &o.arrays[pos_slot])
+                    {
+                        for j in (clo + 1)..=chi {
+                            let j = j as usize;
+                            if j < p.len() && j < wv.len() {
+                                p[j] = wv[j] + shift;
+                            }
+                        }
+                    }
+                }
+                base += (wc - c0).max(0);
+            }
+            self.ints[ap.counter] = base;
+        }
+        Ok(())
+    }
+}
+
+/// What one parallel-loop worker hands back for the merge.
+struct WorkerOut {
+    iterations: u64,
+    grown_bytes: u64,
+    realloc_counts: Vec<u32>,
+    ints: Vec<i64>,
+    floats: Vec<f64>,
+    bools: Vec<bool>,
+    arrays: Vec<ArrayVal>,
+}
+
+/// Resolves the worker-thread count for a parallel loop: an explicit
+/// schedule choice wins, then the `TACO_THREADS` environment variable, then
+/// the machine's available parallelism.
+fn resolved_threads(explicit: usize) -> usize {
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Ok(s) = std::env::var("TACO_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Applies one worker's writes to a shared array: every element whose bits
+/// differ from the pre-loop snapshot was written by that worker and
+/// overwrites the parent's. Arrays a worker grew extend the parent first.
+fn merge_shared(parent: &mut ArrayVal, snap: &ArrayVal, worker: &ArrayVal) {
+    match (parent, snap, worker) {
+        (ArrayVal::Int(p), ArrayVal::Int(s), ArrayVal::Int(w)) => {
+            if w.len() > p.len() {
+                p.resize(w.len(), 0);
+            }
+            for (i, &wv) in w.iter().enumerate() {
+                if s.get(i).copied().unwrap_or(0) != wv {
+                    p[i] = wv;
+                }
+            }
+        }
+        (ArrayVal::F64(p), ArrayVal::F64(s), ArrayVal::F64(w)) => {
+            if w.len() > p.len() {
+                p.resize(w.len(), 0.0);
+            }
+            for (i, &wv) in w.iter().enumerate() {
+                if s.get(i).copied().unwrap_or(0.0).to_bits() != wv.to_bits() {
+                    p[i] = wv;
+                }
+            }
+        }
+        (ArrayVal::F32(p), ArrayVal::F32(s), ArrayVal::F32(w)) => {
+            if w.len() > p.len() {
+                p.resize(w.len(), 0.0);
+            }
+            for (i, &wv) in w.iter().enumerate() {
+                if s.get(i).copied().unwrap_or(0.0).to_bits() != wv.to_bits() {
+                    p[i] = wv;
+                }
+            }
+        }
+        (ArrayVal::Bool(p), ArrayVal::Bool(s), ArrayVal::Bool(w)) => {
+            if w.len() > p.len() {
+                p.resize(w.len(), false);
+            }
+            for (i, &wv) in w.iter().enumerate() {
+                if s.get(i).copied().unwrap_or(false) != wv {
+                    p[i] = wv;
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Copies `worker[src_lo..src_hi]` to `parent[dst..]`, growing the parent as
+/// needed — one worker's appended segment of a coordinate or value array.
+fn append_copy(parent: &mut ArrayVal, worker: &ArrayVal, src_lo: usize, src_hi: usize, dst: usize) {
+    let src_hi = src_hi.min(worker.len());
+    if src_hi <= src_lo {
+        return;
+    }
+    let n = src_hi - src_lo;
+    match (parent, worker) {
+        (ArrayVal::Int(p), ArrayVal::Int(w)) => {
+            if p.len() < dst + n {
+                p.resize(dst + n, 0);
+            }
+            p[dst..dst + n].copy_from_slice(&w[src_lo..src_hi]);
+        }
+        (ArrayVal::F64(p), ArrayVal::F64(w)) => {
+            if p.len() < dst + n {
+                p.resize(dst + n, 0.0);
+            }
+            p[dst..dst + n].copy_from_slice(&w[src_lo..src_hi]);
+        }
+        (ArrayVal::F32(p), ArrayVal::F32(w)) => {
+            if p.len() < dst + n {
+                p.resize(dst + n, 0.0);
+            }
+            p[dst..dst + n].copy_from_slice(&w[src_lo..src_hi]);
+        }
+        (ArrayVal::Bool(p), ArrayVal::Bool(w)) => {
+            if p.len() < dst + n {
+                p.resize(dst + n, false);
+            }
+            p[dst..dst + n].copy_from_slice(&w[src_lo..src_hi]);
+        }
+        _ => {}
     }
 }
 
@@ -1194,6 +1623,7 @@ impl Executable {
             budget: BudgetState::new(budget, self.array_names.len()),
             ctl,
             check_countdown: 0,
+            in_parallel: false,
         };
         for (name, slot) in self.scalar_params.iter() {
             let v = *binding

@@ -227,6 +227,32 @@ pub enum Stmt {
         /// Loop body.
         body: Vec<Stmt>,
     },
+    /// `for (var = lo; var < hi; var++) body`, with iterations distributed
+    /// over worker threads in contiguous chunks. Produced by lowering a
+    /// forall that the schedule marked parallel (`IndexStmt::parallelize`);
+    /// the executor merges per-worker results in chunk order so the outcome
+    /// is byte-identical to running the plain `For`.
+    ParallelFor {
+        /// Loop variable (fresh integer declaration scoped to the body).
+        var: String,
+        /// Inclusive lower bound.
+        lo: Expr,
+        /// Exclusive upper bound.
+        hi: Expr,
+        /// Worker-thread count; 0 means decide at run time (the
+        /// `TACO_THREADS` environment variable, then available parallelism).
+        threads: usize,
+        /// Arrays private to each iteration (per-thread workspace clones):
+        /// every worker gets its own pristine copy, discarded after the
+        /// loop.
+        private: Vec<String>,
+        /// Present when the body appends to a sparse result level;
+        /// describes how per-worker coordinate lists are stitched back
+        /// together deterministically.
+        append: Option<AppendMerge>,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
     /// `while (cond) body`.
     While {
         /// Boolean condition.
@@ -279,6 +305,29 @@ pub enum Stmt {
     },
     /// A comment carried through to the C printer.
     Comment(String),
+}
+
+/// How a [`Stmt::ParallelFor`] merges per-worker append-style output
+/// (compressed coordinate lists grown with a counter) back into the shared
+/// arrays.
+///
+/// Each worker starts from the parent's counter value and appends its
+/// chunk's entries to its private clone of the data arrays. At the merge,
+/// workers are visited in chunk order: worker *w*'s appended entries are
+/// copied after those of workers `0..w`, the counter advances by the sum,
+/// and `pos` entries written by the worker are rebased by the same offset —
+/// exactly the values a serial run would have produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppendMerge {
+    /// The append counter variable (e.g. `pA2`), incremented once per
+    /// appended entry.
+    pub counter: String,
+    /// Arrays appended to at `counter` positions (`crd`, and `vals` for
+    /// fused kernels).
+    pub data: Vec<String>,
+    /// The result `pos` array closed per iteration (`pos[v+1] = counter`);
+    /// `None` for rank-1 results whose pos is closed after the loop.
+    pub pos: Option<String>,
 }
 
 impl Stmt {

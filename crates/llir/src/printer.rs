@@ -100,6 +100,26 @@ fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
             indent(out, level);
             let _ = writeln!(out, "}}");
         }
+        Stmt::ParallelFor { var, lo, hi, threads, private, body, .. } => {
+            let mut pragma = String::from("#pragma omp parallel for schedule(static)");
+            if *threads > 0 {
+                let _ = write!(pragma, " num_threads({threads})");
+            }
+            if !private.is_empty() {
+                let _ = write!(pragma, " private({})", private.join(", "));
+            }
+            let _ = writeln!(out, "{pragma}");
+            indent(out, level);
+            let _ = writeln!(
+                out,
+                "for (int32_t {var} = {}; {var} < {}; {var}++) {{",
+                print_expr(lo),
+                print_expr(hi)
+            );
+            print_block(out, body, level + 1);
+            indent(out, level);
+            let _ = writeln!(out, "}}");
+        }
         Stmt::While { cond, body } => {
             let _ = writeln!(out, "while ({}) {{", print_expr(cond));
             print_block(out, body, level + 1);

@@ -70,11 +70,18 @@ pub struct Progress {
     pub iterations: u64,
     /// Bytes allocated by `Alloc`/`Realloc` so far.
     pub allocated_bytes: u64,
+    /// Largest worker-thread count any parallel loop of the run used so far
+    /// (0 when no parallel loop has executed).
+    pub workers: u64,
 }
 
 impl std::fmt::Display for Progress {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} iterations, {} bytes allocated", self.iterations, self.allocated_bytes)
+        write!(f, "{} iterations, {} bytes allocated", self.iterations, self.allocated_bytes)?;
+        if self.workers > 0 {
+            write!(f, ", {} workers", self.workers)?;
+        }
+        Ok(())
     }
 }
 
@@ -84,6 +91,7 @@ impl std::fmt::Display for Progress {
 pub(crate) struct SharedProgress {
     pub(crate) iterations: AtomicU64,
     pub(crate) allocated_bytes: AtomicU64,
+    pub(crate) workers: AtomicU64,
 }
 
 impl SharedProgress {
@@ -91,7 +99,14 @@ impl SharedProgress {
         Progress {
             iterations: self.iterations.load(Ordering::Relaxed),
             allocated_bytes: self.allocated_bytes.load(Ordering::Relaxed),
+            workers: self.workers.load(Ordering::Relaxed),
         }
+    }
+
+    /// Records the worker count of a parallel loop, keeping the maximum
+    /// observed across the run.
+    pub(crate) fn note_workers(&self, n: u64) {
+        self.workers.fetch_max(n, Ordering::Relaxed);
     }
 }
 
@@ -617,7 +632,7 @@ mod tests {
     fn report_summary_and_abort_display_are_human_readable() {
         let report = ExecReport {
             elapsed: Duration::from_millis(12),
-            progress: Progress { iterations: 42, allocated_bytes: 1024 },
+            progress: Progress { iterations: 42, allocated_bytes: 1024, workers: 0 },
             samples: vec![],
         };
         let s = report.summary();
@@ -628,7 +643,7 @@ mod tests {
                 deadline: Duration::from_millis(50),
                 elapsed: Duration::from_millis(61),
             },
-            progress: Progress { iterations: 9, allocated_bytes: 0 },
+            progress: Progress { iterations: 9, allocated_bytes: 0, workers: 0 },
             elapsed: Duration::from_millis(61),
         };
         let s = aborted.to_string();

@@ -41,6 +41,16 @@ pub enum LowerError {
         /// The reduction variable whose loop encloses the insert.
         var: String,
     },
+    /// A forall marked parallel lowers to a loop shape the parallel
+    /// executor cannot chunk deterministically (coiteration while-loops,
+    /// position loops over a compressed operand, or appends into a sparse
+    /// result not owned row-by-row by the parallel variable).
+    UnsupportedParallelLoop {
+        /// The parallelized index variable.
+        var: String,
+        /// Why the loop cannot be parallelized.
+        reason: String,
+    },
     /// A tensor mode is iterated before an outer mode's variable is bound
     /// (the loop order conflicts with the tensor's mode order).
     UnboundVariable {
@@ -83,6 +93,9 @@ impl fmt::Display for LowerError {
                  over `{var}`; compressed formats do not support random inserts — precompute \
                  into a dense workspace (Section V of the paper)"
             ),
+            LowerError::UnsupportedParallelLoop { var, reason } => {
+                write!(f, "cannot lower parallel loop over `{var}`: {reason}")
+            }
             LowerError::UnboundVariable { tensor, var } => write!(
                 f,
                 "tensor `{tensor}` is iterated before its outer variable `{var}` is bound; \

@@ -37,6 +37,11 @@ pub struct LowerOptions {
     /// Allocate workspaces in single precision (the mixed-precision option
     /// of Section III).
     pub f32_workspaces: bool,
+    /// Worker-thread count for loops the schedule marked parallel
+    /// (`IndexStmt::parallelize`). `None` lets the executor decide at run
+    /// time (the `TACO_THREADS` environment variable, then available
+    /// parallelism). Has no effect on serial loops.
+    pub num_threads: Option<usize>,
 }
 
 impl LowerOptions {
@@ -47,6 +52,7 @@ impl LowerOptions {
             kind: KernelKind::Compute,
             sort_output: true,
             f32_workspaces: false,
+            num_threads: None,
         }
     }
 
@@ -69,6 +75,13 @@ impl LowerOptions {
     /// Enables single-precision workspaces.
     pub fn with_f32_workspaces(mut self) -> LowerOptions {
         self.f32_workspaces = true;
+        self
+    }
+
+    /// Pins the worker-thread count for parallel loops (`0` or `None`-like
+    /// behavior is restored by never calling this).
+    pub fn with_threads(mut self, n: usize) -> LowerOptions {
+        self.num_threads = if n == 0 { None } else { Some(n) };
         self
     }
 }
@@ -369,7 +382,9 @@ impl<'o> Lowerer<'o> {
     fn lower_stmt(&mut self, stmt: &ConcreteStmt, ctx: &Ctx) -> Result<Vec<Stmt>> {
         match stmt {
             ConcreteStmt::Assign { lhs, op, rhs } => self.lower_assign(lhs, *op, rhs, ctx),
-            ConcreteStmt::Forall { var, body } => self.lower_forall(var, body, ctx),
+            ConcreteStmt::Forall { var, body, parallel } => {
+                self.lower_forall(var, body, *parallel, ctx)
+            }
             ConcreteStmt::Where { consumer, producer } => {
                 self.lower_where(consumer, producer, ctx)
             }
@@ -525,8 +540,13 @@ impl<'o> Lowerer<'o> {
         &mut self,
         var: &IndexVar,
         body: &ConcreteStmt,
+        parallel: bool,
         ctx: &Ctx,
     ) -> Result<Vec<Stmt>> {
+        // Workspaces allocated while lowering this body become the
+        // per-thread private arrays of a parallel loop.
+        let ws_before: HashSet<String> =
+            if parallel { self.workspaces.keys().cloned().collect() } else { HashSet::new() };
         // Combined expression across every assignment in the body, for the
         // iterator analysis at this variable.
         let combined = combined_rhs(body, var);
@@ -630,7 +650,92 @@ impl<'o> Lowerer<'o> {
             }
         }
         self.enclosing.pop();
+        if parallel {
+            out = self.parallelize_loop(var, body, out, &ws_before)?;
+        }
         Ok(out)
+    }
+
+    /// Converts the single dense loop a parallel forall lowered to into a
+    /// [`Stmt::ParallelFor`], computing the per-thread private workspace set
+    /// and (when the loop appends rows into a sparse result) the
+    /// deterministic merge description.
+    fn parallelize_loop(
+        &self,
+        var: &IndexVar,
+        body: &ConcreteStmt,
+        out: Vec<Stmt>,
+        ws_before: &HashSet<String>,
+    ) -> Result<Vec<Stmt>> {
+        // Per-thread private arrays: every workspace (plus its coordinate
+        // list and guard set) first allocated while lowering this body.
+        // Sorted so the generated kernel is deterministic.
+        let mut private: Vec<String> = Vec::new();
+        for (name, info) in &self.workspaces {
+            if ws_before.contains(name) {
+                continue;
+            }
+            private.push(name.clone());
+            if info.needs_list {
+                private.push(list_name(name));
+                private.push(set_name(name));
+            }
+        }
+        private.sort();
+
+        // Appends into a sparse result are only mergeable when the parallel
+        // variable owns whole rows of the appended level: each iteration
+        // then produces one contiguous coordinate segment and closes
+        // `pos[v+1]`, so per-worker segments can be stitched in chunk order.
+        let appends_here = self.opts.kind != KernelKind::Compute
+            && self.append_used
+            && self.result_sparse_level.is_some()
+            && writes_tensor(body, self.result.name());
+        let append = if appends_here {
+            let l = self.result_sparse_level.expect("checked above");
+            if l == 0 || self.result_access.vars().get(l - 1) != Some(var) {
+                return Err(LowerError::UnsupportedParallelLoop {
+                    var: var.name().to_string(),
+                    reason: format!(
+                        "the loop appends into sparse result `{}` but `{}` does not own whole \
+                         rows of the appended level",
+                        self.result.name(),
+                        var.name()
+                    ),
+                });
+            }
+            let mut data = vec![crd_name(self.result.name(), l)];
+            if self.opts.kind == KernelKind::Fused {
+                data.push(self.result.name().to_string());
+            }
+            Some(taco_llir::AppendMerge {
+                counter: self.counter_name(),
+                data,
+                pos: Some(pos_name(self.result.name(), l)),
+            })
+        } else {
+            None
+        };
+
+        match <[Stmt; 1]>::try_from(out) {
+            Ok([Stmt::For { var: lv, lo, hi, body }]) if lv == var.name() => {
+                Ok(vec![Stmt::ParallelFor {
+                    var: lv,
+                    lo,
+                    hi,
+                    threads: self.opts.num_threads.unwrap_or(0),
+                    private,
+                    append,
+                    body,
+                }])
+            }
+            _ => Err(LowerError::UnsupportedParallelLoop {
+                var: var.name().to_string(),
+                reason: "only dense loops (`for v = 0..N`) can be parallelized; coiteration \
+                         and position loops must stay serial"
+                    .to_string(),
+            }),
+        }
     }
 
     /// `for (v = 0; v < dim; v++) body`
@@ -1279,8 +1384,12 @@ fn restrict_stmt(stmt: &ConcreteStmt, absent: &HashSet<String>) -> Option<Concre
                 }),
             },
         },
-        ConcreteStmt::Forall { var, body } => {
-            restrict_stmt(body, absent).map(|b| ConcreteStmt::forall(var.clone(), b))
+        ConcreteStmt::Forall { var, body, parallel } => {
+            restrict_stmt(body, absent).map(|b| ConcreteStmt::Forall {
+                var: var.clone(),
+                body: Box::new(b),
+                parallel: *parallel,
+            })
         }
         ConcreteStmt::Where { consumer, producer } => {
             let c = restrict_stmt(consumer, absent)?;
@@ -1520,7 +1629,7 @@ mod tests {
 
         // Drill to the ∀k body (below ∀i).
         let ConcreteStmt::Forall { body: bi, .. } = &s else { panic!("expected ∀i") };
-        let ConcreteStmt::Forall { var, body: bk } = &**bi else { panic!("expected ∀k") };
+        let ConcreteStmt::Forall { var, body: bk, .. } = &**bi else { panic!("expected ∀k") };
         assert_eq!(var.name(), "k");
         let combined = combined_rhs(bk, &iv("k")).expect("k used");
         let lat = MergeLattice::build(&combined, &iv("k"));

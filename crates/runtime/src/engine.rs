@@ -75,6 +75,8 @@ pub enum EngineEvent {
         viable: usize,
         /// Measured nanoseconds of the winner.
         best_nanos: u64,
+        /// Pinned thread count of the winner (`None` = serial/auto).
+        threads: Option<usize>,
     },
     /// A previously tuned decision was reused without searching.
     AutotuneReused {
@@ -89,12 +91,18 @@ impl std::fmt::Display for EngineEvent {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EngineEvent::Fallback(e) => write!(f, "fallback: {e}"),
-            EngineEvent::Autotuned { key, schedule, candidates, viable, best_nanos } => write!(
-                f,
-                "autotuned [{key}]: chose `{schedule}` ({viable}/{candidates} candidates viable, \
-                 best {:.3} ms)",
-                *best_nanos as f64 / 1e6
-            ),
+            EngineEvent::Autotuned { key, schedule, candidates, viable, best_nanos, threads } => {
+                write!(
+                    f,
+                    "autotuned [{key}]: chose `{schedule}` ({viable}/{candidates} runs viable, \
+                     best {:.3} ms",
+                    *best_nanos as f64 / 1e6
+                )?;
+                match threads {
+                    Some(n) => write!(f, ", {n} threads)"),
+                    None => write!(f, ")"),
+                }
+            }
             EngineEvent::AutotuneReused { key, schedule } => {
                 write!(f, "autotune reused [{key}]: `{schedule}`")
             }
@@ -264,6 +272,10 @@ impl Engine {
                 .find(|c| c.name == schedule)
                 .ok_or_else(|| EngineError::UnknownSchedule { schedule: schedule.clone() })?;
             self.push_event(EngineEvent::AutotuneReused { key, schedule: schedule.clone() });
+            let opts = match decision.threads {
+                Some(n) => opts.with_threads(n),
+                None => opts,
+            };
             let result = self.run(&cand.stmt, opts, inputs)?;
             return Ok(TunedOutcome { result, schedule, tuned: false });
         }
@@ -272,39 +284,70 @@ impl Engine {
         let candidates = enumerate_candidates(stmt);
         let total = candidates.len();
         let mut viable = 0usize;
-        let mut best: Option<(String, IndexStmt, Tensor, u64)> = None;
-        for cand in candidates {
-            let remaining = self.config.tuning_deadline.saturating_sub(started.elapsed());
-            if best.is_some() && remaining.is_zero() {
-                break;
-            }
-            let Ok(kernel) = self.compile(&cand.stmt, opts.clone()) else {
-                continue;
-            };
-            // The first viable candidate runs without a deadline so a slow
-            // search budget can never turn a tunable statement into an
-            // error; later candidates only get the remaining time.
-            let mut supervisor = Supervisor::new().with_budget(self.config.budget);
-            if best.is_some() {
-                supervisor = supervisor.with_deadline(remaining);
-            }
-            match kernel.run_supervised(inputs, None, &supervisor) {
-                Ok((result, report)) => {
-                    viable += 1;
-                    let nanos = report.elapsed.as_nanos() as u64;
-                    if best.as_ref().is_none_or(|(_, _, _, b)| nanos < *b) {
-                        best = Some((cand.name, cand.stmt, result, nanos));
-                    }
+        let mut best: Option<(String, Option<usize>, Tensor, u64)> = None;
+        'candidates: for cand in candidates {
+            // A parallel candidate is timed at explicit thread counts (two
+            // and the machine width) so the remembered decision also says
+            // how wide to run it; serial candidates get one unpinned run.
+            // On a single-core machine a parallel candidate can only fall
+            // back to its serial twin's exact work, so it is skipped
+            // outright — timing duplicate kernels would make the decision a
+            // coin flip on noise.
+            let thread_counts: Vec<Option<usize>> = if cand.name.contains("parallelize") {
+                let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+                if avail <= 1 {
+                    continue;
                 }
-                Err(_) => continue,
+                let mut counts = vec![Some(2)];
+                if avail > 2 {
+                    counts.push(Some(avail));
+                }
+                counts
+            } else {
+                vec![None]
+            };
+            for threads in thread_counts {
+                let remaining = self.config.tuning_deadline.saturating_sub(started.elapsed());
+                if best.is_some() && remaining.is_zero() {
+                    break 'candidates;
+                }
+                let run_opts = match threads {
+                    Some(n) => opts.clone().with_threads(n),
+                    None => opts.clone(),
+                };
+                let Ok(kernel) = self.compile(&cand.stmt, run_opts) else {
+                    continue;
+                };
+                // The first viable candidate runs without a deadline so a
+                // slow search budget can never turn a tunable statement into
+                // an error; later candidates only get the remaining time.
+                let mut supervisor = Supervisor::new().with_budget(self.config.budget);
+                if best.is_some() {
+                    supervisor = supervisor.with_deadline(remaining);
+                }
+                match kernel.run_supervised(inputs, None, &supervisor) {
+                    Ok((result, report)) => {
+                        viable += 1;
+                        let nanos = report.elapsed.as_nanos() as u64;
+                        // A challenger displaces the incumbent only by a
+                        // clear margin (5%): candidates are enumerated
+                        // simplest-first, so near-ties deterministically
+                        // keep the simpler schedule instead of flipping on
+                        // timing noise.
+                        if best.as_ref().is_none_or(|(_, _, _, b)| nanos * 100 < *b * 95) {
+                            best = Some((cand.name.clone(), threads, result, nanos));
+                        }
+                    }
+                    Err(_) => continue,
+                }
             }
         }
-        let Some((schedule, _stmt, result, best_nanos)) = best else {
+        let Some((schedule, threads, result, best_nanos)) = best else {
             return Err(EngineError::NoViableCandidate { candidates: total });
         };
         self.tuner.record(
             key,
-            TuneDecision { schedule: schedule.clone(), best_nanos, candidates: total, viable },
+            TuneDecision { schedule: schedule.clone(), best_nanos, threads, candidates: total, viable },
         );
         self.push_event(EngineEvent::Autotuned {
             key,
@@ -312,6 +355,7 @@ impl Engine {
             candidates: total,
             viable,
             best_nanos,
+            threads,
         });
         Ok(TunedOutcome { result, schedule, tuned: true })
     }

@@ -118,6 +118,11 @@ pub struct TuneDecision {
     pub schedule: String,
     /// Measured wall-clock nanoseconds of the winner during tuning.
     pub best_nanos: u64,
+    /// Pinned worker-thread count of the winner, when the winning schedule
+    /// was a parallel candidate timed at an explicit thread count. `None`
+    /// means the winner was serial (or parallel with automatic thread
+    /// resolution); reuse then runs the schedule unpinned.
+    pub threads: Option<usize>,
     /// How many candidates were enumerated for this key.
     pub candidates: usize,
     /// How many of them compiled and ran to completion.

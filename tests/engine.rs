@@ -233,3 +233,28 @@ fn engine_and_kernels_are_send_and_sync() {
     assert_send_sync::<CacheStats>();
     assert_send_sync::<EngineEvent>();
 }
+
+#[test]
+fn event_log_is_a_ring_buffer_bounded_by_max_events() {
+    let n = 16;
+    let stmt = unscheduled_spgemm(n);
+    let (b, c) = operands(n);
+    let inputs: Vec<(&str, &Tensor)> = vec![("B", &b), ("C", &c)];
+
+    let engine = Engine::with_config(EngineConfig { max_events: 3, ..EngineConfig::default() });
+    assert_eq!(engine.config().max_events, 3);
+
+    // One fresh tune + five reuses = six events through a capacity of three.
+    for _ in 0..6 {
+        engine.run_tuned(&stmt, LowerOptions::fused("spgemm"), &inputs).unwrap();
+    }
+
+    let events = engine.last_events();
+    assert_eq!(events.len(), 3, "ring buffer must cap at max_events");
+    // The fresh `Autotuned` decision was the oldest event; it must have been
+    // dropped, leaving only the newest reuse events.
+    assert!(
+        events.iter().all(|e| matches!(e, EngineEvent::AutotuneReused { .. })),
+        "oldest events must be dropped first, got: {events:?}"
+    );
+}
