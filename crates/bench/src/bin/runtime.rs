@@ -3,11 +3,14 @@
 //! pays (decision reuse + cache hit + run).
 //!
 //! ```text
-//! cargo run --release -p taco-bench --bin runtime [-- --scale 0.05 --reps 3 --json]
+//! cargo run --release -p taco-bench --bin runtime [-- --scale 0.05 --reps 3 --json --verify]
 //! ```
 //!
 //! With `--json`, writes the results to `BENCH_runtime.json` in the working
-//! directory (CI asserts this file is produced and parses).
+//! directory (CI asserts this file is produced and parses). Every compile
+//! runs the static verifier; `--verify` hardens enforcement to deny so any
+//! proven violation fails the bin, and the JSON always carries
+//! `verify_nanos` plus the verdict counts.
 
 use std::time::Duration;
 use taco_bench::timing::{fmt_duration, time_once};
@@ -16,7 +19,7 @@ use taco_core::{enumerate_candidates, IndexStmt};
 use taco_ir::expr::{sum, IndexVar, TensorVar};
 use taco_ir::notation::IndexAssignment;
 use taco_lower::LowerOptions;
-use taco_runtime::Engine;
+use taco_runtime::{Engine, EngineEvent, VerifyMode};
 use taco_tensor::gen::random_csr;
 use taco_tensor::{Format, Tensor};
 
@@ -43,8 +46,12 @@ fn main() {
     let c = random_csr(n, n, 0.05, 42).to_tensor();
     let inputs: Vec<(&str, &Tensor)> = vec![("B", &b), ("C", &c)];
 
-    println!("KERNEL ENGINE: {n}x{n} SpGEMM, density 0.05, no manual schedule\n");
-    let engine = Engine::new();
+    let verify_mode =
+        if args.verify { VerifyMode::Deny } else { taco_core::default_verify_mode() };
+    println!(
+        "KERNEL ENGINE: {n}x{n} SpGEMM, density 0.05, no manual schedule, verify {verify_mode}\n"
+    );
+    let engine = Engine::builder().verify(verify_mode).build();
 
     // Cold: autotune search (every candidate compiled and timed) + run.
     let (cold, outcome) =
@@ -66,7 +73,7 @@ fn main() {
         .into_iter()
         .find(|cand| cand.name == schedule)
         .expect("tuned schedule is in the candidate space");
-    let fresh = Engine::new();
+    let fresh = Engine::builder().verify(verify_mode).build();
     let (cold_compile, _) = time_once(|| fresh.compile(&tuned.stmt, opts.clone()).expect("compiles"));
     let (warm_compile, kernel) =
         time_once(|| fresh.compile(&tuned.stmt, opts.clone()).expect("compiles"));
@@ -109,8 +116,26 @@ fn main() {
         scaling.push((t, best));
     }
 
+    // Verifier cost on the tuned kernel, measured standalone (the engine
+    // path folds it into compile time), plus the verdict totals the two
+    // engines recorded across every fresh compile.
+    let (verify_d, tuned_report) = time_once(|| taco_verify::verify_lowered(kernel.lowered()));
+    let (mut verified_kernels, mut verify_denies, mut verify_warns) = (0usize, 0usize, 0usize);
+    for event in engine.last_events().iter().chain(fresh.last_events().iter()) {
+        if let EngineEvent::Verified { denies, warns, .. } = event {
+            verified_kernels += 1;
+            verify_denies += denies;
+            verify_warns += warns;
+        }
+    }
+
     let stats = engine.cache_stats();
     println!("  tuned schedule          {schedule}");
+    println!("  verify (tuned kernel)   {:>12}  [{tuned_report}]", fmt_duration(verify_d));
+    println!(
+        "  verified kernels        {verified_kernels:>12}  ({verify_denies} deny, \
+         {verify_warns} warn)"
+    );
     println!("  cold request (tune+run) {:>12}", fmt_duration(cold));
     println!("  warm request            {:>12}", fmt_duration(warm));
     println!("  cold compile            {:>12}", fmt_duration(cold_compile));
@@ -146,6 +171,9 @@ fn main() {
              \"run_nanos\": {},\n  \"available_parallelism\": {avail},\n  \
              \"threads\": [{threads_json}],\n  \
              \"parallel_run_nanos\": {{{scaling_json}}},\n  \
+             \"verify_mode\": \"{verify_mode}\",\n  \"verify_nanos\": {},\n  \
+             \"verified_kernels\": {verified_kernels},\n  \
+             \"verify_denies\": {verify_denies},\n  \"verify_warns\": {verify_warns},\n  \
              \"cache_hit_rate\": {:.4},\n  \"cache_hits\": {},\n  \
              \"cache_misses\": {},\n  \"cache_compiles\": {},\n  \"tunings\": {}\n}}\n",
             cold.as_nanos(),
@@ -153,6 +181,7 @@ fn main() {
             cold_compile.as_nanos(),
             warm_compile.as_nanos(),
             run_only.as_nanos(),
+            verify_d.as_nanos(),
             stats.hit_rate(),
             stats.hits,
             stats.misses,

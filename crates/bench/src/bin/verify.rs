@@ -1,0 +1,116 @@
+//! Sweeps the static verifier over every autotuner candidate of the four
+//! case-study kernels (SpGEMM, sparse add, dense MTTKRP, sparse MTTKRP).
+//!
+//! Every candidate that lowers must be accepted (zero deny-severity
+//! findings) under both the fused and the compute lowering; candidates
+//! that fail to lower are skipped, exactly as the autotuner treats them.
+//! Exits nonzero on any deny, so CI can gate on it.
+//!
+//! ```text
+//! cargo run --release -p taco-bench --bin verify
+//! ```
+
+use taco_core::{enumerate_candidates, IndexStmt};
+use taco_ir::expr::{sum, IndexExpr, IndexVar, TensorVar};
+use taco_ir::notation::IndexAssignment;
+use taco_lower::{lower, LowerOptions};
+use taco_tensor::{Format, ModeFormat};
+
+fn iv(n: &str) -> IndexVar {
+    IndexVar::new(n)
+}
+
+fn spgemm(n: usize) -> IndexStmt {
+    let a = TensorVar::new("A", vec![n, n], Format::csr());
+    let b = TensorVar::new("B", vec![n, n], Format::csr());
+    let c = TensorVar::new("C", vec![n, n], Format::csr());
+    let (i, j, k) = (iv("i"), iv("j"), iv("k"));
+    IndexStmt::new(IndexAssignment::assign(
+        a.access([i.clone(), j.clone()]),
+        sum(k.clone(), b.access([i, k.clone()]) * c.access([k, j])),
+    ))
+    .unwrap()
+}
+
+fn sparse_add(m: usize, n: usize) -> IndexStmt {
+    let a = TensorVar::new("A", vec![m, n], Format::csr());
+    let b = TensorVar::new("B", vec![m, n], Format::csr());
+    let c = TensorVar::new("C", vec![m, n], Format::csr());
+    let (i, j) = (iv("i"), iv("j"));
+    let bij: IndexExpr = b.access([i.clone(), j.clone()]).into();
+    let cij: IndexExpr = c.access([i.clone(), j.clone()]).into();
+    IndexStmt::new(IndexAssignment::assign(a.access([i, j]), bij + cij)).unwrap()
+}
+
+fn mttkrp(di: usize, dk: usize, dl: usize, r: usize, sparse: bool) -> IndexStmt {
+    let a = if sparse {
+        TensorVar::new("A", vec![di, r], Format::csr())
+    } else {
+        TensorVar::new("A", vec![di, r], Format::dense(2))
+    };
+    let b = TensorVar::new(
+        "B",
+        vec![di, dk, dl],
+        Format::new(vec![ModeFormat::Dense, ModeFormat::Compressed, ModeFormat::Compressed]),
+    );
+    let (c, d) = if sparse {
+        (TensorVar::new("C", vec![dl, r], Format::csr()), TensorVar::new("D", vec![dk, r], Format::csr()))
+    } else {
+        (TensorVar::new("C", vec![dl, r], Format::dense(2)), TensorVar::new("D", vec![dk, r], Format::dense(2)))
+    };
+    let (i, j, k, l) = (iv("i"), iv("j"), iv("k"), iv("l"));
+    IndexStmt::new(IndexAssignment::assign(
+        a.access([i.clone(), j.clone()]),
+        sum(
+            k.clone(),
+            sum(
+                l.clone(),
+                b.access([i, k.clone(), l.clone()]) * c.access([l, j.clone()]) * d.access([k, j]),
+            ),
+        ),
+    ))
+    .unwrap()
+}
+
+fn main() {
+    let cases: Vec<(&str, IndexStmt)> = vec![
+        ("spgemm", spgemm(16)),
+        ("sparse_add", sparse_add(16, 20)),
+        ("mttkrp_dense", mttkrp(12, 10, 11, 8, false)),
+        ("mttkrp_sparse", mttkrp(14, 9, 10, 12, true)),
+    ];
+    let mut total = 0usize;
+    let mut lowered = 0usize;
+    let mut warns = 0usize;
+    let mut denies = 0usize;
+    for (case, stmt) in &cases {
+        for cand in enumerate_candidates(stmt) {
+            for opts in [
+                LowerOptions::fused(format!("{case}_f")),
+                LowerOptions::compute(format!("{case}_c")),
+            ] {
+                total += 1;
+                let Ok(lk) = lower(cand.stmt.concrete(), &opts) else {
+                    continue;
+                };
+                lowered += 1;
+                let report = taco_verify::verify_lowered(&lk);
+                warns += report.warns();
+                if !report.accepted() {
+                    denies += report.denies();
+                    println!("DENY {case} [{}] ({:?}):", cand.name, opts.kind);
+                    for d in &report.diagnostics {
+                        println!("  {d}");
+                    }
+                }
+            }
+        }
+    }
+    println!(
+        "verified {lowered}/{total} lowered candidates across {} kernels: {denies} deny, {warns} warn",
+        cases.len()
+    );
+    if denies > 0 {
+        std::process::exit(1);
+    }
+}

@@ -37,11 +37,18 @@ pub struct BenchArgs {
     /// Also write the bin's machine-readable results to a `BENCH_*.json`
     /// file next to the working directory (bins that support it say which).
     pub json: bool,
+    /// Force the static verifier to [`VerifyMode::Deny`] for every compile
+    /// the bin issues, regardless of build profile (bins that support it
+    /// say so). Verification always runs and is always reported; this flag
+    /// only hardens the enforcement.
+    ///
+    /// [`VerifyMode::Deny`]: taco_core::VerifyMode::Deny
+    pub verify: bool,
 }
 
 impl Default for BenchArgs {
     fn default() -> Self {
-        BenchArgs { scale: 0.02, rank: 16, reps: 3, json: false }
+        BenchArgs { scale: 0.02, rank: 16, reps: 3, json: false, verify: false }
     }
 }
 
@@ -65,8 +72,12 @@ impl BenchArgs {
                 "--rank" => out.rank = grab() as usize,
                 "--reps" => out.reps = (grab() as usize).max(1),
                 "--json" => out.json = true,
+                "--verify" => out.verify = true,
                 other => {
-                    panic!("unknown option `{other}` (expected --scale/--rank/--reps/--json)")
+                    panic!(
+                        "unknown option `{other}` \
+                         (expected --scale/--rank/--reps/--json/--verify)"
+                    )
                 }
             }
         }

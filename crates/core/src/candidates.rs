@@ -10,12 +10,13 @@
 //! The runtime engine's autotuner times the candidates on real operands and
 //! picks the winner.
 
-use crate::fingerprint::fingerprint_stmt;
+use crate::fingerprint::{fingerprint_kernel, fingerprint_stmt};
 use crate::IndexStmt;
 use std::collections::HashSet;
 use taco_ir::concrete::ConcreteStmt;
 use taco_ir::expr::{IndexVar, TensorVar};
 use taco_ir::transform;
+use taco_lower::{lower, LowerOptions};
 use taco_tensor::Format;
 
 /// One point in the schedule search space: a named, fully transformed
@@ -35,7 +36,17 @@ pub const DIRECT_MERGE: &str = "direct-merge";
 
 /// Enumerates candidate schedules for a statement.
 ///
-/// The search space, deduplicated by structural fingerprint:
+/// The search space, deduplicated by the code each candidate *generates*:
+/// every candidate is lowered once under canonical options and keyed by the
+/// structural hash of its verified LLIR
+/// ([`fingerprint_kernel`](crate::fingerprint::fingerprint_kernel)), so two
+/// schedules that are spelled differently but lower to identical kernels —
+/// e.g. a reorder of loops that co-iterate anyway — occupy one slot.
+/// Candidates that do not lower under the canonical options are kept,
+/// deduplicated by concrete-statement fingerprint (they may still lower
+/// under the caller's options); candidates whose lowering the static
+/// verifier *denies* are dropped outright, since they could never compile
+/// under the default deny policy. The space itself:
 ///
 /// 1. the statement **as currently scheduled** (so a user schedule always
 ///    competes);
@@ -55,14 +66,29 @@ pub const DIRECT_MERGE: &str = "direct-merge";
 /// compressed result) simply drops out of the race.
 pub fn enumerate_candidates(stmt: &IndexStmt) -> Vec<ScheduleCandidate> {
     let mut out: Vec<ScheduleCandidate> = Vec::new();
-    let mut seen: HashSet<u64> = HashSet::new();
+    let mut seen: HashSet<(u8, u64)> = HashSet::new();
     fn push(
         out: &mut Vec<ScheduleCandidate>,
-        seen: &mut HashSet<u64>,
+        seen: &mut HashSet<(u8, u64)>,
         name: String,
         s: IndexStmt,
     ) {
-        if seen.insert(fingerprint_stmt(s.concrete())) {
+        // Key each candidate by the code it generates, not how its schedule
+        // is spelled: lower once under canonical options and hash the LLIR.
+        // Unlowerable candidates fall back to the concrete fingerprint (the
+        // caller's options may still lower them); candidates whose lowering
+        // the verifier denies can never compile under the default policy
+        // and are dropped from the race.
+        let key = match lower(s.concrete(), &LowerOptions::fused("candidate")) {
+            Ok(lk) => {
+                if !taco_verify::verify_lowered(&lk).accepted() {
+                    return;
+                }
+                (0u8, fingerprint_kernel(&lk.kernel))
+            }
+            Err(_) => (1u8, fingerprint_stmt(s.concrete())),
+        };
+        if seen.insert(key) {
             out.push(ScheduleCandidate { name, stmt: s });
         }
     }

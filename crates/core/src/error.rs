@@ -46,6 +46,11 @@ pub enum CoreError {
     /// tried also aborted. The payload describes the *last* abort; the
     /// output tensors were never mutated.
     Aborted(taco_llir::Aborted),
+    /// The static verifier found a proven violation in the lowered kernel
+    /// and the compile ran under
+    /// [`VerifyMode::Deny`](taco_verify::VerifyMode::Deny). The payload
+    /// carries every finding with statement provenance.
+    Verify(taco_verify::VerifyReport),
 }
 
 impl fmt::Display for CoreError {
@@ -73,6 +78,13 @@ impl fmt::Display for CoreError {
                 Ok(())
             }
             CoreError::Aborted(a) => write!(f, "supervised execution {a}"),
+            CoreError::Verify(report) => {
+                write!(f, "kernel failed static verification ({report})")?;
+                if let Some(d) = report.first_deny() {
+                    write!(f, ": {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }

@@ -100,6 +100,34 @@ pub fn fingerprint_stmt(stmt: &ConcreteStmt) -> u64 {
     h.finish()
 }
 
+/// Fingerprints a lowered kernel structurally: parameter signature plus the
+/// printed form of every body statement, with the human-readable function
+/// name excluded (two lowerings that differ only in what they were called
+/// generate the same code and must collide). The candidate enumerator uses
+/// this to recognize schedules that are distinct at the concrete level but
+/// lower to identical code — e.g. reorders of loops the kernel iterates
+/// co-iterated anyway.
+pub fn fingerprint_kernel(kernel: &taco_llir::Kernel) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(kernel.scalar_params.len() as u64);
+    for p in &kernel.scalar_params {
+        h.write_str(p);
+    }
+    h.write_u64(kernel.array_params.len() as u64);
+    for p in &kernel.array_params {
+        h.write_str(&p.name);
+        h.write_str(&format!("{:?}/{:?}", p.ty, p.kind));
+    }
+    h.write_u64(kernel.scalar_outputs.len() as u64);
+    for s in &kernel.scalar_outputs {
+        h.write_str(s);
+    }
+    for s in &kernel.body {
+        h.write_str(&taco_llir::stmt_to_c(s));
+    }
+    h.finish()
+}
+
 fn hash_stmt(h: &mut Fnv64, stmt: &ConcreteStmt) {
     match stmt {
         ConcreteStmt::Assign { lhs, op, rhs } => {

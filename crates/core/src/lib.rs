@@ -57,7 +57,10 @@ mod schedule;
 pub use candidates::{enumerate_candidates, ScheduleCandidate};
 pub use error::CoreError;
 pub use fingerprint::fingerprint;
-pub use schedule::{CompiledKernel, DegradeRung, FallbackEvent, IndexStmt, SupervisedOutcome};
+pub use schedule::{
+    default_verify_mode, CompiledKernel, DegradeRung, FallbackEvent, IndexStmt, SupervisedOutcome,
+};
+pub use taco_verify::{Diagnostic, Severity, VerifyError, VerifyMode, VerifyReport};
 pub use taco_llir::{
     Aborted, AbortReason, BudgetResource, CancelToken, ExecReport, HeartbeatSample, Progress,
     ResourceBudget, Supervisor,

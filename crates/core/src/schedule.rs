@@ -14,6 +14,42 @@ use taco_llir::{
 };
 use taco_lower::{lower, KernelKind, LowerOptions, LoweredKernel};
 use taco_tensor::Tensor;
+use taco_verify::{VerifyMode, VerifyReport};
+
+/// The default enforcement mode for the static verifier on the compile
+/// path: debug builds fail compilation on any proven violation
+/// ([`VerifyMode::Deny`]), release builds record the report without
+/// failing ([`VerifyMode::Warn`]). Pass an explicit mode to
+/// [`IndexStmt::compile_checked`] to override.
+#[must_use]
+pub fn default_verify_mode() -> VerifyMode {
+    if cfg!(debug_assertions) {
+        VerifyMode::Deny
+    } else {
+        VerifyMode::Warn
+    }
+}
+
+/// Runs the static verifier over a lowered kernel under the given mode,
+/// stamping the concrete statement it was lowered from into every
+/// diagnostic. `Deny` turns a rejected report into [`CoreError::Verify`].
+fn check_lowered(
+    lowered: &LoweredKernel,
+    origin: &ConcreteStmt,
+    mode: VerifyMode,
+) -> Result<Option<VerifyReport>> {
+    match mode {
+        VerifyMode::Off => Ok(None),
+        VerifyMode::Warn | VerifyMode::Deny => {
+            let report =
+                taco_verify::verify_lowered(lowered).with_origin(&origin.to_string());
+            if mode == VerifyMode::Deny && !report.accepted() {
+                return Err(crate::CoreError::Verify(report));
+            }
+            Ok(Some(report))
+        }
+    }
+}
 
 /// An index notation statement under scheduling — the `IndexStmt` of the
 /// paper's C++ API (Figure 2), with `reorder` and `precompute` methods.
@@ -139,6 +175,32 @@ impl IndexStmt {
         opts: LowerOptions,
         budget: ResourceBudget,
     ) -> Result<CompiledKernel> {
+        self.compile_checked(opts, budget, default_verify_mode())
+    }
+
+    /// Lowers, statically verifies, and compiles the statement.
+    ///
+    /// This is [`IndexStmt::compile_with_budget`] with an explicit
+    /// [`VerifyMode`]: the lowered kernel is run through the
+    /// `taco-verify` abstract interpreter (definite initialization,
+    /// symbolic bounds, parallel write-set disjointness) before it is
+    /// compiled. Under [`VerifyMode::Warn`] the report is recorded on the
+    /// kernel ([`CompiledKernel::verify_report`]); under
+    /// [`VerifyMode::Deny`] a report with any deny-severity finding fails
+    /// the compile; [`VerifyMode::Off`] skips the pass. The verdict never
+    /// changes the generated code, so it does not participate in the
+    /// kernel [fingerprint](CompiledKernel::fingerprint).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`IndexStmt::compile_with_budget`] returns, plus
+    /// [`CoreError::Verify`](crate::CoreError::Verify) under `Deny`.
+    pub fn compile_checked(
+        &self,
+        opts: LowerOptions,
+        budget: ResourceBudget,
+        verify: VerifyMode,
+    ) -> Result<CompiledKernel> {
         let mut fallbacks = Vec::new();
         let mut concrete = &self.concrete;
         let fallback_concrete;
@@ -181,9 +243,10 @@ impl IndexStmt {
                 _ => return Err(e.into()),
             },
         };
+        let verify = check_lowered(&lowered, concrete, verify)?;
         let exe = Executable::compile(&lowered.kernel)?;
         let fingerprint = crate::fingerprint::fingerprint(&self.concrete, &opts, &budget);
-        Ok(CompiledKernel { lowered, exe, budget, fallbacks, fingerprint })
+        Ok(CompiledKernel { lowered, exe, budget, fallbacks, fingerprint, verify })
     }
 
     /// Runs the statement under a [`Supervisor`], descending the degradation
@@ -297,6 +360,7 @@ impl IndexStmt {
                     return Ok(None);
                 }
                 let lowered = lower(&direct, opts)?;
+                let verify = check_lowered(&lowered, &direct, default_verify_mode())?;
                 let exe = Executable::compile(&lowered.kernel)?;
                 let fingerprint = crate::fingerprint::fingerprint(&direct, opts, &budget);
                 Ok(Some(CompiledKernel {
@@ -305,6 +369,7 @@ impl IndexStmt {
                     budget,
                     fallbacks: Vec::new(),
                     fingerprint,
+                    verify,
                 }))
             }
         }
@@ -431,6 +496,7 @@ pub struct CompiledKernel {
     budget: ResourceBudget,
     fallbacks: Vec<FallbackEvent>,
     fingerprint: u64,
+    verify: Option<VerifyReport>,
 }
 
 impl CompiledKernel {
@@ -464,6 +530,14 @@ impl CompiledKernel {
     /// scheduled.
     pub fn fallback_events(&self) -> &[FallbackEvent] {
         &self.fallbacks
+    }
+
+    /// The static-verification report recorded when this kernel was
+    /// compiled, or `None` when it was compiled under [`VerifyMode::Off`].
+    /// A kernel compiled under [`VerifyMode::Deny`] always carries an
+    /// accepted report — rejected kernels never compile.
+    pub fn verify_report(&self) -> Option<&VerifyReport> {
+        self.verify.as_ref()
     }
 
     /// Runs the kernel on named operand tensors and returns the result.

@@ -38,6 +38,20 @@ impl Kernel {
     }
 }
 
+/// Renders a single statement as one line of C (nested bodies elided as
+/// `{ ... }`), for diagnostics that point at a statement.
+pub fn stmt_to_c(s: &Stmt) -> String {
+    let mut out = String::new();
+    print_stmt(&mut out, s, 0);
+    let first = out.lines().next().unwrap_or("").trim().to_string();
+    match s {
+        Stmt::For { .. } | Stmt::ParallelFor { .. } | Stmt::While { .. } | Stmt::If { .. } => {
+            format!("{} ... }}", first)
+        }
+        _ => first,
+    }
+}
+
 fn c_ty(ty: ArrayTy) -> &'static str {
     match ty {
         ArrayTy::Int => "int32_t",

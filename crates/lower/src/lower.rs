@@ -448,7 +448,12 @@ impl<'o> Lowerer<'o> {
 
                 let needs_list = self.opts.kind != KernelKind::Compute
                     && ws_var.rank() == 1
-                    && self.result_sparse_level.is_some()
+                    && self.result_sparse_level.is_some_and(|l| {
+                        self.result_access
+                            .vars()
+                            .get(l)
+                            .is_some_and(|rv| consumer_wlist_driven(consumer, rv))
+                    })
                     && consumer_feeds_result(consumer, &ws_name, self.result.name());
                 let drainable = self.consumer_drains(consumer, &ws_name);
 
@@ -716,6 +721,23 @@ impl<'o> Lowerer<'o> {
         } else {
             None
         };
+
+        // A body that writes a sparse result through the append counter but
+        // has no merge description would carry the counter across
+        // iterations: every worker starts from the parent's counter value
+        // and their prefixes overlap. Compute kernels that drain a
+        // workspace by result structure never hit this (they re-derive the
+        // position from `pos` per row and `append_used` stays false).
+        if self.append_used && append.is_none() && writes_tensor(body, self.result.name()) {
+            return Err(LowerError::UnsupportedParallelLoop {
+                var: var.name().to_string(),
+                reason: format!(
+                    "the loop advances append counter `{}` across iterations with no merge \
+                     strategy (loop-carried position counter must stay serial)",
+                    self.counter_name()
+                ),
+            });
+        }
 
         match <[Stmt; 1]>::try_from(out) {
             Ok([Stmt::For { var: lv, lo, hi, body }]) if lv == var.name() => {
@@ -1271,6 +1293,30 @@ fn direct_written(stmt: &ConcreteStmt) -> Vec<String> {
 
 /// True if the where-consumer assigns the workspace's values into the
 /// result.
+/// True when the consumer's loop over the result's sparse-level variable
+/// has no sparse operand driving it, so assembly must iterate the
+/// workspace's coordinate list (Figure 8 lines 22–36). When another
+/// tensor's sparsity drives that loop, result coordinates come from the
+/// driver's `crd` array instead and the list/guard machinery would be
+/// emitted but never consumed — and its guard never reset.
+fn consumer_wlist_driven(consumer: &ConcreteStmt, rv: &IndexVar) -> bool {
+    let mut driven = false;
+    consumer.visit(&mut |s| {
+        if let ConcreteStmt::Forall { var, body, .. } = s {
+            if var == rv {
+                let lattice = match combined_rhs(body, var) {
+                    Some(e) => MergeLattice::build(&e, var),
+                    None => MergeLattice { points: Vec::new() },
+                };
+                if lattice.points.is_empty() || lattice.is_dense() {
+                    driven = true;
+                }
+            }
+        }
+    });
+    driven
+}
+
 fn consumer_feeds_result(consumer: &ConcreteStmt, ws: &str, result: &str) -> bool {
     let mut feeds = false;
     consumer.visit(&mut |s| {

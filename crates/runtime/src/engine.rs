@@ -10,6 +10,7 @@ use std::time::{Duration, Instant};
 use taco_core::candidates::enumerate_candidates;
 use taco_core::{
     CompiledKernel, FallbackEvent, IndexStmt, ResourceBudget, Supervisor, SupervisedOutcome,
+    VerifyMode,
 };
 use taco_lower::LowerOptions;
 use taco_tensor::Tensor;
@@ -37,6 +38,14 @@ pub struct EngineConfig {
     /// Ring-buffer capacity of [`Engine::last_events`]; oldest events are
     /// dropped beyond it. Default 256.
     pub max_events: usize,
+    /// Enforcement mode for the static verifier on every compile issued
+    /// through the engine. The verdict is recorded on the compiled kernel
+    /// (and therefore cached alongside its fingerprint) and surfaced as an
+    /// [`EngineEvent::Verified`]; under [`VerifyMode::Deny`] a kernel with
+    /// a proven violation fails to compile. Default
+    /// [`taco_core::default_verify_mode`]: deny in debug builds, warn in
+    /// release.
+    pub verify: VerifyMode,
 }
 
 impl Default for EngineConfig {
@@ -48,7 +57,59 @@ impl Default for EngineConfig {
             budget: ResourceBudget::unlimited(),
             tuning_deadline: Duration::from_millis(250),
             max_events: 256,
+            verify: taco_core::default_verify_mode(),
         }
+    }
+}
+
+/// Fluent construction for [`Engine`]: `Engine::builder()` starts from
+/// [`EngineConfig::default`], each method overrides one knob, and
+/// [`EngineBuilder::build`] produces the engine.
+///
+/// ```
+/// use taco_runtime::{Engine, VerifyMode};
+///
+/// let engine = Engine::builder().verify(VerifyMode::Deny).build();
+/// assert_eq!(engine.config().verify, VerifyMode::Deny);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EngineBuilder {
+    config: EngineConfig,
+}
+
+impl EngineBuilder {
+    /// Sets the static-verification enforcement mode for every compile.
+    #[must_use]
+    pub fn verify(mut self, mode: VerifyMode) -> EngineBuilder {
+        self.config.verify = mode;
+        self
+    }
+
+    /// Sets the resource budget applied to every compile and run.
+    #[must_use]
+    pub fn budget(mut self, budget: ResourceBudget) -> EngineBuilder {
+        self.config.budget = budget;
+        self
+    }
+
+    /// Sets the kernel-cache byte budget.
+    #[must_use]
+    pub fn cache_max_bytes(mut self, bytes: u64) -> EngineBuilder {
+        self.config.cache_max_bytes = bytes;
+        self
+    }
+
+    /// Sets the wall-clock budget for one autotune search.
+    #[must_use]
+    pub fn tuning_deadline(mut self, deadline: Duration) -> EngineBuilder {
+        self.config.tuning_deadline = deadline;
+        self
+    }
+
+    /// Builds the engine.
+    #[must_use]
+    pub fn build(self) -> Engine {
+        Engine::with_config(self.config)
     }
 }
 
@@ -85,6 +146,19 @@ pub enum EngineEvent {
         /// The remembered schedule.
         schedule: String,
     },
+    /// A freshly compiled kernel was run through the static verifier.
+    /// Recorded once per actual compile — cache hits reuse the verdict
+    /// stored on the kernel
+    /// ([`CompiledKernel::verify_report`]) without repeating the event.
+    Verified {
+        /// The kernel's canonical fingerprint (the cache key).
+        fingerprint: u64,
+        /// Deny-severity findings. Nonzero only under [`VerifyMode::Warn`]
+        /// (under deny the compile fails instead).
+        denies: usize,
+        /// Warn-severity findings (undischarged obligations).
+        warns: usize,
+    },
 }
 
 impl std::fmt::Display for EngineEvent {
@@ -105,6 +179,9 @@ impl std::fmt::Display for EngineEvent {
             }
             EngineEvent::AutotuneReused { key, schedule } => {
                 write!(f, "autotune reused [{key}]: `{schedule}`")
+            }
+            EngineEvent::Verified { fingerprint, denies, warns } => {
+                write!(f, "verified kernel {fingerprint:016x}: {denies} deny, {warns} warn")
             }
         }
     }
@@ -145,6 +222,11 @@ impl Engine {
         Engine::with_config(EngineConfig::default())
     }
 
+    /// Fluent construction: `Engine::builder().verify(VerifyMode::Deny).build()`.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
     /// An engine with explicit configuration.
     pub fn with_config(config: EngineConfig) -> Engine {
         let cache =
@@ -176,11 +258,18 @@ impl Engine {
         let mut compiled_now = false;
         let kernel = self.cache.get_or_compile(key, || {
             compiled_now = true;
-            stmt.compile_with_budget(opts, budget)
+            stmt.compile_checked(opts, budget, self.config.verify)
         })?;
         if compiled_now {
             for e in kernel.fallback_events() {
                 self.push_event(EngineEvent::Fallback(e.clone()));
+            }
+            if let Some(report) = kernel.verify_report() {
+                self.push_event(EngineEvent::Verified {
+                    fingerprint: kernel.fingerprint(),
+                    denies: report.denies(),
+                    warns: report.warns(),
+                });
             }
         }
         Ok(kernel)

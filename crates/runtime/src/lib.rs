@@ -57,7 +57,8 @@ pub mod engine;
 pub mod tuner;
 
 pub use cache::{entry_weight, CacheStats, KernelCache};
-pub use engine::{Engine, EngineConfig, EngineEvent, TunedOutcome};
+pub use engine::{Engine, EngineBuilder, EngineConfig, EngineEvent, TunedOutcome};
+pub use taco_core::{VerifyMode, VerifyReport};
 pub use tuner::{Autotuner, TuneDecision, TuneKey};
 
 use taco_core::CoreError;

@@ -14,6 +14,7 @@
 //! | [`lower`] | §VI | merge lattices and lowering to imperative IR; compute / assemble / fused kernels |
 //! | [`llir`] | §VI, Fig. 6 | the C-like imperative IR, pretty printer and slot-resolved executor |
 //! | [`core`] | §III, §VI | the `IndexStmt` scheduling API, compilation pipeline, execution, dense oracle |
+//! | [`verify`] | §VI | static verifier over the imperative IR: definite initialization, symbolic bounds, parallel write-set races (DESIGN.md §12) |
 //! | [`kernels`] | §VII–VIII | hand-written baselines (Eigen/MKL/SPLATT stand-ins) and generated-equivalent kernels |
 //! | [`runtime`] | §V-C, §VII | the serving layer: concurrent compiled-kernel cache (fingerprint-keyed, single-flight) and the measurement-driven schedule autotuner |
 //!
@@ -54,13 +55,14 @@ pub use taco_llir as llir;
 pub use taco_lower as lower;
 pub use taco_runtime as runtime;
 pub use taco_tensor as tensor;
+pub use taco_verify as verify;
 
 /// Commonly used items, for `use taco_workspaces::prelude::*`.
 pub mod prelude {
     pub use taco_core::{
         Aborted, AbortReason, BudgetResource, CancelToken, CompiledKernel, CoreError, DegradeRung,
         ExecReport, FallbackEvent, IndexStmt, Progress, ResourceBudget, SupervisedOutcome,
-        Supervisor,
+        Supervisor, VerifyMode, VerifyReport,
     };
     pub use taco_ir::concrete::{AssignOp, ConcreteStmt};
     pub use taco_ir::expr::{sum, IndexExpr, IndexVar, TensorVar};

@@ -489,6 +489,64 @@ fn supervised_runs_over_corrupted_operands_stay_graceful() {
 }
 
 #[test]
+fn static_mirror_agrees_with_bind_time_rejection() {
+    // The verifier ships slice-level mirrors of the bind-time structural
+    // checks (`check_pos_slice`/`check_crd_slice`). Every corruption the
+    // mirror flags must also be flagged at bind time, and every *structural*
+    // corruption must be flagged by both layers — the mirror deliberately
+    // does not model crd sortedness/uniqueness (ShuffleCrd, DuplicateCrd)
+    // or value corruption (NanValue, InfValue), which stay bind-only.
+    use taco_workspaces::tensor::corrupt::Corruption;
+    use taco_workspaces::verify::{check_crd_slice, check_pos_slice};
+
+    let n = 8;
+    let stmt = scheduled_spgemm(n);
+    let (b, c) = sample_inputs(n);
+    let kernel = stmt.compile(LowerOptions::fused("spgemm")).unwrap();
+    kernel.run(&[("B", &b), ("C", &c)]).unwrap();
+
+    // The mirror applied to CSR level 1 exactly as bind-time validation
+    // applies it: pos spans the row dimension and indexes crd; coordinates
+    // live in the column dimension with one stored value each.
+    let mirror_rejects = |t: &Tensor| -> bool {
+        let (Ok(pos), Ok(crd)) = (t.pos(1), t.crd(1)) else {
+            return true; // storage no longer matches the format at all
+        };
+        check_pos_slice(pos, t.shape()[0], crd.len()).is_err()
+            || check_crd_slice(crd, t.shape()[1], t.vals().len()).is_err()
+    };
+    assert!(!mirror_rejects(&b), "the valid operand must pass the mirror");
+
+    let mut structural = 0usize;
+    for (why, bad) in corrupt::all_corruptions(&b) {
+        // Bind-time rejection holds for every mutant (the earlier test also
+        // asserts this, with panic containment); in particular any mirror
+        // rejection is matched at bind time — the agreement direction.
+        let bind_rejects = kernel.run(&[("B", &bad), ("C", &c)]).is_err();
+        let mirror = mirror_rejects(&bad);
+        assert!(bind_rejects, "{why:?}: bind-time validation must reject");
+        match why {
+            Corruption::TruncatePos(_)
+            | Corruption::NonMonotonePos(_)
+            | Corruption::OverflowPos(_)
+            | Corruption::OutOfBoundsCrd(_)
+            | Corruption::TruncateVals
+            | Corruption::ShrinkDim(_) => {
+                assert!(mirror, "{why:?}: structural corruption must fail the static mirror");
+                structural += 1;
+            }
+            Corruption::ShuffleCrd(_) | Corruption::DuplicateCrd(_) => {
+                // Sortedness/uniqueness of crd is bind-only by design.
+            }
+            Corruption::NanValue | Corruption::InfValue => {
+                assert!(!mirror, "{why:?}: value corruption is structurally valid");
+            }
+        }
+    }
+    assert!(structural >= 6, "expected the full structural corruption set, got {structural}");
+}
+
+#[test]
 fn corrupted_raw_csr_and_csf_are_rejected_by_validate() {
     let m = gen::random_csr(6, 6, 0.5, 11);
     assert!(m.validate().is_ok());

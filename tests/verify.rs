@@ -1,0 +1,450 @@
+//! Static-verifier suite: hand-built broken LLIR must be rejected with the
+//! exact typed diagnostic, every verifier-accepted autotuner candidate must
+//! execute byte-identically to the direct-merge oracle, and the LLIR-level
+//! parallel race check must re-derive every `ReductionNotPrivatized`
+//! verdict of the concrete-notation legality check.
+
+use proptest::prelude::*;
+use taco_workspaces::core::candidates::DIRECT_MERGE;
+use taco_workspaces::core::{enumerate_candidates, IndexStmt};
+use taco_workspaces::ir::concrete::ConcreteStmt;
+use taco_workspaces::ir::transform;
+use taco_workspaces::ir::IrError;
+use taco_workspaces::llir::{ArrayTy, Expr, Kernel, Param, Stmt};
+use taco_workspaces::lower::lower;
+use taco_workspaces::prelude::*;
+use taco_workspaces::verify::{verify_kernel, VerifyError};
+
+fn iv(n: &str) -> IndexVar {
+    IndexVar::new(n)
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial fixtures: each broken kernel is rejected with the exact
+// variant, carrying statement provenance.
+// ---------------------------------------------------------------------------
+
+fn has_deny(report: &taco_workspaces::verify::VerifyReport, pred: impl Fn(&VerifyError) -> bool) -> bool {
+    report.diagnostics.iter().any(|d| {
+        d.severity == taco_workspaces::verify::Severity::Deny && pred(&d.error)
+    })
+}
+
+#[test]
+fn uninitialized_workspace_read_is_denied() {
+    // out[i] = w[i] with w an output array nothing ever initializes.
+    let mut k = Kernel::new("bad_uninit");
+    k.scalar_params.push("n".to_string());
+    k.array_params.push(Param::output("out", ArrayTy::F64));
+    k.array_params.push(Param::output("w", ArrayTy::F64));
+    k.body.push(Stmt::For {
+        var: "i".to_string(),
+        lo: Expr::int(0),
+        hi: Expr::var("n"),
+        body: vec![Stmt::Store {
+            arr: "out".to_string(),
+            idx: Expr::var("i"),
+            val: Expr::load("w", Expr::var("i")),
+        }],
+    });
+    let report = verify_kernel(&k);
+    assert!(!report.accepted(), "uninitialized read must be denied: {report}");
+    assert!(
+        has_deny(&report, |e| matches!(e, VerifyError::UninitializedRead { array } if array == "w")),
+        "expected UninitializedRead for `w`, got: {report:?}"
+    );
+    // Provenance: the diagnostic names a statement and a path into the body.
+    let d = report.first_deny().unwrap();
+    assert!(!d.stmt.is_empty(), "diagnostic carries the statement printout");
+    assert!(!d.path.is_empty(), "diagnostic carries a path into the kernel body");
+}
+
+#[test]
+fn missing_workspace_reset_between_iterations_is_denied() {
+    // A phase loop accumulates into a workspace that is allocated clean
+    // once, reads it back, and never restores it — iteration 2 observes
+    // iteration 1's values.
+    let mut k = Kernel::new("bad_reset");
+    k.scalar_params.push("n".to_string());
+    k.array_params.push(Param::input("B_vals", ArrayTy::F64));
+    k.array_params.push(Param::output("out", ArrayTy::F64));
+    k.body.push(Stmt::Alloc { arr: "w".to_string(), ty: ArrayTy::F64, len: Expr::var("n") });
+    k.body.push(Stmt::Memset { arr: "out".to_string(), val: Expr::float(0.0) });
+    k.body.push(Stmt::For {
+        var: "i".to_string(),
+        lo: Expr::int(0),
+        hi: Expr::var("n"),
+        body: vec![
+            Stmt::For {
+                var: "j".to_string(),
+                lo: Expr::int(0),
+                hi: Expr::var("n"),
+                body: vec![Stmt::StoreAdd {
+                    arr: "w".to_string(),
+                    idx: Expr::var("j"),
+                    val: Expr::load("B_vals", Expr::var("j")),
+                }],
+            },
+            Stmt::For {
+                var: "j".to_string(),
+                lo: Expr::int(0),
+                hi: Expr::var("n"),
+                body: vec![Stmt::StoreAdd {
+                    arr: "out".to_string(),
+                    idx: Expr::var("j"),
+                    val: Expr::load("w", Expr::var("j")),
+                }],
+                // note: no `w[j] = 0` drain — that is the bug.
+            },
+        ],
+    });
+    let report = verify_kernel(&k);
+    assert!(
+        has_deny(&report, |e| matches!(e, VerifyError::MissingReset { array } if array == "w")),
+        "expected MissingReset for `w`, got: {report:?}"
+    );
+}
+
+#[test]
+fn missing_reset_fixture_passes_once_drained() {
+    // The same kernel with the full-range drain restored is accepted —
+    // the deny above is about the missing drain, nothing else.
+    let mut k = Kernel::new("good_reset");
+    k.scalar_params.push("n".to_string());
+    k.array_params.push(Param::input("B_vals", ArrayTy::F64));
+    k.array_params.push(Param::output("out", ArrayTy::F64));
+    k.body.push(Stmt::Alloc { arr: "w".to_string(), ty: ArrayTy::F64, len: Expr::var("n") });
+    k.body.push(Stmt::Memset { arr: "out".to_string(), val: Expr::float(0.0) });
+    k.body.push(Stmt::For {
+        var: "i".to_string(),
+        lo: Expr::int(0),
+        hi: Expr::var("n"),
+        body: vec![
+            Stmt::For {
+                var: "j".to_string(),
+                lo: Expr::int(0),
+                hi: Expr::var("n"),
+                body: vec![Stmt::StoreAdd {
+                    arr: "w".to_string(),
+                    idx: Expr::var("j"),
+                    val: Expr::load("B_vals", Expr::var("j")),
+                }],
+            },
+            Stmt::For {
+                var: "j".to_string(),
+                lo: Expr::int(0),
+                hi: Expr::var("n"),
+                body: vec![
+                    Stmt::StoreAdd {
+                        arr: "out".to_string(),
+                        idx: Expr::var("j"),
+                        val: Expr::load("w", Expr::var("j")),
+                    },
+                    Stmt::Store {
+                        arr: "w".to_string(),
+                        idx: Expr::var("j"),
+                        val: Expr::float(0.0),
+                    },
+                ],
+            },
+        ],
+    });
+    let report = verify_kernel(&k);
+    assert!(report.accepted(), "drained kernel must be accepted: {report:?}");
+}
+
+#[test]
+fn out_of_bounds_append_is_denied() {
+    // out_crd[len(out_crd)] = j: appends one element past the allocation
+    // with no realloc guard — provably out of bounds on every execution.
+    let mut k = Kernel::new("bad_oob");
+    k.scalar_params.push("n".to_string());
+    k.array_params.push(Param::output("out_crd", ArrayTy::Int));
+    k.body.push(Stmt::For {
+        var: "j".to_string(),
+        lo: Expr::int(0),
+        hi: Expr::var("n"),
+        body: vec![Stmt::Store {
+            arr: "out_crd".to_string(),
+            idx: Expr::len("out_crd"),
+            val: Expr::var("j"),
+        }],
+    });
+    let report = verify_kernel(&k);
+    assert!(
+        has_deny(
+            &report,
+            |e| matches!(e, VerifyError::OutOfBounds { array, .. } if array == "out_crd")
+        ),
+        "expected OutOfBounds for `out_crd`, got: {report:?}"
+    );
+}
+
+#[test]
+fn racy_parallel_accumulate_is_denied() {
+    // A ParallelFor whose body accumulates into a location independent of
+    // the parallel variable: the classic unprivatized reduction, at the
+    // LLIR level.
+    let mut k = Kernel::new("bad_race");
+    k.scalar_params.push("n".to_string());
+    k.array_params.push(Param::input("B_vals", ArrayTy::F64));
+    k.array_params.push(Param::output("out", ArrayTy::F64));
+    k.body.push(Stmt::Memset { arr: "out".to_string(), val: Expr::float(0.0) });
+    k.body.push(Stmt::ParallelFor {
+        var: "i".to_string(),
+        lo: Expr::int(0),
+        hi: Expr::var("n"),
+        threads: 0,
+        private: Vec::new(),
+        append: None,
+        body: vec![Stmt::StoreAdd {
+            arr: "out".to_string(),
+            idx: Expr::int(0),
+            val: Expr::load("B_vals", Expr::var("i")),
+        }],
+    });
+    let report = verify_kernel(&k);
+    assert!(
+        has_deny(&report, |e| matches!(e, VerifyError::DataRace { name, .. } if name == "out")),
+        "expected DataRace for `out`, got: {report:?}"
+    );
+    // Privatizing the array clears the race (and only the race).
+    let Stmt::ParallelFor { private, .. } = &mut k.body[1] else { unreachable!() };
+    private.push("out".to_string());
+    let report = verify_kernel(&k);
+    assert!(
+        !has_deny(&report, |e| matches!(e, VerifyError::DataRace { .. })),
+        "privatized array must not race: {report:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Every verifier-accepted autotuner candidate executes byte-identically to
+// the direct-merge oracle. Integer-valued operands keep f64 arithmetic
+// exact, so reassociation by workspaces/reorders cannot change a single
+// bit of the result.
+// ---------------------------------------------------------------------------
+
+fn sparse_add_stmt(m: usize, n: usize) -> IndexStmt {
+    let a = TensorVar::new("A", vec![m, n], Format::csr());
+    let b = TensorVar::new("B", vec![m, n], Format::csr());
+    let c = TensorVar::new("C", vec![m, n], Format::csr());
+    let (i, j) = (iv("i"), iv("j"));
+    let bij: IndexExpr = b.access([i.clone(), j.clone()]).into();
+    let cij: IndexExpr = c.access([i.clone(), j.clone()]).into();
+    IndexStmt::new(IndexAssignment::assign(a.access([i, j]), bij + cij)).unwrap()
+}
+
+/// A CSR tensor with small-integer values at pseudo-random positions.
+fn int_csr(m: usize, n: usize, seed: u64) -> Tensor {
+    let mut entries = Vec::new();
+    let mut s = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut next = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s >> 33
+    };
+    for r in 0..m {
+        for c in 0..n {
+            if next() % 10 < 3 {
+                entries.push((vec![r, c], (next() % 7 + 1) as f64));
+            }
+        }
+    }
+    Tensor::from_entries(vec![m, n], Format::csr(), entries).unwrap()
+}
+
+fn assert_byte_identical(oracle: &Tensor, got: &Tensor, what: &str) {
+    assert_eq!(oracle, got, "{what}: structure differs");
+    let ob: Vec<u64> = oracle.vals().iter().map(|v| v.to_bits()).collect();
+    let gb: Vec<u64> = got.vals().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(ob, gb, "{what}: values differ bitwise");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn accepted_candidates_match_direct_merge_oracle(
+        m in 2usize..12,
+        n in 2usize..12,
+        seed in 0u64..500,
+    ) {
+        let stmt = sparse_add_stmt(m, n);
+        let bt = int_csr(m, n, seed);
+        let ct = int_csr(m, n, seed.wrapping_add(1));
+        let inputs: Vec<(&str, &Tensor)> = vec![("B", &bt), ("C", &ct)];
+
+        let candidates = enumerate_candidates(&stmt);
+        let direct = candidates
+            .iter()
+            .find(|c| c.name == DIRECT_MERGE)
+            .expect("direct merge is always in the space");
+        let oracle = direct
+            .stmt
+            .compile(LowerOptions::fused("oracle"))
+            .expect("direct merge lowers")
+            .run(&inputs)
+            .expect("direct merge runs");
+
+        let mut executed = 0usize;
+        for cand in &candidates {
+            // compile() verifies under the default mode (deny in debug
+            // builds), so every kernel that comes back is
+            // verifier-accepted; candidates that fail to lower are skipped
+            // exactly as the autotuner skips them.
+            let Ok(kernel) = cand.stmt.compile(LowerOptions::fused("cand")) else {
+                continue;
+            };
+            let report = kernel.verify_report().expect("default mode records a report");
+            prop_assert!(report.accepted(), "{}: {report}", cand.name);
+            let got = kernel.run(&inputs).expect("accepted candidate runs");
+            assert_byte_identical(&oracle, &got, &cand.name);
+            executed += 1;
+        }
+        prop_assert!(executed >= 2, "at least the oracle and one alternative executed");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential: the LLIR-level parallel race check re-derives every
+// `ReductionNotPrivatized` verdict of `transform::parallelize`. For every
+// candidate × forall variable the concrete check rejects, force the loop
+// parallel anyway, lower it, and the verifier must deny with a DataRace.
+// ---------------------------------------------------------------------------
+
+/// Marks the forall over `var` parallel without any legality check.
+fn force_parallel(stmt: &ConcreteStmt, var: &IndexVar) -> ConcreteStmt {
+    match stmt {
+        ConcreteStmt::Forall { var: v, body, parallel } => {
+            if v == var {
+                ConcreteStmt::forall_parallel(v.clone(), (**body).clone())
+            } else {
+                ConcreteStmt::Forall {
+                    var: v.clone(),
+                    body: Box::new(force_parallel(body, var)),
+                    parallel: *parallel,
+                }
+            }
+        }
+        ConcreteStmt::Where { consumer, producer } => ConcreteStmt::where_(
+            force_parallel(consumer, var),
+            force_parallel(producer, var),
+        ),
+        ConcreteStmt::Sequence { first, second } => ConcreteStmt::sequence(
+            force_parallel(first, var),
+            force_parallel(second, var),
+        ),
+        other => other.clone(),
+    }
+}
+
+fn forall_vars(stmt: &ConcreteStmt) -> Vec<IndexVar> {
+    let mut out = Vec::new();
+    fn go(s: &ConcreteStmt, out: &mut Vec<IndexVar>) {
+        match s {
+            ConcreteStmt::Forall { var, body, .. } => {
+                out.push(var.clone());
+                go(body, out);
+            }
+            ConcreteStmt::Where { consumer, producer } => {
+                go(consumer, out);
+                go(producer, out);
+            }
+            ConcreteStmt::Sequence { first, second } => {
+                go(first, out);
+                go(second, out);
+            }
+            _ => {}
+        }
+    }
+    go(stmt, &mut out);
+    out.sort_by_key(std::string::ToString::to_string);
+    out.dedup();
+    out
+}
+
+fn dense_matvec() -> IndexStmt {
+    let n = 12;
+    let y = TensorVar::new("y", vec![n], Format::dvec());
+    let b = TensorVar::new("B", vec![n, n], Format::dense(2));
+    let x = TensorVar::new("x", vec![n], Format::dvec());
+    let (i, j) = (iv("i"), iv("j"));
+    IndexStmt::new(IndexAssignment::assign(
+        y.access([i.clone()]),
+        sum(j.clone(), b.access([i, j.clone()]) * x.access([j])),
+    ))
+    .unwrap()
+}
+
+fn dense_mttkrp() -> IndexStmt {
+    let (di, dk, dl, r) = (8, 7, 6, 5);
+    let a = TensorVar::new("A", vec![di, r], Format::dense(2));
+    let b = TensorVar::new(
+        "B",
+        vec![di, dk, dl],
+        Format::new(vec![ModeFormat::Dense, ModeFormat::Compressed, ModeFormat::Compressed]),
+    );
+    let c = TensorVar::new("C", vec![dl, r], Format::dense(2));
+    let d = TensorVar::new("D", vec![dk, r], Format::dense(2));
+    let (i, j, k, l) = (iv("i"), iv("j"), iv("k"), iv("l"));
+    IndexStmt::new(IndexAssignment::assign(
+        a.access([i.clone(), j.clone()]),
+        sum(
+            k.clone(),
+            sum(
+                l.clone(),
+                b.access([i, k.clone(), l.clone()]) * c.access([l, j.clone()]) * d.access([k, j]),
+            ),
+        ),
+    ))
+    .unwrap()
+}
+
+#[test]
+fn race_check_rederives_every_reduction_not_privatized_verdict() {
+    let cases = [
+        ("dense_matvec", dense_matvec()),
+        ("dense_mttkrp", dense_mttkrp()),
+        ("sparse_add", sparse_add_stmt(10, 12)),
+    ];
+    let mut checked = 0usize;
+    let mut disagreements: Vec<String> = Vec::new();
+    for (case, stmt) in &cases {
+        for cand in enumerate_candidates(stmt) {
+            for var in forall_vars(cand.stmt.concrete()) {
+                let Err(IrError::ReductionNotPrivatized { .. }) =
+                    transform::parallelize(cand.stmt.concrete(), &var)
+                else {
+                    continue;
+                };
+                // The concrete-notation check says this loop carries an
+                // unprivatized reduction. Force it parallel and lower; the
+                // LLIR verifier must independently reach a deny.
+                let forced = force_parallel(cand.stmt.concrete(), &var);
+                for opts in [
+                    LowerOptions::fused(format!("{case}_f")),
+                    LowerOptions::compute(format!("{case}_c")),
+                ] {
+                    // A lowering rejection (e.g. loop-carried append
+                    // counter) is its own guard against the miscompile.
+                    let Ok(lk) = lower(&forced, &opts) else { continue };
+                    checked += 1;
+                    let report = taco_workspaces::verify::verify_lowered(&lk);
+                    let denied = report.diagnostics.iter().any(|d| {
+                        d.severity == taco_workspaces::verify::Severity::Deny
+                            && matches!(d.error, VerifyError::DataRace { .. })
+                    });
+                    if !denied {
+                        disagreements.push(format!(
+                            "{case} [{}] parallelize({var}) ({:?}): concrete check rejects \
+                             but verifier accepted: {report}",
+                            cand.name, opts.kind
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    assert!(checked > 0, "differential test must exercise at least one forced lowering");
+    assert!(disagreements.is_empty(), "verdict disagreements:\n{}", disagreements.join("\n"));
+}
