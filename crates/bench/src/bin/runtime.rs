@@ -15,12 +15,15 @@
 use std::time::Duration;
 use taco_bench::timing::{fmt_duration, time_once};
 use taco_bench::BenchArgs;
-use taco_core::{enumerate_candidates, IndexStmt};
+use taco_core::{
+    enumerate_candidates, CoreError, DegradeRung, IndexStmt, ResourceBudget, Supervisor,
+};
 use taco_ir::expr::{sum, IndexVar, TensorVar};
 use taco_ir::notation::IndexAssignment;
+use taco_llir::WorkspaceKind;
 use taco_lower::LowerOptions;
 use taco_runtime::{Engine, EngineEvent, VerifyMode};
-use taco_tensor::gen::random_csr;
+use taco_tensor::gen::{random_csr, random_csr_nnz, Pattern};
 use taco_tensor::{Format, Tensor};
 
 fn spgemm_unscheduled(n: usize) -> IndexStmt {
@@ -33,6 +36,25 @@ fn spgemm_unscheduled(n: usize) -> IndexStmt {
         sum(k.clone(), b.access([i, k.clone()]) * c.access([k, j])),
     ))
     .expect("valid statement")
+}
+
+/// The Figure 2 SpGEMM schedule: reorder to linear combinations of rows,
+/// precompute into a dense row workspace.
+fn spgemm_fig2(n: usize) -> IndexStmt {
+    let a = TensorVar::new("A", vec![n, n], Format::csr());
+    let b = TensorVar::new("B", vec![n, n], Format::csr());
+    let c = TensorVar::new("C", vec![n, n], Format::csr());
+    let (i, j, k) = (IndexVar::new("i"), IndexVar::new("j"), IndexVar::new("k"));
+    let mul = b.access([i.clone(), k.clone()]) * c.access([k.clone(), j.clone()]);
+    let mut s = IndexStmt::new(IndexAssignment::assign(
+        a.access([i.clone(), j.clone()]),
+        sum(k.clone(), mul.clone()),
+    ))
+    .expect("valid statement");
+    s.reorder(&k, &j).expect("reorders");
+    let w = TensorVar::new("w", vec![n], Format::dvec());
+    s.precompute(&mul, &[(j.clone(), j.clone(), j.clone())], &w).expect("precomputes");
+    s
 }
 
 fn main() {
@@ -85,20 +107,8 @@ fn main() {
     // speedup column divides by.
     let avail = std::thread::available_parallelism().map_or(1, |t| t.get());
     let par_stmt = {
-        let a = TensorVar::new("A", vec![n, n], Format::csr());
-        let b = TensorVar::new("B", vec![n, n], Format::csr());
-        let c = TensorVar::new("C", vec![n, n], Format::csr());
-        let (i, j, k) = (IndexVar::new("i"), IndexVar::new("j"), IndexVar::new("k"));
-        let mul = b.access([i.clone(), k.clone()]) * c.access([k.clone(), j.clone()]);
-        let mut s = IndexStmt::new(IndexAssignment::assign(
-            a.access([i.clone(), j.clone()]),
-            sum(k.clone(), mul.clone()),
-        ))
-        .expect("valid statement");
-        s.reorder(&k, &j).expect("reorders");
-        let w = TensorVar::new("w", vec![n], Format::dvec());
-        s.precompute(&mul, &[(j.clone(), j.clone(), j.clone())], &w).expect("precomputes");
-        s.parallelize(&i).expect("workspace privatizes the reduction");
+        let mut s = spgemm_fig2(n);
+        s.parallelize(&IndexVar::new("i")).expect("workspace privatizes the reduction");
         s
     };
     let mut thread_counts: Vec<usize> = vec![1, 2, 4, avail];
@@ -129,6 +139,70 @@ fn main() {
         }
     }
 
+    // Workspace storage backends: the Figure 2 schedule timed once per
+    // backend on the same operands. Dense is the paper's array workspace;
+    // hash and coord-list are the sparse graceful-degradation rungs whose
+    // footprint scales with entries touched, not the result dimension.
+    let ws_stmt = spgemm_fig2(n);
+    let kinds = [WorkspaceKind::Dense, WorkspaceKind::Hash, WorkspaceKind::CoordList];
+    let mut kind_nanos: Vec<(WorkspaceKind, Duration)> = Vec::new();
+    for kind in kinds {
+        let kernel = engine
+            .compile(&ws_stmt, opts.clone().with_workspace_kind(kind))
+            .expect("workspace backend compiles");
+        let mut best = Duration::MAX;
+        for _ in 0..args.reps.max(1) {
+            let (d, _) = time_once(|| kernel.run(&inputs).expect("runs"));
+            best = best.min(d);
+        }
+        kind_nanos.push((kind, best));
+    }
+
+    // Degrade-and-retry ladder under shrinking byte budgets, on operands
+    // sparse enough (fixed 256 nnz per 1024-row matrix) that the sparse
+    // workspace rungs genuinely fit where the dense one does not. Budgets:
+    // unlimited commits on the first rung; one just below the dense
+    // workspace's runtime footprint lands on a sparse-workspace rung; one
+    // below every rung's working set exhausts the ladder.
+    let ln = 1024;
+    let lb = random_csr_nnz(ln, ln, 256, Pattern::Uniform, 41).to_tensor();
+    let lc = random_csr_nnz(ln, ln, 256, Pattern::Uniform, 42).to_tensor();
+    let ladder_inputs: Vec<(&str, &Tensor)> = vec![("B", &lb), ("C", &lc)];
+    let ladder_stmt = spgemm_fig2(ln);
+    let budgets: Vec<(&str, ResourceBudget)> = vec![
+        ("unlimited", ResourceBudget::unlimited()),
+        ("15000-byte total", ResourceBudget::unlimited().with_max_total_bytes(15_000)),
+        ("2000-byte total", ResourceBudget::unlimited().with_max_total_bytes(2_000)),
+    ];
+    let mut ladder_rungs: Vec<(String, String, usize)> = Vec::new();
+    let mut ladder_exhausted = 0usize;
+    let mut ladder_retries = 0usize;
+    for (label, budget) in &budgets {
+        let sup = Supervisor::new().with_budget(budget.clone());
+        match ladder_stmt.run_supervised(
+            LowerOptions::fused("spgemm_ladder"),
+            &sup,
+            &ladder_inputs,
+            None,
+        ) {
+            Ok(out) => {
+                let retries = out
+                    .fallbacks
+                    .iter()
+                    .filter(|f| matches!(f, taco_core::FallbackEvent::DegradedRetry { .. }))
+                    .count();
+                ladder_retries += retries;
+                ladder_rungs.push((label.to_string(), out.rung.to_string(), retries));
+            }
+            Err(CoreError::Aborted(_)) => {
+                ladder_exhausted += 1;
+                ladder_retries += DegradeRung::LADDER.len();
+                ladder_rungs.push((label.to_string(), "exhausted".to_string(), DegradeRung::LADDER.len()));
+            }
+            Err(e) => panic!("ladder run failed outside the budget protocol: {e}"),
+        }
+    }
+
     let stats = engine.cache_stats();
     println!("  tuned schedule          {schedule}");
     println!("  verify (tuned kernel)   {:>12}  [{tuned_report}]", fmt_duration(verify_d));
@@ -151,6 +225,25 @@ fn main() {
             base.as_secs_f64() / d.as_secs_f64().max(f64::MIN_POSITIVE),
         );
     }
+    let dense_kind = kind_nanos[0].1;
+    for &(kind, d) in &kind_nanos {
+        println!(
+            "  {:<22}  {:>13}  ({:.2}x vs dense)",
+            format!("workspace({kind})"),
+            fmt_duration(d),
+            d.as_secs_f64() / dense_kind.as_secs_f64().max(f64::MIN_POSITIVE),
+        );
+    }
+    println!("  ladder ({ln}x{ln}, 256 nnz operands):");
+    for (label, rung, retries) in &ladder_rungs {
+        println!("    {label:<18} -> {rung} ({retries} degraded retries)");
+    }
+    println!(
+        "  ladder totals           {:>12}  ({} exhausted, {} degraded retries)",
+        format!("{} runs", ladder_rungs.len()),
+        ladder_exhausted,
+        ladder_retries,
+    );
     println!("  cache                   {stats}");
     for event in engine.last_events() {
         println!("  event: {event}");
@@ -164,6 +257,20 @@ fn main() {
             .map(|(t, d)| format!("\"{t}\": {}", d.as_nanos()))
             .collect::<Vec<_>>()
             .join(", ");
+        let kinds_json = kind_nanos
+            .iter()
+            .map(|(k, d)| format!("\"{k}\": {}", d.as_nanos()))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let rungs_json = ladder_rungs
+            .iter()
+            .map(|(label, rung, retries)| {
+                format!(
+                    "{{\"budget\": {label:?}, \"rung\": {rung:?}, \"degraded_retries\": {retries}}}"
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
         let json = format!(
             "{{\n  \"kernel\": \"spgemm\",\n  \"n\": {n},\n  \"schedule\": {schedule:?},\n  \
              \"cold_request_nanos\": {},\n  \"warm_request_nanos\": {},\n  \
@@ -171,6 +278,10 @@ fn main() {
              \"run_nanos\": {},\n  \"available_parallelism\": {avail},\n  \
              \"threads\": [{threads_json}],\n  \
              \"parallel_run_nanos\": {{{scaling_json}}},\n  \
+             \"workspace_kind_run_nanos\": {{{kinds_json}}},\n  \
+             \"ladder_runs\": [{rungs_json}],\n  \
+             \"ladder_exhausted\": {ladder_exhausted},\n  \
+             \"ladder_degraded_retries\": {ladder_retries},\n  \
              \"verify_mode\": \"{verify_mode}\",\n  \"verify_nanos\": {},\n  \
              \"verified_kernels\": {verified_kernels},\n  \
              \"verify_denies\": {verify_denies},\n  \"verify_warns\": {verify_warns},\n  \

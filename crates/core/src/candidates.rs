@@ -15,7 +15,9 @@ use crate::IndexStmt;
 use std::collections::HashSet;
 use taco_ir::concrete::ConcreteStmt;
 use taco_ir::expr::{IndexVar, TensorVar};
+use taco_ir::heuristics::estimate_workspace_bytes;
 use taco_ir::transform;
+use taco_llir::WorkspaceKind;
 use taco_lower::{lower, LowerOptions};
 use taco_tensor::Format;
 
@@ -29,6 +31,10 @@ pub struct ScheduleCandidate {
     pub name: String,
     /// The scheduled statement.
     pub stmt: IndexStmt,
+    /// The workspace storage backend this candidate is compiled with
+    /// (`workspace(hash)` / `workspace(coord-list)` variants of a schedule
+    /// compete against its dense original).
+    pub workspace_kind: WorkspaceKind,
 }
 
 /// Name of the candidate that applies no transformation at all.
@@ -56,7 +62,11 @@ pub const DIRECT_MERGE: &str = "direct-merge";
 ///    chain;
 /// 4. for each loop order from (2)–(3), every **workspace placement** the
 ///    Section V-C heuristics suggest for it, applied with a fresh dense
-///    workspace sized from the precomputed variables' ranges.
+///    workspace sized from the precomputed variables' ranges;
+/// 5. for every candidate that materializes a workspace, a **hash-map** and
+///    a **coordinate-list** storage-backend variant
+///    ([`WorkspaceKind`]) — the graceful-degradation rungs of the budget
+///    ladder, raced here on merit rather than necessity.
 ///
 /// Candidates are *syntactically* legal schedules; some may still fail to
 /// lower (e.g. a loop order that requires random access into compressed
@@ -72,37 +82,43 @@ pub fn enumerate_candidates(stmt: &IndexStmt) -> Vec<ScheduleCandidate> {
         seen: &mut HashSet<(u8, u64)>,
         name: String,
         s: IndexStmt,
+        kind: WorkspaceKind,
     ) {
         // Key each candidate by the code it generates, not how its schedule
-        // is spelled: lower once under canonical options and hash the LLIR.
-        // Unlowerable candidates fall back to the concrete fingerprint (the
-        // caller's options may still lower them); candidates whose lowering
-        // the verifier denies can never compile under the default policy
-        // and are dropped from the race.
-        let key = match lower(s.concrete(), &LowerOptions::fused("candidate")) {
+        // is spelled: lower once under canonical options (plus the
+        // candidate's workspace backend) and hash the LLIR. Unlowerable
+        // dense candidates fall back to the concrete fingerprint (the
+        // caller's options may still lower them); an unlowerable sparse
+        // backend means the schedule is ineligible for that backend and the
+        // variant is dropped. Candidates whose lowering the verifier denies
+        // can never compile under the default policy and are dropped from
+        // the race.
+        let opts = LowerOptions::fused("candidate").with_workspace_kind(kind);
+        let key = match lower(s.concrete(), &opts) {
             Ok(lk) => {
                 if !taco_verify::verify_lowered(&lk).accepted() {
                     return;
                 }
                 (0u8, fingerprint_kernel(&lk.kernel))
             }
-            Err(_) => (1u8, fingerprint_stmt(s.concrete())),
+            Err(_) if kind == WorkspaceKind::Dense => (1u8, fingerprint_stmt(s.concrete())),
+            Err(_) => return,
         };
         if seen.insert(key) {
-            out.push(ScheduleCandidate { name, stmt: s });
+            out.push(ScheduleCandidate { name, stmt: s, workspace_kind: kind });
         }
     }
 
     // Base loop orders: the direct concretization plus every pairwise
     // reorder of its outer forall chain.
     let Ok(direct) = IndexStmt::new(stmt.source().clone()) else {
-        push(&mut out, &mut seen, "as-scheduled".to_string(), stmt.clone());
+        push(&mut out, &mut seen, "as-scheduled".to_string(), stmt.clone(), WorkspaceKind::Dense);
         return out;
     };
     // An unscheduled statement *is* the direct baseline; only list
     // "as-scheduled" separately when a schedule has actually been applied.
     if fingerprint_stmt(stmt.concrete()) != fingerprint_stmt(direct.concrete()) {
-        push(&mut out, &mut seen, "as-scheduled".to_string(), stmt.clone());
+        push(&mut out, &mut seen, "as-scheduled".to_string(), stmt.clone(), WorkspaceKind::Dense);
     }
     let chain = forall_chain(direct.concrete());
     let mut bases: Vec<(String, IndexStmt)> = vec![(DIRECT_MERGE.to_string(), direct.clone())];
@@ -119,7 +135,7 @@ pub fn enumerate_candidates(stmt: &IndexStmt) -> Vec<ScheduleCandidate> {
 
     // Workspace placements on every base loop order.
     for (base_name, base) in &bases {
-        push(&mut out, &mut seen, base_name.clone(), base.clone());
+        push(&mut out, &mut seen, base_name.clone(), base.clone(), WorkspaceKind::Dense);
         for (n, sugg) in base.suggestions().into_iter().enumerate() {
             let Some(ws) = workspace_for(base.concrete(), &sugg.over, n) else {
                 continue;
@@ -133,7 +149,7 @@ pub fn enumerate_candidates(stmt: &IndexStmt) -> Vec<ScheduleCandidate> {
                 } else {
                     format!("{} + precompute({})", base_name, over.join(","))
                 };
-                push(&mut out, &mut seen, name, IndexStmt::from_parts(stmt.source().clone(), t));
+                push(&mut out, &mut seen, name, IndexStmt::from_parts(stmt.source().clone(), t), WorkspaceKind::Dense);
             }
         }
     }
@@ -153,6 +169,28 @@ pub fn enumerate_candidates(stmt: &IndexStmt) -> Vec<ScheduleCandidate> {
                 &mut seen,
                 format!("{} + parallelize({v})", c.name),
                 IndexStmt::from_parts(stmt.source().clone(), p),
+                WorkspaceKind::Dense,
+            );
+        }
+    }
+
+    // Workspace-backend variants: every candidate that materializes a
+    // workspace also competes with its hash-map and coordinate-list
+    // storage backends (the graceful-degradation rungs, raced here on
+    // merit). Ineligible schedules — a backend the lowerer rejects — are
+    // dropped inside `push`.
+    let dense: Vec<ScheduleCandidate> = out.clone();
+    for c in dense {
+        if estimate_workspace_bytes(c.stmt.concrete()).is_empty() {
+            continue;
+        }
+        for kind in [WorkspaceKind::Hash, WorkspaceKind::CoordList] {
+            push(
+                &mut out,
+                &mut seen,
+                format!("{} + workspace({kind})", c.name),
+                c.stmt.clone(),
+                kind,
             );
         }
     }
@@ -223,11 +261,38 @@ mod tests {
     }
 
     #[test]
+    fn spgemm_space_contains_sparse_workspace_backends() {
+        let cands = enumerate_candidates(&spgemm_unscheduled());
+        for kind in [WorkspaceKind::Hash, WorkspaceKind::CoordList] {
+            let variant = cands
+                .iter()
+                .find(|c| c.workspace_kind == kind)
+                .unwrap_or_else(|| panic!("no workspace({kind}) candidate in the space"));
+            assert!(
+                variant.name.contains(&format!("workspace({kind})")),
+                "backend variant named after its kind: {}",
+                variant.name
+            );
+            // Backend variants only enter the space if they lower (push
+            // drops ineligible ones), so this must compile.
+            variant
+                .stmt
+                .compile(LowerOptions::fused("t").with_workspace_kind(kind))
+                .unwrap_or_else(|e| panic!("workspace({kind}) candidate does not compile: {e}"));
+        }
+    }
+
+    #[test]
     fn candidates_are_deduplicated() {
         let cands = enumerate_candidates(&spgemm_unscheduled());
-        let mut fps: Vec<u64> =
-            cands.iter().map(|c| fingerprint_stmt(c.stmt.concrete())).collect();
-        fps.sort_unstable();
+        // A schedule may appear once per workspace backend (same concrete
+        // statement, different generated code), but never twice with the
+        // same backend.
+        let mut fps: Vec<(u64, WorkspaceKind)> = cands
+            .iter()
+            .map(|c| (fingerprint_stmt(c.stmt.concrete()), c.workspace_kind))
+            .collect();
+        fps.sort_unstable_by_key(|(fp, k)| (*fp, *k as u8));
         fps.dedup();
         assert_eq!(fps.len(), cands.len(), "duplicate schedules in candidate set");
     }

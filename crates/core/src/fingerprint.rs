@@ -223,6 +223,13 @@ fn hash_opts(h: &mut Fnv64, opts: &LowerOptions) {
     });
     h.write_tag(opts.sort_output as u8);
     h.write_tag(opts.f32_workspaces as u8);
+    // The workspace storage backend changes the lowered idiom entirely
+    // (array scatter/drain vs. map scatter/sorted drain).
+    h.write_tag(match opts.workspace_kind {
+        taco_llir::WorkspaceKind::Dense => 0,
+        taco_llir::WorkspaceKind::Hash => 1,
+        taco_llir::WorkspaceKind::CoordList => 2,
+    });
     // A pinned worker-thread count changes the generated parallel loop (it
     // is baked into the kernel), so it is part of the kernel's identity.
     // The statement's own parallel flags are hashed with the statement.

@@ -11,6 +11,7 @@ use taco_ir::notation::IndexAssignment;
 use taco_ir::transform;
 use taco_llir::{
     AbortReason, Binding, BudgetResource, Executable, ExecReport, ResourceBudget, Supervisor,
+    WorkspaceKind,
 };
 use taco_lower::{lower, KernelKind, LowerOptions, LoweredKernel};
 use taco_tensor::Tensor;
@@ -156,12 +157,16 @@ impl IndexStmt {
     /// The budget applies at both ends of the pipeline. At compile time the
     /// dense-workspace footprint of every `where` statement is estimated
     /// (see [`estimate_workspace_bytes`]); if the total exceeds
-    /// `max_workspace_bytes`, the schedule's transformations are dropped and
-    /// the original statement is lowered directly — the slower merge kernel
-    /// instead of an over-budget workspace kernel — with one
-    /// [`FallbackEvent`] recorded per skipped workspace. At run time the
-    /// compiled kernel enforces the budget's allocation and iteration limits
-    /// on every [`CompiledKernel::run`].
+    /// `max_workspace_bytes`, the cheapest sparse workspace backend whose
+    /// initial footprint fits — hash map first, then coordinate list — is
+    /// compiled instead, keeping the schedule and recording one
+    /// [`FallbackEvent::WorkspaceDowngraded`] per workspace. Only when no
+    /// sparse backend is lowerable either are the schedule's transformations
+    /// dropped and the original statement lowered directly — the slower
+    /// merge kernel — with one [`FallbackEvent::WorkspaceOverBudget`]
+    /// recorded per skipped workspace. At run time the compiled kernel
+    /// enforces the budget's allocation and iteration limits on every
+    /// [`CompiledKernel::run`].
     ///
     /// # Errors
     ///
@@ -201,23 +206,64 @@ impl IndexStmt {
         budget: ResourceBudget,
         verify: VerifyMode,
     ) -> Result<CompiledKernel> {
+        let mut opts = opts;
         let mut fallbacks = Vec::new();
         let mut concrete = &self.concrete;
         let fallback_concrete;
         if let Some(limit) = budget.max_workspace_bytes {
-            let estimates = estimate_workspace_bytes(&self.concrete);
-            let total: u64 = estimates.iter().map(|e| e.bytes).fold(0, u64::saturating_add);
-            if total > limit {
-                for e in &estimates {
-                    fallbacks.push(FallbackEvent::WorkspaceOverBudget {
-                        workspace: e.workspace.clone(),
-                        dims: e.dims.clone(),
-                        estimated_bytes: e.bytes,
-                        budget_bytes: limit,
-                    });
+            if opts.workspace_kind == WorkspaceKind::Dense {
+                let estimates = estimate_workspace_bytes(&self.concrete);
+                let total: u64 =
+                    estimates.iter().map(|e| e.bytes).fold(0, u64::saturating_add);
+                if total > limit {
+                    // Graceful degradation: before dropping the schedule for
+                    // the direct merge kernel, try the sparse workspace
+                    // backends. Their footprint scales with the entries
+                    // actually touched, not the dense dimension, so the
+                    // compile-time estimate is the initial capacity; growth
+                    // beyond it is charged against the budget at run time.
+                    // Hash is tried first (O(1) scatter), coordinate-list
+                    // second.
+                    let chosen = [WorkspaceKind::Hash, WorkspaceKind::CoordList]
+                        .into_iter()
+                        .find_map(|kind| {
+                            let per_ws =
+                                WorkspaceKind::INITIAL_CAPACITY * kind.entry_bytes();
+                            let est = (estimates.len() as u64).saturating_mul(per_ws);
+                            (est <= limit
+                                && lower(
+                                    &self.concrete,
+                                    &opts.clone().with_workspace_kind(kind),
+                                )
+                                .is_ok())
+                            .then_some((kind, per_ws))
+                        });
+                    if let Some((kind, per_ws)) = chosen {
+                        for e in &estimates {
+                            fallbacks.push(FallbackEvent::WorkspaceDowngraded {
+                                workspace: e.workspace.clone(),
+                                from: WorkspaceKind::Dense,
+                                to: kind,
+                                estimated_bytes: e.bytes,
+                                downgraded_bytes: per_ws,
+                                budget_bytes: limit,
+                            });
+                        }
+                        opts = opts.with_workspace_kind(kind);
+                    } else {
+                        for e in &estimates {
+                            fallbacks.push(FallbackEvent::WorkspaceOverBudget {
+                                workspace: e.workspace.clone(),
+                                dims: e.dims.clone(),
+                                estimated_bytes: e.bytes,
+                                budget_bytes: limit,
+                                fallback: DegradeRung::DirectMerge,
+                            });
+                        }
+                        fallback_concrete = concretize(&self.source)?;
+                        concrete = &fallback_concrete;
+                    }
                 }
-                fallback_concrete = concretize(&self.source)?;
-                concrete = &fallback_concrete;
             }
         }
         let lowered = match lower(concrete, &opts) {
@@ -261,9 +307,14 @@ impl IndexStmt {
     ///
     /// 1. [`DegradeRung::AsScheduled`] — the full schedule (workspace
     ///    precompute, sorted output);
-    /// 2. [`DegradeRung::UnsortedAssembly`] — the schedule kept but the
+    /// 2. [`DegradeRung::HashWorkspace`] — the schedule kept but every
+    ///    workspace stored as a hash map (unordered accumulate, sorted
+    ///    drain) whose footprint scales with the entries touched;
+    /// 3. [`DegradeRung::CoordListWorkspace`] — likewise, with the
+    ///    coordinate-list backend (ordered append with dedup);
+    /// 4. [`DegradeRung::UnsortedAssembly`] — the schedule kept but the
     ///    output-sort pass dropped (paper §VI, unsorted kernels);
-    /// 3. [`DegradeRung::DirectMerge`] — every transformation dropped and
+    /// 5. [`DegradeRung::DirectMerge`] — every transformation dropped and
     ///    the original statement lowered to the direct merge kernel (the
     ///    reverse of the Section V-C heuristics).
     ///
@@ -288,11 +339,7 @@ impl IndexStmt {
         let budget = supervisor.budget();
         let mut fallbacks: Vec<FallbackEvent> = Vec::new();
         let mut last_err: Option<crate::CoreError> = None;
-        for rung in [
-            DegradeRung::AsScheduled,
-            DegradeRung::UnsortedAssembly,
-            DegradeRung::DirectMerge,
-        ] {
+        for rung in DegradeRung::LADDER {
             let kernel = match self.compile_rung(rung, &opts, budget, &fallbacks) {
                 Ok(Some(k)) => k,
                 // Rung not applicable (already unsorted, no transformations
@@ -338,6 +385,26 @@ impl IndexStmt {
     ) -> Result<Option<CompiledKernel>> {
         match rung {
             DegradeRung::AsScheduled => self.compile_with_budget(opts.clone(), budget).map(Some),
+            DegradeRung::HashWorkspace | DegradeRung::CoordListWorkspace => {
+                let kind = if rung == DegradeRung::HashWorkspace {
+                    WorkspaceKind::Hash
+                } else {
+                    WorkspaceKind::CoordList
+                };
+                // Nothing to downgrade when the schedule has no workspaces,
+                // the caller already asked for this backend, or the
+                // compile-time budget fallback already chose it for the
+                // as-scheduled rung.
+                if opts.workspace_kind == kind
+                    || estimate_workspace_bytes(&self.concrete).is_empty()
+                    || fallbacks.iter().any(|f| {
+                        matches!(f, FallbackEvent::WorkspaceDowngraded { to, .. } if *to == kind)
+                    })
+                {
+                    return Ok(None);
+                }
+                self.compile_with_budget(opts.clone().with_workspace_kind(kind), budget).map(Some)
+            }
             DegradeRung::UnsortedAssembly => {
                 // The sort pass only exists in kernels that assemble; a
                 // compute kernel is unchanged by `unsorted()`.
@@ -383,16 +450,34 @@ impl IndexStmt {
 pub enum DegradeRung {
     /// The statement exactly as scheduled.
     AsScheduled,
+    /// The schedule with every workspace stored as a hash map.
+    HashWorkspace,
+    /// The schedule with every workspace stored as a coordinate list.
+    CoordListWorkspace,
     /// The schedule with the output-sort pass dropped.
     UnsortedAssembly,
     /// All transformations dropped: the direct merge kernel.
     DirectMerge,
 }
 
+impl DegradeRung {
+    /// The full ladder, fastest schedule first — the descent order of
+    /// [`IndexStmt::run_supervised`].
+    pub const LADDER: [DegradeRung; 5] = [
+        DegradeRung::AsScheduled,
+        DegradeRung::HashWorkspace,
+        DegradeRung::CoordListWorkspace,
+        DegradeRung::UnsortedAssembly,
+        DegradeRung::DirectMerge,
+    ];
+}
+
 impl std::fmt::Display for DegradeRung {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DegradeRung::AsScheduled => write!(f, "as scheduled"),
+            DegradeRung::HashWorkspace => write!(f, "hash workspace"),
+            DegradeRung::CoordListWorkspace => write!(f, "coord-list workspace"),
             DegradeRung::UnsortedAssembly => write!(f, "unsorted assembly"),
             DegradeRung::DirectMerge => write!(f, "direct merge"),
         }
@@ -407,7 +492,7 @@ impl std::fmt::Display for DegradeRung {
 #[non_exhaustive]
 pub enum FallbackEvent {
     /// A workspace was skipped at compile time because its estimated
-    /// footprint exceeded the budget (see
+    /// footprint exceeded the budget and no sparse backend fit either (see
     /// [`IndexStmt::compile_with_budget`]).
     WorkspaceOverBudget {
         /// Name of the workspace tensor that was not materialized.
@@ -416,6 +501,26 @@ pub enum FallbackEvent {
         dims: Vec<usize>,
         /// Estimated bytes the workspace would have allocated.
         estimated_bytes: u64,
+        /// The `max_workspace_bytes` limit in force.
+        budget_bytes: u64,
+        /// The ladder rung the compile fell back to instead.
+        fallback: DegradeRung,
+    },
+    /// A dense workspace was over budget but a sparse backend fit, so the
+    /// schedule was kept and only the workspace storage was downgraded (see
+    /// [`IndexStmt::compile_with_budget`]).
+    WorkspaceDowngraded {
+        /// Name of the workspace tensor whose storage was downgraded.
+        workspace: String,
+        /// The storage backend the schedule asked for.
+        from: WorkspaceKind,
+        /// The sparse backend that was compiled instead.
+        to: WorkspaceKind,
+        /// Estimated bytes the `from` backend would have allocated.
+        estimated_bytes: u64,
+        /// Initial footprint of the `to` backend (growth is budget-charged
+        /// at run time).
+        downgraded_bytes: u64,
         /// The `max_workspace_bytes` limit in force.
         budget_bytes: u64,
     },
@@ -437,10 +542,24 @@ impl std::fmt::Display for FallbackEvent {
                 dims,
                 estimated_bytes,
                 budget_bytes,
+                fallback,
             } => write!(
                 f,
                 "workspace `{workspace}` (dims {dims:?}, ~{estimated_bytes} bytes) exceeds the \
-                 {budget_bytes}-byte workspace budget; compiled the direct kernel instead",
+                 {budget_bytes}-byte workspace budget; compiled the {fallback} kernel instead",
+            ),
+            FallbackEvent::WorkspaceDowngraded {
+                workspace,
+                from,
+                to,
+                estimated_bytes,
+                downgraded_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "workspace `{workspace}` downgraded {from} -> {to}: ~{estimated_bytes} bytes \
+                 exceeds the {budget_bytes}-byte workspace budget, {to} starts at \
+                 {downgraded_bytes} bytes",
             ),
             FallbackEvent::DegradedRetry { rung, reason } => {
                 write!(f, "{rung} kernel aborted ({reason}); retried one rung down the ladder")

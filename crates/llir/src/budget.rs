@@ -74,6 +74,21 @@ impl ResourceBudget {
         ResourceBudget::default()
     }
 
+    /// The budget the `TACO_BUDGET_BYTES` environment variable asks for:
+    /// its value (bytes) becomes the single-allocation / dense-workspace
+    /// ceiling, which is what CI's low-budget matrix tightens to force the
+    /// sparse-workspace fallback rungs. Unset or unparseable means
+    /// unlimited.
+    pub fn from_env() -> Self {
+        match std::env::var("TACO_BUDGET_BYTES")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+        {
+            Some(bytes) => ResourceBudget::unlimited().with_max_workspace_bytes(bytes),
+            None => ResourceBudget::unlimited(),
+        }
+    }
+
     /// Sets the single-allocation (dense workspace) ceiling.
     pub fn with_max_workspace_bytes(mut self, bytes: u64) -> Self {
         self.max_workspace_bytes = Some(bytes);

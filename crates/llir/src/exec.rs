@@ -9,7 +9,7 @@
 use crate::supervise::SharedProgress;
 use crate::{
     ArrayTy, BinOp, BudgetResource, CompileError, Expr, Kernel, ParamKind, ResourceBudget,
-    RunError, Stmt, UnOp,
+    RunError, Stmt, UnOp, WorkspaceKind,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -123,6 +123,9 @@ enum RStmt {
     Alloc(usize, ArrayTy, IExpr),
     Realloc(usize, IExpr),
     Sort(usize, IExpr, IExpr),
+    MapInit(usize, WorkspaceKind, IExpr),
+    MapScatter(usize, IExpr, FExpr, bool),
+    MapDrainSorted(usize, usize, usize, Vec<RStmt>),
 }
 
 /// A slot-resolved [`Stmt::ParallelFor`]: a counting loop whose iterations
@@ -176,6 +179,8 @@ struct Compiler {
     scopes: Vec<HashMap<String, (ScalarTy, usize)>>,
     arrays: HashMap<String, (usize, ArrayTy)>,
     array_names: Vec<String>,
+    maps: HashMap<String, usize>,
+    map_names: Vec<String>,
     n_int: usize,
     n_float: usize,
     n_bool: usize,
@@ -213,6 +218,23 @@ impl Compiler {
             .get(name)
             .copied()
             .ok_or_else(|| CompileError::UnknownArray(name.to_string()))
+    }
+
+    fn map(&mut self, name: &str) -> Result<usize, CompileError> {
+        self.maps.get(name).copied().ok_or_else(|| CompileError::UnknownArray(name.to_string()))
+    }
+
+    fn declare_map(&mut self, name: &str) -> Result<usize, CompileError> {
+        if let Some(&slot) = self.maps.get(name) {
+            return Ok(slot);
+        }
+        if self.arrays.contains_key(name) {
+            return Err(CompileError::Duplicate(name.to_string()));
+        }
+        let slot = self.map_names.len();
+        self.map_names.push(name.to_string());
+        self.maps.insert(name.to_string(), slot);
+        Ok(slot)
     }
 
     fn declare_array(&mut self, name: &str, ty: ArrayTy) -> Result<usize, CompileError> {
@@ -490,6 +512,31 @@ impl Compiler {
                 }
                 RStmt::Sort(slot, self.int_expr(lo)?, self.int_expr(hi)?)
             }
+            Stmt::MapInit { map, kind, capacity } => {
+                if *kind == WorkspaceKind::Dense {
+                    return Err(CompileError::TypeMismatch {
+                        context: format!("map workspace `{map}` initialized with dense kind"),
+                    });
+                }
+                let cap = self.int_expr(capacity)?;
+                let slot = self.declare_map(map)?;
+                RStmt::MapInit(slot, *kind, cap)
+            }
+            Stmt::MapScatter { map, key, val, add } => {
+                let slot = self.map(map)?;
+                let key = self.int_expr(key)?;
+                let val = self.float_expr(val)?;
+                RStmt::MapScatter(slot, key, val, *add)
+            }
+            Stmt::MapDrainSorted { map, key, val, body } => {
+                let slot = self.map(map)?;
+                self.scopes.push(HashMap::new());
+                let key_slot = self.declare(key, ScalarTy::Int)?;
+                let val_slot = self.declare(val, ScalarTy::Float)?;
+                let body = self.block_in_current_scope(body)?;
+                self.scopes.pop();
+                RStmt::MapDrainSorted(slot, key_slot, val_slot, body)
+            }
             Stmt::Comment(_) => return Ok(None),
         }))
     }
@@ -553,12 +600,73 @@ fn elem_bytes(ty: ArrayTy) -> u64 {
     }
 }
 
+/// Bytes charged per map-workspace entry: key and value, plus slot overhead
+/// for the open-addressing hash variant.
+pub(crate) fn map_entry_bytes(kind: WorkspaceKind) -> u64 {
+    kind.entry_bytes()
+}
+
+/// A sparse map workspace: kernel-local machine state keyed by integer
+/// coordinates. Never part of a [`Binding`], so supervised snapshot/rollback
+/// is unaffected by map contents.
+#[derive(Debug, Clone)]
+enum MapStore {
+    /// Hash-map backing: unordered accumulate, sorted on drain.
+    Hash(HashMap<i64, f64>),
+    /// Coordinate-list backing: ordered insert with dedup, drained in place.
+    Sorted(Vec<(i64, f64)>),
+}
+
+#[derive(Debug, Clone)]
+struct MapWs {
+    store: MapStore,
+    /// Entry capacity already charged against the byte budget; grows by
+    /// doubling as entries are inserted, like `Realloc`.
+    charged_entries: u64,
+}
+
+impl Default for MapWs {
+    fn default() -> MapWs {
+        MapWs { store: MapStore::Hash(HashMap::new()), charged_entries: 0 }
+    }
+}
+
+impl MapWs {
+    fn kind(&self) -> WorkspaceKind {
+        match self.store {
+            MapStore::Hash(_) => WorkspaceKind::Hash,
+            MapStore::Sorted(_) => WorkspaceKind::CoordList,
+        }
+    }
+
+    fn len(&self) -> usize {
+        match &self.store {
+            MapStore::Hash(m) => m.len(),
+            MapStore::Sorted(v) => v.len(),
+        }
+    }
+
+    /// Removes all entries in ascending key order.
+    fn drain_sorted(&mut self) -> Vec<(i64, f64)> {
+        match &mut self.store {
+            MapStore::Hash(m) => {
+                let mut entries: Vec<(i64, f64)> = m.drain().collect();
+                entries.sort_unstable_by_key(|&(k, _)| k);
+                entries
+            }
+            MapStore::Sorted(v) => std::mem::take(v),
+        }
+    }
+}
+
 struct Mach<'a> {
     ints: Vec<i64>,
     floats: Vec<f64>,
     bools: Vec<bool>,
     arrays: Vec<ArrayVal>,
     array_names: Arc<Vec<String>>,
+    maps: Vec<MapWs>,
+    map_names: Arc<Vec<String>>,
     budget: BudgetState,
     ctl: RunControls<'a>,
     /// Iterations until the next supervision check.
@@ -661,6 +769,53 @@ impl Mach<'_> {
             });
         }
         self.budget.total_bytes = total;
+        Ok(())
+    }
+
+    /// Charges map-workspace growth: the map's whole footprint must fit the
+    /// single-workspace limit (so a hash workspace that outgrows
+    /// `max_workspace_bytes` aborts retryably, like an oversized `Alloc`),
+    /// and the growth delta counts toward the cumulative total.
+    fn charge_map_bytes(
+        &mut self,
+        map: usize,
+        footprint: u64,
+        delta: u64,
+    ) -> Result<(), RunError> {
+        if footprint > self.budget.max_single_bytes {
+            return Err(RunError::BudgetExceeded {
+                resource: BudgetResource::WorkspaceBytes,
+                limit: self.budget.max_single_bytes,
+                requested: footprint,
+                array: Some(self.map_names[map].clone()),
+            });
+        }
+        let total = self.budget.total_bytes.saturating_add(delta);
+        if total > self.budget.max_total_bytes {
+            return Err(RunError::BudgetExceeded {
+                resource: BudgetResource::TotalBytes,
+                limit: self.budget.max_total_bytes,
+                requested: total,
+                array: Some(self.map_names[map].clone()),
+            });
+        }
+        self.budget.total_bytes = total;
+        Ok(())
+    }
+
+    /// Grows the charged capacity of a map (by doubling) when an insert
+    /// pushes its entry count past what has been paid for.
+    fn charge_map_growth(&mut self, map: usize) -> Result<(), RunError> {
+        let ws = &self.maps[map];
+        let needed = ws.len() as u64 + 1;
+        if needed <= ws.charged_entries {
+            return Ok(());
+        }
+        let per = map_entry_bytes(ws.kind());
+        let new_cap = (ws.charged_entries * 2).max(needed).max(8);
+        let delta = (new_cap - ws.charged_entries).saturating_mul(per);
+        self.charge_map_bytes(map, new_cap.saturating_mul(per), delta)?;
+        self.maps[map].charged_entries = new_cap;
         Ok(())
     }
 
@@ -961,6 +1116,64 @@ impl Mach<'_> {
                     a[lo as usize..hi as usize].sort_unstable();
                 }
             }
+            RStmt::MapInit(map, kind, cap) => {
+                let cap = self.eval_i(cap)?;
+                if cap < 0 {
+                    return Err(RunError::NegativeLength {
+                        name: self.map_names[*map].clone(),
+                        len: cap,
+                    });
+                }
+                let per = map_entry_bytes(*kind);
+                self.charge_map_bytes(*map, cap as u64 * per, cap as u64 * per)?;
+                let store = match kind {
+                    WorkspaceKind::Hash => {
+                        MapStore::Hash(HashMap::with_capacity(cap as usize))
+                    }
+                    _ => MapStore::Sorted(Vec::with_capacity(cap as usize)),
+                };
+                self.maps[*map] = MapWs { store, charged_entries: cap as u64 };
+            }
+            RStmt::MapScatter(map, key, val, add) => {
+                let k = self.eval_i(key)?;
+                let v = self.eval_f(val)?;
+                match &self.maps[*map].store {
+                    MapStore::Hash(m) if !m.contains_key(&k) => self.charge_map_growth(*map)?,
+                    MapStore::Sorted(s) if s.binary_search_by_key(&k, |e| e.0).is_err() => {
+                        self.charge_map_growth(*map)?
+                    }
+                    _ => {}
+                }
+                match &mut self.maps[*map].store {
+                    MapStore::Hash(m) => {
+                        let slot = m.entry(k).or_insert(0.0);
+                        if *add {
+                            *slot += v;
+                        } else {
+                            *slot = v;
+                        }
+                    }
+                    MapStore::Sorted(s) => match s.binary_search_by_key(&k, |e| e.0) {
+                        Ok(i) => {
+                            if *add {
+                                s[i].1 += v;
+                            } else {
+                                s[i].1 = v;
+                            }
+                        }
+                        Err(i) => s.insert(i, (k, v)),
+                    },
+                }
+            }
+            RStmt::MapDrainSorted(map, key_slot, val_slot, body) => {
+                let entries = self.maps[*map].drain_sorted();
+                for (k, v) in entries {
+                    self.consume_iteration()?;
+                    self.ints[*key_slot] = k;
+                    self.floats[*val_slot] = v;
+                    self.exec_block(body)?;
+                }
+            }
         }
         Ok(())
     }
@@ -1064,6 +1277,13 @@ impl Mach<'_> {
                         bools: self.bools.clone(),
                         arrays: self.arrays.clone(),
                         array_names: self.array_names.clone(),
+                        // Map workspaces are per-thread by construction: each
+                        // worker scatters into and drains its own clone, and
+                        // worker maps are discarded at the join (the verifier
+                        // denies parallel bodies that scatter without
+                        // draining in the same iteration).
+                        maps: self.maps.clone(),
+                        map_names: self.map_names.clone(),
                         budget: BudgetState {
                             iterations_left: self.budget.iterations_left,
                             // Start the fuse at the parent's remaining count
@@ -1501,6 +1721,7 @@ pub struct Executable {
     array_params: Arc<Vec<(String, usize, ArrayTy, ParamKind)>>,
     scalar_outputs: Arc<Vec<(String, usize)>>,
     array_names: Arc<Vec<String>>,
+    map_names: Arc<Vec<String>>,
     n_int: usize,
     n_float: usize,
     n_bool: usize,
@@ -1519,6 +1740,8 @@ impl Executable {
             scopes: vec![HashMap::new()],
             arrays: HashMap::new(),
             array_names: Vec::new(),
+            maps: HashMap::new(),
+            map_names: Vec::new(),
             n_int: 0,
             n_float: 0,
             n_bool: 0,
@@ -1556,6 +1779,7 @@ impl Executable {
             array_params: Arc::new(array_params),
             scalar_outputs: Arc::new(scalar_outputs),
             array_names: Arc::new(c.array_names),
+            map_names: Arc::new(c.map_names),
             n_int: c.n_int,
             n_float: c.n_float,
             n_bool: c.n_bool,
@@ -1620,6 +1844,8 @@ impl Executable {
             bools: vec![false; self.n_bool],
             arrays: self.array_names.iter().map(|_| ArrayVal::empty(ArrayTy::Int)).collect(),
             array_names: self.array_names.clone(),
+            maps: self.map_names.iter().map(|_| MapWs::default()).collect(),
+            map_names: self.map_names.clone(),
             budget: BudgetState::new(budget, self.array_names.len()),
             ctl,
             check_countdown: 0,

@@ -13,6 +13,54 @@ pub enum ArrayTy {
     Bool,
 }
 
+/// Backing storage of a precompute workspace.
+///
+/// The dense array workspace of the paper is sized by the result dimension;
+/// the two sparse variants (after *Compilation of Modular and General Sparse
+/// Workspaces*) scale with the number of distinct keys scattered instead,
+/// which makes them the middle rungs of the budget and degrade-and-retry
+/// ladders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WorkspaceKind {
+    /// A dense value array over the full workspace index set (Figure 8).
+    #[default]
+    Dense,
+    /// A hash-map workspace: unordered `O(1)` accumulate, sorted on drain.
+    Hash,
+    /// A compressed coordinate-list workspace: ordered insert with dedup,
+    /// already sorted when drained.
+    CoordList,
+}
+
+impl WorkspaceKind {
+    /// Bytes the executor charges against the budget per map entry: a hash
+    /// entry costs a key, a value and bucket overhead; a coordinate-list
+    /// entry just a key and a value. Dense workspaces are charged per
+    /// element at allocation instead.
+    #[must_use]
+    pub fn entry_bytes(self) -> u64 {
+        match self {
+            WorkspaceKind::Hash => 24,
+            WorkspaceKind::CoordList | WorkspaceKind::Dense => 16,
+        }
+    }
+
+    /// The initial map capacity the lowerer requests (and therefore the
+    /// compile-time footprint estimate of one map workspace:
+    /// `INITIAL_CAPACITY * entry_bytes()`).
+    pub const INITIAL_CAPACITY: u64 = 16;
+}
+
+impl std::fmt::Display for WorkspaceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkspaceKind::Dense => write!(f, "dense"),
+            WorkspaceKind::Hash => write!(f, "hash"),
+            WorkspaceKind::CoordList => write!(f, "coord-list"),
+        }
+    }
+}
+
 /// Unary operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UnOp {
@@ -302,6 +350,44 @@ pub enum Stmt {
         lo: Expr,
         /// Exclusive end index.
         hi: Expr,
+    },
+    /// Initialize (or reset to empty) a kernel-local sparse map workspace
+    /// keyed by integer coordinates with `f64` values. The map is machine
+    /// state, never a bound buffer: it exists only between `MapInit` and the
+    /// last drain, so supervised rollback semantics are unchanged.
+    MapInit {
+        /// Map workspace name.
+        map: String,
+        /// Backing storage; must not be [`WorkspaceKind::Dense`].
+        kind: WorkspaceKind,
+        /// Initial capacity hint charged against the workspace-bytes budget;
+        /// growth beyond it is charged in doublings at run time.
+        capacity: Expr,
+    },
+    /// `map[key] = val` (or `+= val` when `add`), inserting the key if absent.
+    MapScatter {
+        /// Map workspace name.
+        map: String,
+        /// Integer key (the workspace coordinate).
+        key: Expr,
+        /// Value to store or accumulate.
+        val: Expr,
+        /// Accumulate instead of overwrite.
+        add: bool,
+    },
+    /// Iterate the map's entries in ascending key order, binding `key` and
+    /// `val` as fresh scalars per entry, then leave the map empty — the
+    /// sort-on-drain idiom that discharges the Section VI reset obligation
+    /// for sparse workspaces.
+    MapDrainSorted {
+        /// Map workspace name.
+        map: String,
+        /// Name of the integer key variable bound in the body.
+        key: String,
+        /// Name of the float value variable bound in the body.
+        val: String,
+        /// Per-entry body.
+        body: Vec<Stmt>,
     },
     /// A comment carried through to the C printer.
     Comment(String),

@@ -51,7 +51,7 @@ mod supervise;
 pub use budget::{BudgetResource, ResourceBudget};
 pub use error::{CompileError, RunError};
 pub use exec::{ArrayVal, Binding, Executable};
-pub use ir::{AppendMerge, ArrayTy, BinOp, Expr, Kernel, Param, ParamKind, Stmt, UnOp};
+pub use ir::{AppendMerge, ArrayTy, BinOp, Expr, Kernel, Param, ParamKind, Stmt, UnOp, WorkspaceKind};
 pub use printer::stmt_to_c;
 pub use supervise::{
     Aborted, AbortReason, CancelToken, ExecReport, ExecSession, HeartbeatSample, Progress,

@@ -45,7 +45,11 @@ pub fn stmt_to_c(s: &Stmt) -> String {
     print_stmt(&mut out, s, 0);
     let first = out.lines().next().unwrap_or("").trim().to_string();
     match s {
-        Stmt::For { .. } | Stmt::ParallelFor { .. } | Stmt::While { .. } | Stmt::If { .. } => {
+        Stmt::For { .. }
+        | Stmt::ParallelFor { .. }
+        | Stmt::While { .. }
+        | Stmt::If { .. }
+        | Stmt::MapDrainSorted { .. } => {
             format!("{} ... }}", first)
         }
         _ => first,
@@ -173,6 +177,28 @@ fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
         }
         Stmt::Sort { arr, lo, hi } => {
             let _ = writeln!(out, "sort({arr} + {}, {arr} + {});", print_expr(lo), print_expr(hi));
+        }
+        Stmt::MapInit { map, kind, capacity } => {
+            let tag = match kind {
+                crate::WorkspaceKind::Hash => "TACO_WS_HASH",
+                crate::WorkspaceKind::CoordList => "TACO_WS_COORDLIST",
+                crate::WorkspaceKind::Dense => "TACO_WS_DENSE",
+            };
+            let _ = writeln!(
+                out,
+                "taco_ws_map* restrict {map} = taco_ws_map_init({tag}, {});",
+                print_expr(capacity)
+            );
+        }
+        Stmt::MapScatter { map, key, val, add } => {
+            let f = if *add { "taco_ws_map_accum" } else { "taco_ws_map_put" };
+            let _ = writeln!(out, "{f}({map}, {}, {});", print_expr(key), print_expr(val));
+        }
+        Stmt::MapDrainSorted { map, key, val, body } => {
+            let _ = writeln!(out, "taco_ws_map_drain_sorted({map}, {key}, {val}) {{");
+            print_block(out, body, level + 1);
+            indent(out, level);
+            let _ = writeln!(out, "}}");
         }
         Stmt::Comment(text) => {
             let _ = writeln!(out, "// {text}");

@@ -104,6 +104,12 @@ fn simplify_stmt(s: &mut Stmt) {
             *lo = lo.simplified();
             *hi = hi.simplified();
         }
+        Stmt::MapInit { capacity, .. } => *capacity = capacity.simplified(),
+        Stmt::MapScatter { key, val, .. } => {
+            *key = key.simplified();
+            *val = val.simplified();
+        }
+        Stmt::MapDrainSorted { body, .. } => simplify_block(body),
         Stmt::Comment(_) => {}
     }
 }

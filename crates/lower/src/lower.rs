@@ -5,7 +5,7 @@ use crate::{LowerError, Result};
 use std::collections::{HashMap, HashSet};
 use taco_ir::concrete::{AssignOp, ConcreteStmt};
 use taco_ir::expr::{Access, IndexExpr, IndexVar, TensorVar};
-use taco_llir::{ArrayTy, Expr, Kernel, Param, Stmt};
+use taco_llir::{ArrayTy, Expr, Kernel, Param, Stmt, WorkspaceKind};
 use taco_tensor::ModeFormat;
 
 /// What the generated kernel does with the result's sparse index structures
@@ -42,6 +42,12 @@ pub struct LowerOptions {
     /// time (the `TACO_THREADS` environment variable, then available
     /// parallelism). Has no effect on serial loops.
     pub num_threads: Option<usize>,
+    /// Storage backend for rank-1 workspaces (Section VII: "a workspace can
+    /// also be implemented with other data structures such as hash maps").
+    /// `Dense` lowers the paper's array workspaces; `Hash` and `CoordList`
+    /// lower map workspaces whose footprint scales with touched entries —
+    /// the graceful-degradation rungs of the budget and retry ladders.
+    pub workspace_kind: WorkspaceKind,
 }
 
 impl LowerOptions {
@@ -53,6 +59,7 @@ impl LowerOptions {
             sort_output: true,
             f32_workspaces: false,
             num_threads: None,
+            workspace_kind: WorkspaceKind::Dense,
         }
     }
 
@@ -82,6 +89,15 @@ impl LowerOptions {
     /// behavior is restored by never calling this).
     pub fn with_threads(mut self, n: usize) -> LowerOptions {
         self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Selects the workspace storage backend. Non-dense kinds only lower
+    /// statements whose workspaces are rank-1 and fully drained by their
+    /// consumer; other shapes return [`LowerError::Unsupported`], which the
+    /// budget/retry ladders treat as "skip this rung".
+    pub fn with_workspace_kind(mut self, kind: WorkspaceKind) -> LowerOptions {
+        self.workspace_kind = kind;
         self
     }
 }
@@ -182,6 +198,10 @@ struct WsInfo {
     /// be drained on read (otherwise the workspace is re-zeroed at each
     /// where execution, as in Figure 10 line 6).
     drainable: bool,
+    /// Storage backend: `Dense` is the paper's zero-initialized array;
+    /// `Hash`/`CoordList` are map workspaces lowered to
+    /// `MapInit`/`MapScatter`/`MapDrainSorted`.
+    kind: WorkspaceKind,
 }
 
 struct Lowerer<'o> {
@@ -194,6 +214,10 @@ struct Lowerer<'o> {
     /// First access seen per tensor (operands and result).
     access_map: HashMap<String, Access>,
     workspaces: HashMap<String, WsInfo>,
+    /// While lowering a `MapDrainSorted` body, maps the drained workspace's
+    /// name to the value variable the drain binds; reads of the workspace
+    /// become reads of that variable.
+    map_drain_val: HashMap<String, String>,
     scalar_temps: HashSet<String>,
     /// Positions of compressed levels bound by enclosing loops.
     pos: HashMap<(String, usize), Expr>,
@@ -305,6 +329,7 @@ impl<'o> Lowerer<'o> {
             operands,
             access_map,
             workspaces: HashMap::new(),
+            map_drain_val: HashMap::new(),
             scalar_temps: HashSet::new(),
             pos: HashMap::new(),
             var_dims,
@@ -456,41 +481,56 @@ impl<'o> Lowerer<'o> {
                     })
                     && consumer_feeds_result(consumer, &ws_name, self.result.name());
                 let drainable = self.consumer_drains(consumer, &ws_name);
+                let kind = self.map_kind_for(&ws_name, &ws_var, consumer, needs_list, drainable)?;
 
-                // Allocate the workspace (zero-filled) in the preamble.
                 let len = dims.iter().cloned().reduce(|a, b| a * b).ok_or_else(|| {
                     LowerError::Unsupported(format!("workspace `{ws_name}` has no modes"))
                 })?;
                 self.preamble.push(Stmt::Comment(format!("workspace for `{ws_name}`")));
-                self.preamble.push(Stmt::Alloc {
-                    arr: ws_name.clone(),
-                    ty: self.ws_ty(),
-                    len: len.clone(),
-                });
-                if needs_list {
+                if kind == WorkspaceKind::Dense {
+                    // Allocate the workspace (zero-filled) in the preamble.
                     self.preamble.push(Stmt::Alloc {
-                        arr: list_name(&ws_name),
-                        ty: ArrayTy::Int,
+                        arr: ws_name.clone(),
+                        ty: self.ws_ty(),
                         len: len.clone(),
                     });
-                    self.preamble.push(Stmt::Alloc {
-                        arr: set_name(&ws_name),
-                        ty: ArrayTy::Bool,
-                        len,
+                    if needs_list {
+                        self.preamble.push(Stmt::Alloc {
+                            arr: list_name(&ws_name),
+                            ty: ArrayTy::Int,
+                            len: len.clone(),
+                        });
+                        self.preamble.push(Stmt::Alloc {
+                            arr: set_name(&ws_name),
+                            ty: ArrayTy::Bool,
+                            len,
+                        });
+                    }
+                } else {
+                    // Map workspace: footprint scales with touched entries,
+                    // not the dimension. Start small and let the executor
+                    // grow (and budget-charge) by doubling.
+                    self.preamble.push(Stmt::MapInit {
+                        map: ws_name.clone(),
+                        kind,
+                        capacity: Expr::int(16).min(len),
                     });
                 }
                 self.workspaces
-                    .insert(ws_name.clone(), WsInfo { dims, needs_list, drainable });
+                    .insert(ws_name.clone(), WsInfo { dims, needs_list, drainable, kind });
             }
 
             let info = &self.workspaces[&ws_name];
-            if !info.drainable && self.opts.kind != KernelKind::Assemble {
-                // Re-zero at each where execution (Figure 10 line 6).
-                out.push(Stmt::Memset { arr: ws_name.clone(), val: Expr::float(0.0) });
+            if info.kind == WorkspaceKind::Dense {
+                if !info.drainable && self.opts.kind != KernelKind::Assemble {
+                    // Re-zero at each where execution (Figure 10 line 6).
+                    out.push(Stmt::Memset { arr: ws_name.clone(), val: Expr::float(0.0) });
+                }
+                if info.needs_list {
+                    out.push(Stmt::DeclInt(size_name(&ws_name), Expr::int(0)));
+                }
             }
-            if info.needs_list {
-                out.push(Stmt::DeclInt(size_name(&ws_name), Expr::int(0)));
-            }
+            // Map workspaces need no per-where reset: a drain empties them.
             if info.drainable {
                 my_drains.push(ws_name.clone());
             }
@@ -539,6 +579,57 @@ impl<'o> Lowerer<'o> {
             }
         });
         drain
+    }
+
+    /// Decides the storage backend for a workspace and validates that the
+    /// statement's shape supports it. Map workspaces (hash / coord-list)
+    /// only lower when the consumer fully drains the workspace in sorted
+    /// key order — random access into a map has no provably-clean idiom, so
+    /// ineligible shapes error and the budget/retry ladders skip the rung.
+    fn map_kind_for(
+        &self,
+        ws_name: &str,
+        ws_var: &TensorVar,
+        consumer: &ConcreteStmt,
+        needs_list: bool,
+        drainable: bool,
+    ) -> Result<WorkspaceKind> {
+        let kind = self.opts.workspace_kind;
+        if kind == WorkspaceKind::Dense {
+            return Ok(WorkspaceKind::Dense);
+        }
+        if ws_var.rank() != 1 {
+            return Err(LowerError::Unsupported(format!(
+                "{kind} workspace `{ws_name}` has rank {}; map workspaces are rank-1 only",
+                ws_var.rank()
+            )));
+        }
+        if self.opts.f32_workspaces {
+            return Err(LowerError::Unsupported(format!(
+                "{kind} workspace `{ws_name}`: map workspaces are double-precision only"
+            )));
+        }
+        if !needs_list && !drainable {
+            // Figure 10's shape: another tensor's sparsity drives the
+            // consumer, which random-accesses the workspace.
+            return Err(LowerError::Unsupported(format!(
+                "{kind} workspace `{ws_name}` is not fully drained by its consumer; \
+                 map workspaces require a draining consumer"
+            )));
+        }
+        if self.opts.kind == KernelKind::Compute
+            && self.result_sparse_level.is_some()
+            && consumer_feeds_result(consumer, ws_name, self.result.name())
+        {
+            // A compute kernel drains through the pre-assembled result
+            // structure (Figure 1d): that iterates `crd`, then reads the
+            // workspace at each coordinate — random access again.
+            return Err(LowerError::Unsupported(format!(
+                "{kind} workspace `{ws_name}` would drain through a pre-assembled sparse \
+                 result structure; map workspaces cannot be randomly accessed"
+            )));
+        }
+        Ok(kind)
     }
 
     fn lower_forall(
@@ -680,6 +771,12 @@ impl<'o> Lowerer<'o> {
             if ws_before.contains(name) {
                 continue;
             }
+            if info.kind != WorkspaceKind::Dense {
+                // Map workspaces are machine state, not bound arrays: the
+                // executor clones them per worker, so they are inherently
+                // thread-private and never appear in the private list.
+                continue;
+            }
             private.push(name.clone());
             if info.needs_list {
                 private.push(list_name(name));
@@ -760,8 +857,13 @@ impl<'o> Lowerer<'o> {
         }
     }
 
-    /// `for (v = 0; v < dim; v++) body`
+    /// `for (v = 0; v < dim; v++) body` — or, when the body drains a map
+    /// workspace at exactly this variable, a sorted map drain over the
+    /// touched keys (the map analog of Figure 9's dense drain loop).
     fn dense_loop(&mut self, var: &IndexVar, body: &ConcreteStmt, ctx: &Ctx) -> Result<Vec<Stmt>> {
+        if let Some(ws) = self.map_drain_at(var, body, ctx)? {
+            return self.map_drain_loop(var, body, &ws, ctx);
+        }
         let dim = self
             .var_dims
             .get(var.name())
@@ -769,6 +871,74 @@ impl<'o> Lowerer<'o> {
             .ok_or_else(|| LowerError::NoRangeForVar(var.name().to_string()))?;
         let inner = self.lower_stmt(body, ctx)?;
         Ok(vec![Stmt::for_(var.name(), Expr::int(0), dim, inner)])
+    }
+
+    /// Finds the map workspace the body drains at `var`, if any. The drain
+    /// only iterates *touched* keys, so it is valid only when zeroing the
+    /// workspace vanishes the body (untouched keys then contribute exactly
+    /// what the dense loop's `+= 0` iterations would).
+    fn map_drain_at(
+        &self,
+        var: &IndexVar,
+        body: &ConcreteStmt,
+        ctx: &Ctx,
+    ) -> Result<Option<String>> {
+        let mut found: Vec<String> = Vec::new();
+        body.visit(&mut |s| {
+            if let ConcreteStmt::Assign { rhs, .. } = s {
+                for a in rhs.accesses() {
+                    let name = a.tensor().name();
+                    let is_map_drain = ctx.drains.iter().any(|d| d == name)
+                        && self
+                            .workspaces
+                            .get(name)
+                            .is_some_and(|w| w.kind != WorkspaceKind::Dense)
+                        && a.vars().len() == 1
+                        && &a.vars()[0] == var;
+                    if is_map_drain && !found.iter().any(|f| f == name) {
+                        found.push(name.to_string());
+                    }
+                }
+            }
+        });
+        match found.len() {
+            0 => Ok(None),
+            1 => {
+                let ws = found.remove(0);
+                let absent: HashSet<String> = std::iter::once(ws.clone()).collect();
+                if restrict_stmt(body, &absent).is_some() {
+                    return Err(LowerError::Unsupported(format!(
+                        "map workspace `{ws}`: the consumer contributes values at untouched \
+                         keys, which a sorted drain over touched keys cannot reproduce"
+                    )));
+                }
+                Ok(Some(ws))
+            }
+            _ => Err(LowerError::Unsupported(format!(
+                "multiple map workspaces ({found:?}) drained in one loop"
+            ))),
+        }
+    }
+
+    /// `MapDrainSorted` over the touched keys, binding the loop variable to
+    /// each key and substituting workspace reads with the drained value.
+    fn map_drain_loop(
+        &mut self,
+        var: &IndexVar,
+        body: &ConcreteStmt,
+        ws: &str,
+        ctx: &Ctx,
+    ) -> Result<Vec<Stmt>> {
+        let val = map_val_name(ws);
+        self.map_drain_val.insert(ws.to_string(), val.clone());
+        let inner = self.lower_stmt(body, ctx);
+        self.map_drain_val.remove(ws);
+        Ok(vec![Stmt::MapDrainSorted {
+            map: ws.to_string(),
+            key: var.name().to_string(),
+            val,
+            body: inner?,
+        }])
     }
 
     /// `for (pX = X_pos[parent]; pX < X_pos[parent+1]; pX++) { v = X_crd[pX]; body }`
@@ -973,6 +1143,10 @@ impl<'o> Lowerer<'o> {
                 ))
             })?;
 
+        if self.workspaces[&ws].kind != WorkspaceKind::Dense {
+            return self.map_wlist_drain(var, body, &ws, ctx);
+        }
+
         let l = self.result_sparse_level.expect("wlist loop implies sparse result");
         self.append_used = true;
         self.ensure_counter();
@@ -1020,6 +1194,63 @@ impl<'o> Lowerer<'o> {
         Ok(out)
     }
 
+    /// Map-workspace analog of [`Lowerer::wlist_driven_loop`]: the drain
+    /// yields `(coordinate, value)` pairs in ascending key order — already
+    /// sorted, so the coordinate-list sort pass disappears — and each entry
+    /// appends one result nonzero.
+    fn map_wlist_drain(
+        &mut self,
+        var: &IndexVar,
+        body: &ConcreteStmt,
+        ws: &str,
+        ctx: &Ctx,
+    ) -> Result<Vec<Stmt>> {
+        let l = self.result_sparse_level.expect("wlist loop implies sparse result");
+        self.append_used = true;
+        self.ensure_counter();
+        let counter = self.counter_name();
+        let val = map_val_name(ws);
+
+        self.pos.insert((self.result.name().to_string(), l), Expr::var(&counter));
+        self.map_drain_val.insert(ws.to_string(), val.clone());
+
+        // Grow the crd (and value) arrays by doubling (Figure 8 lines 26-29).
+        let crd = crd_name(self.result.name(), l);
+        let mut inner = vec![Stmt::if_(
+            Expr::len(&crd).le(Expr::var(&counter)),
+            vec![Stmt::Realloc {
+                arr: crd.clone(),
+                len: (Expr::var(&counter) + Expr::int(1)) * Expr::int(2),
+            }],
+        )];
+        inner.push(Stmt::store(&crd, Expr::var(&counter), Expr::var(var.name())));
+        let lowered = if self.opts.kind == KernelKind::Fused {
+            let vals = self.result.name().to_string();
+            inner.push(Stmt::if_(
+                Expr::len(&vals).le(Expr::var(&counter)),
+                vec![Stmt::Realloc {
+                    arr: vals.clone(),
+                    len: (Expr::var(&counter) + Expr::int(1)) * Expr::int(2),
+                }],
+            ));
+            self.lower_stmt(body, ctx)
+        } else {
+            // Assemble kernels append structure only.
+            Ok(Vec::new())
+        };
+        self.map_drain_val.remove(ws);
+        self.pos.remove(&(self.result.name().to_string(), l));
+        inner.extend(lowered?);
+        inner.push(Stmt::incr(&counter));
+
+        Ok(vec![Stmt::MapDrainSorted {
+            map: ws.to_string(),
+            key: var.name().to_string(),
+            val,
+            body: inner,
+        }])
+    }
+
     fn ensure_counter(&mut self) {
         if !self.counter_declared {
             self.counter_declared = true;
@@ -1042,9 +1273,19 @@ impl<'o> Lowerer<'o> {
         let assemble = self.opts.kind == KernelKind::Assemble;
 
         // Workspace with coordinate tracking: guard-insert (Figure 8
-        // lines 15-18).
+        // lines 15-18). Map workspaces track their own keys, so an assemble
+        // kernel records the coordinate with a zero-valued put instead.
         if let Some(info) = self.workspaces.get(&lhs_name) {
-            if info.needs_list && self.opts.kind != KernelKind::Compute {
+            if info.kind != WorkspaceKind::Dense {
+                if assemble {
+                    out.push(Stmt::MapScatter {
+                        map: lhs_name.clone(),
+                        key: Expr::var(lhs.vars()[0].name()),
+                        val: Expr::float(0.0),
+                        add: false,
+                    });
+                }
+            } else if info.needs_list && self.opts.kind != KernelKind::Compute {
                 let coord = Expr::var(lhs.vars()[0].name());
                 let sz = size_name(&lhs_name);
                 out.push(Stmt::if_(
@@ -1101,10 +1342,19 @@ impl<'o> Lowerer<'o> {
                 }
             }
         } else if self.workspaces.contains_key(&lhs_name) {
-            let off = self.ws_offset(lhs)?;
-            match op {
-                AssignOp::Assign => out.push(Stmt::store(&lhs_name, off, val)),
-                AssignOp::Accum => out.push(Stmt::store_add(&lhs_name, off, val)),
+            if self.workspaces[&lhs_name].kind != WorkspaceKind::Dense {
+                out.push(Stmt::MapScatter {
+                    map: lhs_name.clone(),
+                    key: Expr::var(lhs.vars()[0].name()),
+                    val,
+                    add: op == AssignOp::Accum,
+                });
+            } else {
+                let off = self.ws_offset(lhs)?;
+                match op {
+                    AssignOp::Assign => out.push(Stmt::store(&lhs_name, off, val)),
+                    AssignOp::Accum => out.push(Stmt::store_add(&lhs_name, off, val)),
+                }
             }
         } else {
             // The result tensor.
@@ -1117,9 +1367,12 @@ impl<'o> Lowerer<'o> {
         }
 
         // Drain read workspaces (Figures 1d line 14, 5b line 16, 9 line 22).
+        // Map workspaces are emptied by their `MapDrainSorted` loop instead.
         for a in rhs.accesses() {
             let name = a.tensor().name();
-            if ctx.drains.iter().any(|d| d == name) {
+            if ctx.drains.iter().any(|d| d == name)
+                && self.workspaces.get(name).is_some_and(|w| w.kind == WorkspaceKind::Dense)
+            {
                 let off = self.ws_offset(a)?;
                 out.push(Stmt::store(name, off, Expr::float(0.0)));
             }
@@ -1136,6 +1389,9 @@ impl<'o> Lowerer<'o> {
                 let name = a.tensor().name();
                 if self.scalar_temps.contains(name) {
                     Expr::var(name)
+                } else if let Some(v) = self.map_drain_val.get(name) {
+                    // Inside this workspace's drain: the value is bound.
+                    Expr::var(v)
                 } else if self.workspaces.contains_key(name) {
                     let off = self.ws_offset(a)?;
                     Expr::load(name, off)
@@ -1241,6 +1497,9 @@ fn set_name(ws: &str) -> String {
 }
 fn size_name(ws: &str) -> String {
     format!("{ws}_size")
+}
+fn map_val_name(ws: &str) -> String {
+    format!("{ws}_val")
 }
 
 fn collect_producer_written(stmt: &ConcreteStmt, in_producer: bool, out: &mut HashSet<String>) {

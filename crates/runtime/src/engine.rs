@@ -12,6 +12,7 @@ use taco_core::{
     CompiledKernel, FallbackEvent, IndexStmt, ResourceBudget, Supervisor, SupervisedOutcome,
     VerifyMode,
 };
+use taco_llir::WorkspaceKind;
 use taco_lower::LowerOptions;
 use taco_tensor::Tensor;
 
@@ -365,6 +366,7 @@ impl Engine {
                 Some(n) => opts.with_threads(n),
                 None => opts,
             };
+            let opts = opts.with_workspace_kind(cand.workspace_kind);
             let result = self.run(&cand.stmt, opts, inputs)?;
             return Ok(TunedOutcome { result, schedule, tuned: false });
         }
@@ -373,7 +375,7 @@ impl Engine {
         let candidates = enumerate_candidates(stmt);
         let total = candidates.len();
         let mut viable = 0usize;
-        let mut best: Option<(String, Option<usize>, Tensor, u64)> = None;
+        let mut best: Option<(String, Option<usize>, WorkspaceKind, Tensor, u64)> = None;
         'candidates: for cand in candidates {
             // A parallel candidate is timed at explicit thread counts (two
             // and the machine width) so the remembered decision also says
@@ -404,6 +406,7 @@ impl Engine {
                     Some(n) => opts.clone().with_threads(n),
                     None => opts.clone(),
                 };
+                let run_opts = run_opts.with_workspace_kind(cand.workspace_kind);
                 let Ok(kernel) = self.compile(&cand.stmt, run_opts) else {
                     continue;
                 };
@@ -422,21 +425,43 @@ impl Engine {
                         // clear margin (5%): candidates are enumerated
                         // simplest-first, so near-ties deterministically
                         // keep the simpler schedule instead of flipping on
-                        // timing noise.
-                        if best.as_ref().is_none_or(|(_, _, _, b)| nanos * 100 < *b * 95) {
-                            best = Some((cand.name.clone(), threads, result, nanos));
+                        // timing noise. Sparse workspace backends need a
+                        // decisive win (40%): on small operands their times
+                        // sit within noise of their dense twin, and their
+                        // real role is the budget ladder, not shaving
+                        // single-digit percents here.
+                        let margin = if cand.workspace_kind == WorkspaceKind::Dense {
+                            95
+                        } else {
+                            60
+                        };
+                        if best.as_ref().is_none_or(|(_, _, _, _, b)| nanos * 100 < *b * margin) {
+                            best = Some((
+                                cand.name.clone(),
+                                threads,
+                                cand.workspace_kind,
+                                result,
+                                nanos,
+                            ));
                         }
                     }
                     Err(_) => continue,
                 }
             }
         }
-        let Some((schedule, threads, result, best_nanos)) = best else {
+        let Some((schedule, threads, workspace_kind, result, best_nanos)) = best else {
             return Err(EngineError::NoViableCandidate { candidates: total });
         };
         self.tuner.record(
             key,
-            TuneDecision { schedule: schedule.clone(), best_nanos, threads, candidates: total, viable },
+            TuneDecision {
+                schedule: schedule.clone(),
+                best_nanos,
+                threads,
+                workspace_kind,
+                candidates: total,
+                viable,
+            },
         );
         self.push_event(EngineEvent::Autotuned {
             key,

@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use taco_core::fingerprint::fingerprint_stmt;
 use taco_core::IndexStmt;
+use taco_llir::WorkspaceKind;
 use taco_tensor::{ModeFormat, Tensor};
 
 /// The identity of one autotune decision: *which* computation, on *what
@@ -123,6 +124,10 @@ pub struct TuneDecision {
     /// means the winner was serial (or parallel with automatic thread
     /// resolution); reuse then runs the schedule unpinned.
     pub threads: Option<usize>,
+    /// The workspace storage backend the winning candidate was compiled
+    /// with (dense for every candidate without a `workspace(...)` variant
+    /// suffix).
+    pub workspace_kind: WorkspaceKind,
     /// How many candidates were enumerated for this key.
     pub candidates: usize,
     /// How many of them compiled and ran to completion.

@@ -68,6 +68,10 @@ pub(crate) struct Analyzer<'a> {
     race_stack: Vec<RaceCtx>,
     /// Arrays already reported as read-uninitialized (one diagnostic each).
     reported_undef: HashSet<String>,
+    /// Map workspaces established by a `MapInit` on the current path.
+    inited_maps: HashSet<String>,
+    /// Maps already reported as used-before-init (one diagnostic each).
+    reported_maps: HashSet<String>,
 }
 
 impl<'a> Analyzer<'a> {
@@ -88,6 +92,8 @@ impl<'a> Analyzer<'a> {
             path: Vec::new(),
             race_stack: Vec::new(),
             reported_undef: HashSet::new(),
+            inited_maps: HashSet::new(),
+            reported_maps: HashSet::new(),
         };
         for p in &kernel.array_params {
             a.known_arrays.insert(p.name.clone());
@@ -313,6 +319,10 @@ impl<'a> Analyzer<'a> {
                 self.walk_loop(var, lo, hi, &hi_sym, body, Some((private, append)));
                 let ctx = self.race_stack.pop().expect("pushed by walk_loop");
                 race::analyze(self, ctx, s);
+                // Map workspaces are cloned per worker and discarded at
+                // join: entries scattered but not drained inside the same
+                // parallel body are silently lost.
+                self.check_parallel_map_drains(var, body, s);
             }
             Stmt::While { cond, body } => {
                 self.check_expr(cond, s);
@@ -396,9 +406,74 @@ impl<'a> Analyzer<'a> {
                     ctx.record_whole_array(arr, stmt_to_c(s));
                 }
             }
+            Stmt::MapInit { map, capacity, .. } => {
+                self.check_expr(capacity, s);
+                self.inited_maps.insert(map.clone());
+            }
+            Stmt::MapScatter { map, key, val, .. } => {
+                self.check_expr(key, s);
+                self.check_expr(val, s);
+                self.check_map_inited(map, s);
+            }
+            Stmt::MapDrainSorted { map, key, val, body } => {
+                self.check_map_inited(map, s);
+                let saved = self.env.clone();
+                self.havoc_assigned(body);
+                // The drain binds each touched key (an arbitrary integer
+                // coordinate) and its accumulated value.
+                let k_atom = self.fresh_atom();
+                self.env.insert(key.clone(), Sym::atom(k_atom));
+                self.non_int.insert(val.clone());
+                self.walk_block(body);
+                self.env = saved;
+                self.havoc_assigned(body);
+            }
             Stmt::Comment(_) => {}
         }
         let _ = (block, at);
+    }
+
+    fn check_map_inited(&mut self, map: &str, stmt: &Stmt) {
+        if !self.inited_maps.contains(map) && self.reported_maps.insert(map.to_string()) {
+            self.diag(
+                VerifyError::MapNotInitialized { map: map.to_string() },
+                Severity::Deny,
+                stmt,
+            );
+        }
+    }
+
+    /// Denies parallel bodies that scatter into a map workspace without
+    /// draining it before the iteration ends (worker-local maps are
+    /// discarded at join — the updates would be lost).
+    fn check_parallel_map_drains(&mut self, var: &str, body: &[Stmt], s: &Stmt) {
+        let mut scattered: Vec<String> = Vec::new();
+        let mut drained: HashSet<String> = HashSet::new();
+        visit_stmts(body, &mut |t| match t {
+            Stmt::MapScatter { map, .. } if !scattered.contains(map) => {
+                scattered.push(map.clone());
+            }
+            Stmt::MapDrainSorted { map, .. } => {
+                drained.insert(map.clone());
+            }
+            _ => {}
+        });
+        for map in scattered {
+            if !drained.contains(&map) {
+                self.diag(
+                    VerifyError::DataRace {
+                        name: map.clone(),
+                        var: var.to_string(),
+                        detail: "a map workspace is scattered into but never drained inside \
+                                 the parallel body; worker-local maps are discarded at join, \
+                                 losing the updates"
+                            .to_string(),
+                    },
+                    Severity::Deny,
+                    s,
+                );
+            }
+        }
     }
 
     /// Shared loop handling: bind the loop variable to a fresh atom bounded
@@ -553,6 +628,10 @@ pub(crate) fn collect_decls(body: &[Stmt]) -> Vec<String> {
     visit_stmts(body, &mut |s| match s {
         Stmt::DeclInt(v, _) | Stmt::DeclFloat(v, _) | Stmt::DeclBool(v, _) => out.push(v.clone()),
         Stmt::For { var, .. } | Stmt::ParallelFor { var, .. } => out.push(var.clone()),
+        Stmt::MapDrainSorted { key, val, .. } => {
+            out.push(key.clone());
+            out.push(val.clone());
+        }
         _ => {}
     });
     out
@@ -564,7 +643,8 @@ pub(crate) fn visit_stmts(body: &[Stmt], f: &mut impl FnMut(&Stmt)) {
         match s {
             Stmt::For { body, .. }
             | Stmt::ParallelFor { body, .. }
-            | Stmt::While { body, .. } => visit_stmts(body, f),
+            | Stmt::While { body, .. }
+            | Stmt::MapDrainSorted { body, .. } => visit_stmts(body, f),
             Stmt::If { then, els, .. } => {
                 visit_stmts(then, f);
                 visit_stmts(els, f);

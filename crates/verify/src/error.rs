@@ -69,6 +69,12 @@ pub enum VerifyError {
         /// Why the accesses conflict.
         detail: String,
     },
+    /// A map workspace (hash / coord-list) is scattered into or drained
+    /// before any `MapInit` establishes its slots on some path.
+    MapNotInitialized {
+        /// The map workspace used too early.
+        map: String,
+    },
     /// A bound or disjointness obligation the verifier could neither prove
     /// nor refute (reported at warn severity).
     Unproven {
@@ -99,6 +105,9 @@ impl fmt::Display for VerifyError {
                 f,
                 "parallel loop over `{var}` has conflicting accesses to `{name}`: {detail}"
             ),
+            VerifyError::MapNotInitialized { map } => {
+                write!(f, "map workspace `{map}` is used before any MapInit establishes it")
+            }
             VerifyError::Unproven { obligation } => {
                 write!(f, "could not prove: {obligation}")
             }

@@ -122,6 +122,10 @@ fn stmt_uses(s: &Stmt, arr: &str) -> bool {
                 }
                 vec![lo, hi]
             }
+            Stmt::MapInit { capacity, .. } => vec![capacity],
+            Stmt::MapScatter { key, val, .. } => vec![key, val],
+            // Drain bodies are visited by the surrounding recursion.
+            Stmt::MapDrainSorted { .. } => vec![],
             Stmt::Comment(_) => vec![],
         };
         if exprs.iter().any(|e| expr_reads(e, arr)) {
@@ -233,8 +237,82 @@ fn stmt_requirement(s: &Stmt, arr: &str) -> Req {
                 Req::Nothing
             }
         }
+        Stmt::MapInit { capacity, .. } => {
+            if expr_reads(capacity, arr) {
+                Req::Reads
+            } else {
+                Req::Nothing
+            }
+        }
+        Stmt::MapScatter { key, val, .. } => {
+            if reads_any(&[key, val]) {
+                Req::Reads
+            } else {
+                Req::Nothing
+            }
+        }
+        Stmt::MapDrainSorted { body, .. } => match requirement(body, arr) {
+            Req::Reads => Req::Reads,
+            // A drain over an empty map runs its body zero times.
+            _ => Req::Nothing,
+        },
         Stmt::Comment(_) => Req::Nothing,
     }
+}
+
+/// What the block requires of map workspace `m` at entry: any scatter or
+/// drain assumes the map holds exactly this iteration's entries, i.e. it
+/// was empty at entry; a re-`MapInit` defines it.
+fn map_requirement(block: &[Stmt], m: &str) -> Req {
+    for s in block {
+        let req = map_stmt_requirement(s, m);
+        if req != Req::Nothing {
+            return req;
+        }
+    }
+    Req::Nothing
+}
+
+fn map_stmt_requirement(s: &Stmt, m: &str) -> Req {
+    match s {
+        Stmt::MapInit { map, .. } if map == m => Req::Defines,
+        Stmt::MapScatter { map, .. } | Stmt::MapDrainSorted { map, .. } if map == m => Req::Reads,
+        Stmt::For { body, .. }
+        | Stmt::ParallelFor { body, .. }
+        | Stmt::While { body, .. }
+        | Stmt::MapDrainSorted { body, .. } => match map_requirement(body, m) {
+            Req::Reads => Req::Reads,
+            // Loop and drain bodies may run zero times.
+            _ => Req::Nothing,
+        },
+        Stmt::If { then, els, .. } => {
+            let (t, e) = (map_requirement(then, m), map_requirement(els, m));
+            if t == Req::Reads || e == Req::Reads {
+                Req::Reads
+            } else if t == Req::Defines && e == Req::Defines {
+                Req::Defines
+            } else {
+                Req::Nothing
+            }
+        }
+        _ => Req::Nothing,
+    }
+}
+
+/// Does the statement use map workspace `m` at all?
+fn stmt_uses_map(s: &Stmt, m: &str) -> bool {
+    let mut used = false;
+    visit_stmts(std::slice::from_ref(s), &mut |t| match t {
+        Stmt::MapInit { map, .. }
+        | Stmt::MapScatter { map, .. }
+        | Stmt::MapDrainSorted { map, .. }
+            if map == m =>
+        {
+            used = true;
+        }
+        _ => {}
+    });
+    used
 }
 
 /// Simulation context shared across one phase loop's body.
@@ -302,6 +380,23 @@ impl Sim<'_> {
                 // the loop runs zero times.
                 for a in drained {
                     state.insert(a, Z::Clean);
+                }
+            }
+            // Map-workspace idioms: a re-init or a sorted drain empties the
+            // map (the fourth drain idiom); a scatter dirties it.
+            Stmt::MapInit { map, .. } if state.contains_key(map) => {
+                state.insert(map.clone(), Z::Clean);
+            }
+            Stmt::MapScatter { map, .. } if state.contains_key(map) => {
+                state.insert(map.clone(), Z::Dirty);
+            }
+            Stmt::MapDrainSorted { map, body, .. } => {
+                let mut inner = state.clone();
+                self.sim_block(body, &mut inner);
+                Sim::join(state, &inner);
+                if state.contains_key(map) {
+                    // The drain removes every entry, touched or not.
+                    state.insert(map.clone(), Z::Clean);
                 }
             }
             _ => {}
@@ -414,6 +509,7 @@ pub(crate) fn check(
 ) {
     let lists: HashSet<&String> = groups.iter().map(|g| &g.list).collect();
     let mut alloc_len: HashMap<String, Sym> = HashMap::new();
+    let mut map_ws: HashSet<String> = HashSet::new();
     let mut fresh_outer = 0u64;
     for (i, s) in kernel.body.iter().enumerate() {
         if let Stmt::Alloc { arr, len, .. } = s {
@@ -424,6 +520,13 @@ pub(crate) fn check(
             }
             continue;
         }
+        if let Stmt::MapInit { map, .. } = s {
+            // Map workspaces start empty and carry the same between-phase
+            // obligation as zero-filled arrays: empty again at iteration
+            // exit.
+            map_ws.insert(map.clone());
+            continue;
+        }
         let (Stmt::For { body, .. } | Stmt::ParallelFor { body, .. } | Stmt::While { body, .. }) =
             s
         else {
@@ -432,6 +535,11 @@ pub(crate) fn check(
         let obligated: Vec<String> = alloc_len
             .keys()
             .filter(|a| stmt_uses(s, a) && requirement(body, a) == Req::Reads)
+            .chain(
+                map_ws
+                    .iter()
+                    .filter(|m| stmt_uses_map(s, m) && map_requirement(body, m) == Req::Reads),
+            )
             .cloned()
             .collect();
         if obligated.is_empty() {

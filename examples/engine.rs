@@ -73,5 +73,64 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for event in engine.last_events() {
         println!("  - {event}");
     }
+
+    // --- Low-budget mode (TACO_BUDGET_BYTES) ------------------------------
+    // CI's low-budget matrix sets TACO_BUDGET_BYTES to a few kilobytes: the
+    // dense row workspace of a 1024-column SpGEMM (~17 KB) no longer fits,
+    // so the engine must complete the request through a sparse workspace —
+    // either the compile-time downgrade (DESIGN.md §13) or an explicit
+    // `workspace(...)` candidate winning the race — not direct merge, which
+    // cannot lower for a CSR result at all.
+    let budget = ResourceBudget::from_env();
+    if !budget.is_unlimited() {
+        use taco_tensor::gen::{random_csr_nnz, Pattern};
+        let n = 1024; // 256 nonzeros per operand: huge rows, tiny working set
+        let lb = random_csr_nnz(n, n, 256, Pattern::Uniform, 7).to_tensor();
+        let lc = random_csr_nnz(n, n, 256, Pattern::Uniform, 8).to_tensor();
+        let a = TensorVar::new("A", vec![n, n], Format::csr());
+        let b = TensorVar::new("B", vec![n, n], Format::csr());
+        let c = TensorVar::new("C", vec![n, n], Format::csr());
+        let (i, j, k) = (IndexVar::new("i"), IndexVar::new("j"), IndexVar::new("k"));
+        let source = IndexAssignment::assign(
+            a.access([i.clone(), j.clone()]),
+            sum(k.clone(), b.access([i.clone(), k.clone()]) * c.access([k.clone(), j.clone()])),
+        );
+        let big = IndexStmt::new(source.clone())?;
+
+        let low = Engine::builder().budget(budget).verify(VerifyMode::Deny).build();
+        let tuned = low.run_tuned(&big, LowerOptions::fused("spgemm"), &[("B", &lb), ("C", &lc)])?;
+
+        // Oracle: the Figure 2 dense-workspace kernel, compiled with no
+        // budget (the dense evaluator is O(n³) — too slow at n = 1024).
+        let mul = b.access([i.clone(), k.clone()]) * c.access([k.clone(), j.clone()]);
+        let mut fig2 = IndexStmt::new(source)?;
+        fig2.reorder(&k, &j)?;
+        let w = TensorVar::new("w", vec![n], Format::dvec());
+        fig2.precompute(&mul, &[(j.clone(), j.clone(), j.clone())], &w)?;
+        let unconstrained = Engine::new()
+            .compile(&fig2, LowerOptions::fused("spgemm"))?
+            .run(&[("B", &lb), ("C", &lc)])?;
+        assert!(tuned.result.to_dense().approx_eq(&unconstrained.to_dense(), 1e-10));
+
+        let downgraded = low.last_events().iter().any(|e| {
+            matches!(e, EngineEvent::Fallback(FallbackEvent::WorkspaceDowngraded { .. }))
+        });
+        assert!(
+            downgraded || tuned.schedule.contains("workspace("),
+            "budget {budget:?} should have forced a sparse workspace, \
+             not `{}`",
+            tuned.schedule
+        );
+        println!("\nlow-budget event log:");
+        for event in low.last_events() {
+            println!("  - {event}");
+        }
+        println!(
+            "low-budget: SpGEMM completed via sparse workspace \
+             (budget {} bytes, schedule `{}`)",
+            budget.max_workspace_bytes.unwrap_or(0),
+            tuned.schedule
+        );
+    }
     Ok(())
 }

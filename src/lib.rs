@@ -67,6 +67,7 @@ pub mod prelude {
     pub use taco_ir::concrete::{AssignOp, ConcreteStmt};
     pub use taco_ir::expr::{sum, IndexExpr, IndexVar, TensorVar};
     pub use taco_ir::notation::IndexAssignment;
+    pub use taco_llir::WorkspaceKind;
     pub use taco_lower::{KernelKind, LowerOptions};
     pub use taco_runtime::{CacheStats, Engine, EngineConfig, EngineError, EngineEvent, TuneKey};
     pub use taco_tensor::{Csf3, Csr, DenseTensor, Format, ModeFormat, Tensor};

@@ -575,3 +575,100 @@ fn corrupted_raw_csr_and_csf_are_rejected_by_validate() {
     );
     assert!(bad.validate().is_err());
 }
+
+#[test]
+fn deadline_abort_rolls_back_hash_and_coord_list_workspace_kernels() {
+    // The sparse workspace backends drain straight into the result arrays,
+    // so a mid-drain abort must roll those arrays back like any other
+    // transactional write. The map itself is kernel-local machine state and
+    // never part of the binding.
+    let (stmt, b, c) = big_spgemm();
+    for kind in [WorkspaceKind::Hash, WorkspaceKind::CoordList] {
+        let kernel = stmt
+            .compile(LowerOptions::fused("spgemm").with_workspace_kind(kind))
+            .unwrap();
+        let mut binding = kernel.bind(&[("B", &b), ("C", &c)], None).unwrap();
+        let before = binding.clone();
+
+        let supervisor = Supervisor::new().with_deadline(Duration::from_millis(20));
+        let err = kernel.run_bound_supervised(&mut binding, &supervisor).unwrap_err();
+        match err {
+            CoreError::Aborted(a) => {
+                assert!(
+                    matches!(a.reason, AbortReason::DeadlineExceeded { .. }),
+                    "{kind}: expected a deadline abort, got {}",
+                    a.reason
+                );
+                assert!(a.progress.iterations > 0, "{kind}: kernel should have made progress");
+            }
+            other => panic!("{kind}: expected CoreError::Aborted, got {other}"),
+        }
+        assert_eq!(binding, before, "{kind}: aborted run must leave the binding byte-identical");
+    }
+}
+
+#[test]
+fn mid_execution_cancellation_rolls_back_sparse_workspace_kernels() {
+    let (stmt, b, c) = big_spgemm();
+    for kind in [WorkspaceKind::Hash, WorkspaceKind::CoordList] {
+        let kernel = stmt
+            .compile(LowerOptions::fused("spgemm").with_workspace_kind(kind))
+            .unwrap();
+        let mut binding = kernel.bind(&[("B", &b), ("C", &c)], None).unwrap();
+        let before = binding.clone();
+
+        let token = CancelToken::new();
+        let supervisor = Supervisor::new().with_cancel_token(token.clone());
+        let canceller = std::thread::spawn({
+            let token = token.clone();
+            move || {
+                std::thread::sleep(Duration::from_millis(5));
+                token.cancel();
+            }
+        });
+        let err = kernel.run_bound_supervised(&mut binding, &supervisor).unwrap_err();
+        canceller.join().unwrap();
+        match err {
+            CoreError::Aborted(a) => {
+                assert_eq!(a.reason, AbortReason::Cancelled, "{kind}");
+                assert!(!a.reason.is_retryable(), "{kind}: cancellation must not ladder");
+            }
+            other => panic!("{kind}: expected CoreError::Aborted, got {other}"),
+        }
+        assert_eq!(binding, before, "{kind}: cancelled run must leave the binding byte-identical");
+    }
+}
+
+#[test]
+fn over_budget_spgemm_completes_through_a_sparse_workspace_rung() {
+    // The graceful-degradation acceptance case: a workspace budget far below
+    // the dense footprint no longer dooms SpGEMM (whose direct form cannot
+    // lower) — the compile downgrades the workspace to a sparse backend,
+    // records the typed event, and the result is byte-identical to the
+    // unbudgeted kernel's.
+    let n = 1024;
+    let stmt = scheduled_spgemm(n);
+    let b = gen::random_csr_nnz(n, n, 256, gen::Pattern::Uniform, 41).to_tensor();
+    let c = gen::random_csr_nnz(n, n, 256, gen::Pattern::Uniform, 42).to_tensor();
+    let expect = stmt
+        .compile(LowerOptions::fused("spgemm"))
+        .unwrap()
+        .run(&[("B", &b), ("C", &c)])
+        .unwrap();
+
+    // Dense workspace estimate is n * 17 bytes; allow roughly half.
+    let budget = ResourceBudget::unlimited().with_max_workspace_bytes(9000);
+    let kernel = stmt
+        .compile_checked(LowerOptions::fused("spgemm"), budget, VerifyMode::Deny)
+        .expect("sparse workspace rung must compile under the tiny budget");
+    match &kernel.fallback_events()[0] {
+        FallbackEvent::WorkspaceDowngraded { workspace, to, estimated_bytes, budget_bytes, .. } => {
+            assert_eq!(workspace, "w");
+            assert_ne!(*to, WorkspaceKind::Dense);
+            assert!(estimated_bytes > budget_bytes);
+        }
+        other => panic!("expected WorkspaceDowngraded, got {other}"),
+    }
+    let got = kernel.run(&[("B", &b), ("C", &c)]).unwrap();
+    assert_eq!(got, expect, "downgraded kernel must be byte-identical");
+}

@@ -7,6 +7,7 @@ use taco_core::{AbortReason, DegradeRung, FallbackEvent, IndexStmt, ResourceBudg
 use taco_ir::expr::{sum, IndexExpr, IndexVar, TensorVar};
 use taco_ir::notation::IndexAssignment;
 use taco_ir::transform;
+use taco_llir::WorkspaceKind;
 use taco_lower::LowerOptions;
 use taco_tensor::gen::{random_csf3, random_csr};
 use taco_tensor::{Csr, Format, Tensor};
@@ -424,5 +425,155 @@ proptest! {
             "expected a recorded budget abort, got {:?}", outcome.fallbacks
         );
         check(&source, &outcome.result, &[("B", &bt), ("C", &ct)]);
+    }
+}
+
+// Differential properties for the sparse workspace backends (the
+// graceful-degradation rungs): hash-map and coordinate-list workspaces must
+// be *byte-identical* — same pos/crd, bitwise-equal values — to the dense
+// workspace kernel and, where the untransformed statement lowers, to the
+// direct merge kernel. Per-key accumulation order equals the producer's
+// loop order and the sorted drain equals dense iteration order, so even
+// floating-point bits must agree.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// SpGEMM: every workspace backend, serial and parallelized, produces
+    /// the identical CSR tensor.
+    #[test]
+    fn workspace_kinds_agree_on_spgemm(
+        m in 1usize..20,
+        k in 1usize..20,
+        n in 1usize..20,
+        db in 0.0f64..0.5,
+        dc in 0.0f64..0.5,
+        seed in 0u64..1000,
+    ) {
+        let a = TensorVar::new("A", vec![m, n], Format::csr());
+        let b = TensorVar::new("B", vec![m, k], Format::csr());
+        let c = TensorVar::new("C", vec![k, n], Format::csr());
+        let (i, j, kk) = (iv("i"), iv("j"), iv("k"));
+        let mul = b.access([i.clone(), kk.clone()]) * c.access([kk.clone(), j.clone()]);
+        let source = IndexAssignment::assign(a.access([i.clone(), j.clone()]), sum(kk.clone(), mul.clone()));
+        let mut stmt = IndexStmt::new(source.clone()).unwrap();
+        stmt.reorder(&kk, &j).unwrap();
+        let w = TensorVar::new("w", vec![n], Format::dvec());
+        stmt.precompute(&mul, &[(j.clone(), j.clone(), j.clone())], &w).unwrap();
+
+        let bt = csr(&random_csr(m, k, db, seed + 70));
+        let ct = csr(&random_csr(k, n, dc, seed + 71));
+        let inputs: Vec<(&str, &Tensor)> = vec![("B", &bt), ("C", &ct)];
+
+        let dense = stmt.compile(LowerOptions::fused("spgemm")).unwrap().run(&inputs).unwrap();
+        check(&source, &dense, &inputs);
+        for kind in [WorkspaceKind::Hash, WorkspaceKind::CoordList] {
+            let got = stmt
+                .compile(LowerOptions::fused("spgemm").with_workspace_kind(kind))
+                .unwrap()
+                .run(&inputs)
+                .unwrap();
+            prop_assert_eq!(&got, &dense);
+        }
+
+        // Parallel variants: per-thread map clones, deterministic join.
+        let mut par = stmt.clone();
+        par.parallelize(&i).unwrap();
+        for kind in [WorkspaceKind::Dense, WorkspaceKind::Hash, WorkspaceKind::CoordList] {
+            let got = par
+                .compile(LowerOptions::fused("spgemm_par").with_workspace_kind(kind))
+                .unwrap()
+                .run(&inputs)
+                .unwrap();
+            prop_assert_eq!(&got, &dense);
+        }
+    }
+
+    /// Sparse addition: the direct merge kernel is the oracle; the
+    /// workspace schedule must match it bitwise under every backend.
+    #[test]
+    fn workspace_kinds_agree_on_sparse_add(
+        m in 1usize..20,
+        n in 1usize..20,
+        db in 0.0f64..0.6,
+        dc in 0.0f64..0.6,
+        seed in 0u64..1000,
+    ) {
+        let a = TensorVar::new("A", vec![m, n], Format::csr());
+        let b = TensorVar::new("B", vec![m, n], Format::csr());
+        let c = TensorVar::new("C", vec![m, n], Format::csr());
+        let (i, j) = (iv("i"), iv("j"));
+        let bij: IndexExpr = b.access([i.clone(), j.clone()]).into();
+        let cij: IndexExpr = c.access([i.clone(), j.clone()]).into();
+        let source = IndexAssignment::assign(a.access([i.clone(), j.clone()]), bij.clone() + cij.clone());
+
+        let bt = csr(&random_csr(m, n, db, seed + 80));
+        let ct = csr(&random_csr(m, n, dc, seed + 81));
+        let inputs: Vec<(&str, &Tensor)> = vec![("B", &bt), ("C", &ct)];
+
+        let direct = IndexStmt::new(source.clone()).unwrap()
+            .compile(LowerOptions::fused("add_direct")).unwrap()
+            .run(&inputs).unwrap();
+        check(&source, &direct, &inputs);
+
+        let mut stmt = IndexStmt::new(source).unwrap();
+        let w = TensorVar::new("w", vec![n], Format::dvec());
+        stmt.precompute(&(bij + cij), &[(j.clone(), j.clone(), j.clone())], &w).unwrap();
+        for kind in [WorkspaceKind::Dense, WorkspaceKind::Hash, WorkspaceKind::CoordList] {
+            let got = stmt
+                .compile(LowerOptions::fused("add_ws").with_workspace_kind(kind))
+                .unwrap()
+                .run(&inputs)
+                .unwrap();
+            prop_assert_eq!(&got, &direct);
+        }
+    }
+
+    /// MTTKRP with the Section V workspace schedule: the workspace
+    /// reassociates the reduction ((Σ_l B·C)·D instead of Σ_l B·C·D), so the
+    /// direct kernel is only an approximate oracle; byte-identity is
+    /// asserted between the backends of the *same* schedule (the dense-drain
+    /// path — untouched keys contribute nothing to `A += w * D`).
+    #[test]
+    fn workspace_kinds_agree_on_mttkrp(
+        nnz in 0usize..80,
+        r in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let (di, dk, dl) = (8, 7, 6);
+        let a = TensorVar::new("A", vec![di, r], Format::dense(2));
+        let b = TensorVar::new("B", vec![di, dk, dl], Format::csf3());
+        let c = TensorVar::new("C", vec![dl, r], Format::dense(2));
+        let d = TensorVar::new("D", vec![dk, r], Format::dense(2));
+        let (i, j, k, l) = (iv("i"), iv("j"), iv("k"), iv("l"));
+        let bc = b.access([i.clone(), k.clone(), l.clone()]) * c.access([l.clone(), j.clone()]);
+        let source = IndexAssignment::assign(
+            a.access([i.clone(), j.clone()]),
+            sum(k.clone(), sum(l.clone(), bc.clone() * d.access([k.clone(), j.clone()]))),
+        );
+        let bt = random_csf3([di, dk, dl], nnz, seed + 90).to_tensor();
+        let ct = Tensor::from_dense(&taco_tensor::gen::random_dense(dl, r, seed + 91), Format::dense(2)).unwrap();
+        let dt = Tensor::from_dense(&taco_tensor::gen::random_dense(dk, r, seed + 92), Format::dense(2)).unwrap();
+        let inputs: Vec<(&str, &Tensor)> = vec![("B", &bt), ("C", &ct), ("D", &dt)];
+
+        let mut stmt = IndexStmt::new(source.clone()).unwrap();
+        stmt.reorder(&j, &k).unwrap();
+        stmt.reorder(&j, &l).unwrap();
+        let w = TensorVar::new("w", vec![r], Format::dvec());
+        stmt.precompute(&bc, &[(j.clone(), j.clone(), j.clone())], &w).unwrap();
+
+        let dense_ws = stmt
+            .compile(LowerOptions::compute("mttkrp_ws"))
+            .unwrap()
+            .run(&inputs)
+            .unwrap();
+        check(&source, &dense_ws, &inputs);
+        for kind in [WorkspaceKind::Hash, WorkspaceKind::CoordList] {
+            let got = stmt
+                .compile(LowerOptions::compute("mttkrp_ws").with_workspace_kind(kind))
+                .unwrap()
+                .run(&inputs)
+                .unwrap();
+            prop_assert_eq!(&got, &dense_ws);
+        }
     }
 }
