@@ -12,7 +12,8 @@
 //! proven violation fails the bin, and the JSON always carries
 //! `verify_nanos` plus the verdict counts.
 
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use taco_bench::timing::{fmt_duration, time_once};
 use taco_bench::BenchArgs;
 use taco_core::{
@@ -23,6 +24,7 @@ use taco_ir::notation::IndexAssignment;
 use taco_llir::WorkspaceKind;
 use taco_lower::LowerOptions;
 use taco_runtime::{Engine, EngineEvent, VerifyMode};
+use taco_serve::{Request, Server, TenantPolicy, Ticket};
 use taco_tensor::gen::{random_csr, random_csr_nnz, Pattern};
 use taco_tensor::{Format, Tensor};
 
@@ -203,6 +205,62 @@ fn main() {
         }
     }
 
+    // Serving front end: the same Figure 2 schedule pushed through the
+    // multi-tenant daemon under deliberate overload — 48 clients on 4
+    // workers with a 16-slot queue, one tenant rate-capped so shedding is
+    // deterministic. Reported as client-observed (submit-to-outcome)
+    // latency percentiles plus shed and warm-kernel coalesce rates.
+    const SERVE_CLIENTS: usize = 48;
+    const SERVE_WORKERS: usize = 4;
+    let serve_stmt = spgemm_fig2(n);
+    let sb = Arc::new(b.clone());
+    let sc = Arc::new(c.clone());
+    let server = Server::builder()
+        .workers(SERVE_WORKERS)
+        .queue_capacity(16)
+        .tenant("metered", TenantPolicy::default().with_rate(0.0, 4))
+        .build();
+    let mut serve_latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..SERVE_CLIENTS)
+            .map(|client| {
+                let (server, serve_stmt, sb, sc) = (&server, &serve_stmt, &sb, &sc);
+                scope.spawn(move || {
+                    let tenant = if client % 4 == 3 { "metered" } else { "bulk" };
+                    let request = Request::new(
+                        tenant,
+                        serve_stmt.clone(),
+                        LowerOptions::fused("spgemm_served"),
+                        vec![("B".into(), Arc::clone(sb)), ("C".into(), Arc::clone(sc))],
+                        Duration::from_secs(60),
+                    );
+                    let t0 = Instant::now();
+                    let completed = server
+                        .submit(request)
+                        .map(Ticket::wait)
+                        .is_ok_and(|outcome| outcome.is_completed());
+                    completed.then(|| t0.elapsed())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .filter_map(|h| h.join().expect("bench client thread must not panic"))
+            .collect()
+    });
+    server.drain();
+    serve_latencies.sort_unstable();
+    let serve_stats = server.stats();
+    let percentile = |p: f64| -> Duration {
+        if serve_latencies.is_empty() {
+            Duration::ZERO
+        } else {
+            serve_latencies[((serve_latencies.len() - 1) as f64 * p).round() as usize]
+        }
+    };
+    let (serve_p50, serve_p99) = (percentile(0.50), percentile(0.99));
+    assert!(serve_stats.totals.completed > 0, "the serving bench must complete requests");
+    assert!(serve_stats.totals.shed() > 0, "deliberate overload must shed");
+
     let stats = engine.cache_stats();
     println!("  tuned schedule          {schedule}");
     println!("  verify (tuned kernel)   {:>12}  [{tuned_report}]", fmt_duration(verify_d));
@@ -243,6 +301,16 @@ fn main() {
         format!("{} runs", ladder_rungs.len()),
         ladder_exhausted,
         ladder_retries,
+    );
+    println!(
+        "  serving ({SERVE_CLIENTS} clients / {SERVE_WORKERS} workers): {} completed, \
+         {} shed ({:.0}%), p50 {}, p99 {}, coalesce {:.0}%",
+        serve_stats.totals.completed,
+        serve_stats.totals.shed(),
+        serve_stats.shed_rate() * 100.0,
+        fmt_duration(serve_p50),
+        fmt_duration(serve_p99),
+        serve_stats.coalesce_rate() * 100.0,
     );
     println!("  cache                   {stats}");
     for event in engine.last_events() {
@@ -285,6 +353,10 @@ fn main() {
              \"verify_mode\": \"{verify_mode}\",\n  \"verify_nanos\": {},\n  \
              \"verified_kernels\": {verified_kernels},\n  \
              \"verify_denies\": {verify_denies},\n  \"verify_warns\": {verify_warns},\n  \
+             \"serving\": {{\"clients\": {SERVE_CLIENTS}, \"workers\": {SERVE_WORKERS}, \
+             \"completed\": {}, \"shed\": {}, \"shed_rate\": {:.4}, \
+             \"coalesce_rate\": {:.4}, \"p50_latency_nanos\": {}, \
+             \"p99_latency_nanos\": {}}},\n  \
              \"cache_hit_rate\": {:.4},\n  \"cache_hits\": {},\n  \
              \"cache_misses\": {},\n  \"cache_compiles\": {},\n  \"tunings\": {}\n}}\n",
             cold.as_nanos(),
@@ -293,6 +365,12 @@ fn main() {
             warm_compile.as_nanos(),
             run_only.as_nanos(),
             verify_d.as_nanos(),
+            serve_stats.totals.completed,
+            serve_stats.totals.shed(),
+            serve_stats.shed_rate(),
+            serve_stats.coalesce_rate(),
+            serve_p50.as_nanos(),
+            serve_p99.as_nanos(),
             stats.hit_rate(),
             stats.hits,
             stats.misses,

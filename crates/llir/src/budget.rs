@@ -9,6 +9,35 @@
 //! at the executor level, turning would-be OOMs and hangs into structured
 //! [`RunError::BudgetExceeded`](crate::RunError::BudgetExceeded) errors.
 
+/// A budget environment variable that was set but did not parse.
+///
+/// Returned by [`ResourceBudget::try_from_env`]; the lenient
+/// [`ResourceBudget::from_env`] logs this error to stderr instead of
+/// silently defaulting, so a fat-fingered `TACO_BUDGET_BYTES=12kb` leaves a
+/// trace rather than an unlimited budget nobody asked for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetEnvError {
+    /// The environment variable that was malformed.
+    pub var: &'static str,
+    /// Its raw value.
+    pub value: String,
+    /// Why it did not parse (rendered from the integer parser).
+    pub reason: String,
+}
+
+impl std::fmt::Display for BudgetEnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "malformed {}={:?}: {} (expected a byte count, e.g. `12000`); \
+             running with an unlimited budget",
+            self.var, self.value, self.reason
+        )
+    }
+}
+
+impl std::error::Error for BudgetEnvError {}
+
 /// Which budgeted resource a violation refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BudgetResource {
@@ -77,15 +106,32 @@ impl ResourceBudget {
     /// The budget the `TACO_BUDGET_BYTES` environment variable asks for:
     /// its value (bytes) becomes the single-allocation / dense-workspace
     /// ceiling, which is what CI's low-budget matrix tightens to force the
-    /// sparse-workspace fallback rungs. Unset or unparseable means
-    /// unlimited.
+    /// sparse-workspace fallback rungs. Unset means unlimited; a set but
+    /// malformed value is a typed [`BudgetEnvError`].
+    pub fn try_from_env() -> Result<Self, BudgetEnvError> {
+        const VAR: &str = "TACO_BUDGET_BYTES";
+        match std::env::var(VAR) {
+            Ok(raw) => match raw.trim().parse::<u64>() {
+                Ok(bytes) => Ok(ResourceBudget::unlimited().with_max_workspace_bytes(bytes)),
+                Err(e) => {
+                    Err(BudgetEnvError { var: VAR, value: raw, reason: e.to_string() })
+                }
+            },
+            Err(_) => Ok(ResourceBudget::unlimited()),
+        }
+    }
+
+    /// Lenient form of [`ResourceBudget::try_from_env`] for binaries that
+    /// must start regardless: a malformed `TACO_BUDGET_BYTES` is logged to
+    /// stderr (with the offending value and parse reason) and the budget
+    /// defaults to unlimited instead of failing silently.
     pub fn from_env() -> Self {
-        match std::env::var("TACO_BUDGET_BYTES")
-            .ok()
-            .and_then(|s| s.trim().parse::<u64>().ok())
-        {
-            Some(bytes) => ResourceBudget::unlimited().with_max_workspace_bytes(bytes),
-            None => ResourceBudget::unlimited(),
+        match ResourceBudget::try_from_env() {
+            Ok(budget) => budget,
+            Err(e) => {
+                eprintln!("warning: {e}");
+                ResourceBudget::unlimited()
+            }
         }
     }
 
@@ -163,6 +209,33 @@ mod tests {
         assert_eq!(m.max_loop_iterations, Some(9));
         assert_eq!(m.max_realloc_doublings, None);
         assert_eq!(ResourceBudget::unlimited().min_with(&ResourceBudget::unlimited()), ResourceBudget::unlimited());
+    }
+
+    #[test]
+    fn env_budget_parses_or_fails_typed() {
+        // One test function: set/unset of a process-global env var must not
+        // race a parallel test thread.
+        std::env::remove_var("TACO_BUDGET_BYTES");
+        assert!(ResourceBudget::try_from_env().unwrap().is_unlimited());
+
+        std::env::set_var("TACO_BUDGET_BYTES", " 12000 ");
+        assert_eq!(
+            ResourceBudget::try_from_env().unwrap().max_workspace_bytes,
+            Some(12_000),
+            "whitespace-padded value must parse"
+        );
+
+        std::env::set_var("TACO_BUDGET_BYTES", "12kb");
+        let err = ResourceBudget::try_from_env().unwrap_err();
+        assert_eq!(err.var, "TACO_BUDGET_BYTES");
+        assert_eq!(err.value, "12kb");
+        let msg = err.to_string();
+        assert!(msg.contains("TACO_BUDGET_BYTES") && msg.contains("12kb"), "{msg}");
+        // The lenient form still starts (unlimited), but only after the
+        // typed error existed to be logged.
+        assert!(ResourceBudget::from_env().is_unlimited());
+
+        std::env::remove_var("TACO_BUDGET_BYTES");
     }
 
     #[test]

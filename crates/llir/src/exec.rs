@@ -576,7 +576,11 @@ impl BudgetState {
 /// How often (in loop iterations) the interpreter performs the expensive
 /// supervision checks: reading the clock, the cancel flag, and publishing
 /// progress counters. Back-edges between checks cost one countdown decrement.
-const SUPERVISION_STRIDE: u32 = 1024;
+///
+/// Public so supervision consumers (the serving daemon, soak tests) can
+/// bound how late a deadline or cancellation can be observed: at most one
+/// stride of loop iterations after the event.
+pub const SUPERVISION_STRIDE: u32 = 1024;
 
 /// Supervision hooks threaded into one run by
 /// [`ExecSession::run`](crate::ExecSession::run). All-`None` (the `Default`)

@@ -48,9 +48,9 @@ mod printer;
 mod simplify;
 mod supervise;
 
-pub use budget::{BudgetResource, ResourceBudget};
+pub use budget::{BudgetEnvError, BudgetResource, ResourceBudget};
 pub use error::{CompileError, RunError};
-pub use exec::{ArrayVal, Binding, Executable};
+pub use exec::{ArrayVal, Binding, Executable, SUPERVISION_STRIDE};
 pub use ir::{AppendMerge, ArrayTy, BinOp, Expr, Kernel, Param, ParamKind, Stmt, UnOp, WorkspaceKind};
 pub use printer::stmt_to_c;
 pub use supervise::{

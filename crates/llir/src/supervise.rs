@@ -292,6 +292,7 @@ impl std::error::Error for Aborted {}
 #[derive(Debug, Clone, Default)]
 pub struct Supervisor {
     deadline: Option<Duration>,
+    deadline_at: Option<Instant>,
     budget: ResourceBudget,
     cancel: CancelToken,
     heartbeat: Option<Duration>,
@@ -306,6 +307,16 @@ impl Supervisor {
     /// Sets the wall-clock deadline for each supervised run.
     pub fn with_deadline(mut self, deadline: Duration) -> Supervisor {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets an *absolute* deadline instant, the form a deadline-scheduling
+    /// server hands down: time a request spent queued counts against it,
+    /// unlike [`Supervisor::with_deadline`] whose budget starts at run
+    /// start. When both are set, whichever expires first wins. An instant
+    /// already in the past aborts the run at the first supervision check.
+    pub fn with_deadline_at(mut self, at: Instant) -> Supervisor {
+        self.deadline_at = Some(at);
         self
     }
 
@@ -337,9 +348,14 @@ impl Supervisor {
         self.budget
     }
 
-    /// The configured deadline, if any.
+    /// The configured relative deadline, if any.
     pub fn deadline(&self) -> Option<Duration> {
         self.deadline
+    }
+
+    /// The configured absolute deadline instant, if any.
+    pub fn deadline_at(&self) -> Option<Instant> {
+        self.deadline_at
     }
 
     /// Prepares a supervised session for one executable.
@@ -433,12 +449,21 @@ impl ExecSession<'_> {
         let watchdog =
             self.config.heartbeat.map(|iv| Watchdog::spawn(iv, Arc::clone(&shared), start));
 
+        // An absolute deadline is folded into the (start, duration) pair the
+        // interpreter checks; an instant already in the past becomes a zero
+        // allowance, aborting at the first supervision check.
+        let remaining_abs =
+            self.config.deadline_at.map(|at| at.saturating_duration_since(start));
+        let deadline = match (self.config.deadline, remaining_abs) {
+            (Some(rel), Some(abs)) => Some(rel.min(abs)),
+            (rel, abs) => rel.or(abs),
+        };
         let result = self.exe.run_controlled(
             binding,
             &self.config.budget,
             crate::exec::RunControls {
                 cancel: Some(self.config.cancel.flag()),
-                deadline: self.config.deadline.map(|d| (start, d)),
+                deadline: deadline.map(|d| (start, d)),
                 shared: Some(&shared),
             },
         );
@@ -552,6 +577,39 @@ mod tests {
             other => panic!("expected DeadlineExceeded, got {other:?}"),
         }
         assert_eq!(b, before);
+    }
+
+    #[test]
+    fn absolute_deadline_counts_time_spent_before_the_run() {
+        let exe = Executable::compile(&spin_then_scale()).unwrap();
+        // A deadline instant already behind us: the run must abort at the
+        // first supervision check with the binding untouched, exactly as a
+        // zero relative deadline would.
+        let supervisor = Supervisor::new().with_deadline_at(Instant::now());
+        let mut b = binding(i64::MAX);
+        let before = b.clone();
+        let err = supervisor.run(&exe, &mut b).unwrap_err();
+        assert!(
+            matches!(err.reason, AbortReason::DeadlineExceeded { .. }),
+            "expected DeadlineExceeded, got {:?}",
+            err.reason
+        );
+        assert_eq!(b, before);
+
+        // A generous absolute deadline commits; the tighter of (relative,
+        // absolute) governs, so pairing it with a tiny relative one aborts.
+        let mut ok = binding(10);
+        Supervisor::new()
+            .with_deadline_at(Instant::now() + Duration::from_secs(60))
+            .run(&exe, &mut ok)
+            .expect("well within the absolute deadline");
+        let mut both = binding(i64::MAX);
+        let err = Supervisor::new()
+            .with_deadline_at(Instant::now() + Duration::from_secs(60))
+            .with_deadline(Duration::from_millis(20))
+            .run(&exe, &mut both)
+            .unwrap_err();
+        assert!(matches!(err.reason, AbortReason::DeadlineExceeded { .. }));
     }
 
     #[test]

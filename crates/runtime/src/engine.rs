@@ -8,12 +8,14 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use taco_core::candidates::enumerate_candidates;
+use taco_core::fingerprint::fingerprint_stmt;
 use taco_core::{
-    CompiledKernel, FallbackEvent, IndexStmt, ResourceBudget, Supervisor, SupervisedOutcome,
-    VerifyMode,
+    CompiledKernel, CoreError, DegradeRung, FallbackEvent, IndexStmt, ResourceBudget, Supervisor,
+    SupervisedOutcome, VerifyMode,
 };
+use taco_ir::heuristics::estimate_workspace_bytes;
 use taco_llir::WorkspaceKind;
-use taco_lower::LowerOptions;
+use taco_lower::{KernelKind, LowerOptions};
 use taco_tensor::Tensor;
 
 /// Engine construction parameters. `EngineConfig::default()` is sized for a
@@ -107,6 +109,15 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the ring-buffer capacity of [`Engine::last_events`]. Size this
+    /// to the event rate of the workload: once the buffer wraps, the oldest
+    /// events are dropped (counted by [`Engine::dropped_events`]).
+    #[must_use]
+    pub fn max_events(mut self, capacity: usize) -> EngineBuilder {
+        self.config.max_events = capacity;
+        self
+    }
+
     /// Builds the engine.
     #[must_use]
     pub fn build(self) -> Engine {
@@ -188,6 +199,17 @@ impl std::fmt::Display for EngineEvent {
     }
 }
 
+/// The result of [`Engine::run_supervised_cached`]: the committed ladder
+/// outcome plus the request-level warm-kernel signal.
+#[derive(Debug, Clone)]
+pub struct SupervisedRun {
+    /// The committed result, rung, run report, and fallback trail.
+    pub outcome: SupervisedOutcome,
+    /// True when the first attempted rung's kernel was served from the
+    /// cache (hit or coalesced) rather than compiled by this call.
+    pub cache_hit: bool,
+}
+
 /// The result of [`Engine::run_tuned`].
 #[derive(Debug, Clone)]
 pub struct TunedOutcome {
@@ -200,6 +222,15 @@ pub struct TunedOutcome {
     pub tuned: bool,
 }
 
+/// The bounded event ring plus a monotonic count of everything it has had
+/// to forget, so overload diagnosis can trust the stream: `dropped == 0`
+/// means [`Engine::last_events`] is the complete history.
+#[derive(Debug, Default)]
+struct EventLog {
+    buf: VecDeque<EngineEvent>,
+    dropped: u64,
+}
+
 /// A long-lived kernel engine: compiled-kernel cache, autotuner, and event
 /// log behind one thread-safe façade. Share it across threads with an
 /// `Arc<Engine>`; every method takes `&self`.
@@ -208,7 +239,7 @@ pub struct Engine {
     config: EngineConfig,
     cache: KernelCache,
     tuner: Autotuner,
-    events: Mutex<VecDeque<EngineEvent>>,
+    events: Mutex<EventLog>,
 }
 
 impl Default for Engine {
@@ -232,7 +263,7 @@ impl Engine {
     pub fn with_config(config: EngineConfig) -> Engine {
         let cache =
             KernelCache::new(config.cache_max_bytes, config.cache_max_entries, config.cache_shards);
-        Engine { config, cache, tuner: Autotuner::new(), events: Mutex::new(VecDeque::new()) }
+        Engine { config, cache, tuner: Autotuner::new(), events: Mutex::new(EventLog::default()) }
     }
 
     /// The configuration this engine was built with.
@@ -254,6 +285,23 @@ impl Engine {
     /// Propagates compile errors; waiters that coalesced onto a failed
     /// compile get [`EngineError::SharedCompileFailed`].
     pub fn compile(&self, stmt: &IndexStmt, opts: LowerOptions) -> Result<Arc<CompiledKernel>> {
+        self.compile_traced(stmt, opts).map(|(kernel, _)| kernel)
+    }
+
+    /// Like [`Engine::compile`], additionally reporting whether the kernel
+    /// was served warm: `true` means a cache hit or a coalesced wait on a
+    /// concurrent compile of the same fingerprint, `false` means this call
+    /// ran the compile pipeline. The serving layer uses this to count
+    /// per-request coalescing.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::compile`].
+    pub fn compile_traced(
+        &self,
+        stmt: &IndexStmt,
+        opts: LowerOptions,
+    ) -> Result<(Arc<CompiledKernel>, bool)> {
         let budget = self.config.budget;
         let key = taco_core::fingerprint(stmt.concrete(), &opts, &budget);
         let mut compiled_now = false;
@@ -273,7 +321,7 @@ impl Engine {
                 });
             }
         }
-        Ok(kernel)
+        Ok((kernel, !compiled_now))
     }
 
     /// Compiles (through the cache) and runs a statement.
@@ -326,6 +374,145 @@ impl Engine {
         Ok(outcome)
     }
 
+    /// Runs a statement under a [`Supervisor`], descending the same
+    /// degrade-and-retry ladder as [`Engine::run_supervised`] — but with
+    /// every rung compiled *through the kernel cache*, so a serving workload
+    /// coalesces onto warm kernels: N concurrent requests for one statement
+    /// cost one compile (single-flight), and a rung that aborted for an
+    /// earlier request retries from a cached kernel for the next.
+    ///
+    /// `verify` is enforced per call, on top of the engine-wide
+    /// [`EngineConfig::verify`] applied at compile time: under
+    /// [`VerifyMode::Deny`], a *cached* kernel whose recorded report carries
+    /// deny-severity findings (possible when the engine compiled it under
+    /// [`VerifyMode::Warn`]) is refused for this caller with
+    /// [`EngineError::VerifyDenied`] and the ladder moves on. This is what
+    /// lets one shared engine serve tenants with different verification
+    /// policies.
+    ///
+    /// Returns the committed [`SupervisedOutcome`] plus whether the *first
+    /// attempted rung* was served from the cache (the request-level
+    /// coalesce/warm signal).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Aborted`] via [`EngineError::Core`] when every viable
+    /// rung aborted; compile/bind errors for problems no rung can fix;
+    /// [`EngineError::VerifyDenied`] when the only viable kernels are
+    /// verify-denied for this caller.
+    pub fn run_supervised_cached(
+        &self,
+        stmt: &IndexStmt,
+        opts: LowerOptions,
+        supervisor: &Supervisor,
+        inputs: &[(&str, &Tensor)],
+        output_structure: Option<&Tensor>,
+        verify: VerifyMode,
+    ) -> Result<SupervisedRun> {
+        let mut fallbacks: Vec<FallbackEvent> = Vec::new();
+        let mut last_err: Option<EngineError> = None;
+        let mut first_rung_warm: Option<bool> = None;
+        for rung in DegradeRung::LADDER {
+            // Rebuild each rung from public schedule surface: same skip
+            // rules as `IndexStmt::run_supervised`, but expressed through
+            // `LowerOptions` so every rung's kernel is cacheable.
+            let attempt: Option<(IndexStmt, LowerOptions)> = match rung {
+                DegradeRung::AsScheduled => Some((stmt.clone(), opts.clone())),
+                DegradeRung::HashWorkspace | DegradeRung::CoordListWorkspace => {
+                    let kind = if rung == DegradeRung::HashWorkspace {
+                        WorkspaceKind::Hash
+                    } else {
+                        WorkspaceKind::CoordList
+                    };
+                    // Nothing to downgrade when the schedule has no
+                    // workspaces, the caller already asked for this backend,
+                    // or the compile-time budget fallback already chose it.
+                    if opts.workspace_kind == kind
+                        || estimate_workspace_bytes(stmt.concrete()).is_empty()
+                        || fallbacks.iter().any(|f| {
+                            matches!(f, FallbackEvent::WorkspaceDowngraded { to, .. } if *to == kind)
+                        })
+                    {
+                        None
+                    } else {
+                        Some((stmt.clone(), opts.clone().with_workspace_kind(kind)))
+                    }
+                }
+                DegradeRung::UnsortedAssembly => {
+                    if !opts.sort_output || opts.kind == KernelKind::Compute {
+                        None
+                    } else {
+                        Some((stmt.clone(), opts.clone().unsorted()))
+                    }
+                }
+                DegradeRung::DirectMerge => {
+                    // If the compile-time workspace estimate already forced
+                    // the direct kernel, the as-scheduled rung was this one.
+                    if fallbacks
+                        .iter()
+                        .any(|f| matches!(f, FallbackEvent::WorkspaceOverBudget { .. }))
+                    {
+                        None
+                    } else {
+                        match IndexStmt::new(stmt.source().clone()) {
+                            Ok(direct)
+                                if fingerprint_stmt(direct.concrete())
+                                    != fingerprint_stmt(stmt.concrete()) =>
+                            {
+                                Some((direct, opts.clone()))
+                            }
+                            _ => None,
+                        }
+                    }
+                }
+            };
+            let Some((rung_stmt, rung_opts)) = attempt else { continue };
+            let (kernel, warm) = match self.compile_traced(&rung_stmt, rung_opts) {
+                Ok(pair) => pair,
+                // Rung not realizable (e.g. direct sparse scatter): try the
+                // next one, but remember why in case nothing works.
+                Err(e) => {
+                    last_err.get_or_insert(e);
+                    continue;
+                }
+            };
+            first_rung_warm.get_or_insert(warm);
+            if verify == VerifyMode::Deny {
+                if let Some(report) = kernel.verify_report() {
+                    if report.denies() > 0 {
+                        last_err = Some(EngineError::VerifyDenied {
+                            fingerprint: kernel.fingerprint(),
+                            denies: report.denies(),
+                        });
+                        continue;
+                    }
+                }
+            }
+            if rung == DegradeRung::AsScheduled {
+                fallbacks.extend(kernel.fallback_events().iter().cloned());
+            }
+            match kernel.run_supervised(inputs, output_structure, supervisor) {
+                Ok((result, report)) => {
+                    return Ok(SupervisedRun {
+                        outcome: SupervisedOutcome { result, report, rung, fallbacks },
+                        cache_hit: first_rung_warm.unwrap_or(false),
+                    });
+                }
+                Err(CoreError::Aborted(aborted)) if aborted.reason.is_retryable() => {
+                    let event =
+                        FallbackEvent::DegradedRetry { rung, reason: aborted.reason.clone() };
+                    self.push_event(EngineEvent::Fallback(event.clone()));
+                    fallbacks.push(event);
+                    last_err = Some(EngineError::Core(CoreError::Aborted(aborted)));
+                }
+                // Cancellation, runtime failures, and bind errors are not
+                // fixed by a degraded schedule.
+                Err(other) => return Err(other.into()),
+            }
+        }
+        Err(last_err.expect("at least the as-scheduled rung is always attempted"))
+    }
+
     /// Picks the best schedule for a statement by measurement, then runs it.
     ///
     /// On the first call for a [`TuneKey`] (expression fingerprint × operand
@@ -333,7 +520,8 @@ impl Engine {
     /// candidate space ([`enumerate_candidates`]: direct merge, loop
     /// reorders, and every Section V-C workspace placement), compiles each
     /// through the cache, times it on the *actual operands* under the
-    /// engine budget, and picks the fastest. Candidates that fail to
+    /// engine budget (best of up to three runs, so one scheduler stall
+    /// cannot flip the decision), and picks the fastest. Candidates that fail to
     /// compile or abort count as infinitely slow. Once one viable candidate
     /// is in hand, no new candidate starts after
     /// [`EngineConfig::tuning_deadline`]; later candidates race under the
@@ -410,42 +598,51 @@ impl Engine {
                 let Ok(kernel) = self.compile(&cand.stmt, run_opts) else {
                     continue;
                 };
-                // The first viable candidate runs without a deadline so a
-                // slow search budget can never turn a tunable statement into
-                // an error; later candidates only get the remaining time.
-                let mut supervisor = Supervisor::new().with_budget(self.config.budget);
-                if best.is_some() {
-                    supervisor = supervisor.with_deadline(remaining);
-                }
-                match kernel.run_supervised(inputs, None, &supervisor) {
-                    Ok((result, report)) => {
-                        viable += 1;
-                        let nanos = report.elapsed.as_nanos() as u64;
-                        // A challenger displaces the incumbent only by a
-                        // clear margin (5%): candidates are enumerated
-                        // simplest-first, so near-ties deterministically
-                        // keep the simpler schedule instead of flipping on
-                        // timing noise. Sparse workspace backends need a
-                        // decisive win (40%): on small operands their times
-                        // sit within noise of their dense twin, and their
-                        // real role is the budget ladder, not shaving
-                        // single-digit percents here.
-                        let margin = if cand.workspace_kind == WorkspaceKind::Dense {
-                            95
-                        } else {
-                            60
-                        };
-                        if best.as_ref().is_none_or(|(_, _, _, _, b)| nanos * 100 < *b * margin) {
-                            best = Some((
-                                cand.name.clone(),
-                                threads,
-                                cand.workspace_kind,
-                                result,
-                                nanos,
-                            ));
-                        }
+                // Timing a candidate once makes the decision hostage to a
+                // single scheduler stall: the displacement margin is 5% and
+                // one preempted run easily exceeds that. Each candidate gets
+                // up to TUNE_REPS runs and the minimum counts — the first
+                // run of the first viable candidate still ignores the
+                // deadline so a slow search budget can never turn a tunable
+                // statement into an error; every other rep only spends
+                // remaining search time.
+                const TUNE_REPS: usize = 3;
+                let mut measured: Option<(Tensor, u64)> = None;
+                for rep in 0..TUNE_REPS {
+                    let remaining =
+                        self.config.tuning_deadline.saturating_sub(started.elapsed());
+                    if rep > 0 && remaining.is_zero() {
+                        break;
                     }
-                    Err(_) => continue,
+                    let mut supervisor = Supervisor::new().with_budget(self.config.budget);
+                    if best.is_some() || rep > 0 {
+                        supervisor = supervisor.with_deadline(remaining);
+                    }
+                    match kernel.run_supervised(inputs, None, &supervisor) {
+                        Ok((result, report)) => {
+                            let nanos = report.elapsed.as_nanos() as u64;
+                            measured = Some(match measured.take() {
+                                Some((first, b)) => (first, b.min(nanos)),
+                                None => (result, nanos),
+                            });
+                        }
+                        Err(_) => break,
+                    }
+                }
+                let Some((result, nanos)) = measured else { continue };
+                viable += 1;
+                // A challenger displaces the incumbent only by a clear
+                // margin (5%): candidates are enumerated simplest-first, so
+                // near-ties deterministically keep the simpler schedule
+                // instead of flipping on timing noise. Sparse workspace
+                // backends need a decisive win (40%): on small operands
+                // their times sit within noise of their dense twin, and
+                // their real role is the budget ladder, not shaving
+                // single-digit percents here.
+                let margin =
+                    if cand.workspace_kind == WorkspaceKind::Dense { 95 } else { 60 };
+                if best.as_ref().is_none_or(|(_, _, _, _, b)| nanos * 100 < *b * margin) {
+                    best = Some((cand.name.clone(), threads, cand.workspace_kind, result, nanos));
                 }
             }
         }
@@ -488,14 +685,24 @@ impl Engine {
     /// The engine's event log, oldest first: every fallback and autotune
     /// decision since construction, up to [`EngineConfig::max_events`].
     pub fn last_events(&self) -> Vec<EngineEvent> {
-        self.events.lock().unwrap_or_else(|p| p.into_inner()).iter().cloned().collect()
+        self.events.lock().unwrap_or_else(|p| p.into_inner()).buf.iter().cloned().collect()
+    }
+
+    /// Monotonic count of events the ring buffer has dropped since
+    /// construction. Zero means [`Engine::last_events`] is the complete
+    /// event history; nonzero tells an overload investigation exactly how
+    /// much of the stream is missing (and to raise
+    /// [`EngineBuilder::max_events`]).
+    pub fn dropped_events(&self) -> u64 {
+        self.events.lock().unwrap_or_else(|p| p.into_inner()).dropped
     }
 
     fn push_event(&self, event: EngineEvent) {
         let mut events = self.events.lock().unwrap_or_else(|p| p.into_inner());
-        if events.len() >= self.config.max_events {
-            events.pop_front();
+        while events.buf.len() >= self.config.max_events.max(1) {
+            events.buf.pop_front();
+            events.dropped += 1;
         }
-        events.push_back(event);
+        events.buf.push_back(event);
     }
 }

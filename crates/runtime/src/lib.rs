@@ -57,7 +57,7 @@ pub mod engine;
 pub mod tuner;
 
 pub use cache::{entry_weight, CacheStats, KernelCache};
-pub use engine::{Engine, EngineBuilder, EngineConfig, EngineEvent, TunedOutcome};
+pub use engine::{Engine, EngineBuilder, EngineConfig, EngineEvent, SupervisedRun, TunedOutcome};
 pub use taco_core::{VerifyMode, VerifyReport};
 pub use tuner::{Autotuner, TuneDecision, TuneKey};
 
@@ -91,6 +91,16 @@ pub enum EngineError {
         /// The stale schedule name.
         schedule: String,
     },
+    /// A cached kernel's recorded verification report carries deny-severity
+    /// findings, and the caller asked for [`VerifyMode::Deny`] enforcement
+    /// (see [`Engine::run_supervised_cached`]). The kernel stays cached for
+    /// callers with laxer policies.
+    VerifyDenied {
+        /// The refused kernel's canonical fingerprint.
+        fingerprint: u64,
+        /// Deny-severity findings on its recorded report.
+        denies: usize,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -105,6 +115,13 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::UnknownSchedule { schedule } => {
                 write!(f, "autotune decision names unknown schedule `{schedule}`")
+            }
+            EngineError::VerifyDenied { fingerprint, denies } => {
+                write!(
+                    f,
+                    "kernel {fingerprint:016x} refused under deny-mode verification \
+                     ({denies} deny-severity findings on its cached report)"
+                )
             }
         }
     }

@@ -17,6 +17,7 @@
 //! | [`verify`] | §VI | static verifier over the imperative IR: definite initialization, symbolic bounds, parallel write-set races (DESIGN.md §12) |
 //! | [`kernels`] | §VII–VIII | hand-written baselines (Eigen/MKL/SPLATT stand-ins) and generated-equivalent kernels |
 //! | [`runtime`] | §V-C, §VII | the serving layer: concurrent compiled-kernel cache (fingerprint-keyed, single-flight) and the measurement-driven schedule autotuner |
+//! | [`serve`] | §VII | multi-tenant serving daemon over the engine: bounded admission, tenant quotas, EDF deadline scheduling, overload shedding, graceful drain (DESIGN.md §14) |
 //!
 //! ## Quickstart
 //!
@@ -54,6 +55,7 @@ pub use taco_kernels as kernels;
 pub use taco_llir as llir;
 pub use taco_lower as lower;
 pub use taco_runtime as runtime;
+pub use taco_serve as serve;
 pub use taco_tensor as tensor;
 pub use taco_verify as verify;
 
@@ -70,5 +72,8 @@ pub mod prelude {
     pub use taco_llir::WorkspaceKind;
     pub use taco_lower::{KernelKind, LowerOptions};
     pub use taco_runtime::{CacheStats, Engine, EngineConfig, EngineError, EngineEvent, TuneKey};
+    pub use taco_serve::{
+        Outcome, Priority, Rejected, Request, Server, ServerStats, TenantPolicy, Ticket,
+    };
     pub use taco_tensor::{Csf3, Csr, DenseTensor, Format, ModeFormat, Tensor};
 }

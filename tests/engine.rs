@@ -3,6 +3,7 @@
 //! thread-safety contract.
 
 use std::sync::{Arc, Barrier};
+use std::time::Duration;
 use taco_core::oracle::eval_dense;
 use taco_runtime::{entry_weight, KernelCache};
 use taco_tensor::gen::random_csr;
@@ -188,7 +189,11 @@ fn autotuner_is_deterministic_across_engines() {
     // Operand streams are seeded (the rand shim is deterministic in the
     // seed), and candidate enumeration order is structural, so two engines
     // tuning the same statement on identically generated operands must pick
-    // the same schedule.
+    // the same schedule. A generous search deadline keeps the candidate
+    // *set* identical across the engines even when sibling tests load the
+    // machine — what's under test is the decision protocol (structural
+    // order + displacement margins + best-of-reps timing), not the
+    // deadline's truncation point.
     let n = 32;
     let stmt = unscheduled_spgemm(n);
     let mut chosen = Vec::new();
@@ -196,7 +201,7 @@ fn autotuner_is_deterministic_across_engines() {
         let b = random_csr(n, n, 0.1, 21).to_tensor();
         let c = random_csr(n, n, 0.1, 22).to_tensor();
         let inputs: Vec<(&str, &Tensor)> = vec![("B", &b), ("C", &c)];
-        let engine = Engine::new();
+        let engine = Engine::builder().tuning_deadline(Duration::from_secs(30)).build();
         let out = engine.run_tuned(&stmt, LowerOptions::fused("spgemm"), &inputs).unwrap();
         chosen.push(out.schedule);
     }
@@ -241,8 +246,9 @@ fn event_log_is_a_ring_buffer_bounded_by_max_events() {
     let (b, c) = operands(n);
     let inputs: Vec<(&str, &Tensor)> = vec![("B", &b), ("C", &c)];
 
-    let engine = Engine::with_config(EngineConfig { max_events: 3, ..EngineConfig::default() });
+    let engine = Engine::builder().max_events(3).build();
     assert_eq!(engine.config().max_events, 3);
+    assert_eq!(engine.dropped_events(), 0, "nothing dropped before overflow");
 
     // One fresh tune + five reuses = six events through a capacity of three.
     for _ in 0..6 {
@@ -256,5 +262,21 @@ fn event_log_is_a_ring_buffer_bounded_by_max_events() {
     assert!(
         events.iter().all(|e| matches!(e, EngineEvent::AutotuneReused { .. })),
         "oldest events must be dropped first, got: {events:?}"
+    );
+    // The monotonic loss counter accounts for exactly the overflow: a twin
+    // engine with a roomy buffer sees every event, and the bounded engine's
+    // retained + dropped must equal that total. A consumer can therefore
+    // trust `last_events` to be complete iff `dropped_events` reads zero.
+    let roomy = Engine::builder().max_events(1024).build();
+    for _ in 0..6 {
+        roomy.run_tuned(&stmt, LowerOptions::fused("spgemm"), &inputs).unwrap();
+    }
+    assert_eq!(roomy.dropped_events(), 0);
+    let total = roomy.last_events().len() as u64;
+    assert!(total > 3, "the workload must overflow the capacity-3 ring");
+    assert_eq!(
+        engine.dropped_events(),
+        total - 3,
+        "retained + dropped must account for every event"
     );
 }
