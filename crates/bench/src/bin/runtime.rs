@@ -23,7 +23,7 @@ use taco_ir::expr::{sum, IndexVar, TensorVar};
 use taco_ir::notation::IndexAssignment;
 use taco_llir::WorkspaceKind;
 use taco_lower::LowerOptions;
-use taco_runtime::{Engine, EngineEvent, VerifyMode};
+use taco_runtime::{Backend, Engine, EngineEvent, VerifyMode};
 use taco_serve::{Request, Server, TenantPolicy, Ticket};
 use taco_tensor::gen::{random_csr, random_csr_nnz, Pattern};
 use taco_tensor::{Format, Tensor};
@@ -160,6 +160,41 @@ fn main() {
         kind_nanos.push((kind, best));
     }
 
+    // Native backend: the Figure 2 schedule compiled to machine code via
+    // the system C compiler and raced against the interpreter on the same
+    // operands. The first native run pays emit + cc + dlopen + the
+    // differential trust check; later runs dispatch straight to the `.so`.
+    // Without a toolchain the engine degrades to the interpreter and the
+    // section reports `available: false` — the JSON parses either way.
+    let native_stmt = spgemm_fig2(n);
+    let interp_engine = Engine::builder().verify(verify_mode).backend(Backend::Interp).build();
+    let native_engine = Engine::builder().verify(verify_mode).backend(Backend::Native).build();
+    let mut interp_best = Duration::MAX;
+    for _ in 0..args.reps.max(1) {
+        let (d, _) =
+            time_once(|| interp_engine.run(&native_stmt, opts.clone(), &inputs).expect("runs"));
+        interp_best = interp_best.min(d);
+    }
+    // First run compiles and differentially validates; it is not timed as a
+    // native run because it commits the interpreter's result.
+    native_engine.run(&native_stmt, opts.clone(), &inputs).expect("trust-establishing run");
+    let mut native_best = Duration::MAX;
+    for _ in 0..args.reps.max(1) {
+        let (d, _) =
+            time_once(|| native_engine.run(&native_stmt, opts.clone(), &inputs).expect("runs"));
+        native_best = native_best.min(d);
+    }
+    let native_stats = native_engine.native_stats();
+    let native_available = native_stats.trusted > 0;
+    let native_compile_nanos: u64 = native_engine
+        .last_events()
+        .iter()
+        .map(|e| match e {
+            EngineEvent::NativeCompiled { compile_nanos, .. } => *compile_nanos,
+            _ => 0,
+        })
+        .sum();
+
     // Degrade-and-retry ladder under shrinking byte budgets, on operands
     // sparse enough (fixed 256 nnz per 1024-row matrix) that the sparse
     // workspace rungs genuinely fit where the dense one does not. Budgets:
@@ -292,6 +327,22 @@ fn main() {
             d.as_secs_f64() / dense_kind.as_secs_f64().max(f64::MIN_POSITIVE),
         );
     }
+    if native_available {
+        println!(
+            "  native run              {:>12}  ({:.2}x vs interp {}, compile {})",
+            fmt_duration(native_best),
+            interp_best.as_secs_f64() / native_best.as_secs_f64().max(f64::MIN_POSITIVE),
+            fmt_duration(interp_best),
+            fmt_duration(Duration::from_nanos(native_compile_nanos)),
+        );
+    } else {
+        println!(
+            "  native run              {:>12}  (unavailable: no toolchain or kernel rejected; \
+             interpreter served {} runs)",
+            "-",
+            native_stats.unavailable + native_stats.rejected,
+        );
+    }
     println!("  ladder ({ln}x{ln}, 256 nnz operands):");
     for (label, rung, retries) in &ladder_rungs {
         println!("    {label:<18} -> {rung} ({retries} degraded retries)");
@@ -347,6 +398,11 @@ fn main() {
              \"threads\": [{threads_json}],\n  \
              \"parallel_run_nanos\": {{{scaling_json}}},\n  \
              \"workspace_kind_run_nanos\": {{{kinds_json}}},\n  \
+             \"native\": {{\"available\": {native_available}, \
+             \"interp_run_nanos\": {}, \"native_run_nanos\": {}, \
+             \"compile_nanos\": {native_compile_nanos}, \
+             \"compiled\": {}, \"trusted\": {}, \"rejected\": {}, \
+             \"unavailable\": {}, \"native_runs\": {}}},\n  \
              \"ladder_runs\": [{rungs_json}],\n  \
              \"ladder_exhausted\": {ladder_exhausted},\n  \
              \"ladder_degraded_retries\": {ladder_retries},\n  \
@@ -364,6 +420,13 @@ fn main() {
             cold_compile.as_nanos(),
             warm_compile.as_nanos(),
             run_only.as_nanos(),
+            interp_best.as_nanos(),
+            native_best.as_nanos(),
+            native_stats.compiled,
+            native_stats.trusted,
+            native_stats.rejected,
+            native_stats.unavailable,
+            native_stats.native_runs,
             verify_d.as_nanos(),
             serve_stats.totals.completed,
             serve_stats.totals.shed(),

@@ -532,6 +532,15 @@ pub enum FallbackEvent {
         /// Why it was abandoned.
         reason: AbortReason,
     },
+    /// The native codegen backend could not serve this kernel — no working
+    /// C toolchain, a compile failure, or a shared-object load failure —
+    /// and the run proceeded on the interpreter with identical semantics.
+    /// This is a degradation, never an error: the interpreter is the
+    /// portable fallback for every kernel.
+    NativeUnavailable {
+        /// Why the native backend was unavailable.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for FallbackEvent {
@@ -563,6 +572,9 @@ impl std::fmt::Display for FallbackEvent {
             ),
             FallbackEvent::DegradedRetry { rung, reason } => {
                 write!(f, "{rung} kernel aborted ({reason}); retried one rung down the ladder")
+            }
+            FallbackEvent::NativeUnavailable { reason } => {
+                write!(f, "native backend unavailable ({reason}); ran on the interpreter")
             }
         }
     }
@@ -637,6 +649,37 @@ impl CompiledKernel {
     /// The lowered kernel and binding metadata.
     pub fn lowered(&self) -> &LoweredKernel {
         &self.lowered
+    }
+
+    /// The compiled imperative program. Alternate execution backends feed
+    /// this to [`taco_llir::emit_native`] to generate the ABI-wrapped C
+    /// translation unit for the same kernel the interpreter runs.
+    pub fn executable(&self) -> &Executable {
+        &self.exe
+    }
+
+    /// Extracts the result tensor from a binding this kernel has already
+    /// executed on — the same extraction [`CompiledKernel::run_with`]
+    /// performs after the interpreter finishes, exposed so alternate
+    /// backends that run [`CompiledKernel::bind`]-produced bindings
+    /// themselves can commit results identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the binding's result buffers are missing or
+    /// malformed (e.g. the kernel was never run on it).
+    pub fn extract(
+        &self,
+        binding: &Binding,
+        output_structure: Option<&Tensor>,
+    ) -> Result<Tensor> {
+        extract_result(
+            binding,
+            &self.lowered.result,
+            self.lowered.kind,
+            output_structure,
+            self.lowered.nnz_output.as_deref(),
+        )
     }
 
     /// The resource budget every run of this kernel is held to.

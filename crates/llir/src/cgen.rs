@@ -1,0 +1,1065 @@
+//! Native C emission: lowers the typed, slot-resolved statement tree of an
+//! [`Executable`] to a self-contained C translation unit against the
+//! `taco_ctx` table ABI of `taco_kernel.h`.
+//!
+//! This is the code-generation half of the native backend; the compile /
+//! dlopen / marshalling half lives in the `taco-native` crate. Emitting
+//! from the *resolved* IR (rather than the surface [`Kernel`](crate::Kernel)
+//! AST) means every scalar already has a type and a dense slot, so the C
+//! mirrors the interpreter exactly: flat `int64_t i<n>` / `double f<n>` /
+//! `bool b<n>` locals (slots are never reused across declarations), and
+//! the same evaluation order statement by statement.
+//!
+//! Semantics contract with the interpreter (checked by the differential
+//! trust gate in the runtime):
+//!
+//! * i64 arithmetic wraps (`-fwrapv`); division by zero is a sticky fault
+//!   aborting at the statement boundary, `INT64_MIN / -1` wraps.
+//! * All floats compute in `f64`; `F32` arrays load-promote and
+//!   store-demote exactly like the interpreter.
+//! * Loop bounds are evaluated once, before the loop; `while` conditions
+//!   every iteration. Every back-edge burns one tick of the host-granted
+//!   iteration batch, so fuse aborts and supervision latency match the
+//!   interpreter's [`SUPERVISION_STRIDE`](crate::SUPERVISION_STRIDE).
+//! * Stores are bounds-checked (a fault, not UB). Loads are *not*: reads
+//!   are trusted to the static verifier plus the differential check — the
+//!   documented trust contract of the native backend (DESIGN.md §15).
+//! * `ParallelFor` is rejected: its deterministic clone-and-merge
+//!   semantics have no plain-OpenMP equivalent, so parallel candidates
+//!   stay on the interpreter and the autotuner races the two backends.
+
+use crate::exec::{BExpr, FExpr, IExpr, RStmt};
+use crate::{ArrayTy, BinOp, CompileError, Executable, ParamKind, WorkspaceKind};
+use std::fmt::Write;
+
+/// The C prelude shared by every emitted kernel (and by the display
+/// dialect of [`Kernel::to_c`](crate::Kernel::to_c)).
+pub const TACO_KERNEL_H: &str = include_str!("taco_kernel.h");
+
+/// The exported entry symbol of every native kernel.
+pub const ENTRY_SYMBOL: &str = "taco_kernel_entry";
+
+/// The exported ABI-version symbol.
+pub const ABI_VERSION_SYMBOL: &str = "taco_abi_version";
+
+/// ABI version the emitted C and the Rust host must agree on. Keep in
+/// sync with `TACO_ABI_VERSION` in `taco_kernel.h`.
+pub const ABI_VERSION: i32 = 1;
+
+/// One array slot of the table ABI.
+#[derive(Debug, Clone)]
+pub struct AbiArray {
+    /// Array name (parameter name, or the kernel-local name).
+    pub name: String,
+    /// Element type: a parameter's declared type, or the type of the
+    /// `Alloc` that materializes a kernel-local array. The emitted C
+    /// declares the slot's pointer with this type, so it must match what
+    /// the kernel actually stores there.
+    pub ty: ArrayTy,
+    /// Parameter kind; `None` for kernel-local arrays.
+    pub kind: Option<ParamKind>,
+    /// True for the hidden key/val slots backing a map workspace: they
+    /// are never charged against the byte budget (maps charge through
+    /// the logical entry model instead).
+    pub map_backing: bool,
+}
+
+/// One map workspace of the table ABI, with its hidden backing slots.
+#[derive(Debug, Clone)]
+pub struct AbiMap {
+    /// Map workspace name (for budget-abort payloads).
+    pub name: String,
+    /// Hidden array slot holding sorted keys (`int64_t`).
+    pub keys_slot: usize,
+    /// Hidden array slot holding values (`double`).
+    pub vals_slot: usize,
+}
+
+/// Everything the host needs to marshal a [`Binding`](crate::Binding)
+/// into the `taco_ctx` tables and back.
+#[derive(Debug, Clone)]
+pub struct AbiPlan {
+    /// Kernel name.
+    pub name: String,
+    /// Scalar parameters in `ctx->scalars` order: (name, int slot).
+    pub scalar_params: Vec<(String, usize)>,
+    /// Scalar outputs in `ctx->scalar_out` order: (name, int slot).
+    pub scalar_outputs: Vec<(String, usize)>,
+    /// Every array slot, visible then hidden map backings, by index.
+    pub arrays: Vec<AbiArray>,
+    /// Map workspaces by map slot.
+    pub maps: Vec<AbiMap>,
+}
+
+/// An emitted native translation unit plus its marshalling plan.
+#[derive(Debug, Clone)]
+pub struct NativeSource {
+    /// Self-contained C (prelude + kernel), ready for `cc -shared`.
+    pub c_source: String,
+    /// The marshalling contract for the host.
+    pub plan: AbiPlan,
+}
+
+/// Why a kernel cannot be emitted natively. Every variant degrades to
+/// the interpreter; none is an error at the engine level.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NativeEmitError {
+    /// The kernel failed to compile to the resolved IR (a lowering bug).
+    Compile(CompileError),
+    /// A construct with no native equivalent. The payload names it.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for NativeEmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NativeEmitError::Compile(e) => write!(f, "kernel failed to compile: {e}"),
+            NativeEmitError::Unsupported(what) => {
+                write!(f, "no native equivalent for {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NativeEmitError {}
+
+/// Emits the native C translation unit for a compiled kernel.
+///
+/// # Errors
+///
+/// [`NativeEmitError::Unsupported`] when the kernel uses `ParallelFor`
+/// (deterministic clone-and-merge is interpreter-only) or mutates a map
+/// workspace inside its own drain loop.
+pub fn emit_native(exe: &Executable) -> Result<NativeSource, NativeEmitError> {
+    check_supported(&exe.body)?;
+
+    let n_visible = exe.array_names.len();
+    let alloc_tys = alloc_types(&exe.body);
+    let mut arrays: Vec<AbiArray> = Vec::with_capacity(n_visible + 2 * exe.map_names.len());
+    for (slot, name) in exe.array_names.iter().enumerate() {
+        let param = exe.array_params.iter().find(|(_, s, _, _)| *s == slot);
+        // Kernel-local arrays have no parameter declaration; their element
+        // type is the one their Alloc materializes. Defaulting to Int here
+        // would declare e.g. a double workspace as int64_t* and type-pun
+        // every load and store through it.
+        arrays.push(AbiArray {
+            name: name.clone(),
+            ty: param
+                .map(|(_, _, ty, _)| *ty)
+                .or_else(|| alloc_tys.get(&slot).copied())
+                .unwrap_or(ArrayTy::Int),
+            kind: param.map(|(_, _, _, k)| *k),
+            map_backing: false,
+        });
+    }
+    let mut maps = Vec::with_capacity(exe.map_names.len());
+    for name in exe.map_names.iter() {
+        let keys_slot = arrays.len();
+        arrays.push(AbiArray {
+            name: format!("{name}.keys"),
+            ty: ArrayTy::Int,
+            kind: None,
+            map_backing: true,
+        });
+        let vals_slot = arrays.len();
+        arrays.push(AbiArray {
+            name: format!("{name}.vals"),
+            ty: ArrayTy::F64,
+            kind: None,
+            map_backing: true,
+        });
+        maps.push(AbiMap { name: name.clone(), keys_slot, vals_slot });
+    }
+
+    let plan = AbiPlan {
+        name: exe.name.clone(),
+        scalar_params: exe.scalar_params.as_ref().clone(),
+        scalar_outputs: exe.scalar_outputs.as_ref().clone(),
+        arrays,
+        maps,
+    };
+
+    let mut e = Emitter { plan: &plan, out: String::new(), depth: 1 };
+    let mut src = String::new();
+    src.push_str(TACO_KERNEL_H);
+    let _ = writeln!(src, "\n/* kernel: {} */", exe.name);
+    let _ = writeln!(src, "int32_t {ABI_VERSION_SYMBOL}(void) {{ return TACO_ABI_VERSION; }}\n");
+    let _ = writeln!(
+        src,
+        "int32_t {ENTRY_SYMBOL}(taco_ctx* ctx, int64_t row_lo, int64_t row_hi) {{"
+    );
+    let _ = writeln!(src, "  (void)row_lo; (void)row_hi;");
+
+    // Flat scalar locals: slots are never reused across declarations, so
+    // one function-scope local per slot reproduces interpreter scoping.
+    for (pos, (_, slot)) in exe.scalar_params.iter().enumerate() {
+        let _ = writeln!(src, "  int64_t i{slot} = ctx->scalars[{pos}];");
+    }
+    let param_slots: Vec<usize> = exe.scalar_params.iter().map(|(_, s)| *s).collect();
+    for slot in 0..exe.n_int {
+        if !param_slots.contains(&slot) {
+            let _ = writeln!(src, "  int64_t i{slot} = 0;");
+        }
+        let _ = writeln!(src, "  (void)i{slot};");
+    }
+    for slot in 0..exe.n_float {
+        let _ = writeln!(src, "  double f{slot} = 0.0; (void)f{slot};");
+    }
+    for slot in 0..exe.n_bool {
+        let _ = writeln!(src, "  bool b{slot} = false; (void)b{slot};");
+    }
+
+    // Array locals for the visible slots (hidden map backings are only
+    // touched through the prelude helpers, via the ctx tables).
+    let mutated = mutated_slots(&exe.body);
+    for slot in 0..n_visible {
+        let ty = c_ty(plan.arrays[slot].ty);
+        let konst = if mutated.contains(&slot) { "" } else { "const " };
+        let _ = writeln!(
+            src,
+            "  {konst}{ty}* restrict a{slot} = ({konst}{ty}*)ctx->arr[{slot}];"
+        );
+        let _ = writeln!(src, "  int64_t a{slot}_n = ctx->arr_size[{slot}];");
+        // Some slots are only touched through host callbacks (or not at
+        // all on a given path); keep -Wall builds of the TU clean.
+        let _ = writeln!(src, "  (void)a{slot}; (void)a{slot}_n;");
+    }
+    src.push('\n');
+
+    e.block(&exe.body);
+    src.push_str(&e.out);
+
+    src.push('\n');
+    for (pos, (_, slot)) in exe.scalar_outputs.iter().enumerate() {
+        let _ = writeln!(src, "  ctx->scalar_out[{pos}] = i{slot};");
+    }
+    let _ = writeln!(src, "  return TACO_OK;");
+    let _ = writeln!(src, "taco_abort:");
+    let _ = writeln!(src, "  return ctx->status ? ctx->status : TACO_ERR_HOST;");
+    let _ = writeln!(src, "}}");
+
+    Ok(NativeSource { c_source: src, plan })
+}
+
+/// Rejects constructs the native backend cannot reproduce.
+fn check_supported(body: &[RStmt]) -> Result<(), NativeEmitError> {
+    for s in body {
+        match s {
+            RStmt::ParallelFor(_) => {
+                return Err(NativeEmitError::Unsupported(
+                    "parallel loop (deterministic clone-and-merge is interpreter-only)".into(),
+                ))
+            }
+            RStmt::For(_, _, _, b) | RStmt::While(_, b) => check_supported(b)?,
+            RStmt::If(_, t, e) => {
+                check_supported(t)?;
+                check_supported(e)?;
+            }
+            RStmt::MapDrainSorted(m, _, _, b) => {
+                if drains_mutate_map(b, *m) {
+                    return Err(NativeEmitError::Unsupported(
+                        "map workspace mutated inside its own drain loop".into(),
+                    ));
+                }
+                check_supported(b)?;
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn drains_mutate_map(body: &[RStmt], map: usize) -> bool {
+    body.iter().any(|s| match s {
+        RStmt::MapInit(m, ..) | RStmt::MapScatter(m, ..) | RStmt::MapDrainSorted(m, ..) => {
+            *m == map
+        }
+        RStmt::For(_, _, _, b) | RStmt::While(_, b) => drains_mutate_map(b, map),
+        RStmt::If(_, t, e) => drains_mutate_map(t, map) || drains_mutate_map(e, map),
+        _ => false,
+    })
+}
+
+/// Element types of kernel-local arrays, recovered from the `Alloc` that
+/// materializes each slot (slots are never reused, so first wins).
+fn alloc_types(body: &[RStmt]) -> std::collections::HashMap<usize, ArrayTy> {
+    let mut out = std::collections::HashMap::new();
+    fn walk(body: &[RStmt], out: &mut std::collections::HashMap<usize, ArrayTy>) {
+        for s in body {
+            match s {
+                RStmt::Alloc(slot, ty, _) => {
+                    out.entry(*slot).or_insert(*ty);
+                }
+                RStmt::For(_, _, _, b) | RStmt::While(_, b) => walk(b, out),
+                RStmt::If(_, t, e) => {
+                    walk(t, out);
+                    walk(e, out);
+                }
+                RStmt::MapDrainSorted(_, _, _, b) => walk(b, out),
+                RStmt::ParallelFor(pf) => walk(&pf.body, out),
+                _ => {}
+            }
+        }
+    }
+    walk(body, &mut out);
+    out
+}
+
+/// Array slots written (stored to, filled, allocated, grown, or sorted)
+/// anywhere in the body; the rest get `const` locals.
+fn mutated_slots(body: &[RStmt]) -> Vec<usize> {
+    let mut out = Vec::new();
+    fn walk(body: &[RStmt], out: &mut Vec<usize>) {
+        for s in body {
+            match s {
+                RStmt::StoreI(a, ..)
+                | RStmt::StoreF64(a, ..)
+                | RStmt::StoreF32(a, ..)
+                | RStmt::StoreB(a, ..)
+                | RStmt::StoreAddI(a, ..)
+                | RStmt::StoreAddF64(a, ..)
+                | RStmt::StoreAddF32(a, ..)
+                | RStmt::MemsetI(a, ..)
+                | RStmt::MemsetF64(a, ..)
+                | RStmt::MemsetF32(a, ..)
+                | RStmt::MemsetB(a, ..)
+                | RStmt::Alloc(a, ..)
+                | RStmt::Realloc(a, ..)
+                | RStmt::Sort(a, ..) if !out.contains(a) => out.push(*a),
+                RStmt::For(_, _, _, b) | RStmt::While(_, b) => walk(b, out),
+                RStmt::If(_, t, e) => {
+                    walk(t, out);
+                    walk(e, out);
+                }
+                RStmt::MapDrainSorted(_, _, _, b) => walk(b, out),
+                RStmt::ParallelFor(pf) => walk(&pf.body, out),
+                _ => {}
+            }
+        }
+    }
+    walk(body, &mut out);
+    out
+}
+
+fn c_ty(ty: ArrayTy) -> &'static str {
+    match ty {
+        ArrayTy::Int => "int64_t",
+        ArrayTy::F64 => "double",
+        ArrayTy::F32 => "float",
+        ArrayTy::Bool => "bool",
+    }
+}
+
+fn ty_code(ty: ArrayTy) -> &'static str {
+    match ty {
+        ArrayTy::Int => "TACO_TY_INT",
+        ArrayTy::F64 => "TACO_TY_F64",
+        ArrayTy::F32 => "TACO_TY_F32",
+        ArrayTy::Bool => "TACO_TY_BOOL",
+    }
+}
+
+fn i64_lit(v: i64) -> String {
+    if v == i64::MIN {
+        "(-9223372036854775807LL - 1)".to_string()
+    } else {
+        format!("{v}LL")
+    }
+}
+
+fn f64_lit(v: f64) -> String {
+    if v.is_nan() {
+        "(0.0 / 0.0)".to_string()
+    } else if v == f64::INFINITY {
+        "(1.0 / 0.0)".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "(-1.0 / 0.0)".to_string()
+    } else {
+        // `{:?}` is Rust's shortest round-trip form: always carries a
+        // decimal point or exponent, so it parses as a C double.
+        format!("{v:?}")
+    }
+}
+
+// --- fault detection: does an expression contain integer div/rem? ------
+
+fn ifaults(e: &IExpr) -> bool {
+    match e {
+        IExpr::Lit(_) | IExpr::Var(_) | IExpr::Len(_) => false,
+        IExpr::Load(_, i) => ifaults(i),
+        IExpr::Bin(op, a, b) => {
+            matches!(op, BinOp::Div | BinOp::Rem) || ifaults(a) || ifaults(b)
+        }
+        IExpr::Neg(a) => ifaults(a),
+    }
+}
+
+fn ffaults(e: &FExpr) -> bool {
+    match e {
+        FExpr::Lit(_) | FExpr::Var(_) => false,
+        FExpr::LoadF64(_, i) | FExpr::LoadF32(_, i) => ifaults(i),
+        FExpr::Bin(_, a, b) => ffaults(a) || ffaults(b),
+        FExpr::Neg(a) => ffaults(a),
+        FExpr::FromInt(i) => ifaults(i),
+    }
+}
+
+fn bfaults(e: &BExpr) -> bool {
+    match e {
+        BExpr::Lit(_) | BExpr::Var(_) => false,
+        BExpr::Load(_, i) => ifaults(i),
+        BExpr::CmpI(_, a, b) => ifaults(a) || ifaults(b),
+        BExpr::CmpF(_, a, b) => ffaults(a) || ffaults(b),
+        BExpr::Bin(_, a, b) => bfaults(a) || bfaults(b),
+        BExpr::Not(a) => bfaults(a),
+    }
+}
+
+// --- the emitter -------------------------------------------------------
+
+struct Emitter<'a> {
+    plan: &'a AbiPlan,
+    out: String,
+    depth: usize,
+}
+
+impl Emitter<'_> {
+    fn line(&mut self, s: &str) {
+        for _ in 0..self.depth {
+            self.out.push_str("  ");
+        }
+        self.out.push_str(s);
+        self.out.push('\n');
+    }
+
+    /// Emits `if (ctx->status) goto taco_abort;` — placed after any
+    /// computation that may have raised a sticky div/rem fault, before
+    /// its result can reach memory.
+    fn fault_check(&mut self) {
+        self.line("if (ctx->status) goto taco_abort;");
+    }
+
+    /// Refreshes the cached pointer/length locals of a visible slot after
+    /// the host may have moved its buffer.
+    fn refresh(&mut self, slot: usize) {
+        let arr = &self.plan.arrays[slot];
+        let ty = c_ty(arr.ty);
+        // A mutated slot is never const (it was just allocated into).
+        self.line(&format!("a{slot} = ({ty}*)ctx->arr[{slot}];"));
+        self.line(&format!("a{slot}_n = ctx->arr_size[{slot}];"));
+    }
+
+    fn block(&mut self, body: &[RStmt]) {
+        for s in body {
+            self.stmt(s);
+        }
+    }
+
+    fn iexpr(&self, e: &IExpr) -> String {
+        match e {
+            IExpr::Lit(v) => i64_lit(*v),
+            IExpr::Var(s) => format!("i{s}"),
+            IExpr::Load(arr, idx) => format!("a{arr}[{}]", self.iexpr(idx)),
+            IExpr::Len(arr) => format!("a{arr}_n"),
+            IExpr::Bin(op, a, b) => {
+                let (x, y) = (self.iexpr(a), self.iexpr(b));
+                match op {
+                    BinOp::Add => format!("({x} + {y})"),
+                    BinOp::Sub => format!("({x} - {y})"),
+                    BinOp::Mul => format!("({x} * {y})"),
+                    BinOp::Div => format!("taco_div_i64(ctx, {x}, {y})"),
+                    BinOp::Rem => format!("taco_rem_i64(ctx, {x}, {y})"),
+                    BinOp::Min => format!("taco_min_i64({x}, {y})"),
+                    BinOp::Max => format!("taco_max_i64({x}, {y})"),
+                    other => unreachable!("non-arithmetic op {other:?} in int expression"),
+                }
+            }
+            IExpr::Neg(a) => format!("(-{})", self.iexpr(a)),
+        }
+    }
+
+    fn fexpr(&self, e: &FExpr) -> String {
+        match e {
+            FExpr::Lit(v) => f64_lit(*v),
+            FExpr::Var(s) => format!("f{s}"),
+            FExpr::LoadF64(arr, idx) => format!("a{arr}[{}]", self.iexpr(idx)),
+            FExpr::LoadF32(arr, idx) => {
+                format!("(double)a{arr}[{}]", self.iexpr(idx))
+            }
+            FExpr::Bin(op, a, b) => {
+                let (x, y) = (self.fexpr(a), self.fexpr(b));
+                match op {
+                    BinOp::Add => format!("({x} + {y})"),
+                    BinOp::Sub => format!("({x} - {y})"),
+                    BinOp::Mul => format!("({x} * {y})"),
+                    BinOp::Div => format!("({x} / {y})"),
+                    BinOp::Rem => format!("fmod({x}, {y})"),
+                    BinOp::Min => format!("fmin({x}, {y})"),
+                    BinOp::Max => format!("fmax({x}, {y})"),
+                    other => unreachable!("non-arithmetic op {other:?} in float expression"),
+                }
+            }
+            FExpr::Neg(a) => format!("(-{})", self.fexpr(a)),
+            FExpr::FromInt(i) => format!("(double)({})", self.iexpr(i)),
+        }
+    }
+
+    fn bexpr(&self, e: &BExpr) -> String {
+        match e {
+            BExpr::Lit(v) => if *v { "true" } else { "false" }.to_string(),
+            BExpr::Var(s) => format!("b{s}"),
+            BExpr::Load(arr, idx) => format!("a{arr}[{}]", self.iexpr(idx)),
+            BExpr::CmpI(op, a, b) => {
+                format!("({} {} {})", self.iexpr(a), cmp_str(*op), self.iexpr(b))
+            }
+            BExpr::CmpF(op, a, b) => {
+                format!("({} {} {})", self.fexpr(a), cmp_str(*op), self.fexpr(b))
+            }
+            BExpr::Bin(BinOp::And, a, b) => {
+                format!("({} && {})", self.bexpr(a), self.bexpr(b))
+            }
+            BExpr::Bin(BinOp::Or, a, b) => {
+                format!("({} || {})", self.bexpr(a), self.bexpr(b))
+            }
+            BExpr::Bin(op, ..) => unreachable!("non-logical op {op:?} in bool expression"),
+            BExpr::Not(a) => format!("(!{})", self.bexpr(a)),
+        }
+    }
+
+    /// A bounds-checked store: stores fault like the interpreter instead
+    /// of invoking UB (loads stay unchecked under the verifier +
+    /// differential trust contract).
+    fn store(
+        &mut self,
+        arr: usize,
+        idx: &IExpr,
+        val_decl: &str,
+        val: String,
+        val_faults: bool,
+        op: &str,
+    ) {
+        let faults = ifaults(idx) || val_faults;
+        self.line("{");
+        self.depth += 1;
+        self.line(&format!("int64_t _x = {};", self.iexpr(idx)));
+        self.line(&format!("{val_decl} _v = {val};"));
+        if faults {
+            self.fault_check();
+        }
+        self.line(&format!(
+            "if ((uint64_t)_x >= (uint64_t)a{arr}_n) {{ ctx->fault(ctx, TACO_ERR_OOB, {arr}, _x, a{arr}_n); goto taco_abort; }}"
+        ));
+        self.line(&format!("a{arr}[_x] {op} _v;"));
+        self.depth -= 1;
+        self.line("}");
+    }
+
+    fn stmt(&mut self, s: &RStmt) {
+        match s {
+            RStmt::AssignI(slot, e) => {
+                let v = self.iexpr(e);
+                self.line(&format!("i{slot} = {v};"));
+                if ifaults(e) {
+                    self.fault_check();
+                }
+            }
+            RStmt::AssignF(slot, e) => {
+                let v = self.fexpr(e);
+                self.line(&format!("f{slot} = {v};"));
+                if ffaults(e) {
+                    self.fault_check();
+                }
+            }
+            RStmt::AssignB(slot, e) => {
+                let v = self.bexpr(e);
+                self.line(&format!("b{slot} = {v};"));
+                if bfaults(e) {
+                    self.fault_check();
+                }
+            }
+            RStmt::StoreI(arr, idx, val) => {
+                let v = self.iexpr(val);
+                self.store(*arr, idx, "int64_t", v, ifaults(val), "=");
+            }
+            RStmt::StoreF64(arr, idx, val) => {
+                let v = self.fexpr(val);
+                self.store(*arr, idx, "double", v, ffaults(val), "=");
+            }
+            RStmt::StoreF32(arr, idx, val) => {
+                let v = format!("(float)({})", self.fexpr(val));
+                self.store(*arr, idx, "float", v, ffaults(val), "=");
+            }
+            RStmt::StoreB(arr, idx, val) => {
+                let v = self.bexpr(val);
+                self.store(*arr, idx, "bool", v, bfaults(val), "=");
+            }
+            RStmt::StoreAddI(arr, idx, val) => {
+                let v = self.iexpr(val);
+                self.store(*arr, idx, "int64_t", v, ifaults(val), "+=");
+            }
+            RStmt::StoreAddF64(arr, idx, val) => {
+                let v = self.fexpr(val);
+                self.store(*arr, idx, "double", v, ffaults(val), "+=");
+            }
+            RStmt::StoreAddF32(arr, idx, val) => {
+                let v = format!("(float)({})", self.fexpr(val));
+                self.store(*arr, idx, "float", v, ffaults(val), "+=");
+            }
+            RStmt::For(slot, lo, hi, body) => {
+                // Bounds evaluate once, before the loop; the shadow
+                // counter keeps body writes to the loop-var slot from
+                // perturbing the trip count, exactly like the interpreter.
+                self.line("{");
+                self.depth += 1;
+                self.line(&format!("int64_t _lo = {};", self.iexpr(lo)));
+                self.line(&format!("int64_t _hi = {};", self.iexpr(hi)));
+                if ifaults(lo) || ifaults(hi) {
+                    self.fault_check();
+                }
+                self.line("for (int64_t _it = _lo; _it < _hi; _it++) {");
+                self.depth += 1;
+                self.line("TACO_TICK(ctx);");
+                self.line(&format!("i{slot} = _it;"));
+                self.block(body);
+                self.depth -= 1;
+                self.line("}");
+                self.depth -= 1;
+                self.line("}");
+            }
+            RStmt::ParallelFor(_) => {
+                unreachable!("rejected by check_supported before emission")
+            }
+            RStmt::While(cond, body) => {
+                if bfaults(cond) {
+                    self.line("for (;;) {");
+                    self.depth += 1;
+                    let c = self.bexpr(cond);
+                    self.line(&format!("bool _c = {c};"));
+                    self.fault_check();
+                    self.line("if (!_c) break;");
+                } else {
+                    let c = self.bexpr(cond);
+                    self.line(&format!("while ({c}) {{"));
+                    self.depth += 1;
+                }
+                self.line("TACO_TICK(ctx);");
+                self.block(body);
+                self.depth -= 1;
+                self.line("}");
+            }
+            RStmt::If(cond, then, els) => {
+                let faults = bfaults(cond);
+                if faults {
+                    self.line("{");
+                    self.depth += 1;
+                    let c = self.bexpr(cond);
+                    self.line(&format!("bool _c = {c};"));
+                    self.fault_check();
+                    self.line("if (_c) {");
+                } else {
+                    let c = self.bexpr(cond);
+                    self.line(&format!("if ({c}) {{"));
+                }
+                self.block_nested(then);
+                if els.is_empty() {
+                    self.line("}");
+                } else {
+                    self.line("} else {");
+                    self.block_nested(els);
+                    self.line("}");
+                }
+                if faults {
+                    self.depth -= 1;
+                    self.line("}");
+                }
+            }
+            RStmt::MemsetI(arr, val) => self.memset(*arr, "int64_t", self.iexpr(val), ifaults(val)),
+            RStmt::MemsetF64(arr, val) => {
+                self.memset(*arr, "double", self.fexpr(val), ffaults(val))
+            }
+            RStmt::MemsetF32(arr, val) => {
+                let v = format!("(float)({})", self.fexpr(val));
+                self.memset(*arr, "float", v, ffaults(val));
+            }
+            RStmt::MemsetB(arr, val) => self.memset(*arr, "bool", self.bexpr(val), bfaults(val)),
+            RStmt::Alloc(arr, ty, len) => {
+                let l = self.iexpr(len);
+                if ifaults(len) {
+                    self.line("{");
+                    self.depth += 1;
+                    self.line(&format!("int64_t _l = {l};"));
+                    self.fault_check();
+                    self.line(&format!(
+                        "if (!ctx->alloc(ctx, {arr}, {}, _l)) goto taco_abort;",
+                        ty_code(*ty)
+                    ));
+                    self.depth -= 1;
+                    self.line("}");
+                } else {
+                    self.line(&format!(
+                        "if (!ctx->alloc(ctx, {arr}, {}, {l})) goto taco_abort;",
+                        ty_code(*ty)
+                    ));
+                }
+                self.refresh(*arr);
+            }
+            RStmt::Realloc(arr, len) => {
+                let l = self.iexpr(len);
+                if ifaults(len) {
+                    self.line("{");
+                    self.depth += 1;
+                    self.line(&format!("int64_t _l = {l};"));
+                    self.fault_check();
+                    self.line(&format!("if (!ctx->grow(ctx, {arr}, _l)) goto taco_abort;"));
+                    self.depth -= 1;
+                    self.line("}");
+                } else {
+                    self.line(&format!("if (!ctx->grow(ctx, {arr}, {l})) goto taco_abort;"));
+                }
+                self.refresh(*arr);
+            }
+            RStmt::Sort(arr, lo, hi) => {
+                let (l, h) = (self.iexpr(lo), self.iexpr(hi));
+                if ifaults(lo) || ifaults(hi) {
+                    self.line("{");
+                    self.depth += 1;
+                    self.line(&format!("int64_t _l = {l};"));
+                    self.line(&format!("int64_t _h = {h};"));
+                    self.fault_check();
+                    self.line(&format!(
+                        "if (!taco_sort_range(ctx, {arr}, _l, _h)) goto taco_abort;"
+                    ));
+                    self.depth -= 1;
+                    self.line("}");
+                } else {
+                    self.line(&format!(
+                        "if (!taco_sort_range(ctx, {arr}, {l}, {h})) goto taco_abort;"
+                    ));
+                }
+            }
+            RStmt::MapInit(map, kind, cap) => {
+                let m = &self.plan.maps[*map];
+                let (ks, vs) = (m.keys_slot, m.vals_slot);
+                let tag = match kind {
+                    WorkspaceKind::Hash => "TACO_WS_HASH",
+                    WorkspaceKind::CoordList => "TACO_WS_COORDLIST",
+                    WorkspaceKind::Dense => "TACO_WS_DENSE",
+                };
+                let c = self.iexpr(cap);
+                if ifaults(cap) {
+                    self.line("{");
+                    self.depth += 1;
+                    self.line(&format!("int64_t _c = {c};"));
+                    self.fault_check();
+                    self.line(&format!(
+                        "if (!taco_map_init(ctx, {map}, {ks}, {vs}, {tag}, _c)) goto taco_abort;"
+                    ));
+                    self.depth -= 1;
+                    self.line("}");
+                } else {
+                    self.line(&format!(
+                        "if (!taco_map_init(ctx, {map}, {ks}, {vs}, {tag}, {c})) goto taco_abort;"
+                    ));
+                }
+            }
+            RStmt::MapScatter(map, key, val, add) => {
+                let m = &self.plan.maps[*map];
+                let (ks, vs) = (m.keys_slot, m.vals_slot);
+                let add = i32::from(*add);
+                let k = self.iexpr(key);
+                let v = self.fexpr(val);
+                if ifaults(key) || ffaults(val) {
+                    self.line("{");
+                    self.depth += 1;
+                    self.line(&format!("int64_t _k = {k};"));
+                    self.line(&format!("double _w = {v};"));
+                    self.fault_check();
+                    self.line(&format!(
+                        "if (!taco_map_scatter(ctx, {map}, {ks}, {vs}, _k, _w, {add})) goto taco_abort;"
+                    ));
+                    self.depth -= 1;
+                    self.line("}");
+                } else {
+                    self.line(&format!(
+                        "if (!taco_map_scatter(ctx, {map}, {ks}, {vs}, {k}, {v}, {add})) goto taco_abort;"
+                    ));
+                }
+            }
+            RStmt::MapDrainSorted(map, key_slot, val_slot, body) => {
+                let m = &self.plan.maps[*map];
+                let (ks, vs) = (m.keys_slot, m.vals_slot);
+                self.line("{");
+                self.depth += 1;
+                self.line(&format!("int64_t _n = ctx->maps[{map}].len;"));
+                self.line(&format!("ctx->maps[{map}].len = 0;"));
+                self.line(&format!("const int64_t* _ks = (const int64_t*)ctx->arr[{ks}];"));
+                self.line(&format!("const double* _vs = (const double*)ctx->arr[{vs}];"));
+                self.line("for (int64_t _di = 0; _di < _n; _di++) {");
+                self.depth += 1;
+                self.line("TACO_TICK(ctx);");
+                self.line(&format!("i{key_slot} = _ks[_di];"));
+                self.line(&format!("f{val_slot} = _vs[_di];"));
+                self.block(body);
+                self.depth -= 1;
+                self.line("}");
+                self.depth -= 1;
+                self.line("}");
+            }
+        }
+    }
+
+    fn memset(&mut self, arr: usize, ty: &str, val: String, faults: bool) {
+        self.line("{");
+        self.depth += 1;
+        self.line(&format!("{ty} _v = {val};"));
+        if faults {
+            self.fault_check();
+        }
+        self.line(&format!("for (int64_t _mi = 0; _mi < a{arr}_n; _mi++) a{arr}[_mi] = _v;"));
+        self.depth -= 1;
+        self.line("}");
+    }
+
+    fn block_nested(&mut self, body: &[RStmt]) {
+        self.depth += 1;
+        self.block(body);
+        self.depth -= 1;
+    }
+}
+
+fn cmp_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        other => unreachable!("non-comparison op {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Expr, Kernel, Param, Stmt};
+
+    fn scale_kernel() -> Executable {
+        let kernel = Kernel::new("scale")
+            .scalar_param("n")
+            .array_param(Param::input("x", ArrayTy::F64))
+            .array_param(Param::output("out", ArrayTy::F64))
+            .body(vec![Stmt::for_(
+                "i",
+                Expr::int(0),
+                Expr::var("n"),
+                vec![Stmt::store(
+                    "out",
+                    Expr::var("i"),
+                    Expr::float(2.0) * Expr::load("x", Expr::var("i")),
+                )],
+            )]);
+        Executable::compile(&kernel).unwrap()
+    }
+
+    #[test]
+    fn emits_entry_and_abi_symbols() {
+        let src = emit_native(&scale_kernel()).unwrap();
+        assert!(src.c_source.contains("int32_t taco_kernel_entry(taco_ctx* ctx"));
+        assert!(src.c_source.contains("int32_t taco_abi_version(void)"));
+        assert!(src.c_source.contains("TACO_TICK(ctx);"));
+        // Input arrays are const, outputs are not.
+        assert!(src.c_source.contains("const double* restrict a0"));
+        assert!(src.c_source.contains("double* restrict a1"));
+        assert_eq!(src.plan.scalar_params.len(), 1);
+        assert_eq!(src.plan.arrays.len(), 2);
+        assert!(src.plan.maps.is_empty());
+    }
+
+    #[test]
+    fn kernel_local_arrays_take_their_alloc_type() {
+        // A double workspace materialized by Alloc (no parameter carries
+        // its type): the slot must be declared double*, not the Int
+        // default — an int64_t* declaration would type-pun every access.
+        let kernel = Kernel::new("ws")
+            .scalar_param("n")
+            .array_param(Param::output("out", ArrayTy::F64))
+            .body(vec![
+                Stmt::Alloc { arr: "w".into(), ty: ArrayTy::F64, len: Expr::var("n") },
+                Stmt::Alloc { arr: "seen".into(), ty: ArrayTy::Bool, len: Expr::var("n") },
+                Stmt::store("w", Expr::int(0), Expr::float(1.5)),
+                Stmt::store("out", Expr::int(0), Expr::load("w", Expr::int(0))),
+            ]);
+        let exe = Executable::compile(&kernel).unwrap();
+        let src = emit_native(&exe).unwrap();
+        let w = src.plan.arrays.iter().find(|a| a.name == "w").unwrap();
+        assert_eq!(w.ty, ArrayTy::F64);
+        let seen = src.plan.arrays.iter().find(|a| a.name == "seen").unwrap();
+        assert_eq!(seen.ty, ArrayTy::Bool);
+        assert!(src.c_source.contains("double* restrict a1"), "{}", src.c_source);
+        assert!(src.c_source.contains("bool* restrict a2"), "{}", src.c_source);
+    }
+
+    #[test]
+    fn rejects_parallel_for() {
+        let kernel = Kernel::new("par")
+            .scalar_param("n")
+            .array_param(Param::output("out", ArrayTy::F64))
+            .body(vec![Stmt::ParallelFor {
+                var: "i".into(),
+                lo: Expr::int(0),
+                hi: Expr::var("n"),
+                threads: 0,
+                private: vec![],
+                append: None,
+                body: vec![Stmt::store("out", Expr::var("i"), Expr::float(1.0))],
+            }]);
+        let exe = Executable::compile(&kernel).unwrap();
+        let err = emit_native(&exe).unwrap_err();
+        assert!(matches!(err, NativeEmitError::Unsupported(_)));
+    }
+
+    #[test]
+    fn map_workspace_gets_hidden_backing_slots() {
+        let kernel = Kernel::new("ws")
+            .scalar_param("n")
+            .array_param(Param::output("out", ArrayTy::F64))
+            .body(vec![
+                Stmt::MapInit {
+                    map: "w".into(),
+                    kind: WorkspaceKind::Hash,
+                    capacity: Expr::int(0),
+                },
+                Stmt::MapScatter {
+                    map: "w".into(),
+                    key: Expr::int(3),
+                    val: Expr::float(1.5),
+                    add: true,
+                },
+                Stmt::MapDrainSorted {
+                    map: "w".into(),
+                    key: "k".into(),
+                    val: "v".into(),
+                    body: vec![Stmt::store("out", Expr::var("k"), Expr::var("v"))],
+                },
+            ]);
+        let exe = Executable::compile(&kernel).unwrap();
+        let src = emit_native(&exe).unwrap();
+        assert_eq!(src.plan.maps.len(), 1);
+        let m = &src.plan.maps[0];
+        assert_eq!(m.keys_slot, 1);
+        assert_eq!(m.vals_slot, 2);
+        assert!(src.plan.arrays[m.keys_slot].map_backing);
+        assert!(src.c_source.contains("taco_map_scatter(ctx, 0, 1, 2, 3LL, 1.5, 1)"));
+    }
+}
+
+#[cfg(test)]
+mod cc_tests {
+    use super::*;
+    use crate::{Expr, Kernel, Param, Stmt};
+
+    /// Compiles an emitted TU with the system C compiler when one is
+    /// present; prints a visible skip marker otherwise.
+    fn syntax_check(name: &str, src: &NativeSource) {
+        let cc = std::env::var("CC").unwrap_or_else(|_| "cc".to_string());
+        let dir = std::env::temp_dir().join(format!("taco-cgen-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let c_path = dir.join(format!("{name}.c"));
+        std::fs::write(&c_path, &src.c_source).unwrap();
+        let out = std::process::Command::new(&cc)
+            .args(["-std=c11", "-fsyntax-only", "-Wall", "-Werror"])
+            .arg(&c_path)
+            .output();
+        match out {
+            Ok(o) if o.status.success() => {}
+            Ok(o) => panic!(
+                "emitted C for `{name}` failed to parse:\n{}\n--- source ---\n{}",
+                String::from_utf8_lossy(&o.stderr),
+                src.c_source
+            ),
+            Err(_) => eprintln!("SKIPPED: no C compiler (`{cc}`) on PATH; syntax check not run"),
+        }
+    }
+
+    #[test]
+    fn emitted_c_parses_with_system_compiler() {
+        // A kernel exercising every statement family the emitter handles:
+        // loops, while, if, stores, memset, alloc/realloc/sort, and a map
+        // workspace with scatter + drain.
+        let kernel = Kernel::new("allstmt")
+            .scalar_param("n")
+            .array_param(Param::input("x", ArrayTy::F64))
+            .array_param(Param::input("xi", ArrayTy::Int))
+            .array_param(Param::input("g", ArrayTy::Bool))
+            .array_param(Param::input("h", ArrayTy::F32))
+            .array_param(Param::output("out", ArrayTy::F64))
+            .scalar_output("nnz")
+            .body(vec![
+                Stmt::DeclInt("nnz".into(), Expr::int(0)),
+                Stmt::Alloc {
+                    arr: "w".into(),
+                    ty: ArrayTy::F64,
+                    len: Expr::var("n"),
+                },
+                Stmt::Memset { arr: "w".into(), val: Expr::float(0.0) },
+                Stmt::MapInit {
+                    map: "m".into(),
+                    kind: WorkspaceKind::CoordList,
+                    capacity: Expr::int(4),
+                },
+                Stmt::for_(
+                    "i",
+                    Expr::int(0),
+                    Expr::var("n"),
+                    vec![
+                        Stmt::if_(
+                            Expr::load("g", Expr::var("i")),
+                            vec![
+                                Stmt::store(
+                                    "w",
+                                    Expr::var("i"),
+                                    Expr::load("x", Expr::var("i"))
+                                        + Expr::load("h", Expr::var("i")),
+                                ),
+                                Stmt::MapScatter {
+                                    map: "m".into(),
+                                    key: Expr::var("i")
+                                        % (Expr::var("n") + Expr::int(1)),
+                                    val: Expr::load("x", Expr::var("i")),
+                                    add: true,
+                                },
+                            ],
+                        ),
+                        Stmt::store_add(
+                            "out",
+                            Expr::var("i"),
+                            Expr::load("w", Expr::var("i")),
+                        ),
+                    ],
+                ),
+                Stmt::Realloc { arr: "w".into(), len: Expr::var("n") * Expr::int(2) },
+                Stmt::Alloc { arr: "order".into(), ty: ArrayTy::Int, len: Expr::var("n") },
+                Stmt::Sort { arr: "order".into(), lo: Expr::int(0), hi: Expr::var("n") },
+                Stmt::MapDrainSorted {
+                    map: "m".into(),
+                    key: "k".into(),
+                    val: "v".into(),
+                    body: vec![
+                        Stmt::store_add("out", Expr::var("k"), Expr::var("v")),
+                        Stmt::Assign("nnz".into(), Expr::var("nnz") + Expr::int(1)),
+                    ],
+                },
+                Stmt::while_(
+                    Expr::var("nnz").gt(Expr::int(100)),
+                    vec![Stmt::Assign(
+                        "nnz".into(),
+                        Expr::var("nnz") - Expr::int(1),
+                    )],
+                ),
+            ]);
+        let exe = Executable::compile(&kernel).unwrap();
+        let src = emit_native(&exe).unwrap();
+        syntax_check("allstmt", &src);
+    }
+}

@@ -85,6 +85,10 @@ pub enum RunError {
         /// milliseconds.
         elapsed_ms: u64,
     },
+    /// An execution backend failed in a way that has no richer mapping —
+    /// e.g. a native kernel reported a fault code the host did not record.
+    /// Never produced by the interpreter.
+    Backend(String),
     /// A [`ResourceBudget`](crate::ResourceBudget) limit was exceeded.
     BudgetExceeded {
         /// Which limit was violated.
@@ -115,6 +119,7 @@ impl fmt::Display for RunError {
                 write!(f, "negative length {len} requested for array `{name}`")
             }
             RunError::DivisionByZero => write!(f, "integer division by zero"),
+            RunError::Backend(what) => write!(f, "execution backend fault: {what}"),
             RunError::Cancelled => write!(f, "execution cancelled"),
             RunError::DeadlineExceeded { deadline_ms, elapsed_ms } => {
                 write!(f, "deadline of {deadline_ms} ms exceeded after {elapsed_ms} ms")

@@ -6,6 +6,7 @@
 //! name lookups in any inner loop — this plays the role of the paper's
 //! "target code" stage (Figure 6) in a pure-Rust setting.
 
+use crate::alloc::{elem_bytes, AllocSink, BudgetMeter};
 use crate::supervise::SharedProgress;
 use crate::{
     ArrayTy, BinOp, BudgetResource, CompileError, Expr, Kernel, ParamKind, ResourceBudget,
@@ -69,7 +70,7 @@ impl ArrayVal {
 // ---------------------------------------------------------------------------
 
 #[derive(Debug, Clone)]
-enum IExpr {
+pub(crate) enum IExpr {
     Lit(i64),
     Var(usize),
     Load(usize, Box<IExpr>),
@@ -79,7 +80,7 @@ enum IExpr {
 }
 
 #[derive(Debug, Clone)]
-enum FExpr {
+pub(crate) enum FExpr {
     Lit(f64),
     Var(usize),
     LoadF64(usize, Box<IExpr>),
@@ -90,7 +91,7 @@ enum FExpr {
 }
 
 #[derive(Debug, Clone)]
-enum BExpr {
+pub(crate) enum BExpr {
     Lit(bool),
     Var(usize),
     Load(usize, Box<IExpr>),
@@ -101,7 +102,7 @@ enum BExpr {
 }
 
 #[derive(Debug, Clone)]
-enum RStmt {
+pub(crate) enum RStmt {
     AssignI(usize, IExpr),
     AssignF(usize, FExpr),
     AssignB(usize, BExpr),
@@ -133,29 +134,29 @@ enum RStmt {
 /// per-worker state is merged back deterministically (boxed to keep the
 /// common `RStmt` variants small).
 #[derive(Debug, Clone)]
-struct RParFor {
+pub(crate) struct RParFor {
     /// Loop-variable int slot.
-    var: usize,
-    lo: IExpr,
-    hi: IExpr,
+    pub(crate) var: usize,
+    pub(crate) lo: IExpr,
+    pub(crate) hi: IExpr,
     /// Worker count baked in at lowering; 0 resolves at run time.
-    threads: usize,
+    pub(crate) threads: usize,
     /// Array slots private to each worker (per-thread workspaces): workers
     /// run on clones, and the parent's pristine copies survive the loop.
-    private: Vec<usize>,
-    append: Option<RAppend>,
-    body: Vec<RStmt>,
+    pub(crate) private: Vec<usize>,
+    pub(crate) append: Option<RAppend>,
+    pub(crate) body: Vec<RStmt>,
 }
 
 /// Slot-resolved [`AppendMerge`](crate::AppendMerge).
 #[derive(Debug, Clone)]
-struct RAppend {
+pub(crate) struct RAppend {
     /// Int slot of the append counter scalar.
-    counter: usize,
+    pub(crate) counter: usize,
     /// Array slots appended to at counter positions.
-    data: Vec<usize>,
+    pub(crate) data: Vec<usize>,
     /// Slot of the result `pos` array whose per-row entries need rebasing.
-    pos: Option<usize>,
+    pub(crate) pos: Option<usize>,
 }
 
 // ---------------------------------------------------------------------------
@@ -546,32 +547,8 @@ impl Compiler {
 // Execution
 // ---------------------------------------------------------------------------
 
-/// Mutable budget accounting for one run. Limits of `u64::MAX`/`u32::MAX`
-/// mean "unbounded" so the hot-path checks stay branch-cheap.
-struct BudgetState {
-    iterations_left: u64,
-    max_iterations: u64,
-    max_single_bytes: u64,
-    max_total_bytes: u64,
-    total_bytes: u64,
-    max_doublings: u32,
-    realloc_counts: Vec<u32>,
-}
-
-impl BudgetState {
-    fn new(budget: &ResourceBudget, n_arrays: usize) -> BudgetState {
-        let max_iterations = budget.max_loop_iterations.unwrap_or(u64::MAX);
-        BudgetState {
-            iterations_left: max_iterations,
-            max_iterations,
-            max_single_bytes: budget.max_workspace_bytes.unwrap_or(u64::MAX),
-            max_total_bytes: budget.max_total_bytes.unwrap_or(u64::MAX),
-            total_bytes: 0,
-            max_doublings: budget.max_realloc_doublings.unwrap_or(u32::MAX),
-            realloc_counts: vec![0; n_arrays],
-        }
-    }
-}
+// Per-run budget accounting lives in [`crate::alloc::BudgetMeter`], shared
+// with the native backend so both report byte-identical budget aborts.
 
 /// How often (in loop iterations) the interpreter performs the expensive
 /// supervision checks: reading the clock, the cancel flag, and publishing
@@ -593,15 +570,6 @@ pub(crate) struct RunControls<'a> {
     pub(crate) deadline: Option<(Instant, Duration)>,
     /// Progress counters published for the watchdog thread.
     pub(crate) shared: Option<&'a SharedProgress>,
-}
-
-fn elem_bytes(ty: ArrayTy) -> u64 {
-    match ty {
-        ArrayTy::Int => 8,
-        ArrayTy::F64 => 8,
-        ArrayTy::F32 => 4,
-        ArrayTy::Bool => 1,
-    }
 }
 
 /// Bytes charged per map-workspace entry: key and value, plus slot overhead
@@ -671,7 +639,7 @@ struct Mach<'a> {
     array_names: Arc<Vec<String>>,
     maps: Vec<MapWs>,
     map_names: Arc<Vec<String>>,
-    budget: BudgetState,
+    budget: BudgetMeter,
     ctl: RunControls<'a>,
     /// Iterations until the next supervision check.
     check_countdown: u32,
@@ -755,25 +723,7 @@ impl Mach<'_> {
     /// Charges `new_bytes` of growth for `arr` against the single-allocation
     /// and cumulative byte limits.
     fn charge_bytes(&mut self, arr: usize, new_bytes: u64) -> Result<(), RunError> {
-        if new_bytes > self.budget.max_single_bytes {
-            return Err(RunError::BudgetExceeded {
-                resource: BudgetResource::WorkspaceBytes,
-                limit: self.budget.max_single_bytes,
-                requested: new_bytes,
-                array: Some(self.array_names[arr].clone()),
-            });
-        }
-        let total = self.budget.total_bytes.saturating_add(new_bytes);
-        if total > self.budget.max_total_bytes {
-            return Err(RunError::BudgetExceeded {
-                resource: BudgetResource::TotalBytes,
-                limit: self.budget.max_total_bytes,
-                requested: total,
-                array: Some(self.array_names[arr].clone()),
-            });
-        }
-        self.budget.total_bytes = total;
-        Ok(())
+        self.budget.charge_array_bytes(&self.array_names[arr], new_bytes)
     }
 
     /// Charges map-workspace growth: the map's whole footprint must fit the
@@ -786,25 +736,7 @@ impl Mach<'_> {
         footprint: u64,
         delta: u64,
     ) -> Result<(), RunError> {
-        if footprint > self.budget.max_single_bytes {
-            return Err(RunError::BudgetExceeded {
-                resource: BudgetResource::WorkspaceBytes,
-                limit: self.budget.max_single_bytes,
-                requested: footprint,
-                array: Some(self.map_names[map].clone()),
-            });
-        }
-        let total = self.budget.total_bytes.saturating_add(delta);
-        if total > self.budget.max_total_bytes {
-            return Err(RunError::BudgetExceeded {
-                resource: BudgetResource::TotalBytes,
-                limit: self.budget.max_total_bytes,
-                requested: total,
-                array: Some(self.map_names[map].clone()),
-            });
-        }
-        self.budget.total_bytes = total;
-        Ok(())
+        self.budget.charge_map_bytes(&self.map_names[map], footprint, delta)
     }
 
     /// Grows the charged capacity of a map (by doubling) when an insert
@@ -825,17 +757,7 @@ impl Mach<'_> {
 
     /// Counts one `Realloc` growth of `arr` against the doubling cap.
     fn charge_realloc(&mut self, arr: usize) -> Result<(), RunError> {
-        let count = self.budget.realloc_counts[arr].saturating_add(1);
-        if count > self.budget.max_doublings {
-            return Err(RunError::BudgetExceeded {
-                resource: BudgetResource::ReallocDoublings,
-                limit: self.budget.max_doublings as u64,
-                requested: count as u64,
-                array: Some(self.array_names[arr].clone()),
-            });
-        }
-        self.budget.realloc_counts[arr] = count;
-        Ok(())
+        self.budget.charge_realloc_doubling(arr, &self.array_names[arr])
     }
 
     fn eval_i(&self, e: &IExpr) -> Result<i64, RunError> {
@@ -1288,7 +1210,7 @@ impl Mach<'_> {
                         // draining in the same iteration).
                         maps: self.maps.clone(),
                         map_names: self.map_names.clone(),
-                        budget: BudgetState {
+                        budget: BudgetMeter {
                             iterations_left: self.budget.iterations_left,
                             // Start the fuse at the parent's remaining count
                             // so `iterations_done()` reports exactly what
@@ -1688,6 +1610,31 @@ impl Binding {
         self.arrays.remove(name)
     }
 
+    /// Borrows a bound array of any element type. Execution backends
+    /// outside this crate (the native backend's marshalling layer) use
+    /// this to move buffers without committing to an element type.
+    pub fn array(&self, name: &str) -> Option<&ArrayVal> {
+        self.arrays.get(name)
+    }
+
+    /// Binds (or replaces) an array of any element type.
+    pub fn set_array(&mut self, name: impl Into<String>, v: ArrayVal) -> &mut Self {
+        self.arrays.insert(name.into(), v);
+        self
+    }
+
+    /// Reads a bound scalar parameter.
+    pub fn scalar(&self, name: &str) -> Option<i64> {
+        self.scalars.get(name).copied()
+    }
+
+    /// Commits a kernel scalar output, as a successful run does. External
+    /// execution backends publish their scalar results through this.
+    pub fn set_scalar_output(&mut self, name: impl Into<String>, v: i64) -> &mut Self {
+        self.scalar_outputs.insert(name.into(), v);
+        self
+    }
+
     /// Records the pre-run state of the named arrays (present or absent)
     /// for transactional rollback.
     pub(crate) fn snapshot<'a>(
@@ -1720,16 +1667,16 @@ impl Binding {
 /// borrows it immutably.
 #[derive(Debug, Clone)]
 pub struct Executable {
-    name: String,
-    scalar_params: Arc<Vec<(String, usize)>>,
-    array_params: Arc<Vec<(String, usize, ArrayTy, ParamKind)>>,
-    scalar_outputs: Arc<Vec<(String, usize)>>,
-    array_names: Arc<Vec<String>>,
-    map_names: Arc<Vec<String>>,
-    n_int: usize,
-    n_float: usize,
-    n_bool: usize,
-    body: Arc<Vec<RStmt>>,
+    pub(crate) name: String,
+    pub(crate) scalar_params: Arc<Vec<(String, usize)>>,
+    pub(crate) array_params: Arc<Vec<(String, usize, ArrayTy, ParamKind)>>,
+    pub(crate) scalar_outputs: Arc<Vec<(String, usize)>>,
+    pub(crate) array_names: Arc<Vec<String>>,
+    pub(crate) map_names: Arc<Vec<String>>,
+    pub(crate) n_int: usize,
+    pub(crate) n_float: usize,
+    pub(crate) n_bool: usize,
+    pub(crate) body: Arc<Vec<RStmt>>,
 }
 
 impl Executable {
@@ -1850,7 +1797,7 @@ impl Executable {
             array_names: self.array_names.clone(),
             maps: self.map_names.iter().map(|_| MapWs::default()).collect(),
             map_names: self.map_names.clone(),
-            budget: BudgetState::new(budget, self.array_names.len()),
+            budget: BudgetMeter::new(budget, self.array_names.len()),
             ctl,
             check_countdown: 0,
             in_parallel: false,

@@ -40,7 +40,9 @@
 
 #![warn(missing_docs)]
 
+mod alloc;
 mod budget;
+mod cgen;
 mod error;
 mod exec;
 mod ir;
@@ -48,7 +50,12 @@ mod printer;
 mod simplify;
 mod supervise;
 
+pub use alloc::{elem_bytes, AllocSink, BudgetMeter};
 pub use budget::{BudgetEnvError, BudgetResource, ResourceBudget};
+pub use cgen::{
+    emit_native, AbiArray, AbiMap, AbiPlan, NativeEmitError, NativeSource, ABI_VERSION,
+    ABI_VERSION_SYMBOL, ENTRY_SYMBOL, TACO_KERNEL_H,
+};
 pub use error::{CompileError, RunError};
 pub use exec::{ArrayVal, Binding, Executable, SUPERVISION_STRIDE};
 pub use ir::{AppendMerge, ArrayTy, BinOp, Expr, Kernel, Param, ParamKind, Stmt, UnOp, WorkspaceKind};

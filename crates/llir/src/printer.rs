@@ -7,9 +7,14 @@ use std::fmt::Write;
 impl Kernel {
     /// Renders the kernel as C source.
     ///
-    /// The output is for human inspection (and golden tests); it is not fed
-    /// to a C compiler in this project — execution goes through
-    /// [`crate::Executable`] instead.
+    /// The output is the paper-style display dialect: `int32_t` indices,
+    /// `#pragma omp` parallel loops, and `taco_ws_map` workspaces. Prepended
+    /// with the [`crate::TACO_KERNEL_H`] prelude it compiles as C11 — the
+    /// round-trip tests syntax-check every enumerated candidate with the
+    /// system C compiler. Native execution does not reuse this text: the
+    /// dlopen backend emits its own translation unit from the resolved IR
+    /// ([`crate::emit_native`]), and the portable path interprets
+    /// [`crate::Executable`] directly.
     ///
     /// # Example
     ///
@@ -26,9 +31,11 @@ impl Kernel {
         let mut out = String::new();
         let mut params: Vec<String> =
             self.scalar_params.iter().map(|s| format!("int {s}")).collect();
-        params.extend(
-            self.array_params.iter().map(|p| format!("{}* restrict {}", c_ty(p.ty), p.name)),
-        );
+        // Each array parameter travels with its element count so `Len`
+        // expressions and whole-array fills are compilable C.
+        params.extend(self.array_params.iter().map(|p| {
+            format!("{}* restrict {}, int32_t {}_size", c_ty(p.ty), p.name, p.name)
+        }));
         let _ = writeln!(out, "void {}({}) {{", self.name, params.join(", "));
         for s in &self.body {
             print_stmt(&mut out, s, 1);
@@ -170,13 +177,19 @@ fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
         }
         Stmt::Alloc { arr, ty, len } => {
             let t = c_ty(*ty);
-            let _ = writeln!(out, "{t}* restrict {arr} = ({t}*)calloc({}, sizeof({t}));", print_expr(len));
+            let l = print_expr(len);
+            let _ = writeln!(out, "{t}* restrict {arr} = ({t}*)calloc({l}, sizeof({t}));");
+            indent(out, level);
+            let _ = writeln!(out, "int32_t {arr}_size = {l};");
         }
         Stmt::Realloc { arr, len } => {
-            let _ = writeln!(out, "{arr} = realloc({arr}, ({}) * sizeof(*{arr}));", print_expr(len));
+            let l = print_expr(len);
+            let _ = writeln!(out, "{arr} = realloc({arr}, ({l}) * sizeof(*{arr}));");
+            indent(out, level);
+            let _ = writeln!(out, "{arr}_size = {l};");
         }
         Stmt::Sort { arr, lo, hi } => {
-            let _ = writeln!(out, "sort({arr} + {}, {arr} + {});", print_expr(lo), print_expr(hi));
+            let _ = writeln!(out, "taco_sort_i32({arr}, {}, {});", print_expr(lo), print_expr(hi));
         }
         Stmt::MapInit { map, kind, capacity } => {
             let tag = match kind {
@@ -195,7 +208,15 @@ fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
             let _ = writeln!(out, "{f}({map}, {}, {});", print_expr(key), print_expr(val));
         }
         Stmt::MapDrainSorted { map, key, val, body } => {
-            let _ = writeln!(out, "taco_ws_map_drain_sorted({map}, {key}, {val}) {{");
+            let _ = writeln!(
+                out,
+                "for (taco_ws_iter {map}_it = taco_ws_drain_sorted({map}); \
+                 taco_ws_iter_next(&{map}_it);) {{"
+            );
+            indent(out, level + 1);
+            let _ = writeln!(out, "int32_t {key} = (int32_t){map}_it.key;");
+            indent(out, level + 1);
+            let _ = writeln!(out, "double {val} = {map}_it.val;");
             print_block(out, body, level + 1);
             indent(out, level);
             let _ = writeln!(out, "}}");
@@ -347,6 +368,6 @@ mod tests {
             &Stmt::Sort { arr: "rowlist".into(), lo: Expr::int(0), hi: Expr::var("n") },
             0,
         );
-        assert!(out2.contains("sort(rowlist + 0, rowlist + n);"));
+        assert!(out2.contains("taco_sort_i32(rowlist, 0, n);"));
     }
 }

@@ -53,6 +53,14 @@ impl CancelToken {
         self.0.load(Ordering::Relaxed)
     }
 
+    /// The raw flag behind this token, for alternate execution backends
+    /// (e.g. native-compiled kernels) that poll cancellation outside an
+    /// [`ExecSession`]. The borrow is tied to this clone; hold the token
+    /// alive for as long as the flag is observed.
+    pub fn as_atomic(&self) -> &AtomicBool {
+        &self.0
+    }
+
     pub(crate) fn flag(&self) -> &AtomicBool {
         &self.0
     }
@@ -189,7 +197,10 @@ impl AbortReason {
         matches!(self, AbortReason::DeadlineExceeded { .. } | AbortReason::BudgetExceeded { .. })
     }
 
-    fn from_run_error(e: RunError) -> AbortReason {
+    /// Classifies a [`RunError`] as an abort reason. Public so alternate
+    /// execution backends (the native backend) can report aborts through
+    /// the same taxonomy as the interpreter's supervised sessions.
+    pub fn from_run_error(e: RunError) -> AbortReason {
         match e {
             RunError::Cancelled => AbortReason::Cancelled,
             RunError::DeadlineExceeded { deadline_ms, elapsed_ms } => {

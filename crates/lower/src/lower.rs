@@ -1828,8 +1828,8 @@ mod tests {
         let sorted = lower(&scheduled_spgemm(8), &LowerOptions::fused("k")).unwrap();
         let unsorted =
             lower(&scheduled_spgemm(8), &LowerOptions::fused("k").unsorted()).unwrap();
-        assert!(sorted.kernel.to_c().contains("sort("));
-        assert!(!unsorted.kernel.to_c().contains("sort("));
+        assert!(sorted.kernel.to_c().contains("taco_sort_i32("));
+        assert!(!unsorted.kernel.to_c().contains("taco_sort_i32("));
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Minimal `dlopen`/`dlsym`/`dlclose` FFI.
+//!
+//! Raw libc bindings rather than a crate dependency, consistent with the
+//! repository's vendored-shims offline policy. Only what the backend
+//! needs: open a shared object eagerly (`RTLD_NOW`, so missing symbols
+//! fail at load instead of at call), resolve two symbols, close on drop.
+
+use crate::NativeError;
+
+#[cfg(unix)]
+mod imp {
+    use super::NativeError;
+    use std::ffi::{c_char, c_int, c_void, CString};
+    use std::path::Path;
+
+    extern "C" {
+        fn dlopen(filename: *const c_char, flags: c_int) -> *mut c_void;
+        fn dlsym(handle: *mut c_void, symbol: *const c_char) -> *mut c_void;
+        fn dlclose(handle: *mut c_void) -> c_int;
+        fn dlerror() -> *mut c_char;
+    }
+
+    const RTLD_NOW: c_int = 2;
+
+    fn last_error() -> String {
+        // dlerror returns NULL when no error is pending; it is cleared by
+        // the call, so read it exactly once per failure.
+        unsafe {
+            let msg = dlerror();
+            if msg.is_null() {
+                "unknown dlopen error".to_string()
+            } else {
+                std::ffi::CStr::from_ptr(msg).to_string_lossy().into_owned()
+            }
+        }
+    }
+
+    /// An open shared object; closed on drop.
+    #[derive(Debug)]
+    pub struct DynLib {
+        handle: *mut c_void,
+    }
+
+    // The handle is only used to resolve symbols at load time and to
+    // close the library; glibc's dlopen family is thread-safe, and the
+    // resolved kernel entry is a stateless C function operating purely on
+    // the per-call context it is passed.
+    unsafe impl Send for DynLib {}
+    unsafe impl Sync for DynLib {}
+
+    impl DynLib {
+        /// Loads a shared object with eager symbol resolution.
+        pub fn open(path: &Path) -> Result<DynLib, NativeError> {
+            let cpath = CString::new(path.as_os_str().as_encoded_bytes())
+                .map_err(|_| NativeError::LoadFailed("NUL byte in .so path".into()))?;
+            let handle = unsafe { dlopen(cpath.as_ptr(), RTLD_NOW) };
+            if handle.is_null() {
+                return Err(NativeError::LoadFailed(last_error()));
+            }
+            Ok(DynLib { handle })
+        }
+
+        /// Resolves a symbol; the caller casts to the correct fn type.
+        pub fn sym(&self, name: &str) -> Result<*mut c_void, NativeError> {
+            let cname = CString::new(name)
+                .map_err(|_| NativeError::LoadFailed("NUL byte in symbol name".into()))?;
+            let p = unsafe { dlsym(self.handle, cname.as_ptr()) };
+            if p.is_null() {
+                return Err(NativeError::LoadFailed(format!(
+                    "symbol `{name}` not found: {}",
+                    last_error()
+                )));
+            }
+            Ok(p)
+        }
+    }
+
+    impl Drop for DynLib {
+        fn drop(&mut self) {
+            unsafe {
+                dlclose(self.handle);
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use super::NativeError;
+    use std::ffi::c_void;
+    use std::path::Path;
+
+    /// Stub: dynamic loading is not wired up on this platform, so the
+    /// backend reports itself unavailable and the engine stays on the
+    /// interpreter.
+    #[derive(Debug)]
+    pub struct DynLib {}
+
+    impl DynLib {
+        /// Always fails on non-unix platforms.
+        pub fn open(_path: &Path) -> Result<DynLib, NativeError> {
+            Err(NativeError::Unavailable("dlopen is unix-only".into()))
+        }
+
+        /// Unreachable: `open` never succeeds here.
+        pub fn sym(&self, _name: &str) -> Result<*mut c_void, NativeError> {
+            Err(NativeError::Unavailable("dlopen is unix-only".into()))
+        }
+    }
+}
+
+pub use imp::DynLib;
+
+impl DynLib {
+    /// Opens `path` and verifies its exported ABI version matches the
+    /// host's, refusing stale cache artifacts from older builds.
+    pub fn open_checked(path: &std::path::Path) -> Result<DynLib, NativeError> {
+        let lib = DynLib::open(path)?;
+        let sym = lib.sym(taco_llir::ABI_VERSION_SYMBOL)?;
+        let version_fn: unsafe extern "C" fn() -> i32 = unsafe { std::mem::transmute(sym) };
+        let got = unsafe { version_fn() };
+        if got != taco_llir::ABI_VERSION {
+            return Err(NativeError::LoadFailed(format!(
+                "ABI version mismatch: shared object has {got}, host expects {}",
+                taco_llir::ABI_VERSION
+            )));
+        }
+        Ok(lib)
+    }
+}

@@ -2,6 +2,7 @@
 //! execution, and schedule autotuning.
 
 use crate::cache::{CacheStats, KernelCache};
+use crate::native::{Backend, NativeStore};
 use crate::tuner::{Autotuner, TuneDecision, TuneKey};
 use crate::{EngineError, Result};
 use std::collections::VecDeque;
@@ -49,6 +50,12 @@ pub struct EngineConfig {
     /// [`taco_core::default_verify_mode`]: deny in debug builds, warn in
     /// release.
     pub verify: VerifyMode,
+    /// Which execution backend runs kernels: the interpreter, or native
+    /// shared objects compiled from the emitted C (with the interpreter as
+    /// verify-gated correctness oracle and fallback — see
+    /// [`crate::Backend`]). Default: [`Backend::from_env`], i.e. the
+    /// `TACO_BACKEND` environment knob (`auto` when unset).
+    pub backend: Backend,
 }
 
 impl Default for EngineConfig {
@@ -61,6 +68,7 @@ impl Default for EngineConfig {
             tuning_deadline: Duration::from_millis(250),
             max_events: 256,
             verify: taco_core::default_verify_mode(),
+            backend: Backend::from_env(),
         }
     }
 }
@@ -118,6 +126,14 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the execution backend ([`EngineConfig::backend`]), overriding
+    /// the `TACO_BACKEND` environment default.
+    #[must_use]
+    pub fn backend(mut self, backend: Backend) -> EngineBuilder {
+        self.config.backend = backend;
+        self
+    }
+
     /// Builds the engine.
     #[must_use]
     pub fn build(self) -> Engine {
@@ -171,6 +187,26 @@ pub enum EngineEvent {
         /// Warn-severity findings (undischarged obligations).
         warns: usize,
     },
+    /// A kernel's emitted C was compiled to a native shared object and
+    /// loaded (still untrusted until its differential check passes).
+    /// Recorded once per fingerprint.
+    NativeCompiled {
+        /// The kernel's canonical fingerprint.
+        fingerprint: u64,
+        /// Wall-clock nanoseconds the C compiler took (0 when the shared
+        /// object was served from the on-disk artifact cache).
+        compile_nanos: u64,
+    },
+    /// A kernel was refused the native backend — by the verify gate, the
+    /// emitter, or a failed differential check — and will run on the
+    /// interpreter. Recorded once per fingerprint. Toolchain failures are
+    /// recorded as [`FallbackEvent::NativeUnavailable`] instead.
+    NativeRejected {
+        /// The kernel's canonical fingerprint.
+        fingerprint: u64,
+        /// Why the native form was refused.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for EngineEvent {
@@ -195,6 +231,20 @@ impl std::fmt::Display for EngineEvent {
             EngineEvent::Verified { fingerprint, denies, warns } => {
                 write!(f, "verified kernel {fingerprint:016x}: {denies} deny, {warns} warn")
             }
+            EngineEvent::NativeCompiled { fingerprint, compile_nanos } => {
+                if *compile_nanos == 0 {
+                    write!(f, "native kernel {fingerprint:016x} loaded from the artifact cache")
+                } else {
+                    write!(
+                        f,
+                        "native kernel {fingerprint:016x} compiled in {:.3} ms",
+                        *compile_nanos as f64 / 1e6
+                    )
+                }
+            }
+            EngineEvent::NativeRejected { fingerprint, reason } => {
+                write!(f, "native kernel {fingerprint:016x} rejected: {reason}")
+            }
         }
     }
 }
@@ -208,6 +258,10 @@ pub struct SupervisedRun {
     /// True when the first attempted rung's kernel was served from the
     /// cache (hit or coalesced) rather than compiled by this call.
     pub cache_hit: bool,
+    /// True when the committing run executed on a trusted native kernel
+    /// rather than the interpreter. (A differential trust-check run counts
+    /// as interpreted: the interpreter's result is what committed.)
+    pub native: bool,
 }
 
 /// The result of [`Engine::run_tuned`].
@@ -240,6 +294,7 @@ pub struct Engine {
     cache: KernelCache,
     tuner: Autotuner,
     events: Mutex<EventLog>,
+    pub(crate) native: NativeStore,
 }
 
 impl Default for Engine {
@@ -263,7 +318,13 @@ impl Engine {
     pub fn with_config(config: EngineConfig) -> Engine {
         let cache =
             KernelCache::new(config.cache_max_bytes, config.cache_max_entries, config.cache_shards);
-        Engine { config, cache, tuner: Autotuner::new(), events: Mutex::new(EventLog::default()) }
+        Engine {
+            config,
+            cache,
+            tuner: Autotuner::new(),
+            events: Mutex::new(EventLog::default()),
+            native: NativeStore::default(),
+        }
     }
 
     /// The configuration this engine was built with.
@@ -347,6 +408,11 @@ impl Engine {
         output_structure: Option<&Tensor>,
     ) -> Result<Tensor> {
         let kernel = self.compile(stmt, opts)?;
+        if let Some(attempt) =
+            self.try_run_native(&kernel, inputs, output_structure, None, self.config.backend)
+        {
+            return attempt.result.map(|(result, _)| result).map_err(Into::into);
+        }
         Ok(kernel.run_with(inputs, output_structure)?)
     }
 
@@ -409,6 +475,38 @@ impl Engine {
         output_structure: Option<&Tensor>,
         verify: VerifyMode,
     ) -> Result<SupervisedRun> {
+        self.run_supervised_cached_with_backend(
+            stmt,
+            opts,
+            supervisor,
+            inputs,
+            output_structure,
+            verify,
+            self.config.backend,
+        )
+    }
+
+    /// [`Engine::run_supervised_cached`] with a per-call backend preference
+    /// (e.g. a tenant policy): [`Backend::Auto`] defers to
+    /// [`EngineConfig::backend`], anything else wins for this call. The
+    /// trust ledger and compiled shared objects are engine-wide, so a
+    /// native-preferring tenant warms them for every other tenant.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::run_supervised_cached`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_supervised_cached_with_backend(
+        &self,
+        stmt: &IndexStmt,
+        opts: LowerOptions,
+        supervisor: &Supervisor,
+        inputs: &[(&str, &Tensor)],
+        output_structure: Option<&Tensor>,
+        verify: VerifyMode,
+        backend: Backend,
+    ) -> Result<SupervisedRun> {
+        let backend = backend.resolve_with(self.config.backend);
         let mut fallbacks: Vec<FallbackEvent> = Vec::new();
         let mut last_err: Option<EngineError> = None;
         let mut first_rung_warm: Option<bool> = None;
@@ -491,11 +589,22 @@ impl Engine {
             if rung == DegradeRung::AsScheduled {
                 fallbacks.extend(kernel.fallback_events().iter().cloned());
             }
-            match kernel.run_supervised(inputs, output_structure, supervisor) {
+            let (run_result, native) = match self.try_run_native(
+                &kernel,
+                inputs,
+                output_structure,
+                Some(supervisor),
+                backend,
+            ) {
+                Some(attempt) => (attempt.result, attempt.native),
+                None => (kernel.run_supervised(inputs, output_structure, supervisor), false),
+            };
+            match run_result {
                 Ok((result, report)) => {
                     return Ok(SupervisedRun {
                         outcome: SupervisedOutcome { result, report, rung, fallbacks },
                         cache_hit: first_rung_warm.unwrap_or(false),
+                        native,
                     });
                 }
                 Err(CoreError::Aborted(aborted)) if aborted.reason.is_retryable() => {
@@ -618,7 +727,21 @@ impl Engine {
                     if best.is_some() || rep > 0 {
                         supervisor = supervisor.with_deadline(remaining);
                     }
-                    match kernel.run_supervised(inputs, None, &supervisor) {
+                    // The native backend competes on equal footing: once a
+                    // candidate's kernel is differential-trusted, later reps
+                    // (and the remembered decision's reuse path) time the
+                    // compiled shared object instead of the interpreter.
+                    let run_result = match self.try_run_native(
+                        &kernel,
+                        inputs,
+                        None,
+                        Some(&supervisor),
+                        self.config.backend,
+                    ) {
+                        Some(attempt) => attempt.result,
+                        None => kernel.run_supervised(inputs, None, &supervisor),
+                    };
+                    match run_result {
                         Ok((result, report)) => {
                             let nanos = report.elapsed.as_nanos() as u64;
                             measured = Some(match measured.take() {
@@ -697,7 +820,7 @@ impl Engine {
         self.events.lock().unwrap_or_else(|p| p.into_inner()).dropped
     }
 
-    fn push_event(&self, event: EngineEvent) {
+    pub(crate) fn push_event(&self, event: EngineEvent) {
         let mut events = self.events.lock().unwrap_or_else(|p| p.into_inner());
         while events.buf.len() >= self.config.max_events.max(1) {
             events.buf.pop_front();

@@ -54,10 +54,12 @@
 
 pub mod cache;
 pub mod engine;
+pub mod native;
 pub mod tuner;
 
 pub use cache::{entry_weight, CacheStats, KernelCache};
 pub use engine::{Engine, EngineBuilder, EngineConfig, EngineEvent, SupervisedRun, TunedOutcome};
+pub use native::{Backend, NativeStats};
 pub use taco_core::{VerifyMode, VerifyReport};
 pub use tuner::{Autotuner, TuneDecision, TuneKey};
 

@@ -3,6 +3,7 @@
 
 use std::time::{Duration, Instant};
 use taco_core::{ResourceBudget, VerifyMode};
+use taco_runtime::Backend;
 
 /// What one tenant is allowed to do to the shared engine.
 ///
@@ -35,6 +36,14 @@ pub struct TenantPolicy {
     /// Maximum requests this tenant may have admitted at once (queued plus
     /// running). `usize::MAX` disables the cap.
     pub max_in_flight: usize,
+    /// Execution backend for this tenant's runs. [`Backend::Auto`] (the
+    /// default) defers to the engine-wide setting; [`Backend::Interp`] pins
+    /// a tenant to the interpreter (e.g. while qualifying a new toolchain);
+    /// [`Backend::Native`] opts in to compiled kernels even when the engine
+    /// default is interpreter-only. Native kernels still pass the static
+    /// verifier and a differential check before any tenant's run commits on
+    /// one.
+    pub backend: Backend,
 }
 
 impl Default for TenantPolicy {
@@ -45,6 +54,7 @@ impl Default for TenantPolicy {
             rate_per_sec: f64::INFINITY,
             burst: u32::MAX,
             max_in_flight: usize::MAX,
+            backend: Backend::Auto,
         }
     }
 }
@@ -82,6 +92,13 @@ impl TenantPolicy {
     #[must_use]
     pub fn with_max_in_flight(mut self, max: usize) -> TenantPolicy {
         self.max_in_flight = max;
+        self
+    }
+
+    /// Sets the execution backend for this tenant's runs.
+    #[must_use]
+    pub fn with_backend(mut self, backend: Backend) -> TenantPolicy {
+        self.backend = backend;
         self
     }
 }

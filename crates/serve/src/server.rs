@@ -199,6 +199,9 @@ pub enum Outcome {
         queue_wait: Duration,
         /// Compile-time fallbacks and abandoned rungs, in order.
         fallbacks: Vec<FallbackEvent>,
+        /// True when the committing run executed on a trusted native-compiled
+        /// kernel rather than the interpreter.
+        native: bool,
     },
     /// The run (or the wait for one) was aborted; any partial output was
     /// rolled back by the supervisor's transactional guarantee.
@@ -734,13 +737,14 @@ fn run_job(shared: &Shared, job: Job) {
         .with_cancel_token(token);
     let operand_refs: Vec<(&str, &Tensor)> =
         job.operands.iter().map(|(name, t)| (name.as_str(), &**t)).collect();
-    let outcome = match shared.engine.run_supervised_cached(
+    let outcome = match shared.engine.run_supervised_cached_with_backend(
         &job.stmt,
         job.opts.clone(),
         &supervisor,
         &operand_refs,
         job.output_structure.as_deref(),
         policy.verify,
+        policy.backend,
     ) {
         Ok(run) => Outcome::Completed {
             result: run.outcome.result,
@@ -749,6 +753,7 @@ fn run_job(shared: &Shared, job: Job) {
             cache_hit: run.cache_hit,
             queue_wait,
             fallbacks: run.outcome.fallbacks,
+            native: run.native,
         },
         Err(EngineError::Core(CoreError::Aborted(aborted))) => {
             Outcome::Aborted { reason: aborted.reason, queue_wait }

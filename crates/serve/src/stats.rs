@@ -36,6 +36,11 @@ pub struct TenantCounters {
     /// Completions whose first-rung kernel came warm from the shared cache
     /// (hit or coalesced onto a concurrent compile).
     pub cache_hits: u64,
+    /// Completions whose committing run executed on a trusted
+    /// native-compiled kernel rather than the interpreter. The gap between
+    /// `completed` and `native_runs` is this tenant's interpreter share of
+    /// the backend mix.
+    pub native_runs: u64,
     /// Admitted requests aborted by their deadline — in the queue or
     /// mid-run (transactionally rolled back).
     pub deadline_aborted: u64,
@@ -77,13 +82,16 @@ impl TenantCounters {
             .queue_wait_nanos
             .saturating_add(queue_wait.as_nanos().min(u128::from(u64::MAX)) as u64);
         match outcome {
-            Outcome::Completed { rung, cache_hit, .. } => {
+            Outcome::Completed { rung, cache_hit, native, .. } => {
                 self.completed += 1;
                 if *rung != DegradeRung::AsScheduled {
                     self.degraded += 1;
                 }
                 if *cache_hit {
                     self.cache_hits += 1;
+                }
+                if *native {
+                    self.native_runs += 1;
                 }
             }
             Outcome::Aborted { reason, .. } => match reason {
@@ -164,8 +172,8 @@ impl std::fmt::Display for ServerStats {
         writeln!(
             f,
             "serve: {} submitted | {} admitted, {} shed ({:.0}%) | {} completed \
-             ({} degraded, {} warm) | {} deadline-aborted, {} budget-aborted, \
-             {} cancelled, {} failed",
+             ({} degraded, {} warm, {} native) | {} deadline-aborted, \
+             {} budget-aborted, {} cancelled, {} failed",
             self.totals.submitted(),
             self.totals.admitted,
             self.totals.shed(),
@@ -173,6 +181,7 @@ impl std::fmt::Display for ServerStats {
             self.totals.completed,
             self.totals.degraded,
             self.totals.cache_hits,
+            self.totals.native_runs,
             self.totals.deadline_aborted,
             self.totals.budget_aborted,
             self.totals.cancelled,
@@ -198,13 +207,14 @@ impl std::fmt::Display for ServerStats {
             write!(
                 f,
                 "\n  tenant {name}: {} admitted, {} shed, {} completed, {} degraded, \
-                 {} deadline-aborted, {} warm",
+                 {} deadline-aborted, {} warm, {} native",
                 t.admitted,
                 t.shed(),
                 t.completed,
                 t.degraded,
                 t.deadline_aborted,
                 t.cache_hits,
+                t.native_runs,
             )?;
         }
         Ok(())

@@ -15,6 +15,7 @@
 //! | [`llir`] | §VI, Fig. 6 | the C-like imperative IR, pretty printer and slot-resolved executor |
 //! | [`core`] | §III, §VI | the `IndexStmt` scheduling API, compilation pipeline, execution, dense oracle |
 //! | [`verify`] | §VI | static verifier over the imperative IR: definite initialization, symbolic bounds, parallel write-set races (DESIGN.md §12) |
+//! | [`native`] | §VI | native codegen backend: compiles the emitted C with the system toolchain into a content-addressed `.so` cache and runs kernels through a stable `extern "C"` ABI (DESIGN.md §15) |
 //! | [`kernels`] | §VII–VIII | hand-written baselines (Eigen/MKL/SPLATT stand-ins) and generated-equivalent kernels |
 //! | [`runtime`] | §V-C, §VII | the serving layer: concurrent compiled-kernel cache (fingerprint-keyed, single-flight) and the measurement-driven schedule autotuner |
 //! | [`serve`] | §VII | multi-tenant serving daemon over the engine: bounded admission, tenant quotas, EDF deadline scheduling, overload shedding, graceful drain (DESIGN.md §14) |
@@ -54,6 +55,7 @@ pub use taco_ir as ir;
 pub use taco_kernels as kernels;
 pub use taco_llir as llir;
 pub use taco_lower as lower;
+pub use taco_native as native;
 pub use taco_runtime as runtime;
 pub use taco_serve as serve;
 pub use taco_tensor as tensor;
@@ -71,7 +73,9 @@ pub mod prelude {
     pub use taco_ir::notation::IndexAssignment;
     pub use taco_llir::WorkspaceKind;
     pub use taco_lower::{KernelKind, LowerOptions};
-    pub use taco_runtime::{CacheStats, Engine, EngineConfig, EngineError, EngineEvent, TuneKey};
+    pub use taco_runtime::{
+        Backend, CacheStats, Engine, EngineConfig, EngineError, EngineEvent, NativeStats, TuneKey,
+    };
     pub use taco_serve::{
         Outcome, Priority, Rejected, Request, Server, ServerStats, TenantPolicy, Ticket,
     };

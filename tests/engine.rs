@@ -246,7 +246,10 @@ fn event_log_is_a_ring_buffer_bounded_by_max_events() {
     let (b, c) = operands(n);
     let inputs: Vec<(&str, &Tensor)> = vec![("B", &b), ("C", &c)];
 
-    let engine = Engine::builder().max_events(3).build();
+    // Pinned to the interpreter: the twin-engine accounting below needs
+    // both engines to emit the same event count, and native compile/trust
+    // events vary with toolchain state and autotune timing.
+    let engine = Engine::builder().max_events(3).backend(Backend::Interp).build();
     assert_eq!(engine.config().max_events, 3);
     assert_eq!(engine.dropped_events(), 0, "nothing dropped before overflow");
 
@@ -267,7 +270,7 @@ fn event_log_is_a_ring_buffer_bounded_by_max_events() {
     // engine with a roomy buffer sees every event, and the bounded engine's
     // retained + dropped must equal that total. A consumer can therefore
     // trust `last_events` to be complete iff `dropped_events` reads zero.
-    let roomy = Engine::builder().max_events(1024).build();
+    let roomy = Engine::builder().max_events(1024).backend(Backend::Interp).build();
     for _ in 0..6 {
         roomy.run_tuned(&stmt, LowerOptions::fused("spgemm"), &inputs).unwrap();
     }

@@ -1,0 +1,70 @@
+//! Toolchain-failure degradation: with `$CC` pointing at a binary that does
+//! not exist, a native-pinned engine must still complete every run — on the
+//! interpreter, with a typed [`FallbackEvent::NativeUnavailable`] — and
+//! must probe the missing toolchain exactly once.
+//!
+//! This lives in its own test binary because it poisons the process-wide
+//! `CC` environment variable; sibling native tests run in other processes.
+
+use taco_tensor::gen::random_csr;
+use taco_workspaces::prelude::*;
+
+#[test]
+fn missing_toolchain_degrades_to_interpreter_with_typed_fallback() {
+    let dir = std::env::temp_dir().join(format!("taco-native-nocc-{}", std::process::id()));
+    std::env::set_var("TACO_NATIVE_CACHE", &dir);
+    std::env::set_var("CC", "/nonexistent-taco-cc");
+
+    let n = 20;
+    let a = TensorVar::new("A", vec![n, n], Format::csr());
+    let b = TensorVar::new("B", vec![n, n], Format::csr());
+    let c = TensorVar::new("C", vec![n, n], Format::csr());
+    let (i, j, k) = (IndexVar::new("i"), IndexVar::new("j"), IndexVar::new("k"));
+    let mul = b.access([i.clone(), k.clone()]) * c.access([k.clone(), j.clone()]);
+    let mut stmt = IndexStmt::new(IndexAssignment::assign(
+        a.access([i.clone(), j.clone()]),
+        sum(k.clone(), mul.clone()),
+    ))
+    .unwrap();
+    stmt.reorder(&k, &j).unwrap();
+    let w = TensorVar::new("w", vec![n], Format::dvec());
+    stmt.precompute(&mul, &[(j.clone(), j.clone(), j.clone())], &w).unwrap();
+
+    let bt = random_csr(n, n, 0.2, 71).to_tensor();
+    let ct = random_csr(n, n, 0.2, 72).to_tensor();
+    let inputs: Vec<(&str, &Tensor)> = vec![("B", &bt), ("C", &ct)];
+
+    // The run must commit the interpreter's result, not error out.
+    let engine = Engine::builder().backend(Backend::Native).build();
+    let got = engine.run(&stmt, LowerOptions::fused("spgemm"), &inputs).unwrap();
+    let reference = Engine::builder()
+        .backend(Backend::Interp)
+        .build()
+        .run(&stmt, LowerOptions::fused("spgemm"), &inputs)
+        .unwrap();
+    assert_eq!(got, reference, "fallback run must match the interpreter exactly");
+
+    let stats = engine.native_stats();
+    assert_eq!(stats.unavailable, 1, "missing toolchain counts as unavailable ({stats:?})");
+    assert_eq!(stats.compiled, 0);
+    assert_eq!(stats.native_runs, 0);
+    let events = engine.last_events();
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            EngineEvent::Fallback(FallbackEvent::NativeUnavailable { .. })
+        )),
+        "degradation must be a typed event: {events:?}"
+    );
+    // The Display form is what operators grep for in logs.
+    assert!(
+        events.iter().any(|e| e.to_string().contains("native backend unavailable")),
+        "fallback event must render greppably: {events:?}"
+    );
+
+    // Further runs reuse the cached rejection: no second probe, no second
+    // fallback event for the same kernel, still correct results.
+    let again = engine.run(&stmt, LowerOptions::fused("spgemm"), &inputs).unwrap();
+    assert_eq!(again, reference);
+    assert_eq!(engine.native_stats().unavailable, 1, "rejection must be cached per kernel");
+}
