@@ -195,6 +195,104 @@ fn main() {
         })
         .sum();
 
+    // Format matrix (DESIGN.md §16): the same SpMV with the sparse operand
+    // packed into each level-capability format, timed on the interpreter,
+    // plus the blocked BCSR kernel raced native vs interp. Column-major
+    // formats reorder the loops to match their level order; the timings
+    // isolate what the storage layout alone costs on identical nonzeros.
+    let spmv_of = |fmt: &Format| -> IndexStmt {
+        let a = TensorVar::new("a", vec![n], Format::dvec());
+        let bv = TensorVar::new("B", vec![n, n], fmt.clone());
+        let xv = TensorVar::new("x", vec![n], Format::dvec());
+        let (i, j) = (IndexVar::new("i"), IndexVar::new("j"));
+        let mut s = IndexStmt::new(IndexAssignment::assign(
+            a.access([i.clone()]),
+            sum(j.clone(), bv.access([i.clone(), j.clone()]) * xv.access([j.clone()])),
+        ))
+        .expect("valid statement");
+        if !fmt.is_identity_order() {
+            s.reorder(&i, &j).expect("column-major reorder");
+        }
+        s
+    };
+    let x = Tensor::from_entries(
+        vec![n],
+        Format::dvec(),
+        (0..n).map(|c| (vec![c], (c % 7) as f64 + 1.0)).collect(),
+    )
+    .expect("dense vector");
+    let spmv_opts = LowerOptions::fused("spmv_formats");
+    let format_list: Vec<(&str, Format)> = vec![
+        ("csr", Format::csr()),
+        ("dcsr", Format::dcsr()),
+        ("coo", Format::coo(2)),
+        ("csc", Format::csc()),
+        ("dcsc", Format::dcsc()),
+    ];
+    let mut format_nanos: Vec<(&str, Duration)> = Vec::new();
+    for (label, fmt) in &format_list {
+        let bf = b.convert(fmt.clone()).expect("format conversion");
+        let fmt_inputs: Vec<(&str, &Tensor)> = vec![("B", &bf), ("x", &x)];
+        let kernel =
+            interp_engine.compile(&spmv_of(fmt), spmv_opts.clone()).expect("format compiles");
+        let mut best = Duration::MAX;
+        for _ in 0..args.reps.max(1) {
+            let (d, _) = time_once(|| kernel.run(&fmt_inputs).expect("runs"));
+            best = best.min(d);
+        }
+        format_nanos.push((label, best));
+    }
+    // Blocked BCSR SpMV y(i,k) = Σ_{j,l} B(i,j,k,l) x(j,l) over 2×2 tiles.
+    let (br, bc) = (2usize, 2usize);
+    let bn = n - n % br.max(bc);
+    let b_even = random_csr(bn, bn, 0.05, 41).to_tensor();
+    let b4 = b_even.to_blocked(br, bc).expect("blocks");
+    let x2 = Tensor::from_entries(
+        vec![bn / bc, bc],
+        Format::dense(2),
+        (0..bn).map(|c| (vec![c / bc, c % bc], (c % 7) as f64 + 1.0)).collect(),
+    )
+    .expect("blocked vector");
+    let bcsr_stmt = {
+        let y = TensorVar::new("y", vec![bn / br, br], Format::dense(2));
+        let bt = TensorVar::new("B", vec![bn / br, bn / bc, br, bc], Format::bcsr());
+        let xt = TensorVar::new("x", vec![bn / bc, bc], Format::dense(2));
+        let (i, j, k, l) = (
+            IndexVar::new("i"),
+            IndexVar::new("j"),
+            IndexVar::new("k"),
+            IndexVar::new("l"),
+        );
+        IndexStmt::new(IndexAssignment::assign(
+            y.access([i.clone(), k.clone()]),
+            sum(
+                j.clone(),
+                sum(
+                    l.clone(),
+                    bt.access([i.clone(), j.clone(), k.clone(), l.clone()])
+                        * xt.access([j, l]),
+                ),
+            ),
+        ))
+        .expect("valid statement")
+    };
+    let bcsr_inputs: Vec<(&str, &Tensor)> = vec![("B", &b4), ("x", &x2)];
+    let bcsr_opts = LowerOptions::compute("bspmv");
+    let mut bcsr_interp = Duration::MAX;
+    for _ in 0..args.reps.max(1) {
+        let (d, _) =
+            time_once(|| interp_engine.run(&bcsr_stmt, bcsr_opts.clone(), &bcsr_inputs).expect("runs"));
+        bcsr_interp = bcsr_interp.min(d);
+    }
+    // First native run pays the differential trust check; time the later ones.
+    native_engine.run(&bcsr_stmt, bcsr_opts.clone(), &bcsr_inputs).expect("trust run");
+    let mut bcsr_native = Duration::MAX;
+    for _ in 0..args.reps.max(1) {
+        let (d, _) =
+            time_once(|| native_engine.run(&bcsr_stmt, bcsr_opts.clone(), &bcsr_inputs).expect("runs"));
+        bcsr_native = bcsr_native.min(d);
+    }
+
     // Degrade-and-retry ladder under shrinking byte budgets, on operands
     // sparse enough (fixed 256 nnz per 1024-row matrix) that the sparse
     // workspace rungs genuinely fit where the dense one does not. Budgets:
@@ -343,6 +441,21 @@ fn main() {
             native_stats.unavailable + native_stats.rejected,
         );
     }
+    let csr_spmv = format_nanos[0].1;
+    for &(label, d) in &format_nanos {
+        println!(
+            "  spmv(B:{:<5})          {:>13}  ({:.2}x vs csr)",
+            label,
+            fmt_duration(d),
+            d.as_secs_f64() / csr_spmv.as_secs_f64().max(f64::MIN_POSITIVE),
+        );
+    }
+    println!(
+        "  spmv(B:bcsr {br}x{bc})      {:>13}  interp, {} native ({:.2}x)",
+        fmt_duration(bcsr_interp),
+        fmt_duration(bcsr_native),
+        bcsr_interp.as_secs_f64() / bcsr_native.as_secs_f64().max(f64::MIN_POSITIVE),
+    );
     println!("  ladder ({ln}x{ln}, 256 nnz operands):");
     for (label, rung, retries) in &ladder_rungs {
         println!("    {label:<18} -> {rung} ({retries} degraded retries)");
@@ -381,6 +494,11 @@ fn main() {
             .map(|(k, d)| format!("\"{k}\": {}", d.as_nanos()))
             .collect::<Vec<_>>()
             .join(", ");
+        let formats_json = format_nanos
+            .iter()
+            .map(|(label, d)| format!("\"{label}\": {}", d.as_nanos()))
+            .collect::<Vec<_>>()
+            .join(", ");
         let rungs_json = ladder_rungs
             .iter()
             .map(|(label, rung, retries)| {
@@ -403,6 +521,9 @@ fn main() {
              \"compile_nanos\": {native_compile_nanos}, \
              \"compiled\": {}, \"trusted\": {}, \"rejected\": {}, \
              \"unavailable\": {}, \"native_runs\": {}}},\n  \
+             \"formats\": {{\"spmv_run_nanos\": {{{formats_json}}}, \
+             \"bcsr\": {{\"block\": [{br}, {bc}], \
+             \"interp_run_nanos\": {}, \"native_run_nanos\": {}}}}},\n  \
              \"ladder_runs\": [{rungs_json}],\n  \
              \"ladder_exhausted\": {ladder_exhausted},\n  \
              \"ladder_degraded_retries\": {ladder_retries},\n  \
@@ -427,6 +548,8 @@ fn main() {
             native_stats.rejected,
             native_stats.unavailable,
             native_stats.native_runs,
+            bcsr_interp.as_nanos(),
+            bcsr_native.as_nanos(),
             verify_d.as_nanos(),
             serve_stats.totals.completed,
             serve_stats.totals.shed(),

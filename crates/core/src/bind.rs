@@ -5,7 +5,7 @@ use crate::{CoreError, Result};
 use taco_ir::expr::TensorVar;
 use taco_llir::Binding;
 use taco_lower::KernelKind;
-use taco_tensor::{Format, ModeFormat, Tensor};
+use taco_tensor::{Format, Tensor};
 
 pub(crate) fn dim_name(tensor: &str, level: usize) -> String {
     format!("{tensor}{}_dim", level + 1)
@@ -38,9 +38,14 @@ pub(crate) fn bind_operand(
         expected: format!("valid {} storage: {e}", var.format()),
     })?;
     for l in 0..t.rank() {
-        b.set_scalar(dim_name(var.name(), l), t.dim(l) as i64);
-        if var.format().mode(l) == ModeFormat::Compressed {
+        // Dim parameters are per *storage level*: for mode-reordered formats
+        // (CSC/DCSC) level `l` spans `shape[mode_of_level(l)]`.
+        b.set_scalar(dim_name(var.name(), l), t.dim_of_level(l) as i64);
+        let lt = var.format().level(l)?;
+        if lt.has_pos_array() {
             b.set_usize(pos_name(var.name(), l), t.pos(l)?);
+        }
+        if lt.has_crd_array() {
             b.set_usize(crd_name(var.name(), l), t.crd(l)?);
         }
     }
@@ -48,6 +53,18 @@ pub(crate) fn bind_operand(
         b.set_f64(var.name(), t.vals().to_vec());
     }
     Ok(())
+}
+
+/// The result's append (compressed) level, if any. Uses the checked
+/// [`Format::level`] accessor so a malformed result format surfaces as a
+/// typed error at bind time rather than a panic.
+fn result_append_level(var: &TensorVar) -> Result<Option<usize>> {
+    for l in 0..var.rank() {
+        if var.format().level(l)?.has_append() {
+            return Ok(Some(l));
+        }
+    }
+    Ok(None)
 }
 
 /// Binds the result tensor's buffers according to the kernel kind.
@@ -61,9 +78,10 @@ pub(crate) fn bind_result(
 ) -> Result<()> {
     let name = var.name();
     for l in 0..var.rank() {
-        b.set_scalar(dim_name(name, l), var.shape()[l] as i64);
+        let m = var.format().mode_of_level(l);
+        b.set_scalar(dim_name(name, l), var.shape()[m] as i64);
     }
-    let sparse_level = (0..var.rank()).find(|l| var.format().mode(*l) == ModeFormat::Compressed);
+    let sparse_level = result_append_level(var)?;
     match sparse_level {
         None => {
             let len: usize = var.shape().iter().product();
@@ -116,7 +134,7 @@ pub(crate) fn extract_result(
     nnz_output: Option<&str>,
 ) -> Result<Tensor> {
     let name = var.name();
-    let sparse_level = (0..var.rank()).find(|l| var.format().mode(*l) == ModeFormat::Compressed);
+    let sparse_level = result_append_level(var)?;
     match sparse_level {
         None => {
             let vals =

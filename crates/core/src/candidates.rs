@@ -35,6 +35,13 @@ pub struct ScheduleCandidate {
     /// (`workspace(hash)` / `workspace(coord-list)` variants of a schedule
     /// compete against its dense original).
     pub workspace_kind: WorkspaceKind,
+    /// Operand format conversions this candidate requires at run time:
+    /// `(operand name, target format)`. The statement is already rewritten
+    /// to the target format; the runtime converts the bound tensors to match
+    /// before executing. The conversion happens outside the timed region, so
+    /// the tuner demands a decisive (not noise-level) win before a
+    /// conversion candidate displaces one that runs the operands as-is.
+    pub conversions: Vec<(String, Format)>,
 }
 
 /// Name of the candidate that applies no transformation at all.
@@ -83,6 +90,7 @@ pub fn enumerate_candidates(stmt: &IndexStmt) -> Vec<ScheduleCandidate> {
         name: String,
         s: IndexStmt,
         kind: WorkspaceKind,
+        conversions: Vec<(String, Format)>,
     ) {
         // Key each candidate by the code it generates, not how its schedule
         // is spelled: lower once under canonical options (plus the
@@ -105,20 +113,20 @@ pub fn enumerate_candidates(stmt: &IndexStmt) -> Vec<ScheduleCandidate> {
             Err(_) => return,
         };
         if seen.insert(key) {
-            out.push(ScheduleCandidate { name, stmt: s, workspace_kind: kind });
+            out.push(ScheduleCandidate { name, stmt: s, workspace_kind: kind, conversions });
         }
     }
 
     // Base loop orders: the direct concretization plus every pairwise
     // reorder of its outer forall chain.
     let Ok(direct) = IndexStmt::new(stmt.source().clone()) else {
-        push(&mut out, &mut seen, "as-scheduled".to_string(), stmt.clone(), WorkspaceKind::Dense);
+        push(&mut out, &mut seen, "as-scheduled".to_string(), stmt.clone(), WorkspaceKind::Dense, Vec::new());
         return out;
     };
     // An unscheduled statement *is* the direct baseline; only list
     // "as-scheduled" separately when a schedule has actually been applied.
     if fingerprint_stmt(stmt.concrete()) != fingerprint_stmt(direct.concrete()) {
-        push(&mut out, &mut seen, "as-scheduled".to_string(), stmt.clone(), WorkspaceKind::Dense);
+        push(&mut out, &mut seen, "as-scheduled".to_string(), stmt.clone(), WorkspaceKind::Dense, Vec::new());
     }
     let chain = forall_chain(direct.concrete());
     let mut bases: Vec<(String, IndexStmt)> = vec![(DIRECT_MERGE.to_string(), direct.clone())];
@@ -135,7 +143,7 @@ pub fn enumerate_candidates(stmt: &IndexStmt) -> Vec<ScheduleCandidate> {
 
     // Workspace placements on every base loop order.
     for (base_name, base) in &bases {
-        push(&mut out, &mut seen, base_name.clone(), base.clone(), WorkspaceKind::Dense);
+        push(&mut out, &mut seen, base_name.clone(), base.clone(), WorkspaceKind::Dense, Vec::new());
         for (n, sugg) in base.suggestions().into_iter().enumerate() {
             let Some(ws) = workspace_for(base.concrete(), &sugg.over, n) else {
                 continue;
@@ -149,7 +157,46 @@ pub fn enumerate_candidates(stmt: &IndexStmt) -> Vec<ScheduleCandidate> {
                 } else {
                     format!("{} + precompute({})", base_name, over.join(","))
                 };
-                push(&mut out, &mut seen, name, IndexStmt::from_parts(stmt.source().clone(), t), WorkspaceKind::Dense);
+                push(&mut out, &mut seen, name, IndexStmt::from_parts(stmt.source().clone(), t), WorkspaceKind::Dense, Vec::new());
+            }
+        }
+    }
+
+    // Format-conversion candidates: every sparse rank-2 operand competes in
+    // the standard rank-2 formats on every base loop order. The statement is
+    // rewritten to the target format with `transform::with_format`; the
+    // runtime converts the operand before executing, so the candidate's
+    // timing includes the conversion it requires. Unlowerable combinations
+    // (e.g. COO feeding a fused sparse append) stay in the space and lose as
+    // uncompilable, exactly like unlowerable loop orders.
+    for (base_name, base) in &bases {
+        for (op_name, op_var) in operand_tensors(base.concrete()) {
+            if op_var.rank() != 2 || op_var.format().is_all_dense() {
+                continue;
+            }
+            for alt in
+                [Format::csr(), Format::dcsr(), Format::csc(), Format::dcsc(), Format::coo(2)]
+            {
+                if *op_var.format() == alt {
+                    continue;
+                }
+                let Ok(t) = transform::with_format(base.concrete(), &op_name, &alt) else {
+                    continue;
+                };
+                let conv = format!("convert({op_name}:{alt})");
+                let name = if *base_name == DIRECT_MERGE {
+                    conv
+                } else {
+                    format!("{base_name} + {conv}")
+                };
+                push(
+                    &mut out,
+                    &mut seen,
+                    name,
+                    IndexStmt::from_parts(stmt.source().clone(), t),
+                    WorkspaceKind::Dense,
+                    vec![(op_name.clone(), alt)],
+                );
             }
         }
     }
@@ -170,6 +217,7 @@ pub fn enumerate_candidates(stmt: &IndexStmt) -> Vec<ScheduleCandidate> {
                 format!("{} + parallelize({v})", c.name),
                 IndexStmt::from_parts(stmt.source().clone(), p),
                 WorkspaceKind::Dense,
+                c.conversions.clone(),
             );
         }
     }
@@ -191,6 +239,7 @@ pub fn enumerate_candidates(stmt: &IndexStmt) -> Vec<ScheduleCandidate> {
                 format!("{} + workspace({kind})", c.name),
                 c.stmt.clone(),
                 kind,
+                c.conversions.clone(),
             );
         }
     }
@@ -207,6 +256,26 @@ fn workspace_for(stmt: &ConcreteStmt, over: &[IndexVar], n: usize) -> Option<Ten
         return None;
     }
     Some(TensorVar::new(format!("w_tune{n}"), dims.clone(), Format::dense(dims.len())))
+}
+
+/// Tensors the statement reads but never writes (the kernel's operands),
+/// in first-access order.
+fn operand_tensors(stmt: &ConcreteStmt) -> Vec<(String, TensorVar)> {
+    let written = stmt.written_tensors();
+    let mut out: Vec<(String, TensorVar)> = Vec::new();
+    stmt.visit(&mut |s| {
+        if let ConcreteStmt::Assign { rhs, .. } = s {
+            for a in rhs.accesses() {
+                let name = a.tensor().name();
+                if !written.iter().any(|w| w == name)
+                    && !out.iter().any(|(n, _)| n == name)
+                {
+                    out.push((name.to_string(), a.tensor().clone()));
+                }
+            }
+        }
+    });
+    out
 }
 
 /// The index variables of the outermost forall chain, outermost first.

@@ -20,7 +20,7 @@ use taco_ir::concrete::{AssignOp, ConcreteStmt};
 use taco_ir::expr::{Access, IndexExpr};
 use taco_llir::ResourceBudget;
 use taco_lower::{KernelKind, LowerOptions};
-use taco_tensor::ModeFormat;
+use taco_tensor::LevelType;
 
 /// A stable 64-bit FNV-1a accumulator.
 ///
@@ -204,9 +204,16 @@ fn hash_access(h: &mut Fnv64, access: &Access) {
     }
     for &m in t.format().modes() {
         h.write_tag(match m {
-            ModeFormat::Dense => 0,
-            ModeFormat::Compressed => 1,
+            LevelType::Dense => 0,
+            LevelType::Compressed => 1,
+            LevelType::Singleton => 2,
+            LevelType::Hashed => 3,
         });
+    }
+    // The mode order is part of the format's identity: CSR and CSC share a
+    // level-type chain but generate different kernels.
+    for &m in t.format().mode_order() {
+        h.write_u64(m as u64);
     }
     h.write_u64(access.vars().len() as u64);
     for v in access.vars() {

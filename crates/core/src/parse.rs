@@ -33,24 +33,49 @@ impl Declarations {
         self
     }
 
-    /// Parses a taco-style format string: `d` = dense mode, `s` = compressed
-    /// mode, outermost first (`"ds"` = CSR, `"ss"` = DCSR, `"sss"` = CSF).
+    /// Parses a taco-style format string: `d` = dense level, `s` =
+    /// compressed level, `q` = singleton level, `h` = hashed level,
+    /// outermost first (`"ds"` = CSR, `"ss"` = DCSR, `"sss"` = CSF,
+    /// `"sq"` = COO). An optional `|`-separated mode order selects which
+    /// tensor mode each level stores: `"ds|1,0"` is CSC.
     ///
     /// # Errors
     ///
-    /// Returns an error on characters other than `d`/`s`.
+    /// Returns an error on characters other than `d`/`s`/`q`/`h`, on a
+    /// malformed mode order, or on an unrealizable level chain.
     pub fn format_str(self, tensor: impl Into<String>, spec: &str) -> Result<Declarations> {
-        let modes = spec
+        let (levels, order) = match spec.split_once('|') {
+            Some((levels, order)) => (levels, Some(order)),
+            None => (spec, None),
+        };
+        let modes = levels
             .chars()
             .map(|c| match c {
-                'd' => Ok(taco_tensor::ModeFormat::Dense),
-                's' => Ok(taco_tensor::ModeFormat::Compressed),
+                'd' => Ok(taco_tensor::LevelType::Dense),
+                's' => Ok(taco_tensor::LevelType::Compressed),
+                'q' => Ok(taco_tensor::LevelType::Singleton),
+                'h' => Ok(taco_tensor::LevelType::Hashed),
                 other => Err(CoreError::Ir(IrError::InvalidIndexNotation(format!(
-                    "unknown mode format `{other}` (expected `d` or `s`)"
+                    "unknown mode format `{other}` (expected `d`, `s`, `q` or `h`)"
                 )))),
             })
             .collect::<Result<Vec<_>>>()?;
-        Ok(self.format(tensor, Format::new(modes)))
+        let mut format = Format::new(modes);
+        if let Some(order) = order {
+            let order = order
+                .split(',')
+                .map(|s| {
+                    s.trim().parse::<usize>().map_err(|_| {
+                        CoreError::Ir(IrError::InvalidIndexNotation(format!(
+                            "invalid mode order `{s}` in format `{spec}`"
+                        )))
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?;
+            format = format.with_mode_order(order)?;
+        }
+        format.check_level_types()?;
+        Ok(self.format(tensor, format))
     }
 }
 

@@ -58,6 +58,17 @@ pub enum IrError {
         /// The tensor reduced into across iterations.
         tensor: String,
     },
+    /// `with_format` named a tensor the statement never accesses.
+    UnknownTensor(String),
+    /// `with_format` supplied a format whose rank differs from the tensor's.
+    FormatRankMismatch {
+        /// Tensor name.
+        tensor: String,
+        /// Rank of the tensor.
+        rank: usize,
+        /// Rank of the requested format.
+        format_rank: usize,
+    },
 }
 
 impl fmt::Display for IrError {
@@ -95,6 +106,13 @@ impl fmt::Display for IrError {
                 "cannot parallelize `{var}`: iterations reduce into `{tensor}`, which no \
                  workspace inside the loop privatizes — precompute it into a workspace first \
                  (Section V of the paper)"
+            ),
+            IrError::UnknownTensor(t) => {
+                write!(f, "tensor `{t}` is not accessed in the statement")
+            }
+            IrError::FormatRankMismatch { tensor, rank, format_rank } => write!(
+                f,
+                "tensor `{tensor}` of rank {rank} cannot take a rank-{format_rank} format"
             ),
         }
     }

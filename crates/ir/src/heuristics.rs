@@ -9,7 +9,6 @@
 
 use crate::concrete::{AssignOp, ConcreteStmt};
 use crate::expr::{IndexExpr, IndexVar};
-use taco_tensor::ModeFormat;
 
 /// Why a workspace is suggested (the three goals of Section V).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,8 +60,12 @@ fn walk(stmt: &ConcreteStmt, enclosing: &mut Vec<IndexVar>, out: &mut Vec<Sugges
                     .accesses()
                     .iter()
                     .filter(|a| {
-                        a.mode_of(v)
-                            .is_some_and(|m| a.tensor().format().mode(m) == ModeFormat::Compressed)
+                        // Sparse at `v`: the storage level holding this mode
+                        // cannot be located into, so it must be co-iterated.
+                        a.mode_of(v).is_some_and(|m| {
+                            let fmt = a.tensor().format();
+                            !fmt.mode(fmt.level_of_mode(m)).has_locate()
+                        })
                     })
                     .count();
                 if merged > 3 {
@@ -84,8 +87,10 @@ fn walk(stmt: &ConcreteStmt, enclosing: &mut Vec<IndexVar>, out: &mut Vec<Sugges
             if *op == AssignOp::Accum {
                 let reduction_outside_k = enclosing.iter().any(|v| !lhs.uses_var(v));
                 let sparse_result_var = lhs.vars().iter().find(|v| {
-                    lhs.mode_of(v)
-                        .is_some_and(|m| lhs.tensor().format().mode(m) == ModeFormat::Compressed)
+                    lhs.mode_of(v).is_some_and(|m| {
+                        let fmt = lhs.tensor().format();
+                        !fmt.mode(fmt.level_of_mode(m)).has_insert()
+                    })
                 });
                 if let (true, Some(v)) = (reduction_outside_k, sparse_result_var) {
                     out.push(Suggestion {
@@ -223,8 +228,8 @@ fn estimate_walk(stmt: &ConcreteStmt, out: &mut Vec<WorkspaceEstimate>) {
                         consumer.assignments().iter().any(|a| {
                             matches!(a, ConcreteStmt::Assign { lhs, .. }
                                 if lhs.tensor().name() == *t
-                                    && (0..lhs.tensor().rank()).any(|m| {
-                                        lhs.tensor().format().mode(m) == ModeFormat::Compressed
+                                    && (0..lhs.tensor().rank()).any(|l| {
+                                        lhs.tensor().format().mode(l).has_append()
                                     }))
                         })
                     });

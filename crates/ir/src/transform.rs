@@ -555,6 +555,98 @@ pub fn parallelize(stmt: &ConcreteStmt, var: &IndexVar) -> Result<ConcreteStmt> 
 }
 
 // ---------------------------------------------------------------------------
+// Format retargeting
+// ---------------------------------------------------------------------------
+
+/// Rewrites every access to tensor `name` so its [`TensorVar`] carries
+/// `format`, leaving shape and index variables unchanged. The candidate
+/// enumerator uses this to race format-conversion schedules: the operand is
+/// converted to `format` before the kernel runs, and the kernel is lowered
+/// against the new level structure.
+///
+/// # Errors
+///
+/// Returns [`IrError::UnknownTensor`] if the statement never accesses
+/// `name`, and [`IrError::FormatRankMismatch`] if the format's rank differs
+/// from the tensor's.
+pub fn with_format(
+    stmt: &ConcreteStmt,
+    name: &str,
+    format: &taco_tensor::Format,
+) -> Result<ConcreteStmt> {
+    fn map_access(a: &crate::expr::Access, name: &str, nv: &TensorVar) -> crate::expr::Access {
+        if a.tensor().name() == name {
+            nv.access(a.vars().to_vec())
+        } else {
+            a.clone()
+        }
+    }
+    fn map_expr(e: &IndexExpr, name: &str, nv: &TensorVar) -> IndexExpr {
+        match e {
+            IndexExpr::Access(a) => IndexExpr::Access(map_access(a, name, nv)),
+            IndexExpr::Literal(v) => IndexExpr::Literal(*v),
+            IndexExpr::Neg(x) => IndexExpr::Neg(Box::new(map_expr(x, name, nv))),
+            IndexExpr::Add(a, b) => IndexExpr::Add(
+                Box::new(map_expr(a, name, nv)),
+                Box::new(map_expr(b, name, nv)),
+            ),
+            IndexExpr::Sub(a, b) => IndexExpr::Sub(
+                Box::new(map_expr(a, name, nv)),
+                Box::new(map_expr(b, name, nv)),
+            ),
+            IndexExpr::Mul(a, b) => IndexExpr::Mul(
+                Box::new(map_expr(a, name, nv)),
+                Box::new(map_expr(b, name, nv)),
+            ),
+            IndexExpr::Sum(v, x) => IndexExpr::Sum(v.clone(), Box::new(map_expr(x, name, nv))),
+        }
+    }
+    fn map_stmt(s: &ConcreteStmt, name: &str, nv: &TensorVar) -> ConcreteStmt {
+        match s {
+            ConcreteStmt::Assign { lhs, op, rhs } => ConcreteStmt::assign(
+                map_access(lhs, name, nv),
+                *op,
+                map_expr(rhs, name, nv),
+            ),
+            ConcreteStmt::Forall { var, body, parallel } => ConcreteStmt::Forall {
+                var: var.clone(),
+                body: Box::new(map_stmt(body, name, nv)),
+                parallel: *parallel,
+            },
+            ConcreteStmt::Where { consumer, producer } => ConcreteStmt::where_(
+                map_stmt(consumer, name, nv),
+                map_stmt(producer, name, nv),
+            ),
+            ConcreteStmt::Sequence { first, second } => ConcreteStmt::sequence(
+                map_stmt(first, name, nv),
+                map_stmt(second, name, nv),
+            ),
+        }
+    }
+
+    let mut old: Option<TensorVar> = None;
+    stmt.visit(&mut |s| {
+        if let ConcreteStmt::Assign { lhs, rhs, .. } = s {
+            for a in std::iter::once(lhs).chain(rhs.accesses()) {
+                if a.tensor().name() == name && old.is_none() {
+                    old = Some(a.tensor().clone());
+                }
+            }
+        }
+    });
+    let old = old.ok_or_else(|| IrError::UnknownTensor(name.to_string()))?;
+    if old.rank() != format.rank() {
+        return Err(IrError::FormatRankMismatch {
+            tensor: name.to_string(),
+            rank: old.rank(),
+            format_rank: format.rank(),
+        });
+    }
+    let nv = TensorVar::new(name, old.shape().to_vec(), format.clone());
+    Ok(map_stmt(stmt, name, &nv))
+}
+
+// ---------------------------------------------------------------------------
 // Result reuse (Section V-B)
 // ---------------------------------------------------------------------------
 

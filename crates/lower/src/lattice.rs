@@ -11,15 +11,15 @@
 //! (symbolically zero).
 
 use taco_ir::expr::{IndexExpr, IndexVar};
-use taco_tensor::ModeFormat;
 
-/// Identity of one compressed mode iterator: a tensor level reached at the
-/// current forall variable.
+/// Identity of one sparse level iterator: a tensor storage level reached at
+/// the current forall variable.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct IterKey {
     /// Tensor name.
     pub tensor: String,
-    /// Level (0-based mode) iterated.
+    /// Storage level iterated (under a non-identity mode order this differs
+    /// from the mode index).
     pub level: usize,
 }
 
@@ -57,9 +57,10 @@ pub struct MergeLattice {
 impl MergeLattice {
     /// Builds the merge lattice of `expr` at variable `v`.
     ///
-    /// Accesses whose mode at `v` is compressed become iterators; dense
-    /// modes, literals and accesses that do not use `v` are *locate* terms
-    /// carried by every point that contains them multiplicatively.
+    /// Accesses whose storage level at `v` lacks the locate capability
+    /// (compressed, singleton, hashed) become iterators; dense levels,
+    /// literals and accesses that do not use `v` are *locate* terms carried
+    /// by every point that contains them multiplicatively.
     pub fn build(expr: &IndexExpr, v: &IndexVar) -> MergeLattice {
         let mut points = build_points(expr, v);
         // Deduplicate by iterator set, preferring the expression with the
@@ -124,10 +125,19 @@ fn build_points(expr: &IndexExpr, v: &IndexVar) -> Vec<LatticePoint> {
     match expr {
         IndexExpr::Access(a) => {
             let iters = match a.mode_of(v) {
-                Some(l) if a.tensor().format().mode(l) == ModeFormat::Compressed => {
-                    vec![IterKey { tensor: a.tensor().name().to_string(), level: l }]
+                Some(m) => {
+                    // Map the mode index to its storage level and ask the
+                    // level for its capabilities: anything without locate
+                    // must be iterated.
+                    let fmt = a.tensor().format();
+                    let level = fmt.level_of_mode(m);
+                    if fmt.mode(level).has_locate() {
+                        Vec::new()
+                    } else {
+                        vec![IterKey { tensor: a.tensor().name().to_string(), level }]
+                    }
                 }
-                _ => Vec::new(),
+                None => Vec::new(),
             };
             vec![LatticePoint::new(iters, expr.clone())]
         }

@@ -6,7 +6,6 @@ use std::collections::{HashMap, HashSet};
 use taco_ir::concrete::{AssignOp, ConcreteStmt};
 use taco_ir::expr::{Access, IndexExpr, IndexVar, TensorVar};
 use taco_llir::{ArrayTy, Expr, Kernel, Param, Stmt, WorkspaceKind};
-use taco_tensor::ModeFormat;
 
 /// What the generated kernel does with the result's sparse index structures
 /// (paper Section VI).
@@ -139,6 +138,37 @@ pub fn lower(stmt: &ConcreteStmt, opts: &LowerOptions) -> Result<LoweredKernel> 
         }
     }
 
+    // Sparse-driven parent loops (DCSR-style operands) close the append
+    // level's pos entries only for the rows they visit; rows absent from
+    // every operand keep the zero the buffer was initialized with. Carry
+    // the running append counter across those gaps so the finished pos
+    // array is monotone segment boundaries, exactly as if a dense loop had
+    // closed every row.
+    if lw.append_pos_may_skip {
+        if let Some(l) = lw.result_sparse_level {
+            let mut parents = Expr::var(dim_name(lw.result.name(), 0));
+            for k in 1..l {
+                parents = parents * Expr::var(dim_name(lw.result.name(), k));
+            }
+            let pos_arr = pos_name(lw.result.name(), l);
+            let p = "pFin";
+            body.push(Stmt::for_(
+                p,
+                Expr::int(0),
+                parents,
+                vec![Stmt::if_(
+                    Expr::load(&pos_arr, Expr::var(p) + Expr::int(1))
+                        .lt(Expr::load(&pos_arr, Expr::var(p))),
+                    vec![Stmt::store(
+                        pos_arr.clone(),
+                        Expr::var(p) + Expr::int(1),
+                        Expr::load(&pos_arr, Expr::var(p)),
+                    )],
+                )],
+            ));
+        }
+    }
+
     let mut stmts = Vec::new();
     // Results are implicitly initialized to zero (Section IV-A); dense
     // results are zeroed explicitly, as the paper's listings do
@@ -228,6 +258,13 @@ struct Lowerer<'o> {
     counter_declared: bool,
     /// Variables bound by enclosing foralls, outermost first.
     enclosing: Vec<IndexVar>,
+    /// Variables whose loop is sparse-driven (position or merge loops) and
+    /// therefore may skip coordinates of its dimension.
+    nonfull_loops: HashSet<String>,
+    /// Set when the append level's pos array is closed inside loops that
+    /// may skip rows: the kernel then needs a pos-finalization epilogue
+    /// carrying the append counter across unvisited rows.
+    append_pos_may_skip: bool,
 }
 
 impl<'o> Lowerer<'o> {
@@ -283,15 +320,25 @@ impl<'o> Lowerer<'o> {
         })?;
         let result = result_access.tensor().clone();
 
-        // Validate result format: compressed levels only at the innermost
-        // position.
+        // Validate result format by capability: every level must support
+        // either random insert (dense) or appending, and an append level is
+        // only assemblable at the innermost position in storage order.
+        // Branchless (singleton), unordered (hashed), and mode-reordered
+        // results have no append idiom here; they are produced by computing
+        // into a supported format and converting afterwards.
+        if !result.format().is_identity_order() {
+            return Err(LowerError::UnsupportedResultFormat(result_name.clone()));
+        }
         let mut result_sparse_level = None;
         for l in 0..result.rank() {
-            if result.format().mode(l) == ModeFormat::Compressed {
-                if l + 1 != result.rank() {
-                    return Err(LowerError::UnsupportedResultFormat(result_name.clone()));
-                }
+            let lt = result.format().mode(l);
+            if lt.has_insert() {
+                continue;
+            }
+            if lt.has_append() && lt.is_ordered() && l + 1 == result.rank() {
                 result_sparse_level = Some(l);
+            } else {
+                return Err(LowerError::UnsupportedResultFormat(result_name.clone()));
             }
         }
         if opts.kind == KernelKind::Assemble && result_sparse_level.is_none() {
@@ -314,7 +361,10 @@ impl<'o> Lowerer<'o> {
             operands.iter().chain(std::iter::once(&result)).collect();
         for t in param_tensors {
             let Some(a) = access_map.get(t.name()) else { continue };
-            for (l, v) in a.vars().iter().enumerate() {
+            // Dim parameters are named by *storage level*; level `l` stores
+            // the index variable at mode `mode_of_level(l)`.
+            for l in 0..t.rank() {
+                let v = &a.vars()[t.format().mode_of_level(l)];
                 var_dims
                     .entry(v.name().to_string())
                     .or_insert_with(|| Expr::var(dim_name(t.name(), l)));
@@ -337,6 +387,8 @@ impl<'o> Lowerer<'o> {
             append_used: false,
             counter_declared: false,
             enclosing: Vec::new(),
+            nonfull_loops: HashSet::new(),
+            append_pos_may_skip: false,
         })
     }
 
@@ -372,8 +424,11 @@ impl<'o> Lowerer<'o> {
         let with_vals = self.opts.kind != KernelKind::Assemble;
         for t in &self.operands {
             for l in 0..t.rank() {
-                if t.format().mode(l) == ModeFormat::Compressed {
+                let lt = t.format().mode(l);
+                if lt.has_pos_array() {
                     out.push(Param::input(pos_name(t.name(), l), ArrayTy::Int));
+                }
+                if lt.has_crd_array() {
                     out.push(Param::input(crd_name(t.name(), l), ArrayTy::Int));
                 }
             }
@@ -674,7 +729,14 @@ impl<'o> Lowerer<'o> {
         }
 
         self.enclosing.push(var.clone());
-        let strategy = if lattice.points.is_empty() || lattice.is_dense() {
+        let full_loop = lattice.points.is_empty() || lattice.is_dense();
+        if !full_loop {
+            // Position and merge loops visit only stored coordinates; any
+            // append-level pos close nested inside must be finalized at the
+            // kernel end because skipped rows never store their boundary.
+            self.nonfull_loops.insert(var.name().to_string());
+        }
+        let strategy = if full_loop {
             if result_sparse_here {
                 match self.opts.kind {
                     KernelKind::Compute => self.result_driven_loop(var, body, ctx),
@@ -742,6 +804,13 @@ impl<'o> Lowerer<'o> {
                         }
                         _ => {}
                     }
+                }
+                // The close above only lands in visited iterations. When any
+                // loop enclosing it (this one included) is sparse-driven,
+                // skipped rows keep their zero-initialized pos entry and the
+                // kernel must repair the array once at the end.
+                if self.enclosing.iter().any(|v| self.nonfull_loops.contains(v.name())) {
+                    self.append_pos_may_skip = true;
                 }
             }
         }
@@ -941,7 +1010,43 @@ impl<'o> Lowerer<'o> {
         }])
     }
 
+    /// Format of the named operand/result tensor, for capability queries on
+    /// a merge-lattice iterator.
+    fn format_of(&self, tensor: &str) -> Result<taco_tensor::Format> {
+        self.access_map
+            .get(tensor)
+            .map(|a| a.tensor().format().clone())
+            .ok_or_else(|| LowerError::Unsupported(format!("unknown tensor `{tensor}`")))
+    }
+
+    /// Rejects loop drivers that cannot feed an ordered, deduplicated append
+    /// into the sparse result: unordered (hashed) levels and non-unique
+    /// levels (COO outer coordinates) would emit coordinates out of order or
+    /// repeatedly.
+    fn check_append_driver(&self, iter: &IterKey, ctx: &Ctx) -> Result<()> {
+        if !ctx.append_result {
+            return Ok(());
+        }
+        let fmt = self.format_of(&iter.tensor)?;
+        let lt = fmt.mode(iter.level);
+        if !lt.is_ordered() || !fmt.level_unique(iter.level) {
+            return Err(LowerError::Unsupported(format!(
+                "cannot append to sparse result `{}` from level {} of `{}`: append needs an \
+                 ordered, duplicate-free driver; convert the operand or precompute into a \
+                 workspace",
+                self.result.name(),
+                iter.level,
+                iter.tensor
+            )));
+        }
+        Ok(())
+    }
+
     /// `for (pX = X_pos[parent]; pX < X_pos[parent+1]; pX++) { v = X_crd[pX]; body }`
+    ///
+    /// Branchless (singleton) levels have no loop of their own: the single
+    /// coordinate lives at the parent's position, so this lowers to one
+    /// coordinate load with the position passed through.
     fn position_loop(
         &mut self,
         var: &IndexVar,
@@ -949,6 +1054,20 @@ impl<'o> Lowerer<'o> {
         iter: &IterKey,
         ctx: &Ctx,
     ) -> Result<Vec<Stmt>> {
+        self.check_append_driver(iter, ctx)?;
+        let fmt = self.format_of(&iter.tensor)?;
+        if fmt.mode(iter.level).is_position_passthrough() {
+            let parent = self.parent_pos(&iter.tensor, iter.level)?;
+            self.pos.insert((iter.tensor.clone(), iter.level), parent.clone());
+            let mut out = vec![Stmt::DeclInt(
+                var.name().to_string(),
+                Expr::load(crd_name(&iter.tensor, iter.level), parent),
+            )];
+            let lowered = self.lower_stmt(body, ctx);
+            self.pos.remove(&(iter.tensor.clone(), iter.level));
+            out.extend(lowered?);
+            return Ok(out);
+        }
         let parent = self.parent_pos(&iter.tensor, iter.level)?;
         let pvar = pos_var(&iter.tensor, iter.level);
         let lo = Expr::load(pos_name(&iter.tensor, iter.level), parent.clone());
@@ -975,6 +1094,22 @@ impl<'o> Lowerer<'o> {
     ) -> Result<Vec<Stmt>> {
         let mut out = Vec::new();
         let iters = lattice.iterators();
+
+        // Coiteration advances one cursor per iterator through an ordered
+        // pos/crd segment; levels without their own position iteration
+        // (singleton) or without coordinate order (hashed) cannot merge.
+        for it in &iters {
+            let fmt = self.format_of(&it.tensor)?;
+            let lt = fmt.mode(it.level);
+            if lt.is_position_passthrough() || !lt.is_ordered() || !lt.has_pos_array() {
+                return Err(LowerError::Unsupported(format!(
+                    "cannot coiterate level {} of `{}` at `{var}`: merging needs ordered \
+                     position iteration; convert the operand or precompute into a workspace",
+                    it.level, it.tensor
+                )));
+            }
+            self.check_append_driver(it, ctx)?;
+        }
 
         // Position cursors for every iterator, declared before the loops.
         let mut ends: HashMap<IterKey, Expr> = HashMap::new();
@@ -1423,35 +1558,35 @@ impl<'o> Lowerer<'o> {
         Ok(off)
     }
 
-    /// Position of `a` at `level`, folding dense offsets over bound
-    /// compressed positions.
+    /// Position of `a` at storage `level`, asking each level for its access
+    /// capability: locatable levels fold a dense offset from the bound index
+    /// variable; all other levels need a position bound by an enclosing
+    /// iteration (position loops, coiteration, or singleton pass-through).
     fn access_pos(&self, a: &Access, level: usize) -> Result<Expr> {
         let name = a.tensor().name();
+        let fmt = a.tensor().format().clone();
         let mut pos = Expr::int(0);
         for l in 0..=level {
-            match a.tensor().format().mode(l) {
-                ModeFormat::Dense => {
-                    let var = &a.vars()[l];
-                    if !self.enclosing.contains(var) {
-                        return Err(LowerError::UnboundVariable {
-                            tensor: name.to_string(),
-                            var: var.name().to_string(),
-                        });
-                    }
-                    let dim = Expr::var(dim_name(name, l));
-                    let v = Expr::var(var.name());
-                    pos = pos * dim + v;
+            if fmt.mode(l).has_locate() {
+                let var = &a.vars()[fmt.mode_of_level(l)];
+                if !self.enclosing.contains(var) {
+                    return Err(LowerError::UnboundVariable {
+                        tensor: name.to_string(),
+                        var: var.name().to_string(),
+                    });
                 }
-                ModeFormat::Compressed => {
-                    pos = self
-                        .pos
-                        .get(&(name.to_string(), l))
-                        .cloned()
-                        .ok_or(LowerError::CannotLocateSparse {
-                            tensor: name.to_string(),
-                            level: l,
-                        })?;
-                }
+                let dim = Expr::var(dim_name(name, l));
+                let v = Expr::var(var.name());
+                pos = pos * dim + v;
+            } else {
+                pos = self
+                    .pos
+                    .get(&(name.to_string(), l))
+                    .cloned()
+                    .ok_or(LowerError::CannotLocateSparse {
+                        tensor: name.to_string(),
+                        level: l,
+                    })?;
             }
         }
         Ok(pos)
@@ -1474,6 +1609,8 @@ impl<'o> Lowerer<'o> {
 
 // -- free helpers ------------------------------------------------------------
 
+/// Dimension parameter of a *storage level* (for mode-reordered formats this
+/// is `shape[mode_of_level(level)]`, bound by the runtime accordingly).
 fn dim_name(tensor: &str, level: usize) -> String {
     format!("{tensor}{}_dim", level + 1)
 }
@@ -1868,7 +2005,10 @@ mod tests {
         let a = TensorVar::new(
             "A",
             vec![n, n],
-            Format::new(vec![ModeFormat::Compressed, ModeFormat::Dense]),
+            Format::new(vec![
+                taco_tensor::LevelType::Compressed,
+                taco_tensor::LevelType::Dense,
+            ]),
         );
         let b = TensorVar::new("B", vec![n, n], Format::csr());
         let (i, j) = (iv("i"), iv("j"));

@@ -17,7 +17,7 @@ use taco_core::{
 use taco_ir::heuristics::estimate_workspace_bytes;
 use taco_llir::WorkspaceKind;
 use taco_lower::{KernelKind, LowerOptions};
-use taco_tensor::Tensor;
+use taco_tensor::{Format, Tensor};
 
 /// Engine construction parameters. `EngineConfig::default()` is sized for a
 /// long-lived process serving many kernels.
@@ -664,7 +664,14 @@ impl Engine {
                 None => opts,
             };
             let opts = opts.with_workspace_kind(cand.workspace_kind);
-            let result = self.run(&cand.stmt, opts, inputs)?;
+            let converted = converted_operands(inputs, &cand.conversions)
+                .map_err(|e| EngineError::Core(CoreError::Tensor(e)))?;
+            let run_inputs: Vec<(&str, &Tensor)> = inputs
+                .iter()
+                .zip(&converted)
+                .map(|((n, t), c)| (*n, c.as_ref().unwrap_or(t)))
+                .collect();
+            let result = self.run(&cand.stmt, opts, &run_inputs)?;
             return Ok(TunedOutcome { result, schedule, tuned: false });
         }
 
@@ -672,8 +679,20 @@ impl Engine {
         let candidates = enumerate_candidates(stmt);
         let total = candidates.len();
         let mut viable = 0usize;
-        let mut best: Option<(String, Option<usize>, WorkspaceKind, Tensor, u64)> = None;
+        type Best = (String, Option<usize>, WorkspaceKind, Vec<(String, Format)>, Tensor, u64);
+        let mut best: Option<Best> = None;
         'candidates: for cand in candidates {
+            // Format-conversion candidates run on converted copies of the
+            // named operands; a conversion that fails (or an identical
+            // format) simply leaves the original bound.
+            let Ok(converted) = converted_operands(inputs, &cand.conversions) else {
+                continue;
+            };
+            let cand_inputs: Vec<(&str, &Tensor)> = inputs
+                .iter()
+                .zip(&converted)
+                .map(|((n, t), c)| (*n, c.as_ref().unwrap_or(t)))
+                .collect();
             // A parallel candidate is timed at explicit thread counts (two
             // and the machine width) so the remembered decision also says
             // how wide to run it; serial candidates get one unpinned run.
@@ -733,13 +752,13 @@ impl Engine {
                     // compiled shared object instead of the interpreter.
                     let run_result = match self.try_run_native(
                         &kernel,
-                        inputs,
+                        &cand_inputs,
                         None,
                         Some(&supervisor),
                         self.config.backend,
                     ) {
                         Some(attempt) => attempt.result,
-                        None => kernel.run_supervised(inputs, None, &supervisor),
+                        None => kernel.run_supervised(&cand_inputs, None, &supervisor),
                     };
                     match run_result {
                         Ok((result, report)) => {
@@ -761,15 +780,31 @@ impl Engine {
                 // backends need a decisive win (40%): on small operands
                 // their times sit within noise of their dense twin, and
                 // their real role is the budget ladder, not shaving
-                // single-digit percents here.
-                let margin =
-                    if cand.workspace_kind == WorkspaceKind::Dense { 95 } else { 60 };
-                if best.as_ref().is_none_or(|(_, _, _, _, b)| nanos * 100 < *b * margin) {
-                    best = Some((cand.name.clone(), threads, cand.workspace_kind, result, nanos));
+                // single-digit percents here. Format-conversion candidates
+                // need the same decisive win: their conversion cost is paid
+                // outside the timed region, so a noise-level advantage would
+                // pick a schedule whose end-to-end cost is strictly worse.
+                let margin = if cand.workspace_kind != WorkspaceKind::Dense
+                    || !cand.conversions.is_empty()
+                {
+                    60
+                } else {
+                    95
+                };
+                if best.as_ref().is_none_or(|(.., b)| nanos * 100 < *b * margin) {
+                    best = Some((
+                        cand.name.clone(),
+                        threads,
+                        cand.workspace_kind,
+                        cand.conversions.clone(),
+                        result,
+                        nanos,
+                    ));
                 }
             }
         }
-        let Some((schedule, threads, workspace_kind, result, best_nanos)) = best else {
+        let Some((schedule, threads, workspace_kind, conversions, result, best_nanos)) = best
+        else {
             return Err(EngineError::NoViableCandidate { candidates: total });
         };
         self.tuner.record(
@@ -779,6 +814,7 @@ impl Engine {
                 best_nanos,
                 threads,
                 workspace_kind,
+                conversions,
                 candidates: total,
                 viable,
             },
@@ -820,6 +856,43 @@ impl Engine {
         self.events.lock().unwrap_or_else(|p| p.into_inner()).dropped
     }
 
+    /// Converts a tensor to `format` — the pack/convert kernel surfaced at
+    /// the engine level, so callers that route everything through the
+    /// [`Engine`] never have to reach into [`Tensor`] directly. Identity
+    /// conversions return a cheap copy.
+    ///
+    /// # Errors
+    ///
+    /// [`taco_tensor::TensorError`] (via [`CoreError::Tensor`]) when the
+    /// format's rank does not match or its level chain is invalid.
+    pub fn convert(&self, tensor: &Tensor, format: Format) -> Result<Tensor> {
+        tensor.convert(format).map_err(|e| EngineError::Core(CoreError::Tensor(e)))
+    }
+
+    /// Packs dense (row-major) data into `format` through the engine — the
+    /// companion of [`Engine::convert`] for data that starts outside any
+    /// sparse format.
+    ///
+    /// # Errors
+    ///
+    /// [`taco_tensor::TensorError`] when `data.len()` does not match the
+    /// shape or the format is invalid for the shape.
+    pub fn pack(&self, shape: &[usize], data: &[f64], format: Format) -> Result<Tensor> {
+        let volume: usize = shape.iter().product();
+        if shape.is_empty() || data.len() != volume {
+            return Err(EngineError::Core(CoreError::Tensor(
+                taco_tensor::TensorError::InvalidFormat {
+                    detail: format!(
+                        "pack: {} values do not fill shape {shape:?}",
+                        data.len()
+                    ),
+                },
+            )));
+        }
+        let dense = taco_tensor::DenseTensor::from_data(shape.to_vec(), data.to_vec());
+        Tensor::from_dense(&dense, format).map_err(|e| EngineError::Core(CoreError::Tensor(e)))
+    }
+
     pub(crate) fn push_event(&self, event: EngineEvent) {
         let mut events = self.events.lock().unwrap_or_else(|p| p.into_inner());
         while events.buf.len() >= self.config.max_events.max(1) {
@@ -828,4 +901,20 @@ impl Engine {
         }
         events.buf.push_back(event);
     }
+}
+
+/// Per-input converted operand for one candidate: `Some(tensor)` where a
+/// conversion names the input and actually changes its format, `None` where
+/// the original binds as-is.
+fn converted_operands(
+    inputs: &[(&str, &Tensor)],
+    conversions: &[(String, Format)],
+) -> std::result::Result<Vec<Option<Tensor>>, taco_tensor::TensorError> {
+    inputs
+        .iter()
+        .map(|(name, t)| match conversions.iter().find(|(n, _)| n == name) {
+            Some((_, f)) if t.format() != f => t.convert(f.clone()).map(Some),
+            _ => Ok(None),
+        })
+        .collect()
 }

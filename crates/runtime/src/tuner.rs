@@ -15,7 +15,7 @@ use std::sync::Mutex;
 use taco_core::fingerprint::fingerprint_stmt;
 use taco_core::IndexStmt;
 use taco_llir::WorkspaceKind;
-use taco_tensor::{ModeFormat, Tensor};
+use taco_tensor::{Format, LevelType, Tensor};
 
 /// The identity of one autotune decision: *which* computation, on *what
 /// kind* of data.
@@ -84,9 +84,17 @@ fn format_signature(inputs: &[(&str, &Tensor)]) -> u64 {
         }
         for m in t.format().modes() {
             byte(match m {
-                ModeFormat::Dense => 1,
-                ModeFormat::Compressed => 2,
+                LevelType::Dense => 1,
+                LevelType::Compressed => 2,
+                LevelType::Singleton => 3,
+                LevelType::Hashed => 4,
             });
+        }
+        // Mode order distinguishes CSR from CSC (same level chain).
+        for &m in t.format().mode_order() {
+            for b in (m as u64).to_le_bytes() {
+                byte(b);
+            }
         }
         byte(0xfe);
     }
@@ -128,6 +136,10 @@ pub struct TuneDecision {
     /// with (dense for every candidate without a `workspace(...)` variant
     /// suffix).
     pub workspace_kind: WorkspaceKind,
+    /// Operand format conversions the winning candidate requires:
+    /// `(operand name, chosen format)`. Empty when the winner runs the
+    /// operands in their declared formats.
+    pub conversions: Vec<(String, Format)>,
     /// How many candidates were enumerated for this key.
     pub candidates: usize,
     /// How many of them compiled and ran to completion.

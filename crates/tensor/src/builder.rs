@@ -1,4 +1,4 @@
-use crate::{Format, ModeFormat, ModeStorage, Result, Tensor, TensorError};
+use crate::{Format, LevelType, ModeStorage, Result, Tensor, TensorError};
 
 /// Incremental builder for [`Tensor`] values.
 ///
@@ -32,8 +32,9 @@ impl TensorBuilder {
     ///
     /// # Errors
     ///
-    /// Returns an error if the format rank does not match the shape rank or
-    /// the shape is empty.
+    /// Returns an error if the format rank does not match the shape rank,
+    /// the shape is empty, or the format's level-type chain is unrealizable
+    /// (see [`Format::check_level_types`]).
     pub fn new(shape: Vec<usize>, format: Format) -> Result<Self> {
         if shape.is_empty() {
             return Err(TensorError::EmptyShape);
@@ -44,6 +45,7 @@ impl TensorBuilder {
                 format_rank: format.rank(),
             });
         }
+        format.check_level_types()?;
         Ok(TensorBuilder { shape, format, entries: Vec::new() })
     }
 
@@ -80,11 +82,34 @@ impl TensorBuilder {
     }
 
     /// Sorts, merges and packs the queued entries into a [`Tensor`].
+    ///
+    /// Entries are sorted by the format's *storage* order (levels outermost
+    /// first, each level reading the mode it stores), duplicates are merged
+    /// by summation, and each level is packed according to its
+    /// [`LevelType`]: dense levels multiply positions out, compressed and
+    /// hashed levels group by `(parent, coordinate)`, non-unique compressed
+    /// levels (those above singletons) give every component its own
+    /// position, and singleton levels store one coordinate per parent
+    /// position.
     pub fn build(mut self) -> Tensor {
-        self.entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let order = self.format.mode_order().to_vec();
+        let storage_key = |coord: &[usize]| -> Vec<usize> {
+            order.iter().map(|&m| coord[m]).collect()
+        };
+        self.entries.sort_by_key(|(coord, _)| storage_key(coord));
+        // Merge duplicate coordinates up front: non-unique levels below give
+        // every surviving entry its own position, so duplicates must not
+        // survive to packing.
+        let mut merged: Vec<(Vec<usize>, f64)> = Vec::with_capacity(self.entries.len());
+        for (coord, v) in self.entries.drain(..) {
+            match merged.last_mut() {
+                Some((prev, pv)) if *prev == coord => *pv += v,
+                _ => merged.push((coord, v)),
+            }
+        }
 
         let rank = self.shape.len();
-        let n = self.entries.len();
+        let n = merged.len();
         let mut modes: Vec<ModeStorage> = Vec::with_capacity(rank);
 
         // `parent_pos[e]` is the position of entry `e` in the level above the
@@ -92,22 +117,42 @@ impl TensorBuilder {
         let mut parent_pos: Vec<usize> = vec![0; n];
         let mut num_parent_positions = 1usize;
 
-        for level in 0..rank {
-            let dim = self.shape[level];
-            match self.format.mode(level) {
-                ModeFormat::Dense => {
-                    for (e, (coord, _)) in self.entries.iter().enumerate() {
-                        parent_pos[e] = parent_pos[e] * dim + coord[level];
+        for (level, &mode) in order.iter().enumerate().take(rank) {
+            let dim = self.shape[mode];
+            let lt = self.format.mode(level);
+            match lt {
+                LevelType::Dense => {
+                    for (e, (coord, _)) in merged.iter().enumerate() {
+                        parent_pos[e] = parent_pos[e] * dim + coord[mode];
                     }
                     num_parent_positions *= dim;
                     modes.push(ModeStorage::Dense { dim });
                 }
-                ModeFormat::Compressed => {
+                LevelType::Compressed | LevelType::Hashed
+                    if !self.format.level_unique(level) =>
+                {
+                    // Non-unique level (a singleton level follows): every
+                    // entry keeps its own position even when coordinates
+                    // repeat, as in COO's outer coordinate array.
+                    let mut pos = vec![0usize; num_parent_positions + 1];
+                    let mut crd = Vec::with_capacity(n);
+                    for (pp, entry) in parent_pos.iter_mut().zip(&merged) {
+                        pos[*pp + 1] += 1;
+                        crd.push(entry.0[mode]);
+                        *pp = crd.len() - 1;
+                    }
+                    for p in 0..num_parent_positions {
+                        pos[p + 1] += pos[p];
+                    }
+                    num_parent_positions = crd.len();
+                    modes.push(ModeStorage::Compressed { pos, crd });
+                }
+                LevelType::Compressed | LevelType::Hashed => {
                     let mut pos = vec![0usize; num_parent_positions + 1];
                     let mut crd = Vec::new();
                     let mut prev: Option<(usize, usize)> = None;
-                    for (pp, entry) in parent_pos.iter_mut().zip(&self.entries) {
-                        let key = (*pp, entry.0[level]);
+                    for (pp, entry) in parent_pos.iter_mut().zip(&merged) {
+                        let key = (*pp, entry.0[mode]);
                         if prev != Some(key) {
                             // A new (parent, coordinate) group starts here.
                             pos[key.0 + 1] += 1;
@@ -123,11 +168,18 @@ impl TensorBuilder {
                     num_parent_positions = crd.len();
                     modes.push(ModeStorage::Compressed { pos, crd });
                 }
+                LevelType::Singleton => {
+                    // One coordinate per parent position; positions pass
+                    // through unchanged. The parent is non-unique, so each
+                    // entry already owns a distinct parent position.
+                    let crd: Vec<usize> = merged.iter().map(|(c, _)| c[mode]).collect();
+                    modes.push(ModeStorage::Singleton { crd });
+                }
             }
         }
 
         let mut vals = vec![0.0; num_parent_positions];
-        for (e, (_, v)) in self.entries.iter().enumerate() {
+        for (e, (_, v)) in merged.iter().enumerate() {
             vals[parent_pos[e]] += v;
         }
 
@@ -202,7 +254,7 @@ mod tests {
         // Row-major dense columns under compressed rows ({s, d}).
         let mut b = TensorBuilder::new(
             vec![3, 2],
-            Format::new(vec![ModeFormat::Compressed, ModeFormat::Dense]),
+            Format::new(vec![LevelType::Compressed, LevelType::Dense]),
         )
         .unwrap();
         b.insert(&[1, 1], 5.0).unwrap();

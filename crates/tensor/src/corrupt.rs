@@ -53,6 +53,16 @@ pub enum Corruption {
     InfValue,
     /// Shrink a mode dimension below its stored data.
     ShrinkDim(usize),
+    /// Drop the last coordinate of a singleton level's `crd` array (COO
+    /// parallel arrays out of step with their parent positions).
+    TruncateSingletonCrd(usize),
+    /// Set a singleton level's coordinate to the mode dimension.
+    OutOfBoundsSingletonCrd(usize),
+    /// Overwrite the second stored component's coordinates with the first
+    /// component's at every level, making two stored components identical (a
+    /// duplicate COO entry). Applies only to formats where every level
+    /// stores one coordinate per component (COO-style chains).
+    DuplicateComponent,
 }
 
 /// Applies `corruption` to a copy of `tensor`.
@@ -83,17 +93,35 @@ pub fn apply(tensor: &Tensor, corruption: Corruption) -> Option<Tensor> {
             *pos.last_mut()? += 7;
         }
         Corruption::ShuffleCrd(level) => {
+            // Unordered (hashed) levels accept any segment order, so the
+            // shuffle would not be a corruption there.
+            if !format.level(level).ok()?.is_ordered() {
+                return None;
+            }
             let (pos, crd) = compressed(&mut modes, level)?;
             let seg = multi_entry_segment(pos)?;
+            if crd[seg.0..seg.1].iter().all(|c| *c == crd[seg.0]) {
+                // Reversing an all-equal segment changes nothing.
+                return None;
+            }
             crd[seg.0..seg.1].reverse();
         }
         Corruption::DuplicateCrd(level) => {
+            // Non-unique levels (above singletons) legally repeat
+            // coordinates; the duplicate would not be a corruption there.
+            let lt = format.level(level).ok()?;
+            if lt != crate::LevelType::Hashed && !format.level_unique(level) {
+                return None;
+            }
             let (pos, crd) = compressed(&mut modes, level)?;
             let seg = multi_entry_segment(pos)?;
             crd[seg.0 + 1] = crd[seg.0];
         }
         Corruption::OutOfBoundsCrd(level) => {
-            let dim = *shape.get(level)?;
+            if level >= format.rank() {
+                return None;
+            }
+            let dim = *shape.get(format.mode_of_level(level))?;
             let (_, crd) = compressed(&mut modes, level)?;
             *crd.first_mut()? = dim;
         }
@@ -109,13 +137,50 @@ pub fn apply(tensor: &Tensor, corruption: Corruption) -> Option<Tensor> {
         Corruption::ShrinkDim(level) => {
             // Shrink far enough that stored data no longer fits: dense
             // storage keeps its original width and disagrees with the shape;
-            // compressed storage is cut to its largest stored coordinate,
-            // putting that coordinate out of bounds.
+            // compressed/singleton storage is cut to its largest stored
+            // coordinate, putting that coordinate out of bounds.
+            if level >= format.rank() {
+                return None;
+            }
+            let mode = format.mode_of_level(level);
             let new_dim = match modes.get(level)? {
-                ModeStorage::Dense { .. } => shape.get(level)?.checked_sub(1)?,
-                ModeStorage::Compressed { crd, .. } => *crd.iter().max()?,
+                ModeStorage::Dense { .. } => shape.get(mode)?.checked_sub(1)?,
+                ModeStorage::Compressed { crd, .. } | ModeStorage::Singleton { crd } => {
+                    *crd.iter().max()?
+                }
             };
-            shape[level] = new_dim;
+            shape[mode] = new_dim;
+        }
+        Corruption::TruncateSingletonCrd(level) => {
+            let crd = singleton(&mut modes, level)?;
+            crd.pop()?;
+        }
+        Corruption::OutOfBoundsSingletonCrd(level) => {
+            if level >= format.rank() {
+                return None;
+            }
+            let dim = *shape.get(format.mode_of_level(level))?;
+            let crd = singleton(&mut modes, level)?;
+            *crd.first_mut()? = dim;
+        }
+        Corruption::DuplicateComponent => {
+            if vals.len() < 2 {
+                return None;
+            }
+            for (l, m) in modes.iter_mut().enumerate() {
+                match m {
+                    ModeStorage::Compressed { crd, .. } if !format.level_unique(l) => {
+                        crd[1] = crd[0];
+                    }
+                    ModeStorage::Singleton { crd } => {
+                        crd[1] = crd[0];
+                    }
+                    // Dense or unique compressed levels do not store one
+                    // coordinate per component; the corruption does not
+                    // apply.
+                    _ => return None,
+                }
+            }
         }
     }
     Some(Tensor::from_parts_unchecked(shape, format, modes, vals))
@@ -132,6 +197,7 @@ pub fn all_corruptions(tensor: &Tensor) -> Vec<(Corruption, Tensor)> {
         Corruption::TruncateVals,
         Corruption::NanValue,
         Corruption::InfValue,
+        Corruption::DuplicateComponent,
     ];
     for level in 0..tensor.rank() {
         kinds.extend([
@@ -142,6 +208,8 @@ pub fn all_corruptions(tensor: &Tensor) -> Vec<(Corruption, Tensor)> {
             Corruption::DuplicateCrd(level),
             Corruption::OutOfBoundsCrd(level),
             Corruption::ShrinkDim(level),
+            Corruption::TruncateSingletonCrd(level),
+            Corruption::OutOfBoundsSingletonCrd(level),
         ]);
     }
     kinds
@@ -150,14 +218,22 @@ pub fn all_corruptions(tensor: &Tensor) -> Vec<(Corruption, Tensor)> {
         .collect()
 }
 
-/// The `pos`/`crd` arrays of a compressed level, or `None` if dense.
+/// The `pos`/`crd` arrays of a compressed level, or `None` otherwise.
 fn compressed(
     modes: &mut [ModeStorage],
     level: usize,
 ) -> Option<(&mut Vec<usize>, &mut Vec<usize>)> {
     match modes.get_mut(level)? {
         ModeStorage::Compressed { pos, crd } => Some((pos, crd)),
-        ModeStorage::Dense { .. } => None,
+        ModeStorage::Dense { .. } | ModeStorage::Singleton { .. } => None,
+    }
+}
+
+/// The `crd` array of a singleton level, or `None` otherwise.
+fn singleton(modes: &mut [ModeStorage], level: usize) -> Option<&mut Vec<usize>> {
+    match modes.get_mut(level)? {
+        ModeStorage::Singleton { crd } => Some(crd),
+        ModeStorage::Dense { .. } | ModeStorage::Compressed { .. } => None,
     }
 }
 
@@ -189,9 +265,24 @@ mod tests {
         .unwrap()
     }
 
+    fn sample_coo() -> Tensor {
+        sample_csr().convert(Format::coo(2)).unwrap()
+    }
+
+    fn sample_bcsr() -> Tensor {
+        Tensor::from_entries(
+            vec![4, 4],
+            Format::csr(),
+            vec![(vec![0, 1], 1.0), (vec![2, 2], 2.0), (vec![3, 0], 3.0)],
+        )
+        .unwrap()
+        .to_blocked(2, 2)
+        .unwrap()
+    }
+
     #[test]
     fn every_corruption_is_rejected_by_validate() {
-        for t in [sample_csr(), sample_csf()] {
+        for t in [sample_csr(), sample_csf(), sample_coo(), sample_bcsr()] {
             assert!(t.validate().is_ok(), "sample must start valid");
             let mutants = all_corruptions(&t);
             assert!(mutants.len() >= 8, "expected broad coverage, got {}", mutants.len());
@@ -212,6 +303,35 @@ mod tests {
         assert!(apply(&t, Corruption::ShuffleCrd(0)).is_none());
         // Out-of-range level.
         assert!(apply(&t, Corruption::TruncatePos(9)).is_none());
+        // Singleton corruptions do not apply to CSR.
+        assert!(apply(&t, Corruption::TruncateSingletonCrd(1)).is_none());
+        assert!(apply(&t, Corruption::DuplicateComponent).is_none());
+    }
+
+    #[test]
+    fn singleton_corruptions_apply_to_coo() {
+        let t = sample_coo();
+        for c in [
+            Corruption::TruncateSingletonCrd(1),
+            Corruption::OutOfBoundsSingletonCrd(1),
+            Corruption::DuplicateComponent,
+        ] {
+            let mutant = apply(&t, c).expect("corruption applies to COO");
+            assert!(mutant.validate().is_err(), "{c:?} slipped past validate()");
+        }
+    }
+
+    #[test]
+    fn block_pointer_corruptions_apply_to_bcsr() {
+        let t = sample_bcsr();
+        for c in [
+            Corruption::TruncatePos(1),
+            Corruption::NonMonotonePos(1),
+            Corruption::OverflowPos(1),
+        ] {
+            let mutant = apply(&t, c).expect("block-pointer corruption applies to BCSR");
+            assert!(mutant.validate().is_err(), "{c:?} slipped past validate()");
+        }
     }
 
     #[test]

@@ -100,64 +100,15 @@ impl Csf3 {
             (&self.pos2, &self.crd2, self.dims[1]),
             (&self.pos3, &self.crd3, self.dims[2]),
         ];
-        let bad = |level: usize, detail: String| {
-            Err(TensorError::InvalidStorage { level, detail })
-        };
         let mut parent_positions = 1usize;
         for (level, (pos, crd, dim)) in levels.into_iter().enumerate() {
-            if pos.len() != parent_positions + 1 {
-                return bad(
-                    level,
-                    format!(
-                        "pos has {} entries, expected {} (parent positions + 1)",
-                        pos.len(),
-                        parent_positions + 1
-                    ),
-                );
-            }
-            if pos[0] != 0 {
-                return bad(level, format!("pos must start at 0, found {}", pos[0]));
-            }
-            if let Some(w) = pos.windows(2).find(|w| w[0] > w[1]) {
-                return bad(
-                    level,
-                    format!("pos is not monotone: segment bound {} follows {}", w[1], w[0]),
-                );
-            }
-            let end = *pos.last().expect("pos nonempty: checked length above");
-            if end != crd.len() {
-                return bad(level, format!("pos ends at {end} but crd has {} entries", crd.len()));
-            }
-            for p in 0..parent_positions {
-                let seg = &crd[pos[p]..pos[p + 1]];
-                if let Some(w) = seg.windows(2).find(|w| w[0] >= w[1]) {
-                    return bad(
-                        level,
-                        format!(
-                            "crd segment of parent position {p} is not strictly increasing \
-                             ({} then {})",
-                            w[0], w[1]
-                        ),
-                    );
-                }
-                if let Some(c) = seg.iter().find(|c| **c >= dim) {
-                    return bad(level, format!("coordinate {c} out of bounds for dimension {dim}"));
-                }
-            }
+            crate::storage::check_pos_level(pos, crd.len(), parent_positions, level)?;
+            // CSF levels are ordered and unique: strictly increasing
+            // segments, coordinates in bounds.
+            crate::storage::check_crd_level(pos, crd, parent_positions, dim, true, true, level)?;
             parent_positions = crd.len();
         }
-        if self.vals.len() != parent_positions {
-            return bad(
-                2,
-                format!(
-                    "vals has {} entries, expected one per innermost position ({parent_positions})",
-                    self.vals.len()
-                ),
-            );
-        }
-        if let Some(q) = self.vals.iter().position(|v| !v.is_finite()) {
-            return bad(2, format!("non-finite value {} at position {q}", self.vals[q]));
-        }
+        crate::storage::check_vals_level(&self.vals, parent_positions, 2)?;
         Ok(())
     }
 

@@ -5,7 +5,10 @@ use crate::{Format, Result, Tensor, TensorError};
 ///
 /// This flat representation is what the hand-written baseline kernels
 /// (Gustavson SpGEMM, merge-based addition, MTTKRP, ...) operate on; it
-/// converts losslessly to and from a `{Dense, Compressed}` [`Tensor`].
+/// converts losslessly to and from a `{Dense, Compressed}` [`Tensor`]. It is
+/// a *view* over the same level-based arrays the rank-generic [`Tensor`]
+/// stores — [`Csr::validate`] delegates to the shared per-level checks, so
+/// the two representations enforce identical invariants.
 ///
 /// Rows may hold their column entries *sorted* (like Eigen's products) or
 /// *unsorted* (like MKL's `mkl_sparse_spmm`); see [`Csr::is_sorted`] and
@@ -79,37 +82,13 @@ impl Csr {
     /// Returns [`TensorError::InvalidStorage`] describing the first violated
     /// invariant (level 0 for `pos` faults, level 1 for `crd`/`vals` faults).
     pub fn validate(&self) -> Result<()> {
-        let bad = |level: usize, detail: String| {
-            Err(TensorError::InvalidStorage { level, detail })
-        };
-        if self.pos.len() != self.nrows + 1 {
-            return bad(
-                0,
-                format!("pos has {} entries, expected nrows + 1 = {}", self.pos.len(), self.nrows + 1),
-            );
-        }
-        if self.pos[0] != 0 {
-            return bad(0, format!("pos must start at 0, found {}", self.pos[0]));
-        }
-        if let Some(w) = self.pos.windows(2).find(|w| w[0] > w[1]) {
-            return bad(0, format!("pos is not monotone: segment bound {} follows {}", w[1], w[0]));
-        }
-        let end = *self.pos.last().expect("pos nonempty: checked length above");
-        if end != self.crd.len() {
-            return bad(0, format!("pos ends at {end} but crd has {} entries", self.crd.len()));
-        }
-        if self.crd.len() != self.vals.len() {
-            return bad(
-                1,
-                format!("crd has {} entries but vals has {}", self.crd.len(), self.vals.len()),
-            );
-        }
-        if let Some(c) = self.crd.iter().find(|c| **c >= self.ncols) {
-            return bad(1, format!("column coordinate {c} out of bounds for {} columns", self.ncols));
-        }
-        if let Some(q) = self.vals.iter().position(|v| !v.is_finite()) {
-            return bad(1, format!("non-finite value {} at position {q}", self.vals[q]));
-        }
+        crate::storage::check_pos_level(&self.pos, self.crd.len(), self.nrows, 0)?;
+        // Rows may be unsorted (ordered = false) and may repeat columns
+        // (unique = false); only bounds are enforced.
+        crate::storage::check_crd_level(
+            &self.pos, &self.crd, self.nrows, self.ncols, false, false, 1,
+        )?;
+        crate::storage::check_vals_level(&self.vals, self.crd.len(), 1)?;
         Ok(())
     }
 

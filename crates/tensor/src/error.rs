@@ -35,6 +35,21 @@ pub enum TensorError {
     },
     /// A zero-dimensional or zero-sized shape where one is not allowed.
     EmptyShape,
+    /// A level index past the end of the format (checked accessor at bind
+    /// time).
+    LevelOutOfBounds {
+        /// The requested level.
+        level: usize,
+        /// Number of levels the format has.
+        rank: usize,
+    },
+    /// The format itself is malformed: a bad mode-order permutation or an
+    /// unrealizable level-type chain (e.g. a singleton level under a dense
+    /// parent).
+    InvalidFormat {
+        /// Description of the problem.
+        detail: String,
+    },
     /// Storage arrays violate a format invariant (corrupted or hand-built
     /// data): non-monotone `pos`, unsorted or out-of-bounds `crd`, array
     /// length disagreement, or non-finite values.
@@ -65,6 +80,12 @@ impl fmt::Display for TensorError {
                 write!(f, "tensor format mismatch: expected {expected}")
             }
             TensorError::EmptyShape => write!(f, "tensor shape must have at least one mode"),
+            TensorError::LevelOutOfBounds { level, rank } => {
+                write!(f, "level {level} out of bounds for a rank-{rank} format")
+            }
+            TensorError::InvalidFormat { detail } => {
+                write!(f, "invalid tensor format: {detail}")
+            }
             TensorError::InvalidStorage { level, detail } => {
                 write!(f, "invalid tensor storage at level {level}: {detail}")
             }

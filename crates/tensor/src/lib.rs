@@ -3,17 +3,28 @@
 //! This crate implements the tensor storage machinery that the CGO 2019 paper
 //! *Tensor Algebra Compilation with Workspaces* builds on (its prior work,
 //! taco \[4\] and the format abstraction \[5\]): tensors are stored level by
-//! level, where each level (mode) is either [`ModeFormat::Dense`] (every
-//! coordinate stored) or [`ModeFormat::Compressed`] (only nonzero coordinates
-//! stored, via `pos`/`crd` arrays as in Figure 1b of the paper).
+//! level, where each level is a [`LevelType`] — [`LevelType::Dense`] (every
+//! coordinate stored), [`LevelType::Compressed`] (only nonzero coordinates,
+//! via `pos`/`crd` arrays as in Figure 1b of the paper),
+//! [`LevelType::Singleton`] (one coordinate per parent position, the COO
+//! building block), or [`LevelType::Hashed`] (`pos`/`crd` with unordered
+//! segments). A [`Format`] additionally carries a *mode order* mapping
+//! storage levels to tensor modes, which yields column-major layouts.
 //!
-//! Composing per-level formats yields the classic sparse formats:
+//! Composing per-level types yields the classic sparse formats:
 //!
 //! * `{Dense, Compressed}` — CSR (compressed sparse row),
-//! * `{Compressed, Compressed}` — DCSR,
+//! * `{Dense, Compressed}` with order `[1, 0]` — CSC,
+//! * `{Compressed, Compressed}` — DCSR (order `[1, 0]` — DCSC),
+//! * `{Compressed, Singleton, ...}` — COO (parallel coordinate arrays),
+//! * `{Dense, Compressed, Dense, Dense}` over a blocked shape — BCSR,
 //! * `{Compressed, Compressed, Compressed}` — CSF for 3-tensors,
 //! * `{Dense, Dense, ...}` — ordinary dense arrays,
 //! * `{Compressed}` — a sparse vector; `{Dense}` — a dense vector.
+//!
+//! [`Tensor::convert`] repacks any tensor into any realizable format, and
+//! [`Tensor::to_blocked`]/[`Tensor::from_blocked`] move between flat and
+//! blocked matrices.
 //!
 //! # Example
 //!
@@ -57,7 +68,7 @@ pub use csf::Csf3;
 pub use csr::Csr;
 pub use dense::DenseTensor;
 pub use error::TensorError;
-pub use format::{Format, ModeFormat};
+pub use format::{Format, LevelType, ModeFormat};
 pub use storage::{ModeStorage, Tensor};
 
 /// Result alias used throughout this crate.

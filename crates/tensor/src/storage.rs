@@ -1,27 +1,38 @@
-use crate::{DenseTensor, Format, ModeFormat, Result, TensorBuilder, TensorError};
+use crate::{DenseTensor, Format, LevelType, Result, TensorBuilder, TensorError};
 
-/// Storage of a single tensor level (mode).
+/// Storage of a single tensor level.
 ///
 /// A tensor of rank *k* is stored as a hierarchy of *k* levels. Each level
 /// stores, for every *position* of its parent level, the coordinates present
-/// in this mode. A [`ModeStorage::Dense`] level stores all `0..dim`
-/// coordinates implicitly; a [`ModeStorage::Compressed`] level stores a
-/// `pos`/`crd` pair exactly as in Figure 1b of the paper: the children of
-/// parent position `p` live at positions `pos[p]..pos[p+1]`, and `crd[q]` is
-/// the coordinate at position `q`.
+/// in the mode it holds (see [`Format::mode_order`]). A
+/// [`ModeStorage::Dense`] level stores all `0..dim` coordinates implicitly; a
+/// [`ModeStorage::Compressed`] level stores a `pos`/`crd` pair exactly as in
+/// Figure 1b of the paper: the children of parent position `p` live at
+/// positions `pos[p]..pos[p+1]`, and `crd[q]` is the coordinate at position
+/// `q`. A [`ModeStorage::Singleton`] level stores one coordinate per parent
+/// position with no `pos` array — the child position *is* the parent
+/// position. Hashed levels ([`LevelType::Hashed`]) reuse the
+/// `pos`/`crd` layout with unordered segments.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ModeStorage {
     /// Dense level: all coordinates in `0..dim` exist at every parent
     /// position. Child position = `parent_pos * dim + coord`.
     Dense {
-        /// Dimension of this mode.
+        /// Dimension of this level's mode.
         dim: usize,
     },
-    /// Compressed level: explicit segment boundaries and coordinates.
+    /// Compressed (or hashed) level: explicit segment boundaries and
+    /// coordinates.
     Compressed {
         /// `pos[p]..pos[p+1]` is the position range of parent position `p`.
         pos: Vec<usize>,
         /// `crd[q]` is the coordinate stored at position `q`.
+        crd: Vec<usize>,
+    },
+    /// Singleton level: exactly one coordinate per parent position. The
+    /// child position equals the parent position, so no `pos` array exists.
+    Singleton {
+        /// `crd[p]` is the coordinate at (parent) position `p`.
         crd: Vec<usize>,
     },
 }
@@ -33,8 +44,97 @@ impl ModeStorage {
         match self {
             ModeStorage::Dense { dim } => parent_positions * dim,
             ModeStorage::Compressed { pos, .. } => *pos.last().unwrap_or(&0),
+            ModeStorage::Singleton { crd } => crd.len(),
         }
     }
+}
+
+/// Per-level `pos` invariants shared by every `pos`/`crd` representation
+/// (the generic [`Tensor`], the flat [`crate::Csr`] and [`crate::Csf3`]
+/// views): starts at 0, one entry per parent position plus one, monotone,
+/// ends at `crd_len`.
+pub(crate) fn check_pos_level(
+    pos: &[usize],
+    crd_len: usize,
+    parent_positions: usize,
+    level: usize,
+) -> Result<()> {
+    let bad = |detail: String| Err(TensorError::InvalidStorage { level, detail });
+    if pos.len() != parent_positions + 1 {
+        return bad(format!(
+            "pos has {} entries, expected {} (parent positions + 1)",
+            pos.len(),
+            parent_positions + 1
+        ));
+    }
+    if pos[0] != 0 {
+        return bad(format!("pos must start at 0, found {}", pos[0]));
+    }
+    if let Some(w) = pos.windows(2).find(|w| w[0] > w[1]) {
+        return bad(format!("pos is not monotone: segment bound {} follows {}", w[1], w[0]));
+    }
+    let end = *pos.last().expect("pos nonempty: checked length above");
+    if end != crd_len {
+        return bad(format!("pos ends at {end} but crd has {crd_len} entries"));
+    }
+    Ok(())
+}
+
+/// Per-level `crd` segment invariants, parameterized by the level's
+/// properties: `ordered` requires sorted segments (strictly increasing when
+/// also `unique`, non-decreasing otherwise); `unique` without order checks
+/// duplicate-freedom; bounds are always checked.
+pub(crate) fn check_crd_level(
+    pos: &[usize],
+    crd: &[usize],
+    parent_positions: usize,
+    dim: usize,
+    ordered: bool,
+    unique: bool,
+    level: usize,
+) -> Result<()> {
+    let bad = |detail: String| Err(TensorError::InvalidStorage { level, detail });
+    for p in 0..parent_positions {
+        let seg = &crd[pos[p]..pos[p + 1]];
+        if ordered {
+            let violation = seg.windows(2).find(|w| if unique { w[0] >= w[1] } else { w[0] > w[1] });
+            if let Some(w) = violation {
+                let want = if unique { "strictly increasing" } else { "non-decreasing" };
+                return bad(format!(
+                    "crd segment of parent position {p} is not {want} ({} then {})",
+                    w[0], w[1]
+                ));
+            }
+        } else if unique && seg.len() > 1 {
+            let mut sorted = seg.to_vec();
+            sorted.sort_unstable();
+            if let Some(w) = sorted.windows(2).find(|w| w[0] == w[1]) {
+                return bad(format!(
+                    "crd segment of parent position {p} repeats coordinate {}",
+                    w[0]
+                ));
+            }
+        }
+        if let Some(c) = seg.iter().find(|c| **c >= dim) {
+            return bad(format!("coordinate {c} out of bounds for dimension {dim}"));
+        }
+    }
+    Ok(())
+}
+
+/// Value-array invariants: one value per innermost position, all finite.
+pub(crate) fn check_vals_level(vals: &[f64], positions: usize, level: usize) -> Result<()> {
+    let bad = |detail: String| Err(TensorError::InvalidStorage { level, detail });
+    if vals.len() != positions {
+        return bad(format!(
+            "vals has {} entries, expected one per innermost position ({positions})",
+            vals.len()
+        ));
+    }
+    if let Some(q) = vals.iter().position(|v| !v.is_finite()) {
+        return bad(format!("non-finite value {} at position {q}", vals[q]));
+    }
+    Ok(())
 }
 
 /// A sparse (or dense) tensor stored level by level.
@@ -43,7 +143,8 @@ impl ModeStorage {
 /// position order — exactly the layout taco generates code against.
 ///
 /// Construct tensors with [`Tensor::from_entries`], [`TensorBuilder`], or
-/// [`Tensor::from_dense`].
+/// [`Tensor::from_dense`]; convert between formats with [`Tensor::convert`]
+/// and [`Tensor::to_blocked`]/[`Tensor::from_blocked`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     shape: Vec<usize>,
@@ -99,15 +200,21 @@ impl Tensor {
         (self.shape, self.format, self.modes, self.vals)
     }
 
-    /// Checks every storage invariant the compiled kernels rely on:
+    /// Checks every storage invariant the compiled kernels rely on, level by
+    /// level according to each level's [`LevelType`] properties:
     ///
-    /// * shape, format and level storage agree in rank, and each level's
-    ///   storage variant matches its [`ModeFormat`];
-    /// * each compressed level's `pos` starts at 0, is monotonically
+    /// * shape, format and level storage agree in rank, the format's
+    ///   level-type chain is realizable, and each level's storage variant
+    ///   matches its declared type;
+    /// * each `pos`-array level's `pos` starts at 0, is monotonically
     ///   non-decreasing, has one entry per parent position plus one, and ends
     ///   exactly at `crd.len()`;
-    /// * each `crd` segment is strictly increasing (sorted, duplicate-free)
-    ///   with coordinates inside the mode dimension;
+    /// * ordered segments are sorted (strictly increasing for unique levels,
+    ///   non-decreasing for the non-unique levels above singletons), hashed
+    ///   segments are duplicate-free, and all coordinates are in bounds;
+    /// * singleton levels store exactly one coordinate per parent position,
+    ///   and formats containing singleton chains enumerate strictly
+    ///   increasing coordinate tuples (no hidden duplicate components);
     /// * `vals` holds exactly one value per innermost position, and every
     ///   value is finite.
     ///
@@ -137,11 +244,13 @@ impl Tensor {
                 ),
             );
         }
+        self.format.check_level_types()?;
         let mut parent_positions = 1usize;
         for (level, mode) in self.modes.iter().enumerate() {
-            let dim = self.shape[level];
-            match (mode, self.format.mode(level)) {
-                (ModeStorage::Dense { dim: stored }, ModeFormat::Dense) => {
+            let lt = self.format.mode(level);
+            let dim = self.shape[self.format.mode_of_level(level)];
+            match (mode, lt) {
+                (ModeStorage::Dense { dim: stored }, LevelType::Dense) => {
                     if *stored != dim {
                         return bad(
                             level,
@@ -155,58 +264,49 @@ impl Tensor {
                         }
                     };
                 }
-                (ModeStorage::Compressed { pos, crd }, ModeFormat::Compressed) => {
-                    if pos.len() != parent_positions + 1 {
+                (
+                    ModeStorage::Compressed { pos, crd },
+                    LevelType::Compressed | LevelType::Hashed,
+                ) => {
+                    check_pos_level(pos, crd.len(), parent_positions, level)?;
+                    check_crd_level(
+                        pos,
+                        crd,
+                        parent_positions,
+                        dim,
+                        lt.is_ordered(),
+                        // Hashed levels are always unique; compressed levels
+                        // are unique unless a singleton level follows.
+                        lt == LevelType::Hashed || self.format.level_unique(level),
+                        level,
+                    )?;
+                    parent_positions = crd.len();
+                }
+                (ModeStorage::Singleton { crd }, LevelType::Singleton) => {
+                    if crd.len() != parent_positions {
                         return bad(
                             level,
                             format!(
-                                "pos has {} entries, expected {} (parent positions + 1)",
-                                pos.len(),
-                                parent_positions + 1
+                                "singleton crd has {} entries, expected one per parent \
+                                 position ({parent_positions})",
+                                crd.len()
                             ),
                         );
                     }
-                    if pos[0] != 0 {
-                        return bad(level, format!("pos must start at 0, found {}", pos[0]));
-                    }
-                    if let Some(w) = pos.windows(2).find(|w| w[0] > w[1]) {
+                    if let Some(c) = crd.iter().find(|c| **c >= dim) {
                         return bad(
                             level,
-                            format!("pos is not monotone: segment bound {} follows {}", w[1], w[0]),
+                            format!("coordinate {c} out of bounds for dimension {dim}"),
                         );
                     }
-                    let end = *pos.last().expect("pos nonempty: checked length above");
-                    if end != crd.len() {
-                        return bad(
-                            level,
-                            format!("pos ends at {end} but crd has {} entries", crd.len()),
-                        );
-                    }
-                    for p in 0..parent_positions {
-                        let seg = &crd[pos[p]..pos[p + 1]];
-                        if let Some(w) = seg.windows(2).find(|w| w[0] >= w[1]) {
-                            return bad(
-                                level,
-                                format!(
-                                    "crd segment of parent position {p} is not strictly \
-                                     increasing ({} then {})",
-                                    w[0], w[1]
-                                ),
-                            );
-                        }
-                        if let Some(c) = seg.iter().find(|c| **c >= dim) {
-                            return bad(
-                                level,
-                                format!("coordinate {c} out of bounds for dimension {dim}"),
-                            );
-                        }
-                    }
-                    parent_positions = crd.len();
+                    // Position pass-through: the child count equals the
+                    // parent count.
                 }
                 (stored, declared) => {
                     let kind = match stored {
                         ModeStorage::Dense { .. } => "dense",
                         ModeStorage::Compressed { .. } => "compressed",
+                        ModeStorage::Singleton { .. } => "singleton",
                     };
                     return bad(
                         level,
@@ -215,20 +315,27 @@ impl Tensor {
                 }
             }
         }
-        if self.vals.len() != parent_positions {
-            return bad(
-                self.rank() - 1,
-                format!(
-                    "vals has {} entries, expected one per innermost position ({parent_positions})",
-                    self.vals.len()
-                ),
-            );
-        }
-        if let Some(q) = self.vals.iter().position(|v| !v.is_finite()) {
-            return bad(
-                self.rank() - 1,
-                format!("non-finite value {} at position {q}", self.vals[q]),
-            );
+        check_vals_level(&self.vals, parent_positions, self.rank() - 1)?;
+        if self.format.has_singleton() && !self.format.has_hashed() {
+            // Singleton chains hide per-component coordinates in non-unique
+            // levels; confirm the stored tuples are strictly increasing in
+            // storage order so no duplicate component can slip through.
+            let mut walked = Vec::with_capacity(self.vals.len());
+            let mut coord = vec![0usize; self.rank()];
+            self.walk(0, 0, &mut coord, &mut walked);
+            let key = |coord: &[usize]| -> Vec<usize> {
+                self.format.mode_order().iter().map(|&m| coord[m]).collect()
+            };
+            if let Some(w) = walked.windows(2).find(|w| key(&w[0].0) >= key(&w[1].0)) {
+                return bad(
+                    self.rank() - 1,
+                    format!(
+                        "components are not strictly increasing in storage order \
+                         ({:?} then {:?})",
+                        w[0].0, w[1].0
+                    ),
+                );
+            }
         }
         Ok(())
     }
@@ -258,11 +365,11 @@ impl Tensor {
     /// compressed levels.
     pub fn from_dense(dense: &DenseTensor, format: Format) -> Result<Self> {
         let mut b = TensorBuilder::new(dense.shape().to_vec(), format.clone())?;
-        if format.is_all_dense() {
+        if format.is_all_dense() && format.is_identity_order() {
             // Preserve every component, including zeros.
             return Ok(Tensor::from_parts(
                 dense.shape().to_vec(),
-                Format::dense(dense.rank()),
+                format,
                 dense.shape().iter().map(|d| ModeStorage::Dense { dim: *d }).collect(),
                 dense.data().to_vec(),
             ));
@@ -273,6 +380,75 @@ impl Tensor {
         Ok(b.build())
     }
 
+    /// Repacks this tensor into another format (the `pack`/`convert` kernel
+    /// of the format-abstraction paper): enumerate stored components, then
+    /// rebuild the level storage for the target format. Values are preserved
+    /// exactly — only the storage layout changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the target format's rank does not match or its
+    /// level-type chain is unrealizable.
+    pub fn convert(&self, format: Format) -> Result<Tensor> {
+        if format == *self.format() {
+            return Ok(self.clone());
+        }
+        Tensor::from_entries(self.shape.clone(), format, self.entries())
+    }
+
+    /// Blocks a rank-2 tensor into `br x bc` tiles, producing the rank-4
+    /// blocked tensor that [`Format::bcsr`] stores: mode order
+    /// `(block row, block col, row-in-block, col-in-block)` with shape
+    /// `[m/br, n/bc, br, bc]`. Stored blocks are dense tiles — every
+    /// component of a tile containing at least one nonzero is materialized.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless the tensor is rank 2 with dimensions
+    /// divisible by the block size.
+    pub fn to_blocked(&self, br: usize, bc: usize) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::FormatMismatch { expected: "rank-2 tensor for blocking" });
+        }
+        if br == 0 || bc == 0 || !self.shape[0].is_multiple_of(br) || !self.shape[1].is_multiple_of(bc) {
+            return Err(TensorError::InvalidFormat {
+                detail: format!(
+                    "block size {br}x{bc} does not divide shape {}x{}",
+                    self.shape[0], self.shape[1]
+                ),
+            });
+        }
+        let bshape = vec![self.shape[0] / br, self.shape[1] / bc, br, bc];
+        let entries = self
+            .entries()
+            .into_iter()
+            .map(|(c, v)| (vec![c[0] / br, c[1] / bc, c[0] % br, c[1] % bc], v))
+            .collect();
+        Tensor::from_entries(bshape, Format::bcsr(), entries)
+    }
+
+    /// Flattens a rank-4 blocked tensor (see [`Tensor::to_blocked`]) back to
+    /// a rank-2 tensor in the given format, dropping the explicit zeros that
+    /// padded partially-filled blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless the tensor is rank 4.
+    pub fn from_blocked(&self, format: Format) -> Result<Tensor> {
+        if self.rank() != 4 {
+            return Err(TensorError::FormatMismatch { expected: "rank-4 blocked tensor" });
+        }
+        let (br, bc) = (self.shape[2], self.shape[3]);
+        let shape = vec![self.shape[0] * br, self.shape[1] * bc];
+        let entries = self
+            .entries()
+            .into_iter()
+            .filter(|(_, v)| *v != 0.0)
+            .map(|(c, v)| (vec![c[0] * br + c[2], c[1] * bc + c[3]], v))
+            .collect();
+        Tensor::from_entries(shape, format, entries)
+    }
+
     /// The tensor shape.
     pub fn shape(&self) -> &[usize] {
         &self.shape
@@ -281,6 +457,12 @@ impl Tensor {
     /// The dimension of mode `level`.
     pub fn dim(&self, level: usize) -> usize {
         self.shape[level]
+    }
+
+    /// The dimension of the mode stored at storage level `level` (these
+    /// differ from [`Tensor::dim`] under a non-identity mode order).
+    pub fn dim_of_level(&self, level: usize) -> usize {
+        self.shape[self.format.mode_of_level(level)]
     }
 
     /// Number of modes.
@@ -298,30 +480,31 @@ impl Tensor {
         &self.modes[level]
     }
 
-    /// The `pos` array of a compressed level.
+    /// The `pos` array of a compressed or hashed level.
     ///
     /// # Errors
     ///
-    /// Returns an error if the level is dense.
+    /// Returns an error if the level stores no `pos` array (dense and
+    /// singleton levels).
     pub fn pos(&self, level: usize) -> Result<&[usize]> {
         match &self.modes[level] {
             ModeStorage::Compressed { pos, .. } => Ok(pos),
-            ModeStorage::Dense { .. } => {
-                Err(TensorError::FormatMismatch { expected: "compressed level" })
+            ModeStorage::Dense { .. } | ModeStorage::Singleton { .. } => {
+                Err(TensorError::FormatMismatch { expected: "level with a pos array" })
             }
         }
     }
 
-    /// The `crd` array of a compressed level.
+    /// The `crd` array of a compressed, hashed, or singleton level.
     ///
     /// # Errors
     ///
     /// Returns an error if the level is dense.
     pub fn crd(&self, level: usize) -> Result<&[usize]> {
         match &self.modes[level] {
-            ModeStorage::Compressed { crd, .. } => Ok(crd),
+            ModeStorage::Compressed { crd, .. } | ModeStorage::Singleton { crd } => Ok(crd),
             ModeStorage::Dense { .. } => {
-                Err(TensorError::FormatMismatch { expected: "compressed level" })
+                Err(TensorError::FormatMismatch { expected: "level with a crd array" })
             }
         }
     }
@@ -337,11 +520,17 @@ impl Tensor {
     }
 
     /// Collects all stored `(coordinate, value)` entries in lexicographic
-    /// coordinate order.
+    /// coordinate order (coordinates are in *mode* order regardless of the
+    /// storage's mode order).
     pub fn entries(&self) -> Vec<(Vec<usize>, f64)> {
         let mut out = Vec::with_capacity(self.vals.len());
         let mut coord = vec![0usize; self.rank()];
         self.walk(0, 0, &mut coord, &mut out);
+        if !self.format.is_ordered() {
+            // Storage order differs from lexicographic mode order under a
+            // mode permutation or hashed levels.
+            out.sort_by(|a, b| a.0.cmp(&b.0));
+        }
         out
     }
 
@@ -350,10 +539,11 @@ impl Tensor {
             out.push((coord.clone(), self.vals[parent_pos]));
             return;
         }
+        let mode = self.format.mode_of_level(level);
         match &self.modes[level] {
             ModeStorage::Dense { dim } => {
                 for c in 0..*dim {
-                    coord[level] = c;
+                    coord[mode] = c;
                     self.walk(level + 1, parent_pos * dim + c, coord, out);
                 }
             }
@@ -362,9 +552,13 @@ impl Tensor {
                 // loop is the natural form here.
                 #[allow(clippy::needless_range_loop)]
                 for p in pos[parent_pos]..pos[parent_pos + 1] {
-                    coord[level] = crd[p];
+                    coord[mode] = crd[p];
                     self.walk(level + 1, p, coord, out);
                 }
+            }
+            ModeStorage::Singleton { crd } => {
+                coord[mode] = crd[parent_pos];
+                self.walk(level + 1, parent_pos, coord, out);
             }
         }
     }
@@ -525,5 +719,142 @@ mod tests {
         let t = Tensor::from_dense(&d, Format::dense(2)).unwrap();
         assert_eq!(t.nnz(), 4); // all positions stored
         assert_eq!(t.vals(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn coo_storage_matches_parallel_arrays() {
+        let b = fig1_matrix().convert(Format::coo(2)).unwrap();
+        // COO: one outer position per stored component, row coordinates with
+        // duplicates, column coordinates in a singleton level.
+        assert_eq!(b.pos(0).unwrap(), &[0, 6]);
+        assert_eq!(b.crd(0).unwrap(), &[0, 0, 2, 3, 3, 3]);
+        assert_eq!(b.crd(1).unwrap(), &[1, 3, 2, 0, 1, 2]);
+        assert_eq!(b.vals(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        b.validate().unwrap();
+        assert!(b.approx_eq(&fig1_matrix(), 0.0));
+    }
+
+    #[test]
+    fn csc_stores_columns_outer() {
+        let b = fig1_matrix().convert(Format::csc()).unwrap();
+        // Columns of Figure 1a: col 0 {r3}, col 1 {r0, r3}, col 2 {r2, r3},
+        // col 3 {r0}.
+        assert_eq!(b.pos(1).unwrap(), &[0, 1, 3, 5, 6]);
+        assert_eq!(b.crd(1).unwrap(), &[3, 0, 3, 2, 3, 0]);
+        b.validate().unwrap();
+        assert!(b.approx_eq(&fig1_matrix(), 0.0));
+        // Entries come back in row-major order despite column-major storage.
+        assert_eq!(b.entries(), fig1_matrix().entries());
+    }
+
+    #[test]
+    fn dcsc_skips_empty_columns() {
+        let t = Tensor::from_entries(
+            vec![4, 8],
+            Format::dcsc(),
+            vec![(vec![1, 2], 1.0), (vec![3, 2], 2.0), (vec![0, 7], 3.0)],
+        )
+        .unwrap();
+        assert_eq!(t.crd(0).unwrap(), &[2, 7]); // only nonempty columns
+        assert_eq!(t.pos(1).unwrap(), &[0, 2, 3]);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn blocked_round_trip() {
+        let b = fig1_matrix();
+        let blocked = b.to_blocked(2, 2).unwrap();
+        assert_eq!(blocked.format(), &Format::bcsr());
+        assert_eq!(blocked.shape(), &[2, 2, 2, 2]);
+        blocked.validate().unwrap();
+        // Stored blocks are dense 2x2 tiles.
+        assert_eq!(blocked.nnz() % 4, 0);
+        let back = blocked.from_blocked(Format::csr()).unwrap();
+        assert!(back.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn blocking_requires_divisible_dims() {
+        let t = Tensor::from_entries(vec![3, 4], Format::csr(), vec![(vec![0, 0], 1.0)]).unwrap();
+        assert!(t.to_blocked(2, 2).is_err());
+        assert!(t.to_blocked(0, 2).is_err());
+        assert!(t.to_blocked(3, 2).is_ok());
+    }
+
+    #[test]
+    fn convert_round_trips_preserve_values() {
+        let b = fig1_matrix();
+        for fmt in [
+            Format::coo(2),
+            Format::csc(),
+            Format::dcsc(),
+            Format::dcsr(),
+            Format::dense(2),
+        ] {
+            let c = b.convert(fmt.clone()).unwrap();
+            c.validate().unwrap();
+            let back = c.convert(Format::csr()).unwrap();
+            assert!(back.approx_eq(&b, 0.0), "round trip through {fmt} changed values");
+        }
+    }
+
+    #[test]
+    fn singleton_validation_rejects_bad_storage() {
+        let good = fig1_matrix().convert(Format::coo(2)).unwrap();
+        let (shape, format, mut modes, vals) = good.clone().into_parts();
+        if let ModeStorage::Singleton { crd } = &mut modes[1] {
+            crd.pop(); // one fewer coordinate than parent positions
+        }
+        let bad = Tensor::from_parts_unchecked(shape, format, modes, vals);
+        assert!(bad.validate().is_err());
+
+        let (shape, format, mut modes, vals) = good.into_parts();
+        if let ModeStorage::Singleton { crd } = &mut modes[1] {
+            crd[0] = 99; // out of bounds
+        }
+        let bad = Tensor::from_parts_unchecked(shape, format, modes, vals);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn coo_duplicate_component_rejected() {
+        let good = fig1_matrix().convert(Format::coo(2)).unwrap();
+        let (shape, format, mut modes, vals) = good.into_parts();
+        if let ModeStorage::Singleton { crd } = &mut modes[1] {
+            crd[1] = crd[0]; // rows 0/0 now both store column 1
+        }
+        let bad = Tensor::from_parts_unchecked(shape, format, modes, vals);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn hashed_level_allows_unordered_segments() {
+        let f = Format::new(vec![LevelType::Dense, LevelType::Hashed]);
+        let t = Tensor::from_parts(
+            vec![2, 4],
+            f,
+            vec![
+                ModeStorage::Dense { dim: 2 },
+                ModeStorage::Compressed { pos: vec![0, 2, 3], crd: vec![3, 0, 1] },
+            ],
+            vec![1.0, 2.0, 3.0],
+        );
+        t.validate().unwrap();
+        // Entries are sorted even though storage is not.
+        assert_eq!(
+            t.entries(),
+            vec![(vec![0, 0], 2.0), (vec![0, 3], 1.0), (vec![1, 1], 3.0)]
+        );
+        // Duplicate coordinates within a segment are rejected.
+        let bad = Tensor::from_parts_unchecked(
+            vec![2, 4],
+            Format::new(vec![LevelType::Dense, LevelType::Hashed]),
+            vec![
+                ModeStorage::Dense { dim: 2 },
+                ModeStorage::Compressed { pos: vec![0, 2, 3], crd: vec![3, 3, 1] },
+            ],
+            vec![1.0, 2.0, 3.0],
+        );
+        assert!(bad.validate().is_err());
     }
 }

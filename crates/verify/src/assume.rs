@@ -13,7 +13,6 @@
 use std::collections::HashMap;
 
 use taco_lower::{KernelKind, LoweredKernel};
-use taco_tensor::ModeFormat;
 
 use crate::error::VerifyError;
 use crate::sym::{Atom, Bounds, Sym};
@@ -86,7 +85,7 @@ impl Assumptions {
             }
         }
 
-        // Storage invariants for every compressed level of a tensor the
+        // Storage invariants for every sparse level of a tensor the
         // kernel only reads (operands always; the result's structure too
         // for compute kernels, which run over a preassembled output).
         for (name, shape, format) in &tensors {
@@ -99,11 +98,43 @@ impl Assumptions {
             let mut parents: Option<Sym> = Some(Sym::int(1));
             let mut last_crd: Option<String> = None;
             for l in 0..shape.len() {
+                let lt = format.mode(l);
                 let dim = a.canon_dim(&dim_name(name, l));
-                if format.mode(l) != ModeFormat::Compressed {
+                if lt.is_full() {
+                    // Dense: every coordinate is stored, so the level
+                    // multiplies the parent-position count by its extent.
                     parents = parents.map(|p| p.mul(&Sym::var(dim)));
                     continue;
                 }
+                if lt.is_position_passthrough() {
+                    // Singleton: one coordinate per parent position, no pos
+                    // array, positions pass straight through. The crd array
+                    // is exactly as long as the parent has positions, and
+                    // its values are validated coordinates.
+                    let crd = crd_name(name, l);
+                    if structure_is_input {
+                        if let Some(p) = &parents {
+                            a.lens.insert(crd.clone(), p.clone());
+                            a.notes.push(format!(
+                                "len({crd}) = {p} (one coordinate per parent position)"
+                            ));
+                        }
+                        a.arrays.insert(
+                            crd.clone(),
+                            ArrayFacts {
+                                value_ub: Some(Sym::var(dim.clone()).sub(&Sym::int(1))),
+                            },
+                        );
+                        a.notes.push(format!("{crd} values are in [0, {dim}) (validated)"));
+                    }
+                    last_crd = Some(crd);
+                    continue;
+                }
+                // Compressed and hashed levels both carry pos/crd arrays
+                // with the same validated structural facts — hashed merely
+                // drops the within-segment ordering, which these bounds
+                // never rely on.
+                debug_assert!(lt.has_pos_array());
                 let pos = pos_name(name, l);
                 let crd = crd_name(name, l);
                 // pos has parents + 1 entries whether the structure is an

@@ -134,7 +134,9 @@ fn no_duplicate_coordinates_with_heavy_collisions() {
         ModeStorage::Compressed { crd, .. } => {
             assert!(crd.len() <= n * n, "no duplicates possible");
         }
-        ModeStorage::Dense { .. } => panic!("result level 1 must be compressed"),
+        ModeStorage::Dense { .. } | ModeStorage::Singleton { .. } => {
+            panic!("result level 1 must be compressed")
+        }
     }
 }
 

@@ -541,9 +541,82 @@ fn static_mirror_agrees_with_bind_time_rejection() {
             Corruption::NanValue | Corruption::InfValue => {
                 assert!(!mirror, "{why:?}: value corruption is structurally valid");
             }
+            Corruption::TruncateSingletonCrd(_)
+            | Corruption::OutOfBoundsSingletonCrd(_)
+            | Corruption::DuplicateComponent => {
+                unreachable!("singleton corruptions do not apply to a CSR operand: {why:?}")
+            }
         }
     }
     assert!(structural >= 6, "expected the full structural corruption set, got {structural}");
+}
+
+#[test]
+fn corrupted_coo_operands_error_at_bind_time() {
+    // COO stores parallel coordinate arrays: a non-unique compressed outer
+    // level plus singleton levels. The singleton-specific corruptions
+    // (truncated/out-of-bounds singleton crd, duplicated components) must be
+    // caught when the operand binds into a kernel, not just by validate().
+    let n = 8;
+    let a = TensorVar::new("a", vec![n], Format::dvec());
+    let bt = TensorVar::new("B", vec![n, n], Format::coo(2));
+    let xt = TensorVar::new("x", vec![n], Format::dvec());
+    let (i, j) = (iv("i"), iv("j"));
+    let stmt = IndexStmt::new(IndexAssignment::assign(
+        a.access([i.clone()]),
+        sum(j.clone(), bt.access([i, j.clone()]) * xt.access([j])),
+    ))
+    .unwrap();
+    let kernel = stmt.compile(LowerOptions::compute("spmv_coo")).unwrap();
+
+    let b = gen::random_csr(n, n, 0.4, 17).to_tensor().convert(Format::coo(2)).unwrap();
+    let x = Tensor::from_entries(vec![n], Format::dvec(), (0..n).map(|c| (vec![c], c as f64 + 1.0)).collect())
+        .unwrap();
+    kernel.run(&[("B", &b), ("x", &x)]).unwrap();
+
+    let mutants = corrupt::all_corruptions(&b);
+    assert!(
+        mutants.iter().any(|(c, _)| matches!(c, corrupt::Corruption::TruncateSingletonCrd(_))),
+        "COO must exercise the singleton corruptions"
+    );
+    assert!(mutants.iter().any(|(c, _)| matches!(c, corrupt::Corruption::DuplicateComponent)));
+    for (why, bad) in mutants {
+        assert_graceful(&format!("COO SpMV with B corrupted by {why:?}"), || {
+            kernel.run(&[("B", &bad), ("x", &x)])
+        });
+    }
+}
+
+#[test]
+fn corrupted_bcsr_block_pointers_error_at_bind_time() {
+    // BCSR is a rank-4 blocked tensor {Dense, Compressed, Dense, Dense}; its
+    // level-1 pos array is the block-pointer structure. Corrupting it (and
+    // everything else corrupt covers) must surface as a typed bind error.
+    let n = 8;
+    let (br, bc) = (2, 2);
+    let a = TensorVar::new("A", vec![n / br, n / bc, br, bc], Format::dense(4));
+    let bt = TensorVar::new("B", vec![n / br, n / bc, br, bc], Format::bcsr());
+    let (i, j, k, l) = (iv("i"), iv("j"), iv("k"), iv("l"));
+    let stmt = IndexStmt::new(IndexAssignment::assign(
+        a.access([i.clone(), j.clone(), k.clone(), l.clone()]),
+        bt.access([i, j, k, l]),
+    ))
+    .unwrap();
+    let kernel = stmt.compile(LowerOptions::compute("bcsr_copy")).unwrap();
+
+    let b = gen::random_csr(n, n, 0.4, 19).to_tensor().to_blocked(br, bc).unwrap();
+    kernel.run(&[("B", &b)]).unwrap();
+
+    let mutants = corrupt::all_corruptions(&b);
+    assert!(
+        mutants.iter().any(|(c, _)| matches!(c, corrupt::Corruption::TruncatePos(1))),
+        "BCSR must exercise the block-pointer corruptions"
+    );
+    for (why, bad) in mutants {
+        assert_graceful(&format!("BCSR copy with B corrupted by {why:?}"), || {
+            kernel.run(&[("B", &bad)])
+        });
+    }
 }
 
 #[test]

