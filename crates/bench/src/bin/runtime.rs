@@ -82,6 +82,17 @@ fn main() {
         time_once(|| engine.run_tuned(&stmt, opts.clone(), &inputs).expect("tunes"));
     assert!(outcome.tuned, "first request must run the search");
     let schedule = outcome.schedule.clone();
+    // Candidates the search never timed because the cost analyzer proved
+    // their peak footprint dominated (read now, before later compiles can
+    // age the Autotuned event out of the bounded ring).
+    let pruned_candidates: usize = engine
+        .last_events()
+        .iter()
+        .map(|e| match e {
+            EngineEvent::Autotuned { pruned, .. } => *pruned,
+            _ => 0,
+        })
+        .sum();
 
     // Warm: decision reuse + kernel-cache hit + run (best of reps).
     let mut warm = Duration::MAX;
@@ -140,6 +151,28 @@ fn main() {
             verify_warns += warns;
         }
     }
+
+    // Symbolic cost analysis (DESIGN.md §17): analyzer latency re-measured
+    // standalone on the tuned kernel (the compile path folds it in and
+    // caches the report), and bound tightness — the proven peak-byte bound
+    // evaluated against the real binding, over the budget meter's observed
+    // allocation peak from a supervised run. Tightness ≥ 1 is the soundness
+    // invariant; how far above 1 is the price of proof.
+    let (analysis_d, _) = time_once(|| taco_core::analyze_cost(kernel.lowered()));
+    let mut cost_binding = kernel.bind(&inputs, None).expect("binds");
+    let static_peak = kernel.static_peak_bytes(&cost_binding);
+    let observed_peak = kernel
+        .run_bound_supervised(&mut cost_binding, &Supervisor::new())
+        .expect("supervised run")
+        .progress
+        .peak_bytes();
+    let bound_tightness = static_peak
+        .map(|bound| bound as f64 / observed_peak.max(1) as f64)
+        .unwrap_or(f64::NAN);
+    assert!(
+        static_peak.is_none_or(|bound| bound >= observed_peak),
+        "analysis sweep: static bound {static_peak:?} under observed peak {observed_peak}"
+    );
 
     // Workspace storage backends: the Figure 2 schedule timed once per
     // backend on the same operands. Dense is the paper's array workspace;
@@ -416,6 +449,12 @@ fn main() {
             base.as_secs_f64() / d.as_secs_f64().max(f64::MIN_POSITIVE),
         );
     }
+    println!(
+        "  cost analysis           {:>12}  (bound {} B vs peak {observed_peak} B, \
+         tightness {bound_tightness:.2}x, {pruned_candidates} candidates pruned)",
+        fmt_duration(analysis_d),
+        static_peak.map_or_else(|| "unbounded".to_string(), |b| b.to_string()),
+    );
     let dense_kind = kind_nanos[0].1;
     for &(kind, d) in &kind_nanos {
         println!(
@@ -530,6 +569,9 @@ fn main() {
              \"verify_mode\": \"{verify_mode}\",\n  \"verify_nanos\": {},\n  \
              \"verified_kernels\": {verified_kernels},\n  \
              \"verify_denies\": {verify_denies},\n  \"verify_warns\": {verify_warns},\n  \
+             \"analysis\": {{\"analysis_nanos\": {}, \
+             \"static_peak_bytes\": {}, \"observed_peak_bytes\": {observed_peak}, \
+             \"bound_tightness\": {}, \"pruned_candidates\": {pruned_candidates}}},\n  \
              \"serving\": {{\"clients\": {SERVE_CLIENTS}, \"workers\": {SERVE_WORKERS}, \
              \"completed\": {}, \"shed\": {}, \"shed_rate\": {:.4}, \
              \"coalesce_rate\": {:.4}, \"p50_latency_nanos\": {}, \
@@ -551,6 +593,13 @@ fn main() {
             bcsr_interp.as_nanos(),
             bcsr_native.as_nanos(),
             verify_d.as_nanos(),
+            analysis_d.as_nanos(),
+            static_peak.map_or_else(|| "null".to_string(), |b| b.to_string()),
+            if bound_tightness.is_finite() {
+                format!("{bound_tightness:.4}")
+            } else {
+                "null".to_string()
+            },
             serve_stats.totals.completed,
             serve_stats.totals.shed(),
             serve_stats.shed_rate(),

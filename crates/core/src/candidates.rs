@@ -15,7 +15,7 @@ use crate::IndexStmt;
 use std::collections::HashSet;
 use taco_ir::concrete::ConcreteStmt;
 use taco_ir::expr::{IndexVar, TensorVar};
-use taco_ir::heuristics::estimate_workspace_bytes;
+use crate::cost::stmt_workspaces;
 use taco_ir::transform;
 use taco_llir::WorkspaceKind;
 use taco_lower::{lower, LowerOptions};
@@ -229,7 +229,7 @@ pub fn enumerate_candidates(stmt: &IndexStmt) -> Vec<ScheduleCandidate> {
     // dropped inside `push`.
     let dense: Vec<ScheduleCandidate> = out.clone();
     for c in dense {
-        if estimate_workspace_bytes(c.stmt.concrete()).is_empty() {
+        if stmt_workspaces(c.stmt.concrete()).is_empty() {
             continue;
         }
         for kind in [WorkspaceKind::Hash, WorkspaceKind::CoordList] {

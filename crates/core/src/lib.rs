@@ -48,6 +48,7 @@
 
 mod bind;
 pub mod candidates;
+pub mod cost;
 mod error;
 pub mod fingerprint;
 pub mod oracle;
@@ -55,12 +56,16 @@ pub mod parse;
 mod schedule;
 
 pub use candidates::{enumerate_candidates, ScheduleCandidate};
+pub use cost::{binding_env, stmt_workspaces};
 pub use error::CoreError;
 pub use fingerprint::fingerprint;
 pub use schedule::{
     default_verify_mode, CompiledKernel, DegradeRung, FallbackEvent, IndexStmt, SupervisedOutcome,
 };
-pub use taco_verify::{Diagnostic, Severity, VerifyError, VerifyMode, VerifyReport};
+pub use taco_verify::{
+    analyze_cost, Bound, ChargeBound, CostEnv, CostReport, Diagnostic, OutputBound, Severity,
+    VerifyError, VerifyMode, VerifyReport, WorkspaceCost,
+};
 pub use taco_llir::{
     Aborted, AbortReason, BudgetResource, CancelToken, ExecReport, HeartbeatSample, Progress,
     ResourceBudget, Supervisor,

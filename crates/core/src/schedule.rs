@@ -2,11 +2,12 @@
 //! supervised degrade-and-retry execution.
 
 use crate::bind::{bind_operand, bind_result, extract_result};
+use crate::cost::stmt_workspaces;
 use crate::Result;
 use taco_ir::concrete::ConcreteStmt;
 use taco_ir::concretize::concretize;
 use taco_ir::expr::{IndexExpr, IndexVar, TensorVar};
-use taco_ir::heuristics::{estimate_workspace_bytes, suggest, Suggestion};
+use taco_ir::heuristics::{suggest, Suggestion};
 use taco_ir::notation::IndexAssignment;
 use taco_ir::transform;
 use taco_llir::{
@@ -15,7 +16,7 @@ use taco_llir::{
 };
 use taco_lower::{lower, KernelKind, LowerOptions, LoweredKernel};
 use taco_tensor::Tensor;
-use taco_verify::{VerifyMode, VerifyReport};
+use taco_verify::{analyze_cost, CostEnv, CostReport, VerifyMode, VerifyReport};
 
 /// The default enforcement mode for the static verifier on the compile
 /// path: debug builds fail compilation on any proven violation
@@ -155,10 +156,12 @@ impl IndexStmt {
     /// Lowers and compiles the statement under a [`ResourceBudget`].
     ///
     /// The budget applies at both ends of the pipeline. At compile time the
-    /// dense-workspace footprint of every `where` statement is estimated
-    /// (see [`estimate_workspace_bytes`]); if the total exceeds
-    /// `max_workspace_bytes`, the cheapest sparse workspace backend whose
-    /// initial footprint fits — hash map first, then coordinate list — is
+    /// dense-workspace footprint of every `where` statement is *proven* by
+    /// the symbolic cost analyzer ([`taco_verify::analyze_cost`]) over the
+    /// lowered kernel and evaluated against the declared dimensions; if the
+    /// total exceeds `max_workspace_bytes`, the cheapest sparse workspace
+    /// backend whose proven initial footprint fits — hash map first, then
+    /// coordinate list — is
     /// compiled instead, keeping the schedule and recording one
     /// [`FallbackEvent::WorkspaceDowngraded`] per workspace. Only when no
     /// sparse backend is lowerable either are the schedule's transformations
@@ -210,52 +213,92 @@ impl IndexStmt {
         let mut fallbacks = Vec::new();
         let mut concrete = &self.concrete;
         let fallback_concrete;
+        // Lowering already done on the budget path is reused below rather
+        // than repeated.
+        let mut prelowered: Option<LoweredKernel> = None;
         if let Some(limit) = budget.max_workspace_bytes {
             if opts.workspace_kind == WorkspaceKind::Dense {
-                let estimates = estimate_workspace_bytes(&self.concrete);
-                let total: u64 =
-                    estimates.iter().map(|e| e.bytes).fold(0, u64::saturating_add);
-                if total > limit {
+                let ws_vars = stmt_workspaces(&self.concrete);
+                // The *proven* footprint of the dense lowering, from the
+                // symbolic cost analyzer. Dense workspace bounds close over
+                // declared dimensions alone, so they are concrete at compile
+                // time; a bound the analyzer cannot derive or evaluate trips
+                // the budget (`u64::MAX`).
+                let mut bounds: Vec<(TensorVar, u64)> = Vec::new();
+                if !ws_vars.is_empty() {
+                    if let Ok(lk) = lower(&self.concrete, &opts) {
+                        let cost = analyze_cost(&lk);
+                        let env = CostEnv::from_shapes(&lk);
+                        bounds = ws_vars
+                            .into_iter()
+                            .map(|ws| {
+                                let b = cost
+                                    .workspaces
+                                    .iter()
+                                    .find(|w| w.name == ws.name())
+                                    .and_then(|w| w.bytes.concrete(&env))
+                                    .unwrap_or(u64::MAX);
+                                (ws, b)
+                            })
+                            .collect();
+                        prelowered = Some(lk);
+                    }
+                    // Not lowerable as scheduled: no budget decision to
+                    // make; the error surfaces from the lowering below.
+                }
+                let total: u64 = bounds.iter().map(|(_, b)| *b).fold(0, u64::saturating_add);
+                if !bounds.is_empty() && total > limit {
+                    prelowered = None;
                     // Graceful degradation: before dropping the schedule for
                     // the direct merge kernel, try the sparse workspace
                     // backends. Their footprint scales with the entries
                     // actually touched, not the dense dimension, so the
-                    // compile-time estimate is the initial capacity; growth
-                    // beyond it is charged against the budget at run time.
-                    // Hash is tried first (O(1) scatter), coordinate-list
-                    // second.
+                    // compile-time decision is on the analyzer's *initial*
+                    // footprint bound; growth beyond it is charged against
+                    // the budget at run time. Hash is tried first (O(1)
+                    // scatter), coordinate-list second.
                     let chosen = [WorkspaceKind::Hash, WorkspaceKind::CoordList]
                         .into_iter()
                         .find_map(|kind| {
-                            let per_ws =
-                                WorkspaceKind::INITIAL_CAPACITY * kind.entry_bytes();
-                            let est = (estimates.len() as u64).saturating_mul(per_ws);
-                            (est <= limit
-                                && lower(
-                                    &self.concrete,
-                                    &opts.clone().with_workspace_kind(kind),
-                                )
-                                .is_ok())
-                            .then_some((kind, per_ws))
+                            let lk = lower(
+                                &self.concrete,
+                                &opts.clone().with_workspace_kind(kind),
+                            )
+                            .ok()?;
+                            let cost = analyze_cost(&lk);
+                            let env = CostEnv::from_shapes(&lk);
+                            let mut per_ws = Vec::new();
+                            let mut init_total = 0u64;
+                            for (ws, _) in &bounds {
+                                let init = cost
+                                    .workspaces
+                                    .iter()
+                                    .find(|w| w.name == ws.name())
+                                    .and_then(|w| w.init_bytes.concrete(&env))?;
+                                init_total = init_total.saturating_add(init);
+                                per_ws.push(init);
+                            }
+                            (init_total <= limit).then_some((kind, per_ws, lk))
                         });
-                    if let Some((kind, per_ws)) = chosen {
-                        for e in &estimates {
+                    if let Some((kind, per_ws, lk)) = chosen {
+                        for ((ws, bound), init) in bounds.iter().zip(&per_ws) {
                             fallbacks.push(FallbackEvent::WorkspaceDowngraded {
-                                workspace: e.workspace.clone(),
+                                workspace: ws.name().to_string(),
                                 from: WorkspaceKind::Dense,
                                 to: kind,
-                                estimated_bytes: e.bytes,
-                                downgraded_bytes: per_ws,
+                                estimated_bytes: *bound,
+                                downgraded_bytes: *init,
                                 budget_bytes: limit,
                             });
                         }
                         opts = opts.with_workspace_kind(kind);
+                        prelowered = Some(lk);
                     } else {
-                        for e in &estimates {
+                        for (ws, bound) in &bounds {
                             fallbacks.push(FallbackEvent::WorkspaceOverBudget {
-                                workspace: e.workspace.clone(),
-                                dims: e.dims.clone(),
-                                estimated_bytes: e.bytes,
+                                workspace: ws.name().to_string(),
+                                dims: ws.shape().to_vec(),
+                                estimated_bytes: *bound,
                                 budget_bytes: limit,
                                 fallback: DegradeRung::DirectMerge,
                             });
@@ -266,7 +309,7 @@ impl IndexStmt {
                 }
             }
         }
-        let lowered = match lower(concrete, &opts) {
+        let lowered = match prelowered.map(Ok).unwrap_or_else(|| lower(concrete, &opts)) {
             Ok(l) => l,
             // The fallback kernel can be unrealizable where the workspace
             // kernel was not (a workspace is what makes sparse scatter
@@ -290,9 +333,10 @@ impl IndexStmt {
             },
         };
         let verify = check_lowered(&lowered, concrete, verify)?;
+        let cost = analyze_cost(&lowered);
         let exe = Executable::compile(&lowered.kernel)?;
         let fingerprint = crate::fingerprint::fingerprint(&self.concrete, &opts, &budget);
-        Ok(CompiledKernel { lowered, exe, budget, fallbacks, fingerprint, verify })
+        Ok(CompiledKernel { lowered, exe, budget, fallbacks, fingerprint, verify, cost })
     }
 
     /// Runs the statement under a [`Supervisor`], descending the degradation
@@ -396,7 +440,7 @@ impl IndexStmt {
                 // compile-time budget fallback already chose it for the
                 // as-scheduled rung.
                 if opts.workspace_kind == kind
-                    || estimate_workspace_bytes(&self.concrete).is_empty()
+                    || stmt_workspaces(&self.concrete).is_empty()
                     || fallbacks.iter().any(|f| {
                         matches!(f, FallbackEvent::WorkspaceDowngraded { to, .. } if *to == kind)
                     })
@@ -428,6 +472,7 @@ impl IndexStmt {
                 }
                 let lowered = lower(&direct, opts)?;
                 let verify = check_lowered(&lowered, &direct, default_verify_mode())?;
+                let cost = analyze_cost(&lowered);
                 let exe = Executable::compile(&lowered.kernel)?;
                 let fingerprint = crate::fingerprint::fingerprint(&direct, opts, &budget);
                 Ok(Some(CompiledKernel {
@@ -437,6 +482,7 @@ impl IndexStmt {
                     fallbacks: Vec::new(),
                     fingerprint,
                     verify,
+                    cost,
                 }))
             }
         }
@@ -628,6 +674,7 @@ pub struct CompiledKernel {
     fallbacks: Vec<FallbackEvent>,
     fingerprint: u64,
     verify: Option<VerifyReport>,
+    cost: CostReport,
 }
 
 impl CompiledKernel {
@@ -700,6 +747,25 @@ impl CompiledKernel {
     /// accepted report — rejected kernels never compile.
     pub fn verify_report(&self) -> Option<&VerifyReport> {
         self.verify.as_ref()
+    }
+
+    /// The symbolic cost report derived when this kernel was compiled:
+    /// provable upper bounds on every metered charge, the workspace
+    /// footprints, iteration count and drain work, as polynomials over
+    /// dimension and operand-length atoms. Evaluate them with
+    /// [`taco_verify::CostEnv::from_shapes`] at compile time or
+    /// [`crate::cost::binding_env`] once operands are bound.
+    pub fn cost_report(&self) -> &CostReport {
+        &self.cost
+    }
+
+    /// The proven ceiling on the largest single allocation charge a run of
+    /// this kernel can put through the budget meter, evaluated against a
+    /// concrete binding — the static counterpart of the meter's observed
+    /// peak. `None` when some charge site could not be bounded (the bound
+    /// degrades conservatively, it is never silently wrong).
+    pub fn static_peak_bytes(&self, binding: &Binding) -> Option<u64> {
+        self.cost.peak_bytes(&crate::cost::binding_env(binding))
     }
 
     /// Runs the kernel on named operand tensors and returns the result.

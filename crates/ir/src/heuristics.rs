@@ -168,88 +168,6 @@ fn op_str(op: AssignOp) -> &'static str {
     }
 }
 
-/// Compile-time footprint estimate for one workspace introduced by a
-/// `where` statement.
-///
-/// The estimate mirrors what lowering will allocate: a dense value array over
-/// the workspace's full index set, plus — for rank-1 workspaces drained into
-/// a compressed result — a coordinate list and an already-set flag array of
-/// the same extent. It is an upper bound: lowering with `f32` workspaces
-/// halves the value bytes, and compute kernels skip the assembly arrays.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct WorkspaceEstimate {
-    /// Workspace tensor name.
-    pub workspace: String,
-    /// Dense dimensions of the workspace index set.
-    pub dims: Vec<usize>,
-    /// Estimated bytes lowering will allocate for this workspace.
-    pub bytes: u64,
-}
-
-/// Estimates the dense-workspace memory footprint of every `where` statement
-/// in `stmt`, before lowering.
-///
-/// Budget-aware compilation uses this to decide whether a schedule's
-/// workspaces fit in `max_workspace_bytes` and to fall back to the
-/// un-transformed kernel when they do not. Dimensions large enough to
-/// overflow the byte count saturate at `u64::MAX`, which trips any budget.
-pub fn estimate_workspace_bytes(stmt: &ConcreteStmt) -> Vec<WorkspaceEstimate> {
-    let mut out = Vec::new();
-    estimate_walk(stmt, &mut out);
-    out
-}
-
-fn estimate_walk(stmt: &ConcreteStmt, out: &mut Vec<WorkspaceEstimate>) {
-    match stmt {
-        ConcreteStmt::Assign { .. } => {}
-        ConcreteStmt::Forall { body, .. } => estimate_walk(body, out),
-        ConcreteStmt::Where { consumer, producer } => {
-            // The workspace is the tensor the producer writes; scalar
-            // (rank-0) temporaries cost one accumulator, not an array.
-            for s in producer.assignments() {
-                let ConcreteStmt::Assign { lhs, .. } = s else { continue };
-                let ws = lhs.tensor();
-                if ws.rank() == 0
-                    || !consumer.reads_tensor(ws.name())
-                    || out.iter().any(|e| e.workspace == ws.name())
-                {
-                    continue;
-                }
-                let elems = ws
-                    .shape()
-                    .iter()
-                    .try_fold(1u64, |acc, &d| acc.checked_mul(d as u64))
-                    .unwrap_or(u64::MAX);
-                // Values are 8 bytes each; a rank-1 workspace drained into a
-                // compressed result also gets an 8-byte coordinate list and a
-                // 1-byte flag per element (cf. the lowerer's `needs_list`).
-                let assembles = ws.rank() == 1
-                    && consumer.written_tensors().iter().any(|t| {
-                        consumer.assignments().iter().any(|a| {
-                            matches!(a, ConcreteStmt::Assign { lhs, .. }
-                                if lhs.tensor().name() == *t
-                                    && (0..lhs.tensor().rank()).any(|l| {
-                                        lhs.tensor().format().mode(l).has_append()
-                                    }))
-                        })
-                    });
-                let per_elem = if assembles { 8 + 8 + 1 } else { 8 };
-                out.push(WorkspaceEstimate {
-                    workspace: ws.name().to_string(),
-                    dims: ws.shape().to_vec(),
-                    bytes: elems.saturating_mul(per_elem),
-                });
-            }
-            estimate_walk(producer, out);
-            estimate_walk(consumer, out);
-        }
-        ConcreteStmt::Sequence { first, second } => {
-            estimate_walk(first, out);
-            estimate_walk(second, out);
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,68 +243,6 @@ mod tests {
         );
         let sugg = suggest(&concretize(&s).unwrap());
         assert!(sugg.iter().all(|s| s.reason != Reason::SimplifyMerge));
-    }
-
-    #[test]
-    fn estimates_workspace_footprint_of_precompute() {
-        use crate::transform::precompute;
-        let n = 1000;
-        let a = TensorVar::new("A", vec![n, n], Format::csr());
-        let b = TensorVar::new("B", vec![n, n], Format::csr());
-        let c = TensorVar::new("C", vec![n, n], Format::csr());
-        let (i, j, k) = (iv("i"), iv("j"), iv("k"));
-        let s = IndexAssignment::assign(
-            a.access([i.clone(), j.clone()]),
-            sum(k.clone(), b.access([i, k.clone()]) * c.access([k, j.clone()])),
-        );
-        let concrete = concretize(&s).unwrap();
-        assert!(estimate_workspace_bytes(&concrete).is_empty(), "no workspace before precompute");
-
-        let w = TensorVar::new("w", vec![n], Format::dense(1));
-        let expr = concrete
-            .assignments()
-            .iter()
-            .find_map(|a| match a {
-                ConcreteStmt::Assign { rhs, .. } => Some(rhs.clone()),
-                _ => None,
-            })
-            .unwrap();
-        let transformed = precompute(&concrete, &expr, &[(j.clone(), j.clone(), j)], &w).unwrap();
-        let est = estimate_workspace_bytes(&transformed);
-        assert_eq!(est.len(), 1);
-        assert_eq!(est[0].workspace, "w");
-        assert_eq!(est[0].dims, vec![n]);
-        // Rank-1 workspace drained into a compressed result: values (8B) +
-        // coordinate list (8B) + flags (1B) per element.
-        assert_eq!(est[0].bytes, (n as u64) * 17);
-    }
-
-    #[test]
-    fn dense_result_workspace_estimate_has_no_assembly_bytes() {
-        use crate::transform::precompute;
-        let n = 100;
-        let a = TensorVar::new("A", vec![n, n], Format::dense(2));
-        let b = TensorVar::new("B", vec![n, n], Format::csr());
-        let c = TensorVar::new("C", vec![n, n], Format::csr());
-        let (i, j, k) = (iv("i"), iv("j"), iv("k"));
-        let s = IndexAssignment::assign(
-            a.access([i.clone(), j.clone()]),
-            sum(k.clone(), b.access([i, k.clone()]) * c.access([k, j.clone()])),
-        );
-        let concrete = concretize(&s).unwrap();
-        let w = TensorVar::new("w", vec![n], Format::dense(1));
-        let expr = concrete
-            .assignments()
-            .iter()
-            .find_map(|a| match a {
-                ConcreteStmt::Assign { rhs, .. } => Some(rhs.clone()),
-                _ => None,
-            })
-            .unwrap();
-        let transformed = precompute(&concrete, &expr, &[(j.clone(), j.clone(), j)], &w).unwrap();
-        let est = estimate_workspace_bytes(&transformed);
-        assert_eq!(est.len(), 1);
-        assert_eq!(est[0].bytes, (n as u64) * 8);
     }
 
     #[test]

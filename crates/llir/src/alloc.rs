@@ -66,6 +66,8 @@ pub struct BudgetMeter {
     pub(crate) max_single_bytes: u64,
     pub(crate) max_total_bytes: u64,
     pub(crate) total_bytes: u64,
+    pub(crate) peak_single_bytes: u64,
+    pub(crate) peak_map_bytes: u64,
     pub(crate) max_doublings: u32,
     pub(crate) realloc_counts: Vec<u32>,
 }
@@ -80,6 +82,8 @@ impl BudgetMeter {
             max_single_bytes: budget.max_workspace_bytes.unwrap_or(u64::MAX),
             max_total_bytes: budget.max_total_bytes.unwrap_or(u64::MAX),
             total_bytes: 0,
+            peak_single_bytes: 0,
+            peak_map_bytes: 0,
             max_doublings: budget.max_realloc_doublings.unwrap_or(u32::MAX),
             realloc_counts: vec![0; n_arrays],
         }
@@ -88,6 +92,18 @@ impl BudgetMeter {
     /// Cumulative bytes charged so far this run.
     pub fn total_bytes(&self) -> u64 {
         self.total_bytes
+    }
+
+    /// High-water mark of the largest single array allocation charged this
+    /// run (the observable the static cost analysis bounds per allocation).
+    pub fn peak_single_bytes(&self) -> u64 {
+        self.peak_single_bytes
+    }
+
+    /// High-water mark of the largest map-workspace footprint (capacity ×
+    /// entry bytes, doubling included) charged this run.
+    pub fn peak_map_bytes(&self) -> u64 {
+        self.peak_map_bytes
     }
 
     /// Loop iterations consumed so far, recovered from the fuse.
@@ -143,6 +159,7 @@ impl AllocSink for BudgetMeter {
             });
         }
         self.total_bytes = total;
+        self.peak_single_bytes = self.peak_single_bytes.max(new_bytes);
         Ok(())
     }
 
@@ -170,6 +187,7 @@ impl AllocSink for BudgetMeter {
             });
         }
         self.total_bytes = total;
+        self.peak_map_bytes = self.peak_map_bytes.max(footprint);
         Ok(())
     }
 
@@ -240,6 +258,20 @@ mod tests {
             }
             other => panic!("unexpected error: {other:?}"),
         }
+    }
+
+    #[test]
+    fn peak_high_water_marks_track_largest_charges() {
+        let budget = ResourceBudget::unlimited();
+        let mut m = BudgetMeter::new(&budget, 2);
+        m.charge_array_bytes("a", 100).unwrap();
+        m.charge_array_bytes("b", 40).unwrap();
+        assert_eq!(m.peak_single_bytes(), 100);
+        m.charge_map_bytes("w", 64, 64).unwrap();
+        m.charge_map_bytes("w", 256, 192).unwrap();
+        m.charge_map_bytes("w2", 32, 32).unwrap();
+        assert_eq!(m.peak_map_bytes(), 256);
+        assert_eq!(m.total_bytes(), 100 + 40 + 64 + 192 + 32);
     }
 
     #[test]

@@ -702,6 +702,7 @@ impl Mach<'_> {
         if let Some(shared) = self.ctl.shared {
             shared.iterations.store(self.iterations_done(), Ordering::Relaxed);
             shared.allocated_bytes.store(self.budget.total_bytes, Ordering::Relaxed);
+            shared.note_peaks(self.budget.peak_single_bytes, self.budget.peak_map_bytes);
         }
         if let Some(flag) = self.ctl.cancel {
             if flag.load(Ordering::Relaxed) {
@@ -1219,6 +1220,8 @@ impl Mach<'_> {
                             max_single_bytes: self.budget.max_single_bytes,
                             max_total_bytes: self.budget.max_total_bytes,
                             total_bytes: self.budget.total_bytes,
+                            peak_single_bytes: self.budget.peak_single_bytes,
+                            peak_map_bytes: self.budget.peak_map_bytes,
                             max_doublings: self.budget.max_doublings,
                             realloc_counts: self.budget.realloc_counts.clone(),
                         },
@@ -1231,6 +1234,8 @@ impl Mach<'_> {
                         Ok(WorkerOut {
                             iterations: m.iterations_done(),
                             grown_bytes: m.budget.total_bytes - parent_bytes,
+                            peak_single_bytes: m.budget.peak_single_bytes,
+                            peak_map_bytes: m.budget.peak_map_bytes,
                             realloc_counts: m.budget.realloc_counts,
                             ints: m.ints,
                             floats: m.floats,
@@ -1275,6 +1280,10 @@ impl Mach<'_> {
             });
         }
         self.budget.total_bytes = total;
+        for o in &outs {
+            self.budget.peak_single_bytes = self.budget.peak_single_bytes.max(o.peak_single_bytes);
+            self.budget.peak_map_bytes = self.budget.peak_map_bytes.max(o.peak_map_bytes);
+        }
         for o in &outs {
             for (i, &c) in o.realloc_counts.iter().enumerate() {
                 let delta = c.saturating_sub(self.budget.realloc_counts[i]);
@@ -1386,6 +1395,8 @@ impl Mach<'_> {
 struct WorkerOut {
     iterations: u64,
     grown_bytes: u64,
+    peak_single_bytes: u64,
+    peak_map_bytes: u64,
     realloc_counts: Vec<u32>,
     ints: Vec<i64>,
     floats: Vec<f64>,
@@ -1628,6 +1639,20 @@ impl Binding {
         self.scalars.get(name).copied()
     }
 
+    /// Iterates every bound scalar parameter as `(name, value)` pairs.
+    /// Cost-model consumers use this to build a concrete evaluation
+    /// environment for symbolic bounds at bind time.
+    pub fn scalar_entries(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.scalars.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates every bound array as `(name, length)` pairs, regardless of
+    /// element type. Pairs with [`Binding::scalar_entries`] for bind-time
+    /// evaluation of symbolic cost bounds that mention `len(array)` atoms.
+    pub fn array_len_entries(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.arrays.iter().map(|(k, v)| (k.as_str(), v.len()))
+    }
+
     /// Commits a kernel scalar output, as a successful run does. External
     /// execution backends publish their scalar results through this.
     pub fn set_scalar_output(&mut self, name: impl Into<String>, v: i64) -> &mut Self {
@@ -1838,6 +1863,7 @@ impl Executable {
         if let Some(shared) = mach.ctl.shared {
             shared.iterations.store(mach.iterations_done(), Ordering::Relaxed);
             shared.allocated_bytes.store(mach.budget.total_bytes, Ordering::Relaxed);
+            shared.note_peaks(mach.budget.peak_single_bytes, mach.budget.peak_map_bytes);
         }
         result?;
 

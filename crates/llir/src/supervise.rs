@@ -78,9 +78,25 @@ pub struct Progress {
     pub iterations: u64,
     /// Bytes allocated by `Alloc`/`Realloc` so far.
     pub allocated_bytes: u64,
+    /// Largest single array allocation charged so far (the high-water mark
+    /// the static cost analysis must dominate).
+    pub peak_single_bytes: u64,
+    /// Largest map-workspace footprint (capacity × entry bytes, doubling
+    /// included) charged so far.
+    pub peak_map_bytes: u64,
     /// Largest worker-thread count any parallel loop of the run used so far
     /// (0 when no parallel loop has executed).
     pub workers: u64,
+}
+
+impl Progress {
+    /// The largest single resident allocation the run has needed so far —
+    /// the maximum of the array and map high-water marks. This is the
+    /// observable a [`crate::ResourceBudget::max_workspace_bytes`] limit
+    /// polices and the one the static cost bound must be ≥ of.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_single_bytes.max(self.peak_map_bytes)
+    }
 }
 
 impl std::fmt::Display for Progress {
@@ -99,6 +115,8 @@ impl std::fmt::Display for Progress {
 pub(crate) struct SharedProgress {
     pub(crate) iterations: AtomicU64,
     pub(crate) allocated_bytes: AtomicU64,
+    pub(crate) peak_single_bytes: AtomicU64,
+    pub(crate) peak_map_bytes: AtomicU64,
     pub(crate) workers: AtomicU64,
 }
 
@@ -107,6 +125,8 @@ impl SharedProgress {
         Progress {
             iterations: self.iterations.load(Ordering::Relaxed),
             allocated_bytes: self.allocated_bytes.load(Ordering::Relaxed),
+            peak_single_bytes: self.peak_single_bytes.load(Ordering::Relaxed),
+            peak_map_bytes: self.peak_map_bytes.load(Ordering::Relaxed),
             workers: self.workers.load(Ordering::Relaxed),
         }
     }
@@ -115,6 +135,13 @@ impl SharedProgress {
     /// observed across the run.
     pub(crate) fn note_workers(&self, n: u64) {
         self.workers.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Publishes the allocation high-water marks, keeping the maxima
+    /// observed across the run (workers publish concurrently).
+    pub(crate) fn note_peaks(&self, peak_single: u64, peak_map: u64) {
+        self.peak_single_bytes.fetch_max(peak_single, Ordering::Relaxed);
+        self.peak_map_bytes.fetch_max(peak_map, Ordering::Relaxed);
     }
 }
 
@@ -701,7 +728,11 @@ mod tests {
     fn report_summary_and_abort_display_are_human_readable() {
         let report = ExecReport {
             elapsed: Duration::from_millis(12),
-            progress: Progress { iterations: 42, allocated_bytes: 1024, workers: 0 },
+            progress: Progress {
+                iterations: 42,
+                allocated_bytes: 1024,
+                ..Progress::default()
+            },
             samples: vec![],
         };
         let s = report.summary();
@@ -712,7 +743,7 @@ mod tests {
                 deadline: Duration::from_millis(50),
                 elapsed: Duration::from_millis(61),
             },
-            progress: Progress { iterations: 9, allocated_bytes: 0, workers: 0 },
+            progress: Progress { iterations: 9, ..Progress::default() },
             elapsed: Duration::from_millis(61),
         };
         let s = aborted.to_string();

@@ -33,7 +33,7 @@ pub mod lattice;
 mod lower;
 
 pub use error::LowerError;
-pub use lower::{lower, KernelKind, LowerOptions, LoweredKernel};
+pub use lower::{lower, KernelKind, LowerOptions, LoweredKernel, WorkspaceMeta};
 
 /// Result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, LowerError>;

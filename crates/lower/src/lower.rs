@@ -101,6 +101,25 @@ impl LowerOptions {
     }
 }
 
+/// Bound-relevant metadata for one workspace the lowerer emitted: which
+/// `Alloc`/`MapInit` names belong to a workspace, its storage backend, and
+/// the dimension expressions its dense footprint is a product of. The
+/// static cost analysis keys its per-workspace bounds off this record
+/// instead of re-deriving workspace identity from the kernel body.
+#[derive(Debug, Clone)]
+pub struct WorkspaceMeta {
+    /// Workspace (array or map) name as it appears in the kernel body.
+    pub name: String,
+    /// Storage backend the workspace was lowered with.
+    pub kind: WorkspaceKind,
+    /// Dimension expressions, one per workspace mode, in terms of the
+    /// kernel's scalar dimension parameters (or integer literals).
+    pub dims: Vec<Expr>,
+    /// Whether a dense workspace carries a coordinate list (`{name}_list`)
+    /// and guard set (`{name}_set`) alongside the value array.
+    pub needs_list: bool,
+}
+
 /// A lowered kernel plus the binding metadata the runtime needs.
 #[derive(Debug, Clone)]
 pub struct LoweredKernel {
@@ -115,6 +134,8 @@ pub struct LoweredKernel {
     /// Name of the nonzero-count scalar output (fused/assemble kernels with
     /// sparse results).
     pub nnz_output: Option<String>,
+    /// Workspaces the kernel allocates, sorted by name.
+    pub workspaces: Vec<WorkspaceMeta>,
 }
 
 /// Lowers a concrete index notation statement to an imperative kernel.
@@ -195,12 +216,25 @@ pub fn lower(stmt: &ConcreteStmt, opts: &LowerOptions) -> Result<LoweredKernel> 
         None
     };
 
+    let mut workspaces: Vec<WorkspaceMeta> = lw
+        .workspaces
+        .iter()
+        .map(|(name, info)| WorkspaceMeta {
+            name: name.clone(),
+            kind: info.kind,
+            dims: info.dims.clone(),
+            needs_list: info.needs_list,
+        })
+        .collect();
+    workspaces.sort_by(|a, b| a.name.cmp(&b.name));
+
     Ok(LoweredKernel {
         kernel,
         result: lw.result.clone(),
         operands: lw.operands.clone(),
         kind: opts.kind,
         nnz_output,
+        workspaces,
     })
 }
 

@@ -82,6 +82,10 @@ pub struct NativeReport {
     pub iterations: u64,
     /// Bytes of output/workspace allocation charged against the budget.
     pub allocated_bytes: u64,
+    /// Largest single array allocation charged (high-water mark).
+    pub peak_single_bytes: u64,
+    /// Largest map-workspace footprint charged (high-water mark).
+    pub peak_map_bytes: u64,
 }
 
 /// A loaded, callable native kernel: the dlopen'd shared object, its
@@ -278,6 +282,8 @@ impl NativeKernel {
         Ok(NativeReport {
             iterations: host.meter.iterations_done(),
             allocated_bytes: host.meter.total_bytes(),
+            peak_single_bytes: host.meter.peak_single_bytes(),
+            peak_map_bytes: host.meter.peak_map_bytes(),
         })
     }
 }

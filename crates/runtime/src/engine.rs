@@ -11,10 +11,9 @@ use std::time::{Duration, Instant};
 use taco_core::candidates::enumerate_candidates;
 use taco_core::fingerprint::fingerprint_stmt;
 use taco_core::{
-    CompiledKernel, CoreError, DegradeRung, FallbackEvent, IndexStmt, ResourceBudget, Supervisor,
-    SupervisedOutcome, VerifyMode,
+    stmt_workspaces, CompiledKernel, CoreError, DegradeRung, FallbackEvent, IndexStmt,
+    ResourceBudget, Supervisor, SupervisedOutcome, VerifyMode,
 };
-use taco_ir::heuristics::estimate_workspace_bytes;
 use taco_llir::WorkspaceKind;
 use taco_lower::{KernelKind, LowerOptions};
 use taco_tensor::{Format, Tensor};
@@ -162,6 +161,11 @@ pub enum EngineEvent {
         candidates: usize,
         /// Candidates that compiled and ran to completion.
         viable: usize,
+        /// Candidates skipped without a timing run because the symbolic
+        /// cost analyzer proved their peak allocation charge at least
+        /// [`Engine::TUNE_PRUNE_MARGIN`] times the incumbent's measured
+        /// peak — statically dominated on memory, not worth racing.
+        pruned: usize,
         /// Measured nanoseconds of the winner.
         best_nanos: u64,
         /// Pinned thread count of the winner (`None` = serial/auto).
@@ -213,11 +217,19 @@ impl std::fmt::Display for EngineEvent {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EngineEvent::Fallback(e) => write!(f, "fallback: {e}"),
-            EngineEvent::Autotuned { key, schedule, candidates, viable, best_nanos, threads } => {
+            EngineEvent::Autotuned {
+                key,
+                schedule,
+                candidates,
+                viable,
+                pruned,
+                best_nanos,
+                threads,
+            } => {
                 write!(
                     f,
                     "autotuned [{key}]: chose `{schedule}` ({viable}/{candidates} runs viable, \
-                     best {:.3} ms",
+                     {pruned} statically pruned, best {:.3} ms",
                     *best_nanos as f64 / 1e6
                 )?;
                 match threads {
@@ -304,6 +316,13 @@ impl Default for Engine {
 }
 
 impl Engine {
+    /// Static-pruning margin of the autotune search: a candidate is skipped
+    /// without a timing run when its proven peak-allocation bound is at
+    /// least this many times the incumbent's *measured* peak. Chosen well
+    /// above the analyzer's typical bound-tightness ratio so a loose (but
+    /// sound) bound never prunes a genuinely competitive schedule.
+    pub const TUNE_PRUNE_MARGIN: u64 = 4;
+
     /// An engine with [`EngineConfig::default`].
     pub fn new() -> Engine {
         Engine::with_config(EngineConfig::default())
@@ -526,7 +545,7 @@ impl Engine {
                     // workspaces, the caller already asked for this backend,
                     // or the compile-time budget fallback already chose it.
                     if opts.workspace_kind == kind
-                        || estimate_workspace_bytes(stmt.concrete()).is_empty()
+                        || stmt_workspaces(stmt.concrete()).is_empty()
                         || fallbacks.iter().any(|f| {
                             matches!(f, FallbackEvent::WorkspaceDowngraded { to, .. } if *to == kind)
                         })
@@ -679,8 +698,12 @@ impl Engine {
         let candidates = enumerate_candidates(stmt);
         let total = candidates.len();
         let mut viable = 0usize;
+        let mut pruned = 0usize;
         type Best = (String, Option<usize>, WorkspaceKind, Vec<(String, Format)>, Tensor, u64);
         let mut best: Option<Best> = None;
+        // Measured peak allocation charge of the incumbent, for static
+        // pruning (0 until a run reports one).
+        let mut best_peak: u64 = 0;
         'candidates: for cand in candidates {
             // Format-conversion candidates run on converted copies of the
             // named operands; a conversion that fails (or an identical
@@ -693,6 +716,25 @@ impl Engine {
                 .zip(&converted)
                 .map(|((n, t), c)| (*n, c.as_ref().unwrap_or(t)))
                 .collect();
+            // Static pruning: once an incumbent has been timed, a candidate
+            // whose *proven* peak allocation bound — evaluated against the
+            // actual operands — is at least `TUNE_PRUNE_MARGIN` times the
+            // incumbent's measured peak is dominated on memory by a margin
+            // no timing upset can justify, so it is skipped without a run.
+            // Unknown bounds are never pruned: degradation is conservative.
+            if best_peak > 0 {
+                let prune_opts = opts.clone().with_workspace_kind(cand.workspace_kind);
+                if let Ok(kernel) = self.compile(&cand.stmt, prune_opts) {
+                    if let Ok(binding) = kernel.bind(&cand_inputs, None) {
+                        if let Some(bound) = kernel.static_peak_bytes(&binding) {
+                            if bound >= best_peak.saturating_mul(Self::TUNE_PRUNE_MARGIN) {
+                                pruned += 1;
+                                continue;
+                            }
+                        }
+                    }
+                }
+            }
             // A parallel candidate is timed at explicit thread counts (two
             // and the machine width) so the remembered decision also says
             // how wide to run it; serial candidates get one unpinned run.
@@ -735,7 +777,7 @@ impl Engine {
                 // statement into an error; every other rep only spends
                 // remaining search time.
                 const TUNE_REPS: usize = 3;
-                let mut measured: Option<(Tensor, u64)> = None;
+                let mut measured: Option<(Tensor, u64, u64)> = None;
                 for rep in 0..TUNE_REPS {
                     let remaining =
                         self.config.tuning_deadline.saturating_sub(started.elapsed());
@@ -763,15 +805,16 @@ impl Engine {
                     match run_result {
                         Ok((result, report)) => {
                             let nanos = report.elapsed.as_nanos() as u64;
+                            let peak = report.progress.peak_bytes();
                             measured = Some(match measured.take() {
-                                Some((first, b)) => (first, b.min(nanos)),
-                                None => (result, nanos),
+                                Some((first, b, p)) => (first, b.min(nanos), p.max(peak)),
+                                None => (result, nanos, peak),
                             });
                         }
                         Err(_) => break,
                     }
                 }
-                let Some((result, nanos)) = measured else { continue };
+                let Some((result, nanos, peak)) = measured else { continue };
                 viable += 1;
                 // A challenger displaces the incumbent only by a clear
                 // margin (5%): candidates are enumerated simplest-first, so
@@ -800,6 +843,7 @@ impl Engine {
                         result,
                         nanos,
                     ));
+                    best_peak = peak;
                 }
             }
         }
@@ -824,6 +868,7 @@ impl Engine {
             schedule: schedule.clone(),
             candidates: total,
             viable,
+            pruned,
             best_nanos,
             threads,
         });

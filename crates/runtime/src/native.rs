@@ -373,6 +373,8 @@ fn run_native_once(
                     progress: Progress {
                         iterations: report.iterations,
                         allocated_bytes: report.allocated_bytes,
+                        peak_single_bytes: report.peak_single_bytes,
+                        peak_map_bytes: report.peak_map_bytes,
                         workers: 0,
                     },
                     samples: Vec::new(),

@@ -1,0 +1,149 @@
+//! Static cost-model admission checks.
+//!
+//! Both checks run the symbolic cost analyzer
+//! ([`taco_core::analyze_cost`]) over a lowering of the request *before*
+//! the request is queued or compiled:
+//!
+//! * [`budget_infeasible`] proves a request can never run under its
+//!   tenant's workspace-byte budget — the same decision
+//!   `compile_with_budget` would reach with a `BudgetExceeded` error, made
+//!   at the front door so the doomed request sheds instead of occupying
+//!   queue and compile capacity;
+//! * [`service_prior_nanos`] turns the analyzer's iteration bound into a
+//!   service-time prior that seeds the queue-wait estimate before any
+//!   completion has been observed (the EMA cold start).
+
+use crate::server::Request;
+use taco_core::{analyze_cost, stmt_workspaces, CostEnv, IndexStmt, ResourceBudget};
+use taco_llir::WorkspaceKind;
+use taco_lower::{lower, LoweredKernel};
+
+/// Nanoseconds charged per bounded loop iteration in the cold-start prior.
+/// Interpreter dispatch costs tens of nanoseconds per statement; one
+/// iteration executes a handful. The estimate only needs the right order
+/// of magnitude — shedding decisions compare it against deadlines that are
+/// milliseconds and up.
+const NANOS_PER_ITERATION: u64 = 10;
+
+/// Clamp range of the prior: never below one microsecond (a degenerate
+/// bound must not read as "instant"), never above one second (a loose
+/// polynomial over big dimensions must not shed everything).
+const PRIOR_MIN_NANOS: u64 = 1_000;
+const PRIOR_MAX_NANOS: u64 = 1_000_000_000;
+
+/// Proves a request infeasible under `budget`, or returns `None` when it
+/// might run. `Some((workspace, bound_bytes, limit))` means compiling this
+/// request is guaranteed to fail with a budget error: the analyzer's dense
+/// workspace bound exceeds `max_workspace_bytes`, no sparse backend's
+/// initial footprint fits either, and the statement cannot be lowered
+/// without its workspaces (direct merge is unrealizable). Exactly the
+/// chain `IndexStmt::compile_with_budget` walks before erroring — mirrored
+/// here without compiling, verifying, or queuing anything.
+pub(crate) fn budget_infeasible(
+    req: &Request,
+    budget: &ResourceBudget,
+) -> Option<(String, u64, u64)> {
+    let limit = budget.max_workspace_bytes?;
+    if req.opts.workspace_kind != WorkspaceKind::Dense {
+        // The compile-time fallback only arbitrates dense workspaces; a
+        // sparse-workspace request is charged at run time.
+        return None;
+    }
+    let ws_vars = stmt_workspaces(req.stmt.concrete());
+    if ws_vars.is_empty() {
+        return None;
+    }
+    let dense = lower(req.stmt.concrete(), &req.opts).ok()?;
+    let cost = analyze_cost(&dense);
+    let env = CostEnv::from_shapes(&dense);
+    // Per-workspace proven bounds; anything unbounded trips the budget,
+    // matching the compile path.
+    let bounds: Vec<(String, u64)> = ws_vars
+        .iter()
+        .map(|ws| {
+            let b = cost
+                .workspaces
+                .iter()
+                .find(|w| w.name == ws.name())
+                .and_then(|w| w.bytes.concrete(&env))
+                .unwrap_or(u64::MAX);
+            (ws.name().to_string(), b)
+        })
+        .collect();
+    let total: u64 = bounds.iter().map(|(_, b)| *b).fold(0, u64::saturating_add);
+    if total <= limit {
+        return None;
+    }
+    // A sparse backend whose initial footprint fits would be downgraded
+    // to, not rejected.
+    for kind in [WorkspaceKind::Hash, WorkspaceKind::CoordList] {
+        let Ok(lk) = lower(req.stmt.concrete(), &req.opts.clone().with_workspace_kind(kind))
+        else {
+            continue;
+        };
+        let cost = analyze_cost(&lk);
+        let env = CostEnv::from_shapes(&lk);
+        if cost.workspace_init_bytes(&env).is_some_and(|init| init <= limit) {
+            return None;
+        }
+    }
+    // The direct merge kernel drops the workspaces entirely; if it lowers,
+    // the compile falls back to it instead of failing.
+    if let Ok(direct) = IndexStmt::new(req.stmt.source().clone()) {
+        if direct.concrete() != req.stmt.concrete()
+            && lower(direct.concrete(), &req.opts).is_ok()
+        {
+            return None;
+        }
+    }
+    let (workspace, bound) = bounds.into_iter().next().expect("ws_vars is non-empty");
+    Some((workspace, bound, limit))
+}
+
+/// A service-time prior for the request, from the analyzer's iteration
+/// bound: `iterations × NANOS_PER_ITERATION`, clamped to a sane range.
+/// `None` when the statement does not lower or the bound cannot be
+/// evaluated even pessimistically.
+pub(crate) fn service_prior_nanos(req: &Request) -> Option<u64> {
+    let lk = lower(req.stmt.concrete(), &req.opts).ok()?;
+    let cost = analyze_cost(&lk);
+    let env = pessimistic_env(&lk, req);
+    let iterations = cost.iterations.concrete(&env)?;
+    Some(
+        iterations
+            .saturating_mul(NANOS_PER_ITERATION)
+            .clamp(PRIOR_MIN_NANOS, PRIOR_MAX_NANOS),
+    )
+}
+
+/// The shape-derived environment, with `len(...)` atoms valued
+/// pessimistically from the *dense* size of the tensor each array belongs
+/// to (a sparse array is never longer than its dense dimension product,
+/// plus one for `pos`). Good enough for a prior; the sound bind-time
+/// environment uses real array lengths instead.
+fn pessimistic_env(lk: &LoweredKernel, req: &Request) -> CostEnv {
+    let mut env = CostEnv::from_shapes(lk);
+    let mut tensors: Vec<(&str, u64)> = vec![(lk.result.name(), dense_size(lk.result.shape()))];
+    for op in &lk.operands {
+        tensors.push((op.name(), dense_size(op.shape())));
+    }
+    for (name, t) in &req.operands {
+        tensors.push((name.as_str(), dense_size(t.shape())));
+    }
+    for param in &lk.kernel.array_params {
+        // Longest-prefix match: tensor `B` owns `B2_pos`, not tensor `B2`'s
+        // arrays.
+        let owner = tensors
+            .iter()
+            .filter(|(t, _)| param.name.starts_with(t))
+            .max_by_key(|(t, _)| t.len());
+        if let Some((_, size)) = owner {
+            env.lens.insert(param.name.clone(), size.saturating_add(1));
+        }
+    }
+    env
+}
+
+fn dense_size(shape: &[usize]) -> u64 {
+    shape.iter().try_fold(1u64, |acc, &d| acc.checked_mul(d as u64)).unwrap_or(u64::MAX)
+}

@@ -70,6 +70,7 @@
 
 #![warn(missing_docs)]
 
+mod admission;
 mod policy;
 mod server;
 mod stats;

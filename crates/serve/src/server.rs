@@ -12,16 +12,19 @@
 //!           Rejected::{QueueFull,          Outcome::Aborted      Outcome::{Completed,
 //!             QuotaExhausted,              (expired in queue)      Aborted, Failed}
 //!             DeadlineInfeasible,
+//!             BudgetInfeasible,
 //!             ShuttingDown}
 //! ```
 //!
 //! Admission is where overload is shed: when the queue is full, a tenant
-//! quota is exhausted, or the estimated queue wait already makes the
+//! quota is exhausted, the symbolic cost analyzer proves the request can
+//! never fit its budget, or the estimated queue wait already makes the
 //! deadline infeasible, the request is rejected with a typed
 //! [`Rejected`] reason *before* it can waste a worker. Everything admitted
 //! gets exactly one typed [`Outcome`] through its [`Ticket`], including
 //! across [`Server::drain`] and [`Server::shutdown_now`].
 
+use crate::admission;
 use crate::policy::{fmt_ms, TenantPolicy, TokenBucket};
 use crate::stats::{ServerStats, TenantCounters};
 use std::collections::{BinaryHeap, HashMap};
@@ -148,6 +151,23 @@ pub enum Rejected {
         /// The server's queue-wait estimate at admission.
         estimated_wait: Duration,
     },
+    /// The symbolic cost analyzer proved the request can never run under
+    /// the budget it would face: the dense workspace bound exceeds the
+    /// workspace-byte limit, no sparse fallback's initial footprint fits,
+    /// and the direct-merge kernel is unrealizable. Shed before queuing or
+    /// compiling anything.
+    BudgetInfeasible {
+        /// The tenant whose budget the request cannot fit.
+        tenant: String,
+        /// The workspace whose proven bound trips the limit.
+        workspace: String,
+        /// The analyzer's proven lower-resident requirement in bytes
+        /// (`u64::MAX` when the bound is symbolic but unbounded).
+        bound_bytes: u64,
+        /// The effective workspace-byte limit (tenant policy min engine
+        /// budget).
+        budget_bytes: u64,
+    },
     /// The server is draining and admits nothing new.
     ShuttingDown,
 }
@@ -169,6 +189,11 @@ impl std::fmt::Display for Rejected {
                 "deadline {} infeasible: estimated queue wait {}",
                 fmt_ms(*deadline),
                 fmt_ms(*estimated_wait)
+            ),
+            Rejected::BudgetInfeasible { tenant, workspace, bound_bytes, budget_bytes } => write!(
+                f,
+                "tenant `{tenant}`: workspace `{workspace}` provably needs {bound_bytes} bytes, \
+                 over the {budget_bytes}-byte budget, with no viable fallback"
             ),
             Rejected::ShuttingDown => write!(f, "server is shutting down"),
         }
@@ -340,23 +365,46 @@ struct SchedState {
     /// Exponential moving average of recent service times, feeding the
     /// admission-time queue-wait estimate. Zero until the first completion.
     ema_service_nanos: u64,
+    /// Cost-model service-time prior from the symbolic analyzer's iteration
+    /// bound, standing in for the EMA until the first completion seeds it.
+    /// Refreshed from the most recent admission that computed one.
+    cost_prior_nanos: u64,
     totals: TenantCounters,
     per_tenant: HashMap<String, TenantCounters>,
 }
 
+/// Queue-wait estimate as a pure function of scheduler counters: zero while
+/// a worker is idle, otherwise the backlog (queued + running, beyond the
+/// workers already busy) served across `workers` lanes at the EMA service
+/// time — or, before any completion has been observed, at the cost-model
+/// prior. Deliberately a heuristic — shedding only needs the right order of
+/// magnitude — but a *cold* heuristic of zero admitted everything under any
+/// backlog, which is the bug the prior closes.
+fn estimate_wait(
+    queued: usize,
+    running: usize,
+    workers: usize,
+    ema_nanos: u64,
+    prior_nanos: u64,
+) -> Duration {
+    let service = if ema_nanos > 0 { ema_nanos } else { prior_nanos };
+    let pending = queued + running;
+    if pending < workers || service == 0 {
+        return Duration::ZERO;
+    }
+    let waves = (queued / workers.max(1)) as u64 + 1;
+    Duration::from_nanos(service.saturating_mul(waves))
+}
+
 impl SchedState {
-    /// Estimated time a request admitted *now* would wait before a worker
-    /// picks it up: zero while a worker is idle, otherwise the backlog
-    /// (queued + running, beyond the workers already busy) served at the
-    /// recent EMA service time across `workers` lanes. Deliberately a
-    /// heuristic — shedding only needs the right order of magnitude.
     fn estimated_wait(&self, workers: usize) -> Duration {
-        let pending = self.queue.len() + self.running;
-        if pending < workers || self.ema_service_nanos == 0 {
-            return Duration::ZERO;
-        }
-        let waves = (self.queue.len() / workers.max(1)) as u64 + 1;
-        Duration::from_nanos(self.ema_service_nanos.saturating_mul(waves))
+        estimate_wait(
+            self.queue.len(),
+            self.running,
+            workers,
+            self.ema_service_nanos,
+            self.cost_prior_nanos,
+        )
     }
 
     fn note_service(&mut self, elapsed: Duration) {
@@ -477,6 +525,7 @@ impl ServerBuilder {
                 in_flight: HashMap::new(),
                 tenants: HashMap::new(),
                 ema_service_nanos: 0,
+                cost_prior_nanos: 0,
                 totals: TenantCounters::default(),
                 per_tenant: HashMap::new(),
             }),
@@ -532,9 +581,11 @@ impl Server {
 
     /// Admission: accept the request into the bounded EDF queue, or shed it
     /// with a typed reason. Checks, in order: drain state, queue bound,
-    /// tenant in-flight cap, deadline feasibility against the estimated
-    /// queue wait, and finally the tenant's rate token (consumed last so a
-    /// request shed for another reason does not burn quota).
+    /// tenant in-flight cap, budget feasibility (the symbolic cost analyzer
+    /// proving the request over-budget with no fallback), deadline
+    /// feasibility against the estimated queue wait, and finally the
+    /// tenant's rate token (consumed last so a request shed for another
+    /// reason does not burn quota).
     ///
     /// # Errors
     ///
@@ -543,6 +594,15 @@ impl Server {
         let now = Instant::now();
         let shared = &self.shared;
         let policy = shared.policy_for(&request.tenant).clone();
+        // Static analysis runs before the scheduler lock: the infeasibility
+        // proof against the tightest budget the job would face, and (only
+        // while the service-time EMA is cold) the cost-model prior that
+        // stands in for it.
+        let effective_budget = policy.budget.min_with(&shared.engine.config().budget);
+        let infeasible = admission::budget_infeasible(&request, &effective_budget);
+        let ema_cold = { shared.lock().ema_service_nanos == 0 };
+        let prior =
+            if ema_cold { admission::service_prior_nanos(&request) } else { None };
         let mut st = shared.lock();
         let verdict = (|| {
             if st.draining {
@@ -557,6 +617,17 @@ impl Server {
                     tenant: request.tenant.clone(),
                     quota: Quota::InFlight,
                 });
+            }
+            if let Some((workspace, bound_bytes, budget_bytes)) = infeasible {
+                return Err(Rejected::BudgetInfeasible {
+                    tenant: request.tenant.clone(),
+                    workspace,
+                    bound_bytes,
+                    budget_bytes,
+                });
+            }
+            if let Some(prior) = prior {
+                st.cost_prior_nanos = prior;
             }
             let estimated_wait = st.estimated_wait(shared.workers);
             if estimated_wait >= request.deadline {
@@ -782,4 +853,30 @@ fn finish(shared: &Shared, job: &Job, queue_wait: Duration, service: Duration, o
     }
     // A dropped ticket is fine: the work was already billed and recorded.
     let _ = job.tx.send(outcome);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::estimate_wait;
+    use std::time::Duration;
+
+    /// The cold-start regression: with a saturated pool and a backlog but no
+    /// completed request yet (EMA zero), the wait estimate must fall back to
+    /// the cost-model prior instead of reporting zero and admitting every
+    /// deadline.
+    #[test]
+    fn cold_ema_falls_back_to_cost_prior() {
+        // Warm EMA wins regardless of the prior.
+        assert_eq!(
+            estimate_wait(4, 2, 2, 1_000_000, 9_000_000),
+            Duration::from_nanos(3_000_000)
+        );
+        // Cold EMA, prior seeded: the prior drives the same formula.
+        assert_eq!(estimate_wait(4, 2, 2, 0, 1_000_000), Duration::from_nanos(3_000_000));
+        // Cold EMA and no prior: the legacy zero estimate (nothing better
+        // is known).
+        assert_eq!(estimate_wait(4, 2, 2, 0, 0), Duration::ZERO);
+        // Idle worker: zero wait no matter the signals.
+        assert_eq!(estimate_wait(0, 1, 2, 5_000, 5_000), Duration::ZERO);
+    }
 }

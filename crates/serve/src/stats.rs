@@ -25,6 +25,9 @@ pub struct TenantCounters {
     /// Requests shed at admission because the estimated queue wait already
     /// exceeded their deadline.
     pub shed_deadline: u64,
+    /// Requests shed at admission because the symbolic cost analyzer proved
+    /// them over their workspace-byte budget with no viable fallback.
+    pub shed_budget: u64,
     /// Requests refused because the server was draining.
     pub shed_shutdown: u64,
     /// Admitted requests that committed a result.
@@ -58,7 +61,11 @@ pub struct TenantCounters {
 impl TenantCounters {
     /// Total requests shed at admission, all reasons.
     pub fn shed(&self) -> u64 {
-        self.shed_queue_full + self.shed_quota + self.shed_deadline + self.shed_shutdown
+        self.shed_queue_full
+            + self.shed_quota
+            + self.shed_deadline
+            + self.shed_budget
+            + self.shed_shutdown
     }
 
     /// Total requests submitted (admitted + shed).
@@ -73,6 +80,7 @@ impl TenantCounters {
                 self.shed_quota += 1;
             }
             Rejected::DeadlineInfeasible { .. } => self.shed_deadline += 1,
+            Rejected::BudgetInfeasible { .. } => self.shed_budget += 1,
             Rejected::ShuttingDown => self.shed_shutdown += 1,
         }
     }

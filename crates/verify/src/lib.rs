@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod assume;
+mod cost;
 mod dataflow;
 mod error;
 mod race;
@@ -55,7 +56,11 @@ mod resets;
 mod sym;
 
 pub use assume::{check_crd_slice, check_pos_slice, ArrayFacts, Assumptions};
+pub use cost::{
+    analyze_cost, Bound, ChargeBound, CostEnv, CostReport, OutputBound, WorkspaceCost,
+};
 pub use error::{Diagnostic, Severity, VerifyError, VerifyMode, VerifyReport};
+pub use sym::{Atom, Sym};
 
 use taco_llir::Kernel;
 use taco_lower::LoweredKernel;

@@ -64,9 +64,10 @@ pub use taco_verify as verify;
 /// Commonly used items, for `use taco_workspaces::prelude::*`.
 pub mod prelude {
     pub use taco_core::{
-        Aborted, AbortReason, BudgetResource, CancelToken, CompiledKernel, CoreError, DegradeRung,
-        ExecReport, FallbackEvent, IndexStmt, Progress, ResourceBudget, SupervisedOutcome,
-        Supervisor, VerifyMode, VerifyReport,
+        analyze_cost, binding_env, stmt_workspaces, Aborted, AbortReason, Bound, BudgetResource,
+        CancelToken, CompiledKernel, CoreError, CostEnv, CostReport, DegradeRung, ExecReport,
+        FallbackEvent, IndexStmt, Progress, ResourceBudget, SupervisedOutcome, Supervisor,
+        VerifyMode, VerifyReport,
     };
     pub use taco_ir::concrete::{AssignOp, ConcreteStmt};
     pub use taco_ir::expr::{sum, IndexExpr, IndexVar, TensorVar};

@@ -510,3 +510,62 @@ fn shutdown_now_cancels_queued_work_with_typed_outcomes() {
     let stats = server.stats();
     assert!(stats.totals.cancelled >= 4, "{stats}");
 }
+
+#[test]
+fn provably_over_budget_request_is_shed_at_admission_before_compiling() {
+    let n = 16;
+    let stmt = spgemm(n);
+    let (b, c) = operands(n, 0.1, 91);
+
+    // 100 bytes: the analyzer proves the dense row workspace (17n = 272
+    // bytes with assembly) over budget, both sparse backends' initial
+    // footprints (384 / 256 bytes) over budget, and spgemm into CSR has no
+    // direct-merge lowering — so the request can never run and must be
+    // shed at the front door.
+    let server = Server::builder()
+        .workers(1)
+        .tenant(
+            "starved",
+            TenantPolicy::default()
+                .with_budget(ResourceBudget::unlimited().with_max_workspace_bytes(100)),
+        )
+        .build();
+
+    let err = server
+        .submit(request("starved", &stmt, &b, &c, Duration::from_secs(60)))
+        .unwrap_err();
+    match err {
+        Rejected::BudgetInfeasible { tenant, workspace, bound_bytes, budget_bytes } => {
+            assert_eq!(tenant, "starved");
+            assert_eq!(workspace, "w");
+            assert_eq!(budget_bytes, 100);
+            assert!(bound_bytes > 100, "proven bound must exceed the limit");
+        }
+        other => panic!("expected BudgetInfeasible, got {other:?}"),
+    }
+
+    // Shed before queue and compile: nothing reached the engine.
+    assert_eq!(server.engine().cache_stats().compiles, 0, "shed requests must not compile");
+    server.drain();
+    let stats = server.stats();
+    assert_eq!(stats.totals.shed_budget, 1);
+    assert_eq!(stats.totals.admitted, 0);
+    assert_eq!(stats.tenants["starved"].shed(), 1);
+
+    // The same statement under a budget the sparse fallback fits is
+    // admitted and completes degraded, not shed: infeasibility is a proof,
+    // not a heuristic.
+    let server = Server::builder()
+        .workers(1)
+        .tenant(
+            "tight",
+            TenantPolicy::default()
+                .with_budget(ResourceBudget::unlimited().with_max_workspace_bytes(1024)),
+        )
+        .build();
+    let ticket = server
+        .submit(request("tight", &stmt, &b, &c, Duration::from_secs(60)))
+        .expect("a feasible sparse fallback means the request must be admitted");
+    assert!(ticket.wait().is_completed());
+    server.drain();
+}
